@@ -1,0 +1,216 @@
+//! The STARAN flip network.
+//!
+//! STARAN's defining interconnect (designed by Kenneth Batcher, the same
+//! Batcher whose conflict-detection algorithm the ATM tasks use) is a
+//! *flip network*: a multistage shuffle that can apply any composition of
+//! bit-level index permutations — in particular every **XOR permutation**
+//! `i → i ⊕ pattern` — to the PE array in a constant number of network
+//! cycles. The ATM programs of the era used it to realign radar data with
+//! track stores and to implement Batcher sorting/merging primitives.
+//!
+//! The emulator implements the XOR (butterfly) family plus barrel shifts,
+//! both constant-time under the machine's timing profile, and a
+//! flip-network Batcher **bitonic merge-sort** built from them — the
+//! canonical demonstration that the network turns the PE array into a
+//! sorting machine in `O(log² n)` constant-cost steps.
+
+use crate::machine::ApMachine;
+use crate::timing::ApTimingProfile;
+use sim_clock::SimDuration;
+
+/// Pad-free check: XOR permutations need a power-of-two array.
+fn assert_pow2(n: usize) {
+    assert!(n.is_power_of_two(), "flip network operations require a power-of-two PE count, got {n}");
+}
+
+impl<R> ApMachine<R> {
+    /// Apply the XOR permutation `i → i ⊕ pattern` to the PE contents in
+    /// one flip-network pass (constant time; `pattern` must be below the
+    /// array size, which must be a power of two).
+    pub fn flip_xor(&mut self, pattern: usize) {
+        let n = self.len();
+        if n == 0 || pattern == 0 {
+            self.charge_flip(1);
+            return;
+        }
+        assert_pow2(n);
+        assert!(pattern < n, "pattern {pattern} out of range for {n} PEs");
+        let records = self.records_mut_untimed();
+        for i in 0..n {
+            let j = i ^ pattern;
+            if i < j {
+                records.swap(i, j);
+            }
+        }
+        self.charge_flip(1);
+    }
+
+    /// Barrel-shift the PE contents by `k` positions (wrapping), one
+    /// network pass per power-of-two component of `k`.
+    pub fn flip_shift(&mut self, k: usize) {
+        let n = self.len();
+        if n == 0 {
+            self.charge_flip(1);
+            return;
+        }
+        let k = k % n;
+        let passes = k.count_ones().max(1);
+        self.records_mut_untimed().rotate_left(k);
+        self.charge_flip(passes);
+    }
+
+    /// Batcher bitonic sort of the PE contents by a key, entirely in
+    /// flip-network compare-exchange passes: `O(log² n)` constant-cost
+    /// steps regardless of the values.
+    ///
+    /// Returns the number of compare-exchange stages executed.
+    pub fn flip_bitonic_sort_by<F>(&mut self, key: F) -> u32
+    where
+        F: Fn(&R) -> f64,
+    {
+        let n = self.len();
+        if n <= 1 {
+            return 0;
+        }
+        assert_pow2(n);
+        let mut stages = 0u32;
+        let mut k = 2;
+        while k <= n {
+            let mut j = k / 2;
+            while j > 0 {
+                // One stage: every PE pair (i, i^j) compare-exchanges in
+                // lockstep through the network.
+                let records = self.records_mut_untimed();
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        let ascending = i & k == 0;
+                        let out_of_order = key(&records[i]) > key(&records[l]);
+                        if ascending == out_of_order {
+                            records.swap(i, l);
+                        }
+                    }
+                }
+                self.charge_flip(1);
+                stages += 1;
+                j /= 2;
+            }
+            k *= 2;
+        }
+        stages
+    }
+
+    /// Time of `passes` flip-network passes under the current profile.
+    fn charge_flip(&mut self, passes: u32) {
+        let d = self.profile().flip_pass_time() * passes as u64;
+        self.advance_clock("ap:flip", d);
+    }
+}
+
+impl ApTimingProfile {
+    /// Duration of one flip-network pass: the network moves one bit-slice
+    /// per cycle through `log2(PEs)`-ish stages; the historical figure is
+    /// comparable to one word-wide associative step, which is how it is
+    /// priced here.
+    pub fn flip_pass_time(&self) -> SimDuration {
+        let cycles = self.arith_cycles_per_bit
+            * if self.physical_pes.is_some() { 1 } else { self.word_bits as u64 }
+            + self.route_cycles_per_pass;
+        SimDuration::from_cycles(cycles, self.clock_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(values: Vec<i64>) -> ApMachine<i64> {
+        let mut m = ApMachine::new(ApTimingProfile::staran());
+        m.load_records(values, 1);
+        m
+    }
+
+    #[test]
+    fn xor_permutation_swaps_pairs() {
+        let mut m = machine(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        m.flip_xor(1);
+        assert_eq!(m.records(), &[1, 0, 3, 2, 5, 4, 7, 6]);
+        m.flip_xor(1);
+        assert_eq!(m.records(), &[0, 1, 2, 3, 4, 5, 6, 7], "involution");
+    }
+
+    #[test]
+    fn xor_by_half_swaps_halves() {
+        let mut m = machine(vec![0, 1, 2, 3]);
+        m.flip_xor(2);
+        assert_eq!(m.records(), &[2, 3, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn xor_requires_power_of_two() {
+        let mut m = machine(vec![0, 1, 2]);
+        m.flip_xor(1);
+    }
+
+    #[test]
+    fn shift_rotates() {
+        let mut m = machine(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        m.flip_shift(3);
+        assert_eq!(m.records(), &[3, 4, 5, 6, 7, 0, 1, 2]);
+        m.flip_shift(5);
+        assert_eq!(m.records(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn bitonic_sort_sorts_and_uses_log2_squared_stages() {
+        let mut m = machine(vec![5, 3, 8, 1, 9, 2, 7, 0]);
+        let stages = m.flip_bitonic_sort_by(|&v| v as f64);
+        assert_eq!(m.records(), &[0, 1, 2, 3, 5, 7, 8, 9]);
+        // n = 8: 1 + 2 + 3 = 6 stages.
+        assert_eq!(stages, 6);
+    }
+
+    #[test]
+    fn bitonic_sort_handles_descending_and_duplicate_keys() {
+        let mut m = machine(vec![7, 7, 6, 5, 4, 3, 2, 1]);
+        m.flip_bitonic_sort_by(|&v| v as f64);
+        assert_eq!(m.records(), &[1, 2, 3, 4, 5, 6, 7, 7]);
+    }
+
+    #[test]
+    fn flip_passes_charge_constant_time() {
+        let mut small = machine(vec![0; 64]);
+        let mut large = machine(vec![0; 4096]);
+        small.reset_clock();
+        large.reset_clock();
+        small.flip_xor(1);
+        large.flip_xor(1);
+        assert_eq!(small.elapsed(), large.elapsed(), "network pass is O(1)");
+    }
+
+    #[test]
+    fn sort_time_grows_only_with_log2_squared() {
+        let time_for = |n: usize| {
+            let mut m = machine((0..n as i64).rev().collect());
+            m.reset_clock();
+            m.flip_bitonic_sort_by(|&v| v as f64);
+            m.elapsed()
+        };
+        let t64 = time_for(64); // 21 stages
+        let t4096 = time_for(4_096); // 78 stages
+        let ratio = t4096.as_picos() as f64 / t64.as_picos() as f64;
+        assert!((ratio - 78.0 / 21.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_and_single_arrays_are_fine() {
+        let mut m = machine(vec![]);
+        m.flip_xor(0);
+        m.flip_shift(3);
+        assert_eq!(m.flip_bitonic_sort_by(|&v| v as f64), 0);
+        let mut one = machine(vec![42]);
+        assert_eq!(one.flip_bitonic_sort_by(|&v| v as f64), 0);
+        assert_eq!(one.records(), &[42]);
+    }
+}

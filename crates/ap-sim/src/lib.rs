@@ -1,0 +1,53 @@
+//! An associative processor (AP) emulator.
+//!
+//! The reproduced paper compares its CUDA ATM implementation against the
+//! STARAN associative processor (Goodyear Aerospace, early 1970s — the
+//! machine ATM was originally demonstrated on) and against a ClearSpeed
+//! CSX600 emulation of that AP from the authors' prior work. Neither
+//! machine is obtainable, so this crate emulates the *associative computing
+//! model* they implement:
+//!
+//! * a PE array where every processing element holds one record in its own
+//!   memory and evaluates predicates in lockstep ([`ApMachine`]),
+//! * **responder sets** — the bit-vector of PEs whose record satisfied the
+//!   last associative search ([`ResponderSet`]),
+//! * the constant-time primitives the AP literature defines: broadcast,
+//!   associative search, parallel arithmetic on active PEs, global
+//!   min/max reduction, responder pick-one and count.
+//!
+//! Timing is charged per primitive from an [`ApTimingProfile`]: the STARAN
+//! profile prices each primitive at a constant number of bit-serial cycles
+//! (independent of how many records are loaded — that is the defining
+//! property that makes the AP's ATM tasks linear-time overall), while the
+//! ClearSpeed CSX600 profile has 2 × 96 word-parallel PEs and must
+//! *virtualize*: an operation over `n` records costs `ceil(n / 192)`
+//! passes, plus ring-network steps for reductions.
+
+//! # Example
+//!
+//! ```
+//! use ap_sim::{ApMachine, ApTimingProfile};
+//!
+//! let mut ap = ApMachine::new(ApTimingProfile::staran());
+//! ap.load_records(vec![17i64, 4, 256, 4], 1);
+//!
+//! // Constant-time associative search: which PEs hold the value 4?
+//! let responders = ap.search(1, |&v| v == 4);
+//! assert_eq!(responders.count(), 2);
+//! assert_eq!(ap.pick_one(&responders), Some(1));
+//!
+//! // Constant-time max reduction across all PEs.
+//! let all = ap_sim::ResponderSet::all(4);
+//! assert_eq!(ap.max_by_key(&all, |&v| v as f64), Some(2));
+//! ```
+
+pub mod flip;
+pub mod machine;
+pub mod ops;
+pub mod responder;
+pub mod timing;
+
+pub use machine::ApMachine;
+pub use ops::ApStats;
+pub use responder::ResponderSet;
+pub use timing::ApTimingProfile;

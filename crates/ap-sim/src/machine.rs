@@ -1,0 +1,356 @@
+//! The associative PE array.
+
+use crate::ops::ApStats;
+use crate::responder::ResponderSet;
+use crate::timing::ApTimingProfile;
+use sim_clock::{SimDuration, Timeline};
+
+/// An associative processor holding one record of type `R` per PE.
+///
+/// All primitives operate across the whole array in lockstep, restricted to
+/// the PEs of an explicit [`ResponderSet`] mask where noted. Every primitive
+/// charges its cost to the machine's [`Timeline`] according to the
+/// [`ApTimingProfile`], so algorithm code written against this API gets the
+/// machine's time "for free".
+pub struct ApMachine<R> {
+    records: Vec<R>,
+    profile: ApTimingProfile,
+    timeline: Timeline,
+    stats: ApStats,
+}
+
+impl<R> ApMachine<R> {
+    /// Bring up a machine with the given timing profile and no records.
+    pub fn new(profile: ApTimingProfile) -> Self {
+        ApMachine {
+            records: Vec::new(),
+            profile,
+            timeline: Timeline::new(),
+            stats: ApStats::default(),
+        }
+    }
+
+    /// Number of records currently loaded (one per active PE).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The machine's timing profile.
+    pub fn profile(&self) -> &ApTimingProfile {
+        &self.profile
+    }
+
+    /// Elapsed machine time.
+    pub fn elapsed(&self) -> SimDuration {
+        self.timeline.elapsed()
+    }
+
+    /// Primitive-operation statistics.
+    pub fn stats(&self) -> &ApStats {
+        &self.stats
+    }
+
+    /// Reset clock and statistics (records stay loaded).
+    pub fn reset_clock(&mut self) {
+        self.timeline.reset();
+        self.stats = ApStats::default();
+    }
+
+    fn charge(&mut self, label: &str, d: SimDuration) {
+        self.timeline.advance(label, d);
+        self.stats.passes += self.profile.passes(self.records.len());
+    }
+
+    /// Advance the machine clock by an externally computed primitive cost
+    /// (used by the flip-network extension in [`crate::flip`]).
+    pub(crate) fn advance_clock(&mut self, label: &str, d: SimDuration) {
+        self.timeline.advance(label, d);
+    }
+
+    /// Stage records into PE memories (charges I/O time; `words_per_record`
+    /// is the record size the machine moves).
+    pub fn load_records(&mut self, records: Vec<R>, words_per_record: u32) {
+        let d = self.profile.io(records.len(), words_per_record);
+        self.records = records;
+        self.stats.io_ops += 1;
+        self.charge("ap:io:load", d);
+    }
+
+    /// Read access to PE memories from the control unit (free: the control
+    /// unit addresses PE memory directly in these machines; bulk staging
+    /// should use [`ApMachine::unload_records`]).
+    pub fn records(&self) -> &[R] {
+        &self.records
+    }
+
+    /// Take the records out, charging I/O time.
+    pub fn unload_records(&mut self, words_per_record: u32) -> Vec<R> {
+        let d = self.profile.io(self.records.len(), words_per_record);
+        self.stats.io_ops += 1;
+        self.charge("ap:io:unload", d);
+        std::mem::take(&mut self.records)
+    }
+
+    /// Broadcast a value to all PEs. The value itself is typically captured
+    /// by the closure of a following search/arith step; this primitive
+    /// charges the broadcast time and returns the value for ergonomics.
+    pub fn broadcast<T>(&mut self, value: T) -> T {
+        let d = self.profile.broadcast(self.records.len());
+        self.stats.broadcasts += 1;
+        self.charge("ap:broadcast", d);
+        value
+    }
+
+    /// Associative search: every PE evaluates `pred` on its record in
+    /// lockstep; returns the responder set. `fields` is the number of
+    /// record fields the predicate examines (prices the bit-serial
+    /// comparison).
+    pub fn search<F>(&mut self, fields: u32, mut pred: F) -> ResponderSet
+    where
+        F: FnMut(&R) -> bool,
+    {
+        let mut resp = ResponderSet::new(self.records.len());
+        for (i, r) in self.records.iter().enumerate() {
+            if pred(r) {
+                resp.set(i);
+            }
+        }
+        let d = self.profile.search(self.records.len(), fields);
+        self.stats.searches += 1;
+        self.charge("ap:search", d);
+        resp
+    }
+
+    /// Masked search: like [`ApMachine::search`] but only PEs in `mask`
+    /// participate (others cannot respond).
+    pub fn search_masked<F>(&mut self, mask: &ResponderSet, fields: u32, mut pred: F) -> ResponderSet
+    where
+        F: FnMut(&R) -> bool,
+    {
+        assert_eq!(mask.len(), self.records.len(), "mask/array size mismatch");
+        let mut resp = ResponderSet::new(self.records.len());
+        for i in mask.iter() {
+            if pred(&self.records[i]) {
+                resp.set(i);
+            }
+        }
+        let d = self.profile.search(self.records.len(), fields);
+        self.stats.searches += 1;
+        self.charge("ap:search", d);
+        resp
+    }
+
+    /// Masked parallel arithmetic: every PE in `mask` applies `f` to its
+    /// record simultaneously. `ops` is the number of word operations in the
+    /// step (prices the lockstep ALU sequence).
+    pub fn for_each_masked<F>(&mut self, mask: &ResponderSet, ops: u32, mut f: F)
+    where
+        F: FnMut(usize, &mut R),
+    {
+        assert_eq!(mask.len(), self.records.len(), "mask/array size mismatch");
+        for i in mask.iter() {
+            f(i, &mut self.records[i]);
+        }
+        let d = self.profile.arith(self.records.len(), ops);
+        self.stats.arith_steps += 1;
+        self.charge("ap:arith", d);
+    }
+
+    /// Parallel arithmetic over all PEs.
+    pub fn for_each_all<F>(&mut self, ops: u32, f: F)
+    where
+        F: FnMut(usize, &mut R),
+    {
+        let mask = ResponderSet::all(self.records.len());
+        self.for_each_masked(&mask, ops, f);
+    }
+
+    /// Global minimum over `mask` by a key function: the AP's constant-time
+    /// min-reduction. Returns the index of the minimizing PE.
+    pub fn min_by_key<F>(&mut self, mask: &ResponderSet, mut key: F) -> Option<usize>
+    where
+        F: FnMut(&R) -> f64,
+    {
+        assert_eq!(mask.len(), self.records.len(), "mask/array size mismatch");
+        let mut best: Option<(usize, f64)> = None;
+        for i in mask.iter() {
+            let k = key(&self.records[i]);
+            match best {
+                Some((_, bk)) if bk <= k => {}
+                _ => best = Some((i, k)),
+            }
+        }
+        let d = self.profile.reduce(self.records.len());
+        self.stats.reductions += 1;
+        self.charge("ap:reduce:min", d);
+        best.map(|(i, _)| i)
+    }
+
+    /// Global maximum over `mask` by a key function.
+    pub fn max_by_key<F>(&mut self, mask: &ResponderSet, mut key: F) -> Option<usize>
+    where
+        F: FnMut(&R) -> f64,
+    {
+        assert_eq!(mask.len(), self.records.len(), "mask/array size mismatch");
+        let mut best: Option<(usize, f64)> = None;
+        for i in mask.iter() {
+            let k = key(&self.records[i]);
+            match best {
+                Some((_, bk)) if bk >= k => {}
+                _ => best = Some((i, k)),
+            }
+        }
+        let d = self.profile.reduce(self.records.len());
+        self.stats.reductions += 1;
+        self.charge("ap:reduce:max", d);
+        best.map(|(i, _)| i)
+    }
+
+    /// Pick-one responder resolution (constant time in AP hardware).
+    pub fn pick_one(&mut self, resp: &ResponderSet) -> Option<usize> {
+        let d = self.profile.pick();
+        self.stats.picks += 1;
+        self.charge("ap:pick", d);
+        resp.first()
+    }
+
+    /// Direct mutable record access for test setup; charges nothing and is
+    /// not part of the machine model.
+    #[doc(hidden)]
+    pub fn records_mut_untimed(&mut self) -> &mut [R] {
+        &mut self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with(values: Vec<i64>) -> ApMachine<i64> {
+        let mut m = ApMachine::new(ApTimingProfile::staran());
+        m.load_records(values, 1);
+        m
+    }
+
+    #[test]
+    fn search_finds_matching_records() {
+        let mut m = machine_with(vec![5, 10, 15, 20]);
+        let resp = m.search(1, |&v| v > 9);
+        assert_eq!(resp.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(m.stats().searches, 1);
+    }
+
+    #[test]
+    fn masked_search_ignores_inactive_pes() {
+        let mut m = machine_with(vec![1, 2, 3, 4]);
+        let mut mask = ResponderSet::new(4);
+        mask.set(0);
+        mask.set(2);
+        let resp = m.search_masked(&mask, 1, |&v| v >= 1);
+        assert_eq!(resp.iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn parallel_arith_updates_masked_records() {
+        let mut m = machine_with(vec![1, 1, 1, 1]);
+        let mut mask = ResponderSet::new(4);
+        mask.set(1);
+        mask.set(3);
+        m.for_each_masked(&mask, 1, |_, r| *r += 10);
+        assert_eq!(m.records(), &[1, 11, 1, 11]);
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let mut m = machine_with(vec![7, 3, 9, 3]);
+        let all = ResponderSet::all(4);
+        // Ties resolve to the lowest PE index, like hardware pick-one.
+        assert_eq!(m.min_by_key(&all, |&v| v as f64), Some(1));
+        assert_eq!(m.max_by_key(&all, |&v| v as f64), Some(2));
+        assert_eq!(m.stats().reductions, 2);
+    }
+
+    #[test]
+    fn reductions_respect_mask() {
+        let mut m = machine_with(vec![7, 3, 9, 1]);
+        let mut mask = ResponderSet::new(4);
+        mask.set(0);
+        mask.set(2);
+        assert_eq!(m.min_by_key(&mask, |&v| v as f64), Some(0));
+        assert_eq!(m.max_by_key(&mask, |&v| v as f64), Some(2));
+    }
+
+    #[test]
+    fn empty_mask_reduction_is_none() {
+        let mut m = machine_with(vec![1, 2]);
+        let mask = ResponderSet::new(2);
+        assert_eq!(m.min_by_key(&mask, |&v| v as f64), None);
+    }
+
+    #[test]
+    fn clock_advances_with_every_primitive() {
+        let mut m = machine_with(vec![0; 100]);
+        let t0 = m.elapsed();
+        m.broadcast(42);
+        let t1 = m.elapsed();
+        assert!(t1 > t0);
+        m.search(2, |_| true);
+        assert!(m.elapsed() > t1);
+    }
+
+    #[test]
+    fn staran_time_for_fixed_ops_is_constant_in_n() {
+        // The associative property: same op sequence, different n, same time
+        // (minus I/O, which is linear).
+        let mut small = ApMachine::new(ApTimingProfile::staran());
+        small.load_records(vec![0i64; 100], 1);
+        small.reset_clock();
+        let mut large = ApMachine::new(ApTimingProfile::staran());
+        large.load_records(vec![0i64; 100_000], 1);
+        large.reset_clock();
+        for m in [&mut small, &mut large] {
+            m.broadcast(1);
+            let resp = m.search(2, |_| false);
+            m.pick_one(&resp);
+        }
+        assert_eq!(small.elapsed(), large.elapsed());
+    }
+
+    #[test]
+    fn clearspeed_time_grows_with_virtualization_passes() {
+        let mut small = ApMachine::new(ApTimingProfile::clearspeed_csx600());
+        small.load_records(vec![0i64; 192], 1);
+        small.reset_clock();
+        let mut large = ApMachine::new(ApTimingProfile::clearspeed_csx600());
+        large.load_records(vec![0i64; 1920], 1);
+        large.reset_clock();
+        for m in [&mut small, &mut large] {
+            m.search(2, |_| false);
+        }
+        assert_eq!(large.elapsed(), small.elapsed() * 10);
+    }
+
+    #[test]
+    fn pick_one_returns_lowest_responder() {
+        let mut m = machine_with(vec![0, 5, 5]);
+        let resp = m.search(1, |&v| v == 5);
+        assert_eq!(m.pick_one(&resp), Some(1));
+        let empty = m.search(1, |&v| v == 99);
+        assert_eq!(m.pick_one(&empty), None);
+    }
+
+    #[test]
+    fn unload_returns_records_and_charges_io() {
+        let mut m = machine_with(vec![1, 2, 3]);
+        let io_before = m.stats().io_ops;
+        let recs = m.unload_records(1);
+        assert_eq!(recs, vec![1, 2, 3]);
+        assert!(m.is_empty());
+        assert_eq!(m.stats().io_ops, io_before + 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Operation statistics for the AP emulator.
+
+use std::fmt;
+
+/// Counts of each primitive executed by an [`crate::ApMachine`].
+///
+/// Useful for asserting the algorithmic structure of the ATM tasks (e.g.
+/// Task 1 on the AP issues exactly one search per radar report) and for the
+/// ablation bench comparing STARAN-style constant-time ops against
+/// virtualized passes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApStats {
+    /// Broadcasts from the control unit.
+    pub broadcasts: u64,
+    /// Associative searches.
+    pub searches: u64,
+    /// Masked parallel arithmetic steps.
+    pub arith_steps: u64,
+    /// Global min/max reductions.
+    pub reductions: u64,
+    /// Pick-one / any-responder resolutions.
+    pub picks: u64,
+    /// Record staging operations (host↔PE I/O).
+    pub io_ops: u64,
+    /// Total virtualization passes executed across all primitives.
+    pub passes: u64,
+}
+
+impl ApStats {
+    /// Total primitive operations of all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.broadcasts + self.searches + self.arith_steps + self.reductions + self.picks
+            + self.io_ops
+    }
+}
+
+impl fmt::Display for ApStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bcast={} search={} arith={} reduce={} pick={} io={} passes={}",
+            self.broadcasts,
+            self.searches,
+            self.arith_steps,
+            self.reductions,
+            self.picks,
+            self.io_ops,
+            self.passes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_ops_sums_every_category() {
+        let s = ApStats {
+            broadcasts: 1,
+            searches: 2,
+            arith_steps: 3,
+            reductions: 4,
+            picks: 5,
+            io_ops: 6,
+            passes: 100,
+        };
+        assert_eq!(s.total_ops(), 21);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let s = ApStats { searches: 7, ..Default::default() };
+        assert!(s.to_string().contains("search=7"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Responder sets: the AP's hardware bit-vector of matching PEs.
+
+/// A fixed-capacity bit set over PE indices.
+///
+/// In AP hardware this is the responder register: one bit per PE, written by
+/// an associative search in a single step. The emulator uses it both as the
+/// result of searches and as the activity mask for subsequent masked
+/// operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponderSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ResponderSet {
+    /// An empty responder set over `len` PEs.
+    pub fn new(len: usize) -> Self {
+        ResponderSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// A set with every PE responding.
+    pub fn all(len: usize) -> Self {
+        let mut s = ResponderSet::new(len);
+        for i in 0..s.words.len() {
+            s.words[i] = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Number of PEs covered (capacity, not population).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set covers zero PEs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn trim(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Set PE `i`'s responder bit.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear PE `i`'s responder bit.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read PE `i`'s responder bit.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of responders (the AP's response counter).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any PE responds (the AP's any-responder flag).
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Lowest-indexed responder, if any (the AP's pick-one/step network).
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Clear every bit.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place intersection.
+    pub fn and_with(&mut self, other: &ResponderSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    pub fn or_with(&mut self, other: &ResponderSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn and_not_with(&mut self, other: &ResponderSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterate responder indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut s = ResponderSet::new(200);
+        assert!(!s.get(130));
+        s.set(130);
+        assert!(s.get(130));
+        s.clear(130);
+        assert!(!s.get(130));
+    }
+
+    #[test]
+    fn all_has_full_population_and_trims_tail() {
+        let s = ResponderSet::all(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.get(69));
+        // No phantom bits beyond `len`.
+        assert_eq!(s.iter().max(), Some(69));
+    }
+
+    #[test]
+    fn count_any_first() {
+        let mut s = ResponderSet::new(128);
+        assert!(!s.any());
+        assert_eq!(s.first(), None);
+        s.set(100);
+        s.set(64);
+        s.set(5);
+        assert!(s.any());
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.first(), Some(5));
+    }
+
+    #[test]
+    fn iter_visits_ascending() {
+        let mut s = ResponderSet::new(300);
+        for &i in &[7usize, 63, 64, 128, 299] {
+            s.set(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![7, 63, 64, 128, 299]);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = ResponderSet::new(100);
+        let mut b = ResponderSet::new(100);
+        a.set(1);
+        a.set(2);
+        a.set(3);
+        b.set(2);
+        b.set(3);
+        b.set(4);
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(or.count(), 4);
+        let mut diff = a.clone();
+        diff.and_not_with(&b);
+        assert_eq!(diff.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn clear_all_empties() {
+        let mut s = ResponderSet::all(65);
+        s.clear_all();
+        assert!(!s.any());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn zero_length_set_is_sane() {
+        let s = ResponderSet::new(0);
+        assert!(s.is_empty());
+        assert!(!s.any());
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: responder sets against a reference model, flip-network
+//! algebra, machine-op timing laws.
+
+use ap_sim::{ApMachine, ApTimingProfile, ResponderSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Build a ResponderSet and the reference BTreeSet from the same indices.
+fn from_indices(len: usize, idx: &[usize]) -> (ResponderSet, BTreeSet<usize>) {
+    let mut rs = ResponderSet::new(len);
+    let mut model = BTreeSet::new();
+    for &i in idx {
+        let i = i % len.max(1);
+        if len > 0 {
+            rs.set(i);
+            model.insert(i);
+        }
+    }
+    (rs, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn responder_set_matches_btreeset_model(
+        len in 1usize..500,
+        a in prop::collection::vec(0usize..10_000, 0..40),
+        b in prop::collection::vec(0usize..10_000, 0..40),
+    ) {
+        let (mut ra, ma) = from_indices(len, &a);
+        let (rb, mb) = from_indices(len, &b);
+
+        prop_assert_eq!(ra.count(), ma.len());
+        prop_assert_eq!(ra.any(), !ma.is_empty());
+        prop_assert_eq!(ra.first(), ma.first().copied());
+        prop_assert_eq!(ra.iter().collect::<Vec<_>>(), ma.iter().copied().collect::<Vec<_>>());
+
+        // Intersection.
+        let mut and = ra.clone();
+        and.and_with(&rb);
+        let m_and: Vec<usize> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(and.iter().collect::<Vec<_>>(), m_and);
+
+        // Union.
+        let mut or = ra.clone();
+        or.or_with(&rb);
+        let m_or: Vec<usize> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(or.iter().collect::<Vec<_>>(), m_or);
+
+        // Difference.
+        ra.and_not_with(&rb);
+        let m_diff: Vec<usize> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(ra.iter().collect::<Vec<_>>(), m_diff);
+    }
+
+    #[test]
+    fn flip_xor_is_an_involution_and_a_permutation(
+        log_n in 1u32..8,
+        pattern in 0usize..256,
+        seed in 0u64..1_000,
+    ) {
+        let n = 1usize << log_n;
+        let pattern = pattern % n;
+        let values: Vec<i64> = (0..n as i64).map(|v| v.wrapping_mul(seed as i64 | 1)).collect();
+        let mut m = ApMachine::new(ApTimingProfile::staran());
+        m.load_records(values.clone(), 1);
+
+        m.flip_xor(pattern);
+        // Permutation: same multiset.
+        let mut sorted_now: Vec<i64> = m.records().to_vec();
+        sorted_now.sort_unstable();
+        let mut sorted_orig = values.clone();
+        sorted_orig.sort_unstable();
+        prop_assert_eq!(sorted_now, sorted_orig);
+        // Involution: applying again restores the original order.
+        m.flip_xor(pattern);
+        prop_assert_eq!(m.records(), &values[..]);
+    }
+
+    #[test]
+    fn bitonic_sort_agrees_with_std_sort(
+        log_n in 1u32..8,
+        seed in 0u64..10_000,
+    ) {
+        let n = 1usize << log_n;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let values: Vec<i64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as i64
+            })
+            .collect();
+        let mut m = ApMachine::new(ApTimingProfile::staran());
+        m.load_records(values.clone(), 1);
+        m.flip_bitonic_sort_by(|&v| v as f64);
+        let mut expected = values;
+        expected.sort_unstable();
+        prop_assert_eq!(m.records(), &expected[..]);
+    }
+
+    #[test]
+    fn search_time_is_independent_of_population(
+        n in 1usize..5_000,
+        threshold in 0i64..5_000,
+    ) {
+        // STARAN searches cost the same no matter how many PEs respond.
+        let mut m = ApMachine::new(ApTimingProfile::staran());
+        m.load_records((0..n as i64).collect::<Vec<_>>(), 1);
+        m.reset_clock();
+        m.search(1, |&v| v < threshold);
+        let t1 = m.elapsed();
+        m.reset_clock();
+        m.search(1, |_| true);
+        let t2 = m.elapsed();
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn clearspeed_passes_match_ceil_division(n in 1usize..100_000) {
+        let p = ApTimingProfile::clearspeed_csx600();
+        prop_assert_eq!(p.passes(n), (n as u64).div_ceil(192));
+    }
+}

@@ -1,0 +1,314 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation contrasts the paper's design decision with its obvious
+//! alternative on the *modeled* clock of the relevant architecture, so the
+//! output quantifies why the paper's choice matters:
+//!
+//! * [`fused_kernel`] — the fused `CheckCollisionPath` kernel vs. split
+//!   detect/resolve kernels with a host round-trip (§4: "it cuts overhead
+//!   for memory and data transfer").
+//! * [`block_size`] — the paper's 96-threads-per-block vs. alternatives.
+//! * [`expanding_box`] — Task 1's three expanding-box passes vs. a single
+//!   wide-box pass (correlation quality vs. time).
+//! * [`pe_virtualization`] — STARAN-style one-PE-per-record vs. the
+//!   CSX600's `ceil(n/192)` virtualized passes.
+//! * [`locking`] — the modeled Xeon's lock-per-record cost vs. a
+//!   hypothetical lock-free variant (how much of the MIMD collapse is
+//!   synchronization).
+
+use atm_core::backends::{ApBackend, AtmBackend, GpuBackend};
+use atm_core::track::track_correlate;
+use atm_core::{Airfield, AtmConfig};
+use gpu_sim::DeviceSpec;
+use multicore::{WorkEstimate, XeonModel};
+use serde::Serialize;
+use sim_clock::OpCounter;
+
+/// One ablation contrast: the paper's choice vs. the alternative.
+#[derive(Clone, Debug, Serialize)]
+pub struct Ablation {
+    /// Ablation id (kebab-case).
+    pub id: String,
+    /// What is being contrasted.
+    pub description: String,
+    /// Modeled time of the paper's design, ms.
+    pub paper_ms: f64,
+    /// Modeled time of the alternative, ms.
+    pub alternative_ms: f64,
+    /// Additional observations.
+    pub notes: Vec<String>,
+}
+
+impl Ablation {
+    /// Speedup of the paper's choice over the alternative.
+    pub fn speedup(&self) -> f64 {
+        self.alternative_ms / self.paper_ms.max(1e-12)
+    }
+}
+
+fn field(n: usize, seed: u64) -> (Airfield, AtmConfig) {
+    let field = Airfield::new(n, AtmConfig::with_seed(seed));
+    let cfg = field.config().clone();
+    (field, cfg)
+}
+
+/// Fused `CheckCollisionPath` vs. split kernels + host round-trip, on the
+/// Titan X.
+pub fn fused_kernel(n: usize, seed: u64) -> Ablation {
+    let (f, cfg) = field(n, seed);
+
+    let mut fused = GpuBackend::titan_x_pascal();
+    let mut ac1 = f.aircraft.clone();
+    let t_fused = fused.detect_resolve(&mut ac1, &cfg);
+
+    let mut split = GpuBackend::titan_x_pascal();
+    let mut ac2 = f.aircraft.clone();
+    let t_split = split.detect_resolve_split(&mut ac2, &cfg);
+
+    Ablation {
+        id: "fused-kernel".into(),
+        description: format!(
+            "Tasks 2+3 fused in one kernel (paper) vs split kernels with a \
+             host round-trip, Titan X, n={n}"
+        ),
+        paper_ms: t_fused.as_millis_f64(),
+        alternative_ms: t_split.as_millis_f64(),
+        notes: vec![
+            format!(
+                "split variant performs {} kernel launches and {} D2H transfers",
+                split.device().stats().launches,
+                split.device().stats().d2h_transfers
+            ),
+            "trade-off: fusion saves the host round-trip (wins at small n), but              one conflicted lane serializes its whole warp through every rescan;              the split variant compacts flagged aircraft into dense warps and              overtakes fusion once conflicts are plentiful (large n)"
+                .to_owned(),
+        ],
+    }
+}
+
+/// The paper's 96-thread blocks vs. an alternative block size, on a device.
+pub fn block_size(n: usize, seed: u64, alt_block: u32, spec: DeviceSpec) -> Ablation {
+    let (f, cfg) = field(n, seed);
+
+    let mut paper = GpuBackend::new(spec.clone());
+    let mut ac1 = f.aircraft.clone();
+    let t_paper = paper.detect_resolve(&mut ac1, &cfg);
+
+    let mut alt = GpuBackend::with_block_size(spec.clone(), alt_block);
+    let mut ac2 = f.aircraft.clone();
+    let t_alt = alt.detect_resolve(&mut ac2, &cfg);
+
+    Ablation {
+        id: "block-size".into(),
+        description: format!(
+            "96 threads/block (paper) vs {alt_block} threads/block, {}, n={n}",
+            spec.name
+        ),
+        paper_ms: t_paper.as_millis_f64(),
+        alternative_ms: t_alt.as_millis_f64(),
+        notes: vec![
+            "results are identical by construction; only occupancy/geometry shifts".into(),
+        ],
+    }
+}
+
+/// Three expanding-box passes (paper) vs. one single wide-box pass.
+///
+/// The single-pass variant uses the final (2 nm) half-width immediately:
+/// faster, but it discards radars/aircraft that a tighter first box would
+/// have disambiguated — the ablation reports both time and match quality.
+pub fn expanding_box(n: usize, seed: u64) -> Ablation {
+    let (f, cfg) = field(n, seed);
+
+    // Paper: 3 passes on the Titan X clock.
+    let mut gpu = GpuBackend::titan_x_pascal();
+    let mut ac1 = f.aircraft.clone();
+    let mut field1 = f.clone();
+    let mut radars1 = field1.generate_radar();
+    let t_paper = gpu.track_correlate(&mut ac1, &mut radars1, &cfg);
+    let matched_paper = ac1.iter().filter(|a| a.r_match == 1).count();
+
+    // Alternative: one pass with the widest box.
+    let wide_cfg = AtmConfig {
+        track_passes: 1,
+        track_box_half_nm: cfg.pass_half_width(cfg.track_passes - 1),
+        ..cfg.clone()
+    };
+    let mut gpu2 = GpuBackend::titan_x_pascal();
+    let mut ac2 = f.aircraft.clone();
+    let mut field2 = f.clone();
+    let mut radars2 = field2.generate_radar();
+    let t_alt = gpu2.track_correlate(&mut ac2, &mut radars2, &wide_cfg);
+    let matched_alt = ac2.iter().filter(|a| a.r_match == 1).count();
+
+    Ablation {
+        id: "expanding-box".into(),
+        description: format!(
+            "three expanding-box passes (paper) vs one wide-box pass, Titan X, n={n}"
+        ),
+        paper_ms: t_paper.as_millis_f64(),
+        alternative_ms: t_alt.as_millis_f64(),
+        notes: vec![format!(
+            "correlated aircraft: {matched_paper} (paper) vs {matched_alt} (wide box) of {n} \
+             — the wide box discards more radars to ambiguity"
+        )],
+    }
+}
+
+/// STARAN one-PE-per-record vs. ClearSpeed `ceil(n/192)` virtualization on
+/// Task 1 (identical algorithm, different machine shape).
+pub fn pe_virtualization(n: usize, seed: u64) -> Ablation {
+    let (f, cfg) = field(n, seed);
+
+    let mut staran = ApBackend::staran();
+    let mut field1 = f.clone();
+    let mut radars1 = field1.generate_radar();
+    let t_staran = staran.track_correlate(&mut field1.aircraft, &mut radars1, &cfg);
+
+    let mut cs = ApBackend::clearspeed();
+    let mut field2 = f.clone();
+    let mut radars2 = field2.generate_radar();
+    let t_cs = cs.track_correlate(&mut field2.aircraft, &mut radars2, &cfg);
+
+    Ablation {
+        id: "pe-virtualization".into(),
+        description: format!(
+            "one PE per record (STARAN model) vs ceil(n/192) virtualized passes \
+             (CSX600), Task 1, n={n}"
+        ),
+        paper_ms: t_staran.as_millis_f64(),
+        alternative_ms: t_cs.as_millis_f64(),
+        notes: vec![format!(
+            "virtualization multiplies every associative primitive by {} passes",
+            (n as u64).div_ceil(192)
+        )],
+    }
+}
+
+/// Global-memory-only kernels (the paper's compatibility choice) vs.
+/// shared-memory tiling, on the device where it matters most: the
+/// cacheless GeForce 9800 GT.
+pub fn shared_memory_tiling(n: usize, seed: u64) -> Ablation {
+    let (f, cfg) = field(n, seed);
+
+    let mut global = GpuBackend::geforce_9800_gt();
+    let mut ac1 = f.aircraft.clone();
+    let t_global = global.detect_resolve(&mut ac1, &cfg);
+
+    let mut tiled = GpuBackend::geforce_9800_gt();
+    let mut ac2 = f.aircraft.clone();
+    let t_tiled = tiled.detect_resolve_tiled(&mut ac2, &cfg);
+
+    assert_eq!(ac1, ac2, "tiling must not change results");
+    Ablation {
+        id: "shared-memory-tiling".into(),
+        description: format!(
+            "global-memory-only kernel (paper, CC 1.x compatible) vs              shared-memory tiled kernel, GeForce 9800 GT, n={n}"
+        ),
+        paper_ms: t_global.as_millis_f64(),
+        alternative_ms: t_tiled.as_millis_f64(),
+        notes: vec![
+            "the paper keeps everything in global memory for old-architecture              compatibility; tiling stages each trial tile once per block and              rescans it from shared memory — the classic fix for cacheless              CC 1.x parts"
+                .to_owned(),
+        ],
+    }
+}
+
+/// How much of the modeled Xeon's collapse is synchronization: the full
+/// lock-per-record model vs. the same work with zero lock cost.
+pub fn locking(n: usize, seed: u64) -> Ablation {
+    let (mut f, cfg) = field(n, seed);
+    let mut radars = f.generate_radar();
+
+    let mut ops = OpCounter::new();
+    let stats = track_correlate(&mut f.aircraft, &mut radars, &cfg, &mut ops);
+
+    let model = XeonModel::xeon_16_core();
+    let locked = WorkEstimate {
+        ops: ops.clone(),
+        lock_acquisitions: stats.box_tests + 2 * stats.matched + n as u64,
+        barriers: stats.passes_run as u64 + 2,
+        n,
+    };
+    let lock_free = WorkEstimate { lock_acquisitions: 0, ..locked.clone() };
+
+    let t_locked = model.time_for(&locked, 1);
+    let t_free = model.time_for(&lock_free, 1);
+
+    Ablation {
+        id: "locking".into(),
+        description: format!(
+            "lock-per-record shared DB (prior work's Xeon) vs hypothetical \
+             lock-free access, Task 1 work at n={n}"
+        ),
+        paper_ms: t_locked.as_millis_f64(),
+        alternative_ms: t_free.as_millis_f64(),
+        notes: vec![format!("{} lock acquisitions modeled", locked.lock_acquisitions)],
+    }
+}
+
+/// Run every ablation at a standard size.
+pub fn all(n: usize, seed: u64) -> Vec<Ablation> {
+    vec![
+        fused_kernel(n, seed),
+        block_size(n, seed, 256, DeviceSpec::titan_x_pascal()),
+        expanding_box(n, seed),
+        pe_virtualization(n, seed),
+        locking(n, seed),
+        shared_memory_tiling(n, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_kernel_beats_split() {
+        let a = fused_kernel(800, 3);
+        assert!(
+            a.speedup() > 1.0,
+            "the paper's fusion argument must hold: {a:?}"
+        );
+    }
+
+    #[test]
+    fn virtualization_costs_passes() {
+        let a = pe_virtualization(1_920, 3);
+        // 10 passes of virtualization on a 36x faster clock: ClearSpeed
+        // still wins on absolute time at this size, so just check both
+        // positive and the note records the pass count.
+        assert!(a.paper_ms > 0.0 && a.alternative_ms > 0.0);
+        assert!(a.notes[0].contains("10 passes"));
+    }
+
+    #[test]
+    fn lock_free_xeon_would_be_faster() {
+        let a = locking(2_000, 3);
+        assert!(a.paper_ms > a.alternative_ms);
+        assert!(a.speedup() < 1.0);
+    }
+
+    #[test]
+    fn expanding_box_reports_match_quality() {
+        let a = expanding_box(600, 3);
+        assert!(a.notes[0].contains("correlated aircraft"));
+    }
+
+    #[test]
+    fn tiling_rescues_the_9800_gt() {
+        let a = shared_memory_tiling(1_000, 3);
+        assert!(
+            a.paper_ms > a.alternative_ms,
+            "tiling must beat global-memory-only on the cacheless card: {a:?}"
+        );
+    }
+
+    #[test]
+    fn all_runs_every_ablation() {
+        let list = all(400, 9);
+        assert_eq!(list.len(), 6);
+        let ids: Vec<&str> = list.iter().map(|a| a.id.as_str()).collect();
+        assert!(ids.contains(&"fused-kernel"));
+        assert!(ids.contains(&"locking"));
+    }
+}

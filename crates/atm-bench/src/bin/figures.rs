@@ -1,0 +1,202 @@
+//! Regenerate the paper's evaluation artifacts.
+//!
+//! ```text
+//! cargo run --release -p atm-bench --bin figures -- --all
+//! cargo run --release -p atm-bench --bin figures -- --fig 4 --fig 8
+//! cargo run --release -p atm-bench --bin figures -- --exp deadlines --quick
+//! ```
+//!
+//! Tables print to stdout; JSON series land in `results/` (override with
+//! `--out DIR`). `--quick` shrinks the sweep for smoke runs.
+
+use atm_bench::ablations;
+use atm_bench::experiments::{deadlines, determinism, throughput_normalized};
+use atm_bench::figures::{fig4, fig5, fig6, fig7, fig8, fig9};
+use atm_bench::series::FigureData;
+use atm_bench::sweep::SweepConfig;
+use std::path::PathBuf;
+
+struct Options {
+    figs: Vec<u32>,
+    exps: Vec<String>,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        figs: Vec::new(),
+        exps: Vec::new(),
+        out: PathBuf::from("results"),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let v = args.next().expect("--fig needs a number (4..=9)");
+                opts.figs.push(v.parse().expect("figure number"));
+                any = true;
+            }
+            "--exp" => {
+                opts.exps.push(args.next().expect("--exp needs a name"));
+                any = true;
+            }
+            "--all" => {
+                opts.figs = vec![4, 5, 6, 7, 8, 9];
+                opts.exps =
+                    vec![
+                    "deadlines".into(),
+                    "determinism".into(),
+                    "ablations".into(),
+                    "normalized".into(),
+                ];
+                any = true;
+            }
+            "--out" => opts.out = PathBuf::from(args.next().expect("--out needs a dir")),
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [--all] [--fig N]... [--exp deadlines|determinism]... \
+                     [--quick] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !any {
+        opts.figs = vec![4, 5, 6, 7, 8, 9];
+        opts.exps = vec![
+            "deadlines".into(),
+            "determinism".into(),
+            "ablations".into(),
+            "normalized".into(),
+        ];
+    }
+    opts
+}
+
+fn emit(fig: &FigureData, out: &PathBuf) {
+    println!("{fig}");
+    std::fs::create_dir_all(out).expect("create results dir");
+    let path = out.join(format!("{}.json", fig.id));
+    std::fs::write(&path, fig.to_json()).expect("write JSON");
+    println!("  (series written to {})\n", path.display());
+}
+
+fn main() {
+    let opts = parse_args();
+    let sweep = if opts.quick { SweepConfig::quick() } else { SweepConfig::standard() };
+    println!(
+        "sweep: n = {:?}, seed = {}, reps = {}\n",
+        sweep.ns, sweep.seed, sweep.reps
+    );
+
+    for &f in &opts.figs {
+        let fig = match f {
+            4 => fig4(&sweep),
+            5 => fig5(&sweep),
+            6 => fig6(&sweep),
+            7 => fig7(&sweep),
+            8 => fig8(&sweep),
+            9 => fig9(&sweep),
+            other => {
+                eprintln!("no figure {other} in the paper (4..=9)");
+                continue;
+            }
+        };
+        emit(&fig, &opts.out);
+    }
+
+    for exp in &opts.exps {
+        match exp.as_str() {
+            "deadlines" => {
+                // The full functional simulation of a major cycle is the
+                // cost driver; sweep a representative subset at full size
+                // or everything when quick.
+                let (cfg, subset): (SweepConfig, Option<&[&str]>) = if opts.quick {
+                    (SweepConfig { ns: vec![500, 2_000], ..SweepConfig::quick() }, None)
+                } else {
+                    (
+                        SweepConfig {
+                            ns: vec![1_000, 2_000, 4_000, 8_000, 16_000],
+                            ..SweepConfig::standard()
+                        },
+                        Some(&[
+                            "Titan X (Pascal)",
+                            "GeForce 9800 GT",
+                            "STARAN AP",
+                            "Intel Xeon 16-core",
+                        ]),
+                    )
+                };
+                let (rows, fig) = deadlines(&cfg, subset);
+                emit(&fig, &opts.out);
+                println!("{:<22} {:>8} {:>10} {:>10}", "platform", "n", "misses", "skips");
+                for r in &rows {
+                    for (i, &n) in r.n.iter().enumerate() {
+                        println!(
+                            "{:<22} {:>8} {:>10} {:>10}",
+                            r.platform, n, r.misses[i], r.skips[i]
+                        );
+                    }
+                }
+                println!();
+            }
+            "determinism" => {
+                let n = if opts.quick { 500 } else { 2_000 };
+                let (rows, fig) = determinism(n, 2018, 5);
+                emit(&fig, &opts.out);
+                println!(
+                    "{:<22} {:>10} {:>10}  task1 times (ms)",
+                    "platform", "identical", "spread"
+                );
+                for r in &rows {
+                    println!(
+                        "{:<22} {:>10} {:>9.3}x  {:?}",
+                        r.platform,
+                        r.identical,
+                        r.spread,
+                        r.task1_ms.iter().map(|t| (t * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+                    );
+                }
+                println!();
+            }
+            "normalized" => {
+                let fig = throughput_normalized(&sweep);
+                emit(&fig, &opts.out);
+            }
+            "ablations" => {
+                let n = if opts.quick { 400 } else { 2_000 };
+                let list = ablations::all(n, 2018);
+                println!("== ablations (modeled, n={n}) ==\n");
+                println!(
+                    "{:<18} {:>12} {:>14} {:>9}",
+                    "ablation", "paper (ms)", "alternative", "speedup"
+                );
+                for a in &list {
+                    println!(
+                        "{:<18} {:>12.4} {:>14.4} {:>8.2}x",
+                        a.id, a.paper_ms, a.alternative_ms, a.speedup()
+                    );
+                    for note in &a.notes {
+                        println!("    {note}");
+                    }
+                }
+                std::fs::create_dir_all(&opts.out).expect("create results dir");
+                let path = opts.out.join("ablations.json");
+                std::fs::write(&path, serde_json::to_string_pretty(&list).unwrap())
+                    .expect("write JSON");
+                println!("\n  (written to {})\n", path.display());
+            }
+            other => eprintln!(
+                "unknown experiment '{other}' (deadlines | determinism | ablations | normalized)"
+            ),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness: regenerates every figure of the paper's evaluation.
+//!
+//! The paper's §6 contains six figures and two prose claims; each maps to a
+//! generator here (see DESIGN.md's per-experiment index):
+//!
+//! | Experiment | Paper artifact | Generator |
+//! |---|---|---|
+//! | E1 | Fig. 4 — Task 1, all platforms | [`figures::fig4`] |
+//! | E2 | Fig. 5 — Task 1, NVIDIA cards | [`figures::fig5`] |
+//! | E3 | Fig. 6 — Tasks 2+3, all platforms | [`figures::fig6`] |
+//! | E4 | Fig. 7 — Tasks 2+3, NVIDIA cards | [`figures::fig7`] |
+//! | E5 | Fig. 8 — linear fit, Task 1 on GTX 880M | [`figures::fig8`] |
+//! | E6 | Fig. 9 — quadratic fit, Tasks 2+3 on 9800 GT | [`figures::fig9`] |
+//! | E7 | §6.2 deadline-miss claims | [`experiments::deadlines`] |
+//! | E8 | §6.2 determinism claims | [`experiments::determinism`] |
+//!
+//! The `figures` binary drives all of them and writes aligned text tables
+//! plus machine-readable JSON under `results/`.
+
+pub mod ablations;
+pub mod experiments;
+pub mod figures;
+pub mod series;
+pub mod sweep;
+
+pub use series::{FigureData, Series};
+pub use sweep::{sweep_roster, BackendFactory, SweepConfig, Task};

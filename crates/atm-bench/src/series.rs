@@ -1,0 +1,154 @@
+//! Figure data containers and rendering.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One platform's timing series over the aircraft-count sweep.
+#[derive(Clone, Debug, Serialize, PartialEq)]
+pub struct Series {
+    /// Platform label (the figure legend entry).
+    pub label: String,
+    /// Aircraft counts.
+    pub x: Vec<f64>,
+    /// Mean task time in milliseconds at each count.
+    pub y_ms: Vec<f64>,
+}
+
+impl Series {
+    /// Last-point slope proxy: `y/x` at the largest x (ms per aircraft).
+    pub fn final_per_aircraft(&self) -> f64 {
+        match (self.x.last(), self.y_ms.last()) {
+            (Some(&x), Some(&y)) if x > 0.0 => y / x,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A regenerated figure: several series over the same sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureData {
+    /// Identifier ("fig4" … "fig9").
+    pub id: String,
+    /// Title echoing the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form annotations (fit verdicts, crossovers, notes).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// Construct an empty figure.
+    pub fn new(id: &str, title: &str) -> Self {
+        FigureData {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_label: "aircraft".to_owned(),
+            y_label: "mean task time (ms)".to_owned(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure data serializes")
+    }
+}
+
+impl fmt::Display for FigureData {
+    /// Render as an aligned text table: one row per x, one column per
+    /// series — the same rows the paper's plots are drawn from.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        if self.series.is_empty() {
+            return writeln!(f, "(no data)");
+        }
+        write!(f, "{:>10}", self.x_label)?;
+        for s in &self.series {
+            write!(f, " {:>22}", truncate(&s.label, 22))?;
+        }
+        writeln!(f)?;
+        let xs = &self.series[0].x;
+        for (row, &x) in xs.iter().enumerate() {
+            write!(f, "{x:>10.0}")?;
+            for s in &self.series {
+                match s.y_ms.get(row) {
+                    Some(y) => write!(f, " {y:>22.4}")?,
+                    None => write!(f, " {:>22}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_owned()
+    } else {
+        s.chars().take(n.saturating_sub(1)).collect::<String>() + "…"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureData {
+        let mut f = FigureData::new("fig4", "Task 1 timings in all platforms");
+        f.series.push(Series {
+            label: "STARAN AP".into(),
+            x: vec![1000.0, 2000.0],
+            y_ms: vec![10.0, 20.0],
+        });
+        f.series.push(Series {
+            label: "Titan X (Pascal)".into(),
+            x: vec![1000.0, 2000.0],
+            y_ms: vec![0.5, 1.0],
+        });
+        f
+    }
+
+    #[test]
+    fn table_renders_rows_and_columns() {
+        let s = fig().to_string();
+        assert!(s.contains("fig4"), "{s}");
+        assert!(s.contains("STARAN AP"), "{s}");
+        assert!(s.contains("1000"), "{s}");
+        assert!(s.contains("20.0000"), "{s}");
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let j = fig().to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["id"], "fig4");
+        assert_eq!(v["series"][1]["label"], "Titan X (Pascal)");
+        assert_eq!(v["series"][0]["y_ms"][1], 20.0);
+    }
+
+    #[test]
+    fn per_aircraft_slope_proxy() {
+        let s = &fig().series[0];
+        assert!((s.final_per_aircraft() - 0.01).abs() < 1e-12);
+        let empty = Series { label: "e".into(), x: vec![], y_ms: vec![] };
+        assert_eq!(empty.final_per_aircraft(), 0.0);
+    }
+
+    #[test]
+    fn long_labels_are_truncated() {
+        assert_eq!(truncate("abc", 5), "abc");
+        let t = truncate("abcdefghij", 5);
+        assert!(t.chars().count() <= 5);
+        assert!(t.ends_with('…'));
+    }
+}

@@ -1,0 +1,341 @@
+//! The simulated airfield: flight setup, radar generation, boundary rules.
+//!
+//! Implements §4.1 of the paper:
+//!
+//! * `SetupFlight` — random initial positions in ±128 nm (coordinate drawn
+//!   in 0–128, sign from the parity of a 0–50 draw), random speed 30–600
+//!   knots decomposed into |dx| and |dy| = √(S² − dx²) with random signs,
+//!   converted to nm/period by dividing by 7200, random altitude.
+//! * `GenerateRadarData` — at most one report per aircraft per period, at
+//!   the aircraft's *expected* position plus uniform noise with random
+//!   sign per axis; the report list is then "jumbled" exactly the way the
+//!   paper does it: split into fourths and each fourth reversed, so the
+//!   tracking kernel cannot match `radar[i]` to `drone[i]` by index.
+//! * Boundary rule — an aircraft leaving the grid at `(x, y)` re-enters
+//!   with the same velocity at `(−x, −y)`.
+
+use crate::config::AtmConfig;
+use crate::types::{Aircraft, RadarReport, NO_COLLISION};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The airfield: aircraft state plus the seeded RNG that drives setup and
+/// radar noise.
+#[derive(Clone, Debug)]
+pub struct Airfield {
+    /// Current flight records.
+    pub aircraft: Vec<Aircraft>,
+    cfg: AtmConfig,
+    rng: SmallRng,
+    periods_elapsed: u64,
+}
+
+impl Airfield {
+    /// Create an airfield with `n` aircraft per the paper's `SetupFlight`.
+    pub fn new(n: usize, cfg: AtmConfig) -> Airfield {
+        cfg.validate();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let aircraft = (0..n).map(|_| setup_flight(&mut rng, &cfg)).collect();
+        Airfield { aircraft, cfg, rng, periods_elapsed: 0 }
+    }
+
+    /// Create with the paper's default parameters and a seed.
+    pub fn with_seed(n: usize, seed: u64) -> Airfield {
+        Airfield::new(n, AtmConfig::with_seed(seed))
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AtmConfig {
+        &self.cfg
+    }
+
+    /// Number of aircraft.
+    pub fn len(&self) -> usize {
+        self.aircraft.len()
+    }
+
+    /// True when no aircraft are present.
+    pub fn is_empty(&self) -> bool {
+        self.aircraft.is_empty()
+    }
+
+    /// Periods simulated so far.
+    pub fn periods_elapsed(&self) -> u64 {
+        self.periods_elapsed
+    }
+
+    /// Generate this period's radar reports: expected position + noise,
+    /// then the paper's quarter-reversal shuffle. With a nonzero
+    /// `radar_dropout`, some aircraft produce no report this period (they
+    /// will coast on their expected positions until radar reacquires them).
+    pub fn generate_radar(&mut self) -> Vec<RadarReport> {
+        let noise = self.cfg.radar_noise_nm;
+        let dropout = self.cfg.radar_dropout;
+        let mut reports: Vec<RadarReport> = Vec::with_capacity(self.aircraft.len());
+        for a in &self.aircraft {
+            // Consume the noise draws even for dropped reports so dropout
+            // does not perturb the RNG stream of the surviving ones.
+            let nx: f32 = self.rng.gen_range(-noise..=noise);
+            let ny: f32 = self.rng.gen_range(-noise..=noise);
+            if dropout > 0.0 && self.rng.gen_range(0.0..1.0f32) < dropout {
+                continue;
+            }
+            reports.push(RadarReport::at(a.x + a.dx + nx, a.y + a.dy + ny));
+        }
+        shuffle_quarters(&mut reports);
+        reports
+    }
+
+    /// End-of-period housekeeping: apply the boundary re-entry rule and
+    /// advance the period counter. Positions themselves are advanced by
+    /// Task 1 (aircraft adopt their expected or radar position), so this
+    /// only handles the grid exit rule.
+    pub fn end_period(&mut self) {
+        let hw = self.cfg.half_width;
+        for a in &mut self.aircraft {
+            if a.x.abs() > hw || a.y.abs() > hw {
+                // Re-enter at the mirrored point with the same velocity.
+                a.x = -a.x.clamp(-hw, hw);
+                a.y = -a.y.clamp(-hw, hw);
+            }
+        }
+        self.periods_elapsed += 1;
+    }
+
+    /// Replace the flight set (used by scenario examples and tests).
+    pub fn set_aircraft(&mut self, aircraft: Vec<Aircraft>) {
+        self.aircraft = aircraft;
+    }
+}
+
+/// One aircraft per the paper's `SetupFlight` procedure.
+fn setup_flight(rng: &mut SmallRng, cfg: &AtmConfig) -> Aircraft {
+    // Position: magnitude 0..=half_width, sign from the parity of a 0..=50
+    // draw (even → negative x; odd → negative y), as §4.1 specifies.
+    let mut x: f32 = rng.gen_range(0.0..cfg.half_width);
+    let mut y: f32 = rng.gen_range(0.0..cfg.half_width);
+    if rng.gen_range(0..=50u32) % 2 == 0 {
+        x = -x;
+    }
+    if rng.gen_range(0..=50u32) % 2 == 1 {
+        y = -y;
+    }
+
+    // Speed S in knots; |dx| uniform in [speed_min, S] (the paper draws Δx
+    // "between 30 and 600" — it must not exceed S for dy to be real);
+    // |dy| = sqrt(S² − dx²); random signs.
+    let s: f32 = rng.gen_range(cfg.speed_min_kts..=cfg.speed_max_kts);
+    let dx_mag: f32 = if s > cfg.speed_min_kts {
+        rng.gen_range(cfg.speed_min_kts..=s)
+    } else {
+        s
+    };
+    let dy_mag = (s * s - dx_mag * dx_mag).max(0.0).sqrt();
+    let dx_sign = if rng.gen_range(0..=50u32) % 2 == 0 { -1.0 } else { 1.0 };
+    let dy_sign = if rng.gen_range(0..=50u32) % 2 == 1 { -1.0 } else { 1.0 };
+
+    // Knots → nm per period.
+    let dx = dx_sign * dx_mag / cfg.periods_per_hour;
+    let dy = dy_sign * dy_mag / cfg.periods_per_hour;
+
+    let alt = rng.gen_range(cfg.alt_min_ft..=cfg.alt_max_ft);
+
+    Aircraft {
+        x,
+        y,
+        dx,
+        dy,
+        batx: dx,
+        baty: dy,
+        alt,
+        col: false,
+        time_till: cfg.critical_periods,
+        col_with: NO_COLLISION,
+        r_match: 0,
+        expected_x: x,
+        expected_y: y,
+    }
+}
+
+/// The paper's shuffle: split the list into fourths, reverse each fourth.
+pub fn shuffle_quarters<T>(items: &mut [T]) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    let q = n / 4;
+    let bounds = [0, q, 2 * q, 3 * q, n];
+    for w in bounds.windows(2) {
+        items[w[0]..w[1]].reverse();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(n: usize) -> Airfield {
+        Airfield::with_seed(n, 42)
+    }
+
+    #[test]
+    fn setup_places_aircraft_inside_the_grid() {
+        let f = field(500);
+        for a in &f.aircraft {
+            assert!(a.x.abs() <= 128.0, "x out of grid: {}", a.x);
+            assert!(a.y.abs() <= 128.0, "y out of grid: {}", a.y);
+            assert!(a.alt >= 1_000.0 && a.alt <= 40_000.0);
+        }
+    }
+
+    #[test]
+    fn setup_speeds_are_in_the_paper_range() {
+        let f = field(500);
+        let cfg = AtmConfig::default();
+        for a in &f.aircraft {
+            let kts = a.speed() * cfg.periods_per_hour;
+            assert!(
+                kts >= cfg.speed_min_kts - 0.1 && kts <= cfg.speed_max_kts + 0.1,
+                "speed {kts} kts out of [30, 600]"
+            );
+        }
+    }
+
+    #[test]
+    fn setup_produces_all_four_heading_quadrants() {
+        let f = field(1000);
+        let (mut pp, mut pn, mut np, mut nn) = (0, 0, 0, 0);
+        for a in &f.aircraft {
+            match (a.dx > 0.0, a.dy > 0.0) {
+                (true, true) => pp += 1,
+                (true, false) => pn += 1,
+                (false, true) => np += 1,
+                (false, false) => nn += 1,
+            }
+        }
+        assert!(pp > 0 && pn > 0 && np > 0 && nn > 0, "{pp} {pn} {np} {nn}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_field_exactly() {
+        let a = field(100);
+        let b = field(100);
+        assert_eq!(a.aircraft, b.aircraft);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Airfield::with_seed(100, 1);
+        let b = Airfield::with_seed(100, 2);
+        assert_ne!(a.aircraft, b.aircraft);
+    }
+
+    #[test]
+    fn radar_reports_are_near_expected_positions() {
+        let mut f = field(200);
+        let expected: Vec<(f32, f32)> =
+            f.aircraft.iter().map(|a| (a.x + a.dx, a.y + a.dy)).collect();
+        let radars = f.generate_radar();
+        assert_eq!(radars.len(), 200);
+        // After unshuffling, each report must lie within the noise box of
+        // its aircraft's expected position.
+        let mut unshuffled = radars.clone();
+        shuffle_quarters(&mut unshuffled); // reversal is an involution
+        for (r, (ex, ey)) in unshuffled.iter().zip(&expected) {
+            assert!((r.rx - ex).abs() <= 0.2 + 1e-5);
+            assert!((r.ry - ey).abs() <= 0.2 + 1e-5);
+            assert!(r.unmatched());
+        }
+    }
+
+    #[test]
+    fn radar_list_is_jumbled() {
+        let mut f = field(400);
+        let expected_first = f.aircraft[0].x + f.aircraft[0].dx;
+        let radars = f.generate_radar();
+        // The first report now comes from the end of the first quarter, not
+        // aircraft 0 (overwhelmingly unlikely to coincide within noise).
+        assert!((radars[0].rx - expected_first).abs() > 0.5);
+    }
+
+    #[test]
+    fn shuffle_quarters_is_an_involution() {
+        let mut v: Vec<u32> = (0..17).collect();
+        let orig = v.clone();
+        shuffle_quarters(&mut v);
+        assert_ne!(v, orig);
+        shuffle_quarters(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_lists() {
+        let mut v = vec![1];
+        shuffle_quarters(&mut v);
+        assert_eq!(v, vec![1]);
+        let mut v: Vec<u32> = vec![];
+        shuffle_quarters(&mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn boundary_exit_reenters_mirrored() {
+        let mut f = field(1);
+        f.aircraft[0].x = 130.0;
+        f.aircraft[0].y = 50.0;
+        let (dx, dy) = (f.aircraft[0].dx, f.aircraft[0].dy);
+        f.end_period();
+        assert_eq!(f.aircraft[0].x, -128.0);
+        assert_eq!(f.aircraft[0].y, -50.0);
+        assert_eq!(f.aircraft[0].dx, dx, "velocity preserved on re-entry");
+        assert_eq!(f.aircraft[0].dy, dy);
+        assert_eq!(f.periods_elapsed(), 1);
+    }
+
+    #[test]
+    fn in_grid_aircraft_are_untouched_by_end_period() {
+        let mut f = field(3);
+        let before = f.aircraft.clone();
+        f.end_period();
+        assert_eq!(f.aircraft, before);
+    }
+
+    #[test]
+    fn radar_dropout_thins_the_report_list() {
+        let mut cfg = AtmConfig::with_seed(5);
+        cfg.radar_dropout = 0.3;
+        let mut f = Airfield::new(1_000, cfg);
+        let radars = f.generate_radar();
+        assert!(radars.len() < 1_000, "dropout must remove some reports");
+        assert!(radars.len() > 500, "but not most of them");
+    }
+
+    #[test]
+    fn dropped_radar_leaves_aircraft_coasting() {
+        use crate::track::track_correlate;
+        use sim_clock::NullSink;
+        let mut cfg = AtmConfig::with_seed(6);
+        cfg.radar_dropout = 1.0; // every report lost
+        let mut f = Airfield::new(50, cfg.clone());
+        let before = f.aircraft.clone();
+        let mut radars = f.generate_radar();
+        assert!(radars.is_empty());
+        let stats = track_correlate(&mut f.aircraft, &mut radars, &cfg, &mut NullSink);
+        assert_eq!(stats.matched, 0);
+        for (a, b) in f.aircraft.iter().zip(&before) {
+            assert!((a.x - (b.x + b.dx)).abs() < 1e-6, "must coast on expected position");
+        }
+    }
+
+    #[test]
+    fn radar_generation_consumes_rng_deterministically() {
+        let mut a = field(64);
+        let mut b = field(64);
+        assert_eq!(a.generate_radar(), b.generate_radar());
+        // Second period differs from the first (fresh noise) but still
+        // matches between equal-seeded fields.
+        let ra = a.generate_radar();
+        let rb = b.generate_radar();
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,96 @@
+//! Execution backends: the same ATM tasks on six architectures.
+//!
+//! Every backend implements [`AtmBackend`]: it executes Task 1 and Tasks
+//! 2+3 *functionally* on the caller's aircraft/radar state and returns the
+//! execution time under its architecture — modeled simulated time for the
+//! GPU/AP/Xeon models, measured wall time for the host backends. Keeping
+//! function and timing together is what lets the cyclic executive and the
+//! figure harness treat all platforms uniformly, exactly as the paper's
+//! comparison does.
+
+mod ap;
+mod gpu;
+mod mimd;
+mod seq;
+mod xeon;
+
+pub use ap::ApBackend;
+pub use gpu::GpuBackend;
+pub use mimd::MimdBackend;
+pub use seq::SequentialBackend;
+pub use xeon::XeonModelBackend;
+
+use crate::config::AtmConfig;
+use crate::terrain::{TerrainGrid, TerrainTaskConfig};
+use crate::types::{Aircraft, RadarReport};
+use sim_clock::SimDuration;
+
+/// Whether a backend's reported durations are modeled (deterministic
+/// simulated time) or measured (host wall clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingKind {
+    /// Deterministic simulated time from an architecture model.
+    Modeled,
+    /// Wall-clock time measured on the host.
+    Measured,
+}
+
+/// A platform that can execute the ATM tasks.
+pub trait AtmBackend {
+    /// Human-readable platform name (used as the series label in figures).
+    fn name(&self) -> String;
+
+    /// Whether durations are modeled or measured.
+    fn timing_kind(&self) -> TimingKind;
+
+    /// One-time setup before a simulation run (e.g. the GPU backend charges
+    /// the initial host→device upload of the flight database here).
+    fn on_setup(&mut self, aircraft: &[Aircraft]) -> SimDuration {
+        let _ = aircraft;
+        SimDuration::ZERO
+    }
+
+    /// Execute Task 1 (tracking & correlation) for one period.
+    fn track_correlate(
+        &mut self,
+        aircraft: &mut [Aircraft],
+        radars: &mut [RadarReport],
+        cfg: &AtmConfig,
+    ) -> SimDuration;
+
+    /// Execute Tasks 2+3 (collision detection & resolution).
+    fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration;
+
+    /// Execute Task 4 (terrain avoidance — the future-work extension; see
+    /// [`crate::terrain`]).
+    fn terrain_avoidance(
+        &mut self,
+        aircraft: &mut [Aircraft],
+        grid: &TerrainGrid,
+        tcfg: &TerrainTaskConfig,
+    ) -> SimDuration;
+}
+
+/// The full platform roster of the paper's comparison, in its order:
+/// STARAN AP, ClearSpeed emulation, 16-core Xeon, and the three NVIDIA
+/// cards (plus none of the host-measured backends, which have no analogue
+/// in the paper's figures).
+pub fn paper_roster() -> Vec<Box<dyn AtmBackend>> {
+    vec![
+        Box::new(ApBackend::staran()),
+        Box::new(ApBackend::clearspeed()),
+        Box::new(XeonModelBackend::new()),
+        Box::new(GpuBackend::geforce_9800_gt()),
+        Box::new(GpuBackend::gtx_880m()),
+        Box::new(GpuBackend::titan_x_pascal()),
+    ]
+}
+
+/// The three NVIDIA devices only (Figs. 5 and 7).
+pub fn nvidia_roster() -> Vec<Box<dyn AtmBackend>> {
+    vec![
+        Box::new(GpuBackend::geforce_9800_gt()),
+        Box::new(GpuBackend::gtx_880m()),
+        Box::new(GpuBackend::titan_x_pascal()),
+    ]
+}

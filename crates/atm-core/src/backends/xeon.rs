@@ -1,0 +1,190 @@
+//! The modeled 16-core Xeon baseline.
+//!
+//! Functionally identical to the sequential reference (it runs the same
+//! task code), but timed by the deterministic analytic
+//! [`multicore::XeonModel`]: the instrumented operation counts of the run,
+//! plus lock/barrier estimates derived from the task statistics, are priced
+//! with the model's per-core throughput, Amdahl scaling, super-linear
+//! contention and seeded run-to-run jitter. This regenerates the *reported*
+//! behaviour of the prior work's 2012 Xeon — rapidly growing time and many
+//! missed deadlines — on the same axes as the simulated devices.
+
+use crate::backends::{AtmBackend, TimingKind};
+use crate::config::AtmConfig;
+use crate::detect::detect_resolve_all;
+use crate::terrain::{terrain_avoidance_all, TerrainGrid, TerrainTaskConfig};
+use crate::track::track_correlate;
+use crate::types::{Aircraft, RadarReport};
+use multicore::{WorkEstimate, XeonModel};
+use sim_clock::{OpCounter, SimDuration};
+
+/// ATM timed by the analytic multi-core model.
+pub struct XeonModelBackend {
+    model: XeonModel,
+    /// Per-call seed counter: consecutive calls jitter like consecutive
+    /// real runs, while a fresh backend reproduces the same sequence.
+    call_seed: u64,
+}
+
+impl XeonModelBackend {
+    /// The paper's 16-core Xeon.
+    pub fn new() -> Self {
+        XeonModelBackend { model: XeonModel::xeon_16_core(), call_seed: 0 }
+    }
+
+    /// A backend over a custom model (used by ablations and tests).
+    pub fn with_model(model: XeonModel) -> Self {
+        XeonModelBackend { model, call_seed: 0 }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &XeonModel {
+        &self.model
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.call_seed += 1;
+        self.call_seed
+    }
+}
+
+impl Default for XeonModelBackend {
+    fn default() -> Self {
+        XeonModelBackend::new()
+    }
+}
+
+impl AtmBackend for XeonModelBackend {
+    fn name(&self) -> String {
+        self.model.name.to_owned()
+    }
+
+    fn timing_kind(&self) -> TimingKind {
+        TimingKind::Modeled
+    }
+
+    fn track_correlate(
+        &mut self,
+        aircraft: &mut [Aircraft],
+        radars: &mut [RadarReport],
+        cfg: &AtmConfig,
+    ) -> SimDuration {
+        let mut ops = OpCounter::new();
+        let stats = track_correlate(aircraft, radars, cfg, &mut ops);
+        // The shared-memory implementation locks the aircraft record for
+        // every box test and both records on every state update; each pass
+        // ends with a barrier.
+        let work = WorkEstimate {
+            ops,
+            lock_acquisitions: stats.box_tests
+                + 2 * (stats.matched + stats.dropped_aircraft)
+                + aircraft.len() as u64,
+            barriers: stats.passes_run as u64 + 2,
+            n: aircraft.len(),
+        };
+        let seed = self.next_seed();
+        self.model.time_for(&work, seed)
+    }
+
+    fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration {
+        let mut ops = OpCounter::new();
+        let stats = detect_resolve_all(aircraft, cfg, &mut ops);
+        // Pair checks read the trial record under its lock; every conflict
+        // marking locks both records.
+        let work = WorkEstimate {
+            ops,
+            lock_acquisitions: stats.pair_checks
+                + 2 * stats.critical_conflicts
+                + aircraft.len() as u64,
+            barriers: 2,
+            n: aircraft.len(),
+        };
+        let seed = self.next_seed();
+        self.model.time_for(&work, seed)
+    }
+
+    fn terrain_avoidance(
+        &mut self,
+        aircraft: &mut [Aircraft],
+        grid: &TerrainGrid,
+        tcfg: &TerrainTaskConfig,
+    ) -> SimDuration {
+        let mut ops = OpCounter::new();
+        let stats = terrain_avoidance_all(aircraft, grid, tcfg, &mut ops);
+        let work = WorkEstimate {
+            ops,
+            // Each climb locks its record; the phase ends with a barrier.
+            lock_acquisitions: aircraft.len() as u64 + stats.climbs,
+            barriers: 1,
+            n: aircraft.len(),
+        };
+        let seed = self.next_seed();
+        self.model.time_for(&work, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airfield::Airfield;
+    use crate::backends::SequentialBackend;
+
+    fn run_track(backend: &mut dyn AtmBackend, n: usize, seed: u64) -> (Vec<Aircraft>, SimDuration) {
+        let mut field = Airfield::with_seed(n, seed);
+        let mut radars = field.generate_radar();
+        let cfg = field.config().clone();
+        let d = backend.track_correlate(&mut field.aircraft, &mut radars, &cfg);
+        (field.aircraft, d)
+    }
+
+    #[test]
+    fn results_match_sequential_exactly() {
+        let (ac_x, _) = run_track(&mut XeonModelBackend::new(), 300, 31);
+        let (ac_s, _) = run_track(&mut SequentialBackend::new(), 300, 31);
+        assert_eq!(ac_x, ac_s);
+    }
+
+    #[test]
+    fn modeled_time_grows_superlinearly() {
+        let (_, t1) = run_track(&mut XeonModelBackend::new(), 1_000, 32);
+        let (_, t4) = run_track(&mut XeonModelBackend::new(), 4_000, 32);
+        let ratio = t4.as_picos() as f64 / t1.as_picos() as f64;
+        // O(n²) work × growing contention: far beyond 4×.
+        assert!(ratio > 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn consecutive_calls_jitter_like_real_runs() {
+        let mut backend = XeonModelBackend::new();
+        let field = Airfield::with_seed(500, 33);
+        let cfg = field.config().clone();
+        let mut times = Vec::new();
+        for _ in 0..5 {
+            let mut ac = field.aircraft.clone();
+            times.push(backend.detect_resolve(&mut ac, &cfg));
+        }
+        let distinct: std::collections::HashSet<_> = times.iter().collect();
+        assert!(distinct.len() > 1, "MIMD timing must scatter across runs");
+    }
+
+    #[test]
+    fn fresh_backends_reproduce_the_same_jitter_sequence() {
+        let run = || {
+            let mut b = XeonModelBackend::new();
+            let (_, t) = run_track(&mut b, 400, 34);
+            t
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn xeon_is_far_slower_than_the_gpus_at_scale() {
+        use crate::backends::GpuBackend;
+        let (_, t_xeon) = run_track(&mut XeonModelBackend::new(), 4_000, 35);
+        let (_, t_gpu) = run_track(&mut GpuBackend::titan_x_pascal(), 4_000, 35);
+        assert!(
+            t_xeon > t_gpu * 5,
+            "Xeon {t_xeon} should trail Titan X {t_gpu} badly"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Simulation and task parameters (the paper's constants, overridable).
+
+use sim_clock::SimDuration;
+
+/// All tunable parameters of the airfield and the three tasks.
+///
+/// Defaults are the values of the paper (§3–§5): a 256 nm × 256 nm field,
+/// speeds of 30–600 knots, half-second periods in an 8-second major cycle,
+/// a 1×1 nm correlation box doubled up to two times, a 3 nm total
+/// separation box for Batcher's algorithm, a 20-minute detection horizon,
+/// a critical window of 300 periods, and ±5°…±30° resolution rotations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtmConfig {
+    /// Half-width of the airfield: positions span `[-half_width, half_width]`.
+    pub half_width: f32,
+    /// Minimum aircraft speed, knots (nm per hour).
+    pub speed_min_kts: f32,
+    /// Maximum aircraft speed, knots.
+    pub speed_max_kts: f32,
+    /// Minimum altitude, feet.
+    pub alt_min_ft: f32,
+    /// Maximum altitude, feet.
+    pub alt_max_ft: f32,
+    /// Periods per hour: converts knots to nm/period (paper: 7200).
+    pub periods_per_hour: f32,
+    /// Length of one scheduling period.
+    pub period: SimDuration,
+    /// Periods per major cycle (Tasks 2+3 run in the last one).
+    pub periods_per_major: usize,
+    /// Maximum radar noise per axis, nm (uniform, random sign).
+    pub radar_noise_nm: f32,
+    /// Probability that an aircraft produces no radar report in a period
+    /// (the paper: "a radar report may not be obtained for some aircraft
+    /// during some periods"; its simplification uses 0, the default).
+    pub radar_dropout: f32,
+    /// Correlation box half-width for the first pass, nm (paper: a 1×1 nm
+    /// box, i.e. 0.5 each side).
+    pub track_box_half_nm: f32,
+    /// Number of correlation passes; the box doubles each pass (paper: 3).
+    pub track_passes: u32,
+    /// Total separation the collision box enforces per axis, nm (paper: the
+    /// `±3` in Equations 1–4 — a 1.5 nm error band around each aircraft).
+    pub separation_nm: f32,
+    /// Vertical separation below which two aircraft are "at the same
+    /// altitude" for collision purposes, feet (paper: 1000).
+    pub alt_separation_ft: f32,
+    /// Detection horizon in periods (paper: 20 minutes = 2400 half-seconds).
+    pub horizon_periods: f32,
+    /// Critical window in periods: a conflict starting sooner than this
+    /// triggers resolution (paper: 300).
+    pub critical_periods: f32,
+    /// Resolution rotation step, degrees (paper: 5).
+    pub rotation_step_deg: f32,
+    /// Maximum rotation magnitude per side, degrees (paper: 30).
+    pub rotation_max_deg: f32,
+    /// Master RNG seed for the airfield.
+    pub seed: u64,
+}
+
+impl Default for AtmConfig {
+    fn default() -> Self {
+        AtmConfig {
+            half_width: 128.0,
+            speed_min_kts: 30.0,
+            speed_max_kts: 600.0,
+            alt_min_ft: 1_000.0,
+            alt_max_ft: 40_000.0,
+            periods_per_hour: 7_200.0,
+            period: SimDuration::from_millis(500),
+            periods_per_major: 16,
+            radar_noise_nm: 0.2,
+            radar_dropout: 0.0,
+            track_box_half_nm: 0.5,
+            track_passes: 3,
+            separation_nm: 3.0,
+            alt_separation_ft: 1_000.0,
+            horizon_periods: 2_400.0,
+            critical_periods: 300.0,
+            rotation_step_deg: 5.0,
+            rotation_max_deg: 30.0,
+            seed: 0x5EED_A7C0,
+        }
+    }
+}
+
+impl AtmConfig {
+    /// The paper's configuration with a caller-chosen seed.
+    pub fn with_seed(seed: u64) -> Self {
+        AtmConfig { seed, ..AtmConfig::default() }
+    }
+
+    /// The box half-width used in correlation pass `pass` (doubles each
+    /// pass: 0.5, 1.0, 2.0 with the defaults).
+    pub fn pass_half_width(&self, pass: u32) -> f32 {
+        self.track_box_half_nm * (1u32 << pass.min(30)) as f32
+    }
+
+    /// The sequence of rotation angles Task 3 tries, in order
+    /// (+5°, −5°, +10°, −10°, …, ±max), in radians.
+    pub fn rotation_sequence(&self) -> Vec<f32> {
+        let steps = (self.rotation_max_deg / self.rotation_step_deg).round() as i32;
+        let mut seq = Vec::with_capacity(2 * steps as usize);
+        for k in 1..=steps {
+            let deg = self.rotation_step_deg * k as f32;
+            seq.push(deg.to_radians());
+            seq.push(-deg.to_radians());
+        }
+        seq
+    }
+
+    /// Validate parameter consistency; panics on nonsense.
+    pub fn validate(&self) {
+        assert!(self.half_width > 0.0, "airfield must have positive extent");
+        assert!(
+            self.speed_min_kts > 0.0 && self.speed_min_kts <= self.speed_max_kts,
+            "speed range must be positive and ordered"
+        );
+        assert!(self.periods_per_hour > 0.0);
+        assert!(self.periods_per_major > 0);
+        assert!(self.track_passes >= 1, "need at least one correlation pass");
+        assert!(
+            (0.0..=1.0).contains(&self.radar_dropout),
+            "radar dropout must be a probability"
+        );
+        assert!(self.separation_nm > 0.0);
+        assert!(self.horizon_periods > 0.0);
+        assert!(self.critical_periods <= self.horizon_periods,
+            "critical window cannot exceed the detection horizon");
+        assert!(self.rotation_step_deg > 0.0);
+        assert!(self.rotation_max_deg >= self.rotation_step_deg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = AtmConfig::default();
+        c.validate();
+        assert_eq!(c.half_width, 128.0);
+        assert_eq!(c.period, SimDuration::from_millis(500));
+        assert_eq!(c.periods_per_major, 16);
+        assert_eq!(c.separation_nm, 3.0);
+        assert_eq!(c.horizon_periods, 2_400.0);
+        assert_eq!(c.critical_periods, 300.0);
+    }
+
+    #[test]
+    fn pass_widths_double() {
+        let c = AtmConfig::default();
+        assert_eq!(c.pass_half_width(0), 0.5);
+        assert_eq!(c.pass_half_width(1), 1.0);
+        assert_eq!(c.pass_half_width(2), 2.0);
+    }
+
+    #[test]
+    fn rotation_sequence_alternates_and_grows() {
+        let c = AtmConfig::default();
+        let seq = c.rotation_sequence();
+        assert_eq!(seq.len(), 12); // ±5..±30 in 5° steps
+        assert!((seq[0] - 5.0_f32.to_radians()).abs() < 1e-6);
+        assert!((seq[1] + 5.0_f32.to_radians()).abs() < 1e-6);
+        assert!((seq[10] - 30.0_f32.to_radians()).abs() < 1e-6);
+        assert!((seq[11] + 30.0_f32.to_radians()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "critical window")]
+    fn critical_beyond_horizon_is_rejected() {
+        let c = AtmConfig { critical_periods: 5_000.0, ..AtmConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn seeded_config_differs_only_in_seed() {
+        let a = AtmConfig::with_seed(1);
+        let b = AtmConfig::with_seed(2);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.half_width, b.half_width);
+    }
+}

@@ -1,0 +1,244 @@
+//! The complete timed ATM simulation: airfield + backend + cyclic executive.
+//!
+//! Reproduces the paper's "main timed simulation" (§4.2): before each
+//! half-second period the harness generates the period's radar picture
+//! (explicitly *not* an ATM task — in a real deployment it arrives from the
+//! radar network, so its time is not booked against the deadline); Task 1
+//! runs every period; Tasks 2+3 run in the final period of each 8-second
+//! major cycle; slack is waited out so no period starts early; and every
+//! deadline miss is counted.
+
+use crate::airfield::Airfield;
+use crate::backends::AtmBackend;
+use crate::terrain::{TerrainGrid, TerrainTaskConfig};
+use crate::types::Aircraft;
+use rt_sched::{CyclicExecutive, ExecutiveReport, MajorCycleSpec, TaskExecution};
+use sim_clock::SimDuration;
+
+/// Result of a simulation run.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Backend the run executed on.
+    pub backend_name: String,
+    /// One-time setup cost (e.g. the GPU's initial database upload).
+    pub setup_time: SimDuration,
+    /// The executive's full deadline report.
+    pub report: ExecutiveReport,
+}
+
+impl SimOutcome {
+    /// Mean Task 1 execution time (zero if it never completed).
+    pub fn mean_task1(&self) -> SimDuration {
+        self.report.task_stats("Task1").map(|s| s.mean()).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Mean Tasks 2+3 execution time.
+    pub fn mean_task23(&self) -> SimDuration {
+        self.report.task_stats("Task2+3").map(|s| s.mean()).unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Terrain-avoidance scheduling for the extended (future-work) task set.
+#[derive(Clone, Debug)]
+pub struct TerrainSchedule {
+    /// The terrain model.
+    pub grid: TerrainGrid,
+    /// Task parameters.
+    pub tcfg: TerrainTaskConfig,
+    /// Run the task in periods where `period % every == phase`.
+    pub every: usize,
+    /// Phase offset within the major cycle.
+    pub phase: usize,
+}
+
+impl TerrainSchedule {
+    /// The default schedule: every 4 periods (2 seconds), offset from the
+    /// detection period.
+    pub fn standard(grid: TerrainGrid) -> Self {
+        TerrainSchedule { grid, tcfg: TerrainTaskConfig::default(), every: 4, phase: 1 }
+    }
+}
+
+/// A ready-to-run ATM simulation.
+pub struct AtmSimulation {
+    field: Airfield,
+    backend: Box<dyn AtmBackend>,
+    terrain: Option<TerrainSchedule>,
+}
+
+impl AtmSimulation {
+    /// Wire an airfield to a backend.
+    pub fn new(field: Airfield, backend: Box<dyn AtmBackend>) -> Self {
+        AtmSimulation { field, backend, terrain: None }
+    }
+
+    /// Enable the Task 4 terrain-avoidance schedule (the future-work
+    /// extension; see [`crate::terrain`]).
+    pub fn with_terrain(mut self, schedule: TerrainSchedule) -> Self {
+        assert!(schedule.every > 0, "terrain schedule period must be positive");
+        self.terrain = Some(schedule);
+        self
+    }
+
+    /// Convenience: a fresh airfield of `n` aircraft with `seed`, on
+    /// `backend`.
+    pub fn with_field(n: usize, seed: u64, backend: Box<dyn AtmBackend>) -> Self {
+        AtmSimulation::new(Airfield::with_seed(n, seed), backend)
+    }
+
+    /// The airfield (inspect aircraft state between runs).
+    pub fn field(&self) -> &Airfield {
+        &self.field
+    }
+
+    /// Run `major_cycles` full 8-second major cycles.
+    pub fn run(&mut self, major_cycles: usize) -> SimOutcome {
+        let cfg = self.field.config().clone();
+        let setup_time = self.backend.on_setup(&self.field.aircraft);
+        let spec = MajorCycleSpec {
+            period: cfg.period,
+            periods_per_major: cfg.periods_per_major,
+        };
+        let mut exec = CyclicExecutive::new(spec);
+
+        let field = &mut self.field;
+        let backend = &mut self.backend;
+        let terrain = &self.terrain;
+        let mut workload = |_cycle: usize, period: usize| {
+            // Radar generation precedes the period's tasks and is not an
+            // ATM task (paper §4.2) — it is not booked against the deadline.
+            let mut radars = field.generate_radar();
+            let t1 = backend.track_correlate(&mut field.aircraft, &mut radars, &cfg);
+            let mut tasks = vec![TaskExecution::new("Task1", t1)];
+            if let Some(sched) = terrain {
+                if period % sched.every == sched.phase % sched.every {
+                    let t4 = backend.terrain_avoidance(
+                        &mut field.aircraft,
+                        &sched.grid,
+                        &sched.tcfg,
+                    );
+                    tasks.push(TaskExecution::new("Terrain", t4));
+                }
+            }
+            if period == cfg.periods_per_major - 1 {
+                let t23 = backend.detect_resolve(&mut field.aircraft, &cfg);
+                tasks.push(TaskExecution::new("Task2+3", t23));
+            }
+            field.end_period();
+            tasks
+        };
+        let report = exec.run(&mut workload, major_cycles);
+
+        SimOutcome {
+            backend_name: self.backend.name(),
+            setup_time,
+            report,
+        }
+    }
+
+    /// Direct access to the aircraft after a run.
+    pub fn aircraft(&self) -> &[Aircraft] {
+        &self.field.aircraft
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{ApBackend, GpuBackend, SequentialBackend, XeonModelBackend};
+
+    #[test]
+    fn terrain_schedule_books_the_extra_task() {
+        let grid = TerrainGrid::generate(3, 128.0, 32, 8_000.0);
+        let mut sim = AtmSimulation::with_field(400, 47, Box::new(GpuBackend::titan_x_pascal()))
+            .with_terrain(TerrainSchedule::standard(grid));
+        let out = sim.run(1);
+        // every=4, phase=1 -> periods 1, 5, 9, 13: four executions.
+        assert_eq!(out.report.task_stats("Terrain").unwrap().count, 4);
+        assert_eq!(out.report.total_misses(), 0);
+    }
+
+    #[test]
+    fn terrain_climbs_keep_the_fleet_above_ground() {
+        let grid = TerrainGrid::generate(3, 128.0, 32, 12_000.0);
+        let mut sim = AtmSimulation::with_field(300, 48, Box::new(SequentialBackend::new()))
+            .with_terrain(TerrainSchedule::standard(grid.clone()));
+        sim.run(2);
+        for a in sim.aircraft() {
+            let ground = grid.elevation_at(a.x, a.y);
+            assert!(
+                a.alt >= ground - 1.0,
+                "aircraft below terrain: alt {} vs ground {ground}",
+                a.alt
+            );
+        }
+    }
+
+    #[test]
+    fn titan_x_never_misses_at_moderate_load() {
+        let mut sim =
+            AtmSimulation::with_field(2_000, 41, Box::new(GpuBackend::titan_x_pascal()));
+        let out = sim.run(2);
+        assert_eq!(out.report.total_misses(), 0, "{}", out.report);
+        assert_eq!(out.report.periods().len(), 32);
+        assert!(out.setup_time > SimDuration::ZERO);
+        // Task 1 ran every period, Tasks 2+3 once per major cycle.
+        assert_eq!(out.report.task_stats("Task1").unwrap().count, 32);
+        assert_eq!(out.report.task_stats("Task2+3").unwrap().count, 2);
+    }
+
+    #[test]
+    fn staran_never_misses_at_moderate_load() {
+        let mut sim = AtmSimulation::with_field(1_500, 42, Box::new(ApBackend::staran()));
+        let out = sim.run(1);
+        assert_eq!(out.report.total_misses(), 0, "{}", out.report);
+    }
+
+    #[test]
+    fn xeon_misses_deadlines_at_heavy_load() {
+        let mut sim =
+            AtmSimulation::with_field(16_000, 43, Box::new(XeonModelBackend::new()));
+        let out = sim.run(1);
+        assert!(
+            out.report.total_misses() > 0,
+            "the multi-core baseline must buckle at 16k aircraft: {}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn sequential_simulation_advances_the_field() {
+        let mut sim = AtmSimulation::with_field(200, 44, Box::new(SequentialBackend::new()));
+        let before: Vec<f32> = sim.aircraft().iter().map(|a| a.x).collect();
+        sim.run(1);
+        let after: Vec<f32> = sim.aircraft().iter().map(|a| a.x).collect();
+        assert_ne!(before, after, "16 periods of movement must change positions");
+        assert_eq!(sim.field().periods_elapsed(), 16);
+    }
+
+    #[test]
+    fn aircraft_stay_inside_the_airfield() {
+        let mut sim = AtmSimulation::with_field(500, 45, Box::new(SequentialBackend::new()));
+        sim.run(3);
+        let hw = sim.field().config().half_width;
+        for a in sim.aircraft() {
+            assert!(a.x.abs() <= hw + 1e-3, "x escaped: {}", a.x);
+            assert!(a.y.abs() <= hw + 1e-3, "y escaped: {}", a.y);
+        }
+    }
+
+    #[test]
+    fn modeled_simulation_is_deterministic_end_to_end() {
+        let run = || {
+            let mut sim =
+                AtmSimulation::with_field(800, 46, Box::new(GpuBackend::gtx_880m()));
+            let out = sim.run(1);
+            (
+                out.mean_task1(),
+                out.mean_task23(),
+                sim.aircraft().iter().map(|a| (a.x, a.y)).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,308 @@
+//! Task 4: terrain avoidance (the paper's §7.2 "more complete ATM system").
+//!
+//! The paper's related work (Thompson et al. [11]) handles *terrain*
+//! deconfliction where this paper handles aircraft-to-aircraft conflicts;
+//! its future work proposes implementing the remaining basic ATM tasks.
+//! This module adds that task: a synthetic terrain elevation model over the
+//! airfield and a per-aircraft look-ahead check that projects the flight
+//! path, samples the terrain under it, and climbs the aircraft when the
+//! projected clearance is violated.
+//!
+//! The task is O(look-ahead samples) per aircraft — constant — so it runs
+//! in O(n) on every sequential-style platform and in **O(1) parallel
+//! steps** on the associative processor (each PE samples under its own
+//! track simultaneously), preserving the complexity story of the other
+//! tasks.
+
+use crate::types::Aircraft;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_clock::CostSink;
+
+/// A square terrain elevation lattice over the airfield, sampled
+/// bilinearly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TerrainGrid {
+    half_width: f32,
+    cells: usize,
+    /// Lattice of `(cells+1)²` elevations in feet, row-major.
+    elev: Vec<f32>,
+}
+
+impl TerrainGrid {
+    /// Generate synthetic terrain: a random lattice smoothed by a few
+    /// box-blur passes (rolling hills), scaled to peak `max_elev_ft`.
+    pub fn generate(seed: u64, half_width: f32, cells: usize, max_elev_ft: f32) -> TerrainGrid {
+        assert!(cells >= 1, "terrain needs at least one cell");
+        assert!(half_width > 0.0);
+        assert!(max_elev_ft >= 0.0);
+        let side = cells + 1;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7E44A1);
+        let mut elev: Vec<f32> =
+            (0..side * side).map(|_| rng.gen_range(0.0..1.0f32)).collect();
+
+        // Three smoothing passes: 3×3 box blur with edge clamping.
+        for _ in 0..3 {
+            let src = elev.clone();
+            for r in 0..side {
+                for c in 0..side {
+                    let mut acc = 0.0f32;
+                    let mut cnt = 0.0f32;
+                    for dr in -1i32..=1 {
+                        for dc in -1i32..=1 {
+                            let rr = (r as i32 + dr).clamp(0, side as i32 - 1) as usize;
+                            let cc = (c as i32 + dc).clamp(0, side as i32 - 1) as usize;
+                            acc += src[rr * side + cc];
+                            cnt += 1.0;
+                        }
+                    }
+                    elev[r * side + c] = acc / cnt;
+                }
+            }
+        }
+
+        // Rescale to [0, max_elev_ft].
+        let (mut lo, mut hi) = (f32::MAX, f32::MIN);
+        for &e in &elev {
+            lo = lo.min(e);
+            hi = hi.max(e);
+        }
+        let span = (hi - lo).max(1e-6);
+        for e in &mut elev {
+            *e = (*e - lo) / span * max_elev_ft;
+        }
+
+        TerrainGrid { half_width, cells, elev }
+    }
+
+    /// Completely flat terrain at a fixed elevation (tests, oceans).
+    pub fn flat(half_width: f32, elevation_ft: f32) -> TerrainGrid {
+        TerrainGrid { half_width, cells: 1, elev: vec![elevation_ft; 4] }
+    }
+
+    /// Grid half-width in nm.
+    pub fn half_width(&self) -> f32 {
+        self.half_width
+    }
+
+    /// Highest lattice elevation (ft).
+    pub fn max_elevation(&self) -> f32 {
+        self.elev.iter().fold(0.0f32, |a, &b| a.max(b))
+    }
+
+    /// Bilinear elevation sample at `(x, y)` nm (clamped at the borders).
+    pub fn elevation_at(&self, x: f32, y: f32) -> f32 {
+        let side = self.cells + 1;
+        // Map [-hw, hw] to [0, cells].
+        let fx = ((x + self.half_width) / (2.0 * self.half_width) * self.cells as f32)
+            .clamp(0.0, self.cells as f32);
+        let fy = ((y + self.half_width) / (2.0 * self.half_width) * self.cells as f32)
+            .clamp(0.0, self.cells as f32);
+        let c0 = fx as usize;
+        let r0 = fy as usize;
+        let c1 = (c0 + 1).min(self.cells);
+        let r1 = (r0 + 1).min(self.cells);
+        let tx = fx - c0 as f32;
+        let ty = fy - r0 as f32;
+        let e00 = self.elev[r0 * side + c0];
+        let e01 = self.elev[r0 * side + c1];
+        let e10 = self.elev[r1 * side + c0];
+        let e11 = self.elev[r1 * side + c1];
+        let top = e00 * (1.0 - tx) + e01 * tx;
+        let bot = e10 * (1.0 - tx) + e11 * tx;
+        top * (1.0 - ty) + bot * ty
+    }
+}
+
+/// Parameters of the terrain-avoidance task.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TerrainTaskConfig {
+    /// Look-ahead horizon in periods (default: 600 = 5 minutes).
+    pub lookahead_periods: f32,
+    /// Number of equidistant samples along the projected path.
+    pub samples: u32,
+    /// Required clearance above terrain, feet.
+    pub clearance_ft: f32,
+}
+
+impl Default for TerrainTaskConfig {
+    fn default() -> Self {
+        TerrainTaskConfig { lookahead_periods: 600.0, samples: 8, clearance_ft: 1_000.0 }
+    }
+}
+
+/// Outcome counters of one terrain-avoidance execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TerrainStats {
+    /// Aircraft whose projected path violated clearance.
+    pub warnings: u64,
+    /// Aircraft climbed to restore clearance.
+    pub climbs: u64,
+    /// Terrain samples taken.
+    pub samples: u64,
+}
+
+/// The per-aircraft terrain check: project the path, find the highest
+/// required altitude along it, climb if below. Constant work per aircraft.
+pub fn check_terrain(
+    aircraft: &mut [Aircraft],
+    i: usize,
+    grid: &TerrainGrid,
+    tcfg: &TerrainTaskConfig,
+    sink: &mut impl CostSink,
+) -> TerrainStats {
+    let mut stats = TerrainStats::default();
+    let a = aircraft[i];
+    sink.load(Aircraft::RECORD_BYTES);
+
+    let mut required = 0.0f32;
+    // Sample from the *current* position (s = 0) out to the horizon: the
+    // boundary re-entry rule can teleport an aircraft under entirely new
+    // terrain, so "now" must be part of the check.
+    for s in 0..=tcfg.samples {
+        let t = tcfg.lookahead_periods * s as f32 / tcfg.samples as f32;
+        // Projected position (the grid clamps at the field edge, matching
+        // the mirrored re-entry staying inside the same terrain tile set).
+        let px = a.x + a.dx * t;
+        let py = a.y + a.dy * t;
+        sink.fmul(2);
+        sink.fadd(2);
+        // Bilinear sample: 4 lattice reads (shared, cached on devices with
+        // a cache) + ~8 flops.
+        sink.load_shared(16);
+        sink.fmul(6);
+        sink.fadd(5);
+        let elev = grid.elevation_at(px, py);
+        required = required.max(elev + tcfg.clearance_ft);
+        sink.fadd(2);
+        stats.samples += 1;
+    }
+
+    sink.branch(true);
+    if a.alt < required {
+        stats.warnings = 1;
+        // Resolution: climb to the required altitude (instantaneous in the
+        // model; the paper resolves leftover aircraft conflicts by altitude
+        // changes the same way).
+        aircraft[i].alt = required;
+        sink.store(4);
+        stats.climbs = 1;
+    }
+    stats
+}
+
+/// Sequential driver: run the check for every aircraft.
+pub fn terrain_avoidance_all(
+    aircraft: &mut [Aircraft],
+    grid: &TerrainGrid,
+    tcfg: &TerrainTaskConfig,
+    sink: &mut impl CostSink,
+) -> TerrainStats {
+    let mut total = TerrainStats::default();
+    for i in 0..aircraft.len() {
+        let s = check_terrain(aircraft, i, grid, tcfg, sink);
+        total.warnings += s.warnings;
+        total.climbs += s.climbs;
+        total.samples += s.samples;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::NullSink;
+
+    fn grid() -> TerrainGrid {
+        TerrainGrid::generate(7, 128.0, 32, 8_000.0)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let a = grid();
+        let b = grid();
+        assert_eq!(a, b);
+        assert!(a.max_elevation() <= 8_000.0 + 1e-3);
+        assert!(a.max_elevation() > 0.0);
+    }
+
+    #[test]
+    fn elevation_sampling_is_continuous_and_clamped() {
+        let g = grid();
+        // Nearby points have nearby elevations (bilinear continuity).
+        let e1 = g.elevation_at(10.0, 10.0);
+        let e2 = g.elevation_at(10.01, 10.0);
+        assert!((e1 - e2).abs() < 50.0, "{e1} vs {e2}");
+        // Outside the grid clamps instead of panicking.
+        let _ = g.elevation_at(1_000.0, -1_000.0);
+    }
+
+    #[test]
+    fn flat_terrain_is_flat() {
+        let g = TerrainGrid::flat(128.0, 1_500.0);
+        for (x, y) in [(0.0, 0.0), (-100.0, 50.0), (127.0, -127.0)] {
+            assert_eq!(g.elevation_at(x, y), 1_500.0);
+        }
+        assert_eq!(g.max_elevation(), 1_500.0);
+    }
+
+    #[test]
+    fn low_flyer_over_mountains_gets_climbed() {
+        let g = TerrainGrid::flat(128.0, 5_000.0);
+        let mut ac = vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0).with_altitude(2_000.0)];
+        let s = check_terrain(&mut ac, 0, &g, &TerrainTaskConfig::default(), &mut NullSink);
+        assert_eq!(s.warnings, 1);
+        assert_eq!(s.climbs, 1);
+        assert_eq!(ac[0].alt, 6_000.0, "climbed to terrain + clearance");
+    }
+
+    #[test]
+    fn high_flyer_is_left_alone() {
+        let g = grid();
+        let mut ac =
+            vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0).with_altitude(39_000.0)];
+        let s = check_terrain(&mut ac, 0, &g, &TerrainTaskConfig::default(), &mut NullSink);
+        assert_eq!(s.warnings, 0);
+        assert_eq!(ac[0].alt, 39_000.0);
+    }
+
+    #[test]
+    fn sample_count_matches_config() {
+        let g = grid();
+        let tcfg = TerrainTaskConfig { samples: 5, ..Default::default() };
+        let mut ac = vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0)];
+        let s = check_terrain(&mut ac, 0, &g, &tcfg, &mut NullSink);
+        assert_eq!(s.samples, 6, "look-ahead samples plus the current position");
+    }
+
+    #[test]
+    fn driver_folds_stats_over_the_fleet() {
+        let g = TerrainGrid::flat(128.0, 3_000.0);
+        let mut ac = vec![
+            Aircraft::at(0.0, 0.0).with_altitude(1_000.0),
+            Aircraft::at(5.0, 5.0).with_altitude(20_000.0),
+            Aircraft::at(-5.0, -5.0).with_altitude(3_500.0),
+        ];
+        let s =
+            terrain_avoidance_all(&mut ac, &g, &TerrainTaskConfig::default(), &mut NullSink);
+        assert_eq!(s.warnings, 2);
+        assert_eq!(s.climbs, 2);
+        assert!(ac.iter().all(|a| a.alt >= 4_000.0));
+    }
+
+    #[test]
+    fn op_accounting_is_constant_per_aircraft() {
+        let g = grid();
+        let tcfg = TerrainTaskConfig::default();
+        let count_for = |n: usize| {
+            let mut ac: Vec<Aircraft> =
+                (0..n).map(|k| Aircraft::at(k as f32, 0.0)).collect();
+            let mut ops = sim_clock::OpCounter::new();
+            terrain_avoidance_all(&mut ac, &g, &tcfg, &mut ops);
+            ops.total_compute_ops() as f64 / n as f64
+        };
+        let per_small = count_for(10);
+        let per_large = count_for(1_000);
+        assert!((per_small - per_large).abs() < 2.0, "{per_small} vs {per_large}");
+    }
+}

@@ -1,0 +1,387 @@
+//! Task 1: radar tracking and correlation (the paper's Algorithm 1).
+//!
+//! Every half-second period, a shuffled list of radar reports must be
+//! correlated with aircraft *expected positions*:
+//!
+//! 1. every aircraft computes its expected position `(x+dx, y+dy)` and
+//!    resets its match state;
+//! 2. each radar scans the aircraft for expected positions inside a
+//!    1 nm × 1 nm box around it. An aircraft hit by two radars is dropped
+//!    from correlation ([`MATCH_MULTIPLE`]); a radar that hits two
+//!    unmatched aircraft is discarded ([`RADAR_DISCARDED`]);
+//! 3. radars still unmatched retry with the box doubled, twice;
+//! 4. every aircraft adopts its expected position, and uniquely matched
+//!    aircraft snap to their radar's reported position.
+//!
+//! The phases are exposed as per-item routines so each backend can run them
+//! under its own execution model; [`track_correlate`] is the sequential
+//! reference driver, and the semantics of the per-radar scan are defined by
+//! the deterministic serialization (radars in index order) — the order the
+//! GPU simulator's launch loop also uses, which is why the simulated
+//! devices reproduce the reference results exactly.
+
+use crate::config::AtmConfig;
+use crate::types::{
+    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, RADAR_DISCARDED,
+    RADAR_UNMATCHED,
+};
+use sim_clock::CostSink;
+
+/// Outcome counters of one Task 1 execution (used by reports, tests, and
+/// the analytic Xeon model's lock estimate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrackStats {
+    /// Aircraft that ended the task matched to exactly one radar.
+    pub matched: u64,
+    /// Aircraft dropped for being hit by multiple radars.
+    pub dropped_aircraft: u64,
+    /// Radars discarded for hitting multiple unmatched aircraft.
+    pub discarded_radars: u64,
+    /// Radars left unmatched after all passes.
+    pub unmatched_radars: u64,
+    /// Bounding-box tests performed.
+    pub box_tests: u64,
+    /// Correlation passes actually run (a pass is skipped when every radar
+    /// is already settled).
+    pub passes_run: u32,
+}
+
+/// Phase 1, per aircraft `i`: compute the expected position and reset the
+/// correlation state.
+pub fn expected_position_phase(aircraft: &mut [Aircraft], i: usize, sink: &mut impl CostSink) {
+    let a = &mut aircraft[i];
+    sink.load(Aircraft::RECORD_BYTES);
+    a.expected_x = a.x + a.dx;
+    a.expected_y = a.y + a.dy;
+    a.r_match = MATCH_NONE;
+    sink.fadd(2);
+    sink.store(12);
+}
+
+/// Is `r` inside the box of half-width `hw` around the expected position of
+/// `a`? (The paper's `aircraft.x − hw < radar.x < aircraft.x + hw` test.)
+#[inline]
+fn in_box(a: &Aircraft, r: &RadarReport, hw: f32, sink: &mut impl CostSink) -> bool {
+    sink.fadd(4);
+    // Almost every lane misses the box, so the warp stays converged on the
+    // common path; the rare hit is flagged divergent at the call sites.
+    sink.branch(false);
+    (r.rx - a.expected_x).abs() < hw && (r.ry - a.expected_y).abs() < hw
+}
+
+/// Phase 2, per radar `i`, one pass: scan the aircraft and apply the
+/// matching rules. `pass` 0 considers all aircraft; later passes only
+/// still-unmatched aircraft, per Algorithm 1 lines 10–11.
+///
+/// Returns the number of box tests performed (for [`TrackStats`]).
+pub fn correlate_radar_pass(
+    aircraft: &mut [Aircraft],
+    radars: &mut [RadarReport],
+    i: usize,
+    pass: u32,
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> u64 {
+    sink.load(RadarReport::RECORD_BYTES);
+    // Lanes whose radar settled in an earlier pass exit here while the
+    // rest keep scanning: one real divergence point per pass.
+    sink.branch(true);
+    if radars[i].r_match_with != RADAR_UNMATCHED {
+        return 0; // settled in an earlier pass (matched or discarded)
+    }
+    let hw = cfg.pass_half_width(pass);
+    let mut first_hit: Option<usize> = None;
+    let mut extra_unmatched_hit = false;
+    let mut tests = 0u64;
+
+    #[allow(clippy::needless_range_loop)] // indices are part of the protocol
+    for p in 0..aircraft.len() {
+        // The aircraft array is scanned warp-uniformly by every radar
+        // thread: a broadcast/cached read on architectures that have one.
+        sink.load_shared(16);
+        tests += 1;
+        // Dropped aircraft no longer participate at all; matched aircraft
+        // participate only in pass 0 (later passes re-scan "remaining,
+        // unmatched" aircraft only).
+        sink.branch(false);
+        if aircraft[p].r_match == MATCH_MULTIPLE {
+            continue;
+        }
+        if pass > 0 && aircraft[p].r_match == MATCH_ONE {
+            continue;
+        }
+        if !in_box(&aircraft[p], &radars[i], hw, sink) {
+            continue;
+        }
+        // A lane that actually hits departs from the warp's common path.
+        sink.branch(true);
+        if aircraft[p].r_match == MATCH_ONE {
+            // Second radar on an already-matched aircraft: the aircraft is
+            // dropped from correlation (Algorithm 1 line 8).
+            aircraft[p].r_match = MATCH_MULTIPLE;
+            sink.store(4);
+            continue;
+        }
+        // Unmatched aircraft hit.
+        if first_hit.is_none() {
+            first_hit = Some(p);
+        } else {
+            extra_unmatched_hit = true;
+        }
+    }
+
+    sink.branch(false);
+    if extra_unmatched_hit {
+        // This radar saw ≥2 unmatched aircraft: discard it; no aircraft is
+        // marked (Algorithm 1 line 9).
+        radars[i].r_match_with = RADAR_DISCARDED;
+        sink.store(4);
+    } else if let Some(p) = first_hit {
+        radars[i].r_match_with = p as i32;
+        aircraft[p].r_match = MATCH_ONE;
+        sink.store(8);
+    }
+    tests
+}
+
+/// Phase 3a, per aircraft `i`: adopt the expected position (uncorrelated
+/// aircraft keep it; Algorithm 1 line 12, first half).
+pub fn adopt_expected_phase(aircraft: &mut [Aircraft], i: usize, sink: &mut impl CostSink) {
+    let a = &mut aircraft[i];
+    sink.load(8);
+    a.x = a.expected_x;
+    a.y = a.expected_y;
+    sink.store(8);
+}
+
+/// Phase 3b, per radar `i`: a validly matched radar overrides its
+/// aircraft's position with the reported one (Algorithm 1 line 12, second
+/// half).
+pub fn apply_radar_phase(
+    aircraft: &mut [Aircraft],
+    radars: &[RadarReport],
+    i: usize,
+    sink: &mut impl CostSink,
+) {
+    sink.load(RadarReport::RECORD_BYTES);
+    sink.branch(false);
+    let m = radars[i].r_match_with;
+    if m >= 0 {
+        let p = m as usize;
+        sink.load(4);
+        sink.branch(true);
+        if aircraft[p].r_match == MATCH_ONE {
+            aircraft[p].x = radars[i].rx;
+            aircraft[p].y = radars[i].ry;
+            sink.store(8);
+        }
+    }
+}
+
+/// Whether any radar is still unmatched (drives the pass loop; on the AP
+/// this is the constant-time any-responder test, on the GPU the host reads
+/// back a flag).
+pub fn any_unmatched(radars: &[RadarReport]) -> bool {
+    radars.iter().any(|r| r.r_match_with == RADAR_UNMATCHED)
+}
+
+/// Sequential reference driver for Task 1: all phases in order.
+pub fn track_correlate(
+    aircraft: &mut [Aircraft],
+    radars: &mut [RadarReport],
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> TrackStats {
+    let mut stats = TrackStats::default();
+
+    for i in 0..aircraft.len() {
+        expected_position_phase(aircraft, i, sink);
+    }
+
+    for pass in 0..cfg.track_passes {
+        if pass > 0 && !any_unmatched(radars) {
+            break;
+        }
+        stats.passes_run += 1;
+        for i in 0..radars.len() {
+            stats.box_tests += correlate_radar_pass(aircraft, radars, i, pass, cfg, sink);
+        }
+    }
+
+    for i in 0..aircraft.len() {
+        adopt_expected_phase(aircraft, i, sink);
+    }
+    for i in 0..radars.len() {
+        apply_radar_phase(aircraft, radars, i, sink);
+    }
+
+    stats.matched = aircraft.iter().filter(|a| a.r_match == MATCH_ONE).count() as u64;
+    stats.dropped_aircraft =
+        aircraft.iter().filter(|a| a.r_match == MATCH_MULTIPLE).count() as u64;
+    stats.discarded_radars =
+        radars.iter().filter(|r| r.r_match_with == RADAR_DISCARDED).count() as u64;
+    stats.unmatched_radars =
+        radars.iter().filter(|r| r.r_match_with == RADAR_UNMATCHED).count() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airfield::Airfield;
+    use sim_clock::NullSink;
+
+    fn cfg() -> AtmConfig {
+        AtmConfig::default()
+    }
+
+    fn radar_for(a: &Aircraft, ox: f32, oy: f32) -> RadarReport {
+        RadarReport::at(a.x + a.dx + ox, a.y + a.dy + oy)
+    }
+
+    #[test]
+    fn single_aircraft_single_radar_correlates() {
+        let mut ac = vec![Aircraft::at(10.0, 20.0).with_velocity(0.05, -0.02)];
+        let mut rd = vec![radar_for(&ac[0], 0.1, -0.1)];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats.matched, 1);
+        assert_eq!(rd[0].r_match_with, 0);
+        // Aircraft snapped to the radar's position, not the expected one.
+        assert!((ac[0].x - rd[0].rx).abs() < 1e-6);
+        assert!((ac[0].y - rd[0].ry).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uncorrelated_aircraft_keeps_expected_position() {
+        let mut ac = vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.05)];
+        let mut rd = vec![RadarReport::at(100.0, 100.0)]; // nowhere near
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats.matched, 0);
+        assert_eq!(stats.unmatched_radars, 1);
+        assert!((ac[0].x - 0.05).abs() < 1e-6);
+        assert!((ac[0].y - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn radar_hitting_two_unmatched_aircraft_is_discarded() {
+        // Two aircraft whose expected positions are 0.2 nm apart; one radar
+        // between them.
+        let mut ac = vec![Aircraft::at(0.0, 0.0), Aircraft::at(0.2, 0.0)];
+        let mut rd = vec![RadarReport::at(0.1, 0.0)];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(rd[0].r_match_with, RADAR_DISCARDED);
+        assert_eq!(stats.discarded_radars, 1);
+        assert_eq!(stats.matched, 0);
+        // Neither aircraft was marked.
+        assert_eq!(ac[0].r_match, MATCH_NONE);
+        assert_eq!(ac[1].r_match, MATCH_NONE);
+    }
+
+    #[test]
+    fn aircraft_hit_by_two_radars_is_dropped() {
+        let mut ac = vec![Aircraft::at(0.0, 0.0)];
+        let mut rd = vec![RadarReport::at(0.1, 0.0), RadarReport::at(-0.1, 0.0)];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats.dropped_aircraft, 1);
+        assert_eq!(ac[0].r_match, MATCH_MULTIPLE);
+        // The first radar matched it before the second dropped it; the
+        // final phase must NOT apply the radar position.
+        assert_eq!(rd[0].r_match_with, 0);
+        assert_eq!(ac[0].x, 0.0);
+    }
+
+    #[test]
+    fn second_pass_catches_noisy_radar_outside_first_box() {
+        // Radar 0.8 nm off the expected position: outside the 0.5 box,
+        // inside the pass-2 box of 1.0.
+        let mut ac = vec![Aircraft::at(0.0, 0.0)];
+        let mut rd = vec![RadarReport::at(0.8, 0.0)];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats.matched, 1);
+        assert!(stats.passes_run >= 2);
+        assert_eq!(ac[0].x, 0.8);
+    }
+
+    #[test]
+    fn third_pass_box_is_two_nm() {
+        let mut ac = vec![Aircraft::at(0.0, 0.0)];
+        let mut rd = vec![RadarReport::at(1.9, 0.0)];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats.matched, 1);
+        assert_eq!(stats.passes_run, 3);
+    }
+
+    #[test]
+    fn radar_beyond_all_passes_stays_unmatched() {
+        let mut ac = vec![Aircraft::at(0.0, 0.0)];
+        let mut rd = vec![RadarReport::at(2.5, 0.0)];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats.matched, 0);
+        assert_eq!(stats.unmatched_radars, 1);
+        assert_eq!(stats.passes_run, 3);
+    }
+
+    #[test]
+    fn full_field_with_shuffled_radar_mostly_correlates() {
+        let mut field = Airfield::with_seed(400, 7);
+        let mut radars = field.generate_radar();
+        let mut aircraft = field.aircraft.clone();
+        let stats = track_correlate(&mut aircraft, &mut radars, &cfg(), &mut NullSink);
+        // With 0.2 nm noise inside a 0.5 box, the only failures are dense
+        // coincidences; the overwhelming majority must correlate.
+        assert!(
+            stats.matched as usize > 380,
+            "only {} of 400 matched: {stats:?}",
+            stats.matched
+        );
+        assert_eq!(
+            stats.matched + stats.dropped_aircraft,
+            400 - aircraft.iter().filter(|a| a.r_match == MATCH_NONE).count() as u64
+        );
+    }
+
+    #[test]
+    fn passes_skip_when_everything_settles_early() {
+        // Clean single match: pass 2 and 3 must not run.
+        let mut ac = vec![Aircraft::at(5.0, 5.0)];
+        let mut rd = vec![radar_for(&ac[0], 0.05, 0.05)];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats.passes_run, 1);
+    }
+
+    #[test]
+    fn empty_field_is_a_no_op() {
+        let mut ac: Vec<Aircraft> = vec![];
+        let mut rd: Vec<RadarReport> = vec![];
+        let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
+        assert_eq!(stats, TrackStats { passes_run: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut field = Airfield::with_seed(256, 99);
+            let mut radars = field.generate_radar();
+            let mut aircraft = field.aircraft.clone();
+            let stats = track_correlate(&mut aircraft, &mut radars, &cfg(), &mut NullSink);
+            (stats, aircraft, radars)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn op_accounting_scales_with_box_tests() {
+        let mut field = Airfield::with_seed(64, 3);
+        let mut radars = field.generate_radar();
+        let mut aircraft = field.aircraft.clone();
+        let mut ops = sim_clock::OpCounter::new();
+        let stats = track_correlate(&mut aircraft, &mut radars, &cfg(), &mut ops);
+        assert!(stats.box_tests >= 64 * 64, "at least one full scan: {stats:?}");
+        assert!(ops.count(sim_clock::OpClass::FpAdd) >= stats.box_tests);
+        assert!(ops.bytes_loaded > 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The flight-record and radar-report data model.
+//!
+//! Field names and sentinel values follow §5 of the paper so the algorithms
+//! read like its pseudocode. Positions are nautical miles on the 2-D
+//! airfield plane; velocities are nautical miles **per half-second period**
+//! (the paper divides per-hour values by 7200); time quantities in the
+//! collision tasks are measured in periods.
+
+/// Radar sentinel: the report has not matched any aircraft.
+pub const RADAR_UNMATCHED: i32 = -1;
+/// Radar sentinel: the report matched more than one aircraft and was
+/// discarded.
+pub const RADAR_DISCARDED: i32 = -2;
+
+/// Aircraft correlation state: no radar has matched this aircraft yet.
+pub const MATCH_NONE: i32 = 0;
+/// Aircraft correlation state: exactly one radar has matched.
+pub const MATCH_ONE: i32 = 1;
+/// Aircraft correlation state: multiple radars matched; the aircraft is
+/// dropped from correlation this period and keeps its expected position.
+pub const MATCH_MULTIPLE: i32 = -1;
+
+/// Collision sentinel: no colliding partner.
+pub const NO_COLLISION: i32 = -1;
+
+/// One aircraft's flight record (the paper's `drone` struct).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aircraft {
+    /// Position east-west, nautical miles (±128 around the field center).
+    pub x: f32,
+    /// Position north-south, nautical miles.
+    pub y: f32,
+    /// Velocity along x, nm per period.
+    pub dx: f32,
+    /// Velocity along y, nm per period.
+    pub dy: f32,
+    /// Trial-path velocity along x during collision resolution (the
+    /// paper's `batx`, named for Batcher's algorithm).
+    pub batx: f32,
+    /// Trial-path velocity along y during collision resolution.
+    pub baty: f32,
+    /// Altitude in feet.
+    pub alt: f32,
+    /// Whether a critical collision is currently anticipated (paper: `col`).
+    pub col: bool,
+    /// Periods until the earliest anticipated collision; initialized to the
+    /// safe horizon each detection pass (paper: `time_till`, init 300).
+    pub time_till: f32,
+    /// Id of the aircraft this one is anticipated to collide with, or
+    /// [`NO_COLLISION`] (paper: `colWith`).
+    pub col_with: i32,
+    /// Correlation state for the current tracking pass (paper: `rMatch`).
+    pub r_match: i32,
+    /// Expected position along x for the current period (`x + dx`).
+    pub expected_x: f32,
+    /// Expected position along y for the current period.
+    pub expected_y: f32,
+}
+
+impl Aircraft {
+    /// A parked aircraft at the origin (useful in tests).
+    pub fn at(x: f32, y: f32) -> Aircraft {
+        Aircraft {
+            x,
+            y,
+            dx: 0.0,
+            dy: 0.0,
+            batx: 0.0,
+            baty: 0.0,
+            alt: 10_000.0,
+            col: false,
+            time_till: 0.0,
+            col_with: NO_COLLISION,
+            r_match: MATCH_NONE,
+            expected_x: x,
+            expected_y: y,
+        }
+    }
+
+    /// Ground speed in nm per period.
+    pub fn speed(&self) -> f32 {
+        (self.dx * self.dx + self.dy * self.dy).sqrt()
+    }
+
+    /// Set velocity from nm-per-period components.
+    pub fn with_velocity(mut self, dx: f32, dy: f32) -> Aircraft {
+        self.dx = dx;
+        self.dy = dy;
+        self
+    }
+
+    /// Set altitude (feet).
+    pub fn with_altitude(mut self, alt: f32) -> Aircraft {
+        self.alt = alt;
+        self
+    }
+
+    /// Bytes a device transfer of this record moves (the struct as a CUDA
+    /// `float`/`int` record; padding-free packed size).
+    pub const RECORD_BYTES: u64 = 13 * 4;
+
+    /// Words the AP stages per record.
+    pub const RECORD_WORDS: u32 = 13;
+}
+
+/// One simulated radar report (the paper's radar struct).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadarReport {
+    /// Reported position along x, nautical miles.
+    pub rx: f32,
+    /// Reported position along y, nautical miles.
+    pub ry: f32,
+    /// Id of the aircraft this report matched, or [`RADAR_UNMATCHED`] /
+    /// [`RADAR_DISCARDED`] (paper: `rMatchWith`).
+    pub r_match_with: i32,
+}
+
+impl RadarReport {
+    /// A fresh, unmatched report at a position.
+    pub fn at(rx: f32, ry: f32) -> RadarReport {
+        RadarReport { rx, ry, r_match_with: RADAR_UNMATCHED }
+    }
+
+    /// Whether the report still awaits a match.
+    pub fn unmatched(&self) -> bool {
+        self.r_match_with == RADAR_UNMATCHED
+    }
+
+    /// Whether the report matched a (single) aircraft.
+    pub fn matched(&self) -> bool {
+        self.r_match_with >= 0
+    }
+
+    /// Bytes a device transfer of this record moves.
+    pub const RECORD_BYTES: u64 = 3 * 4;
+
+    /// Words the AP stages per record.
+    pub const RECORD_WORDS: u32 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parked_aircraft_is_sane() {
+        let a = Aircraft::at(3.0, -4.0);
+        assert_eq!(a.x, 3.0);
+        assert_eq!(a.y, -4.0);
+        assert_eq!(a.speed(), 0.0);
+        assert_eq!(a.col_with, NO_COLLISION);
+        assert_eq!(a.r_match, MATCH_NONE);
+    }
+
+    #[test]
+    fn speed_is_euclidean() {
+        let a = Aircraft::at(0.0, 0.0).with_velocity(3.0, 4.0);
+        assert!((a.speed() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn radar_state_predicates() {
+        let mut r = RadarReport::at(1.0, 2.0);
+        assert!(r.unmatched());
+        assert!(!r.matched());
+        r.r_match_with = 7;
+        assert!(r.matched());
+        r.r_match_with = RADAR_DISCARDED;
+        assert!(!r.matched());
+        assert!(!r.unmatched());
+    }
+
+    #[test]
+    fn record_sizes_match_field_counts() {
+        // 13 f32/i32 fields in Aircraft, 3 in RadarReport.
+        assert_eq!(Aircraft::RECORD_BYTES, 52);
+        assert_eq!(RadarReport::RECORD_BYTES, 12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Exponential model fitting.
+//!
+//! The paper asserts the multi-core timing curve "increases rapidly and
+//! possibly exponentially in what is essentially certain to be an
+//! exponential curve" [10]. To examine that claim quantitatively, this
+//! module fits `y = a·exp(b·x)` by log-linear least squares and lets the
+//! harness compare its goodness of fit against the polynomial models.
+
+use crate::poly::polyfit;
+use crate::stats::GoodnessOfFit;
+use crate::FitError;
+use std::fmt;
+
+/// A fitted exponential `y = a·exp(b·x)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    /// Scale factor `a` (> 0).
+    pub a: f64,
+    /// Growth rate `b` (per unit of x).
+    pub b: f64,
+}
+
+impl Exponential {
+    /// Evaluate at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * (self.b * x).exp()
+    }
+
+    /// The doubling interval `ln 2 / b` (infinite for non-growing fits).
+    pub fn doubling_interval(&self) -> f64 {
+        if self.b > 0.0 {
+            std::f64::consts::LN_2 / self.b
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl fmt::Display for Exponential {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6e}·exp({:.6e}·x)", self.a, self.b)
+    }
+}
+
+/// An exponential fit with its goodness of fit (computed in the original,
+/// not the log, domain — comparable with the polynomial fits).
+#[derive(Clone, Debug)]
+pub struct ExpFitReport {
+    /// The fitted model.
+    pub model: Exponential,
+    /// Goodness of fit on the original data.
+    pub gof: GoodnessOfFit,
+}
+
+impl fmt::Display for ExpFitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f(x) = {}   [{}]", self.model, self.gof)
+    }
+}
+
+/// Fit `y = a·exp(b·x)` by linear least squares on `ln y`.
+///
+/// Requires strictly positive `y` (timing data always is). Goodness of fit
+/// is evaluated against the raw data so the numbers are directly
+/// comparable with [`crate::fit_poly`] reports on the same series.
+pub fn fit_exponential(x: &[f64], y: &[f64]) -> Result<ExpFitReport, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if y.iter().any(|&v| v <= 0.0 || v.is_nan() || !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+    let log_y: Vec<f64> = y.iter().map(|&v| v.ln()).collect();
+    let line = polyfit(x, &log_y, 1)?;
+    let model = Exponential { a: line.coeff(0).exp(), b: line.coeff(1) };
+    let yhat: Vec<f64> = x.iter().map(|&v| model.eval(v)).collect();
+    let gof = GoodnessOfFit::compute(y, &yhat, 2);
+    Ok(ExpFitReport { model, gof })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_planted_exponential() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 100.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.5 * (0.002 * v).exp()).collect();
+        let fit = fit_exponential(&x, &y).unwrap();
+        assert!((fit.model.a - 2.5).abs() < 1e-6);
+        assert!((fit.model.b - 0.002).abs() < 1e-9);
+        assert!(fit.gof.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn doubling_interval_is_ln2_over_b() {
+        let e = Exponential { a: 1.0, b: 0.01 };
+        assert!((e.doubling_interval() - 69.31471805599453).abs() < 1e-9);
+        let flat = Exponential { a: 1.0, b: 0.0 };
+        assert!(flat.doubling_interval().is_infinite());
+    }
+
+    #[test]
+    fn rejects_nonpositive_values() {
+        assert_eq!(
+            fit_exponential(&[1.0, 2.0, 3.0], &[1.0, 0.0, 3.0]).unwrap_err(),
+            FitError::NonFinite
+        );
+        assert_eq!(
+            fit_exponential(&[1.0, 2.0], &[1.0, -2.0]).unwrap_err(),
+            FitError::NonFinite
+        );
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert_eq!(
+            fit_exponential(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            FitError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn linear_data_fits_poly_better_than_exponential() {
+        // A straight line with an offset: the polynomial wins on SSE.
+        let x: Vec<f64> = (1..=20).map(|i| i as f64 * 500.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 10.0 + 0.01 * v).collect();
+        let exp = fit_exponential(&x, &y).unwrap();
+        let lin = crate::fit_poly(&x, &y, 1).unwrap();
+        assert!(lin.gof.sse < exp.gof.sse);
+    }
+
+    #[test]
+    fn display_shows_both_parameters() {
+        let fit = fit_exponential(
+            &[0.0, 1.0, 2.0, 3.0],
+            &[1.0, 2.0, 4.0, 8.0],
+        )
+        .unwrap();
+        let s = fit.to_string();
+        assert!(s.contains("exp("), "{s}");
+        assert!(s.contains("R²="), "{s}");
+    }
+}

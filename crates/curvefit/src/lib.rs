@@ -1,0 +1,68 @@
+//! Least-squares curve fitting with MATLAB-style goodness-of-fit statistics.
+//!
+//! The reproduced paper examines its timing curves with MATLAB's curve-fitting
+//! toolbox and reports four "goodness of fit" numbers per fit (SSE, R²,
+//! adjusted R², RMSE), using them to argue that the NVIDIA timing curves are
+//! linear or "quadratic with a very small quadratic coefficient". This crate
+//! provides exactly that workflow:
+//!
+//! * [`polyfit`] — degree-d polynomial least squares (normal equations solved
+//!   by Gaussian elimination with partial pivoting),
+//! * [`GoodnessOfFit`] — SSE, R², adjusted R², RMSE,
+//! * [`FitReport`] / [`fit_poly`] — a fit plus its statistics,
+//! * [`classify_curve`] — the paper's linear-vs-quadratic judgement call,
+//!   made reproducible: compares the two fits and checks whether the
+//!   quadratic coefficient is "very small" relative to the linear term over
+//!   the sampled domain.
+
+//! # Example
+//!
+//! ```
+//! use curvefit::{classify_curve, CurveClass};
+//!
+//! // A timing series with a tiny quadratic term, like the paper's GPUs.
+//! let n: Vec<f64> = (1..=20).map(|i| (i * 1000) as f64).collect();
+//! let ms: Vec<f64> = n.iter().map(|&v| 0.5 + 1e-3 * v + 2e-9 * v * v).collect();
+//!
+//! let (class, linear, quadratic) = classify_curve(&n, &ms).unwrap();
+//! assert_eq!(class, CurveClass::NearLinearQuadratic);
+//! assert!(quadratic.gof.r_squared >= linear.gof.r_squared);
+//! ```
+
+pub mod expfit;
+pub mod linalg;
+pub mod poly;
+pub mod stats;
+
+pub use expfit::{fit_exponential, ExpFitReport, Exponential};
+pub use linalg::solve_linear_system;
+pub use poly::{polyfit, Polynomial};
+pub use stats::{classify_curve, fit_poly, CurveClass, FitReport, GoodnessOfFit};
+
+/// Errors produced by the fitting routines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FitError {
+    /// x and y slices differ in length.
+    LengthMismatch,
+    /// Fewer data points than coefficients to estimate.
+    Underdetermined,
+    /// The normal-equation matrix was singular (e.g. all x identical).
+    Singular,
+    /// Input contained a NaN or infinity.
+    NonFinite,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::LengthMismatch => write!(f, "x and y have different lengths"),
+            FitError::Underdetermined => {
+                write!(f, "not enough data points for the requested degree")
+            }
+            FitError::Singular => write!(f, "normal equations are singular"),
+            FitError::NonFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}

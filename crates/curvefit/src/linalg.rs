@@ -1,0 +1,117 @@
+//! Minimal dense linear algebra: just enough to solve the (small) normal
+//! equations of a polynomial least-squares fit.
+
+use crate::FitError;
+
+/// Solve `A x = b` in place for a small dense system using Gaussian
+/// elimination with partial pivoting.
+///
+/// `a` is row-major `n × n`, `b` has length `n`. Returns the solution
+/// vector. The matrices here are (degree+1)² with degree ≤ 4, so numerical
+/// sophistication beyond partial pivoting is unnecessary — but the inputs
+/// are centered/scaled by the caller to keep the systems well conditioned.
+pub fn solve_linear_system(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, FitError> {
+    assert_eq!(a.len(), n * n, "matrix must be n*n");
+    assert_eq!(b.len(), n, "rhs must be length n");
+
+    for col in 0..n {
+        // Partial pivot: find the row with the largest magnitude in `col`.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(FitError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+
+        // Eliminate below the pivot.
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, -2.0];
+        let x = solve_linear_system(&mut a, &mut b, 2).unwrap();
+        assert_close(x[0], 3.0);
+        assert_close(x[1], -2.0);
+    }
+
+    #[test]
+    fn solves_2x2_requiring_pivot() {
+        // First pivot is zero: forces a row swap.
+        let mut a = vec![0.0, 2.0, 3.0, 1.0];
+        let mut b = vec![4.0, 5.0];
+        let x = solve_linear_system(&mut a, &mut b, 2).unwrap();
+        // 3x + y = 5 ; 2y = 4 -> y = 2, x = 1.
+        assert_close(x[0], 1.0);
+        assert_close(x[1], 2.0);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        // A = [[2,1,1],[1,3,2],[1,0,0]], b = [4,5,6] -> x = [6, 15, -23].
+        let mut a = vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0];
+        let mut b = vec![4.0, 5.0, 6.0];
+        let x = solve_linear_system(&mut a, &mut b, 3).unwrap();
+        assert_close(x[0], 6.0);
+        assert_close(x[1], 15.0);
+        assert_close(x[2], -23.0);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(solve_linear_system(&mut a, &mut b, 2), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn solves_1x1() {
+        let mut a = vec![4.0];
+        let mut b = vec![8.0];
+        let x = solve_linear_system(&mut a, &mut b, 1).unwrap();
+        assert_close(x[0], 2.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Polynomial representation and least-squares fitting.
+
+use crate::linalg::solve_linear_system;
+use crate::FitError;
+use std::fmt;
+
+/// A polynomial `c[0] + c[1]·x + c[2]·x² + …` over `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Construct from coefficients in ascending-power order.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "a polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Coefficients in ascending-power order (`[intercept, linear, quad, …]`).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Polynomial degree (length − 1; trailing zeros are *not* trimmed, the
+    /// degree reflects the fitted model, not the numerical result).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluate at `x` by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluate at every point of `xs`.
+    pub fn eval_many(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// Coefficient of `x^k`, or 0 if beyond the stored degree.
+    pub fn coeff(&self, k: usize) -> f64 {
+        self.coeffs.get(k).copied().unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if first {
+                match k {
+                    0 => write!(f, "{c:.6e}")?,
+                    1 => write!(f, "{c:.6e}·x")?,
+                    _ => write!(f, "{c:.6e}·x^{k}")?,
+                }
+                first = false;
+            } else {
+                let sign = if c >= 0.0 { "+" } else { "-" };
+                let mag = c.abs();
+                match k {
+                    0 => write!(f, " {sign} {mag:.6e}")?,
+                    1 => write!(f, " {sign} {mag:.6e}·x")?,
+                    _ => write!(f, " {sign} {mag:.6e}·x^{k}")?,
+                }
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fit a degree-`degree` polynomial to `(x, y)` by least squares.
+///
+/// Internally the x-values are centered and scaled to `[-1, 1]`-ish range
+/// before forming the normal equations — for aircraft counts in the tens of
+/// thousands, raw powers up to x⁴ would otherwise span ~18 orders of
+/// magnitude and destroy the conditioning. The returned polynomial is mapped
+/// back to the original x units.
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Polynomial, FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let n = x.len();
+    let m = degree + 1;
+    if n < m {
+        return Err(FitError::Underdetermined);
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+
+    // Center/scale transform: u = (x - mean) / scale.
+    let mean: f64 = x.iter().sum::<f64>() / n as f64;
+    let scale = x
+        .iter()
+        .map(|&v| (v - mean).abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-30);
+    let u: Vec<f64> = x.iter().map(|&v| (v - mean) / scale).collect();
+
+    // Normal equations: (Vᵀ V) c = Vᵀ y, where V is the Vandermonde matrix
+    // of `u`. Accumulate power sums directly to avoid materializing V.
+    let mut power_sums = vec![0.0_f64; 2 * degree + 1];
+    for &ui in &u {
+        let mut p = 1.0;
+        for s in power_sums.iter_mut() {
+            *s += p;
+            p *= ui;
+        }
+    }
+    let mut rhs = vec![0.0_f64; m];
+    for (ui, &yi) in u.iter().zip(y) {
+        let mut p = 1.0;
+        for r in rhs.iter_mut() {
+            *r += p * yi;
+            p *= ui;
+        }
+    }
+    let mut a = vec![0.0_f64; m * m];
+    for r in 0..m {
+        for c in 0..m {
+            a[r * m + c] = power_sums[r + c];
+        }
+    }
+
+    let c_scaled = solve_linear_system(&mut a, &mut rhs, m)?;
+
+    // Map coefficients of p(u) = Σ c_k u^k with u = (x - mean)/scale back to
+    // powers of x by expanding the binomial. Degrees are ≤ 4 so the O(d²)
+    // expansion is trivial.
+    let mut coeffs = vec![0.0_f64; m];
+    for (k, &ck) in c_scaled.iter().enumerate() {
+        // ck * ((x - mean)/scale)^k = ck/scale^k * Σ_j C(k,j) x^j (-mean)^{k-j}
+        let inv_scale_k = scale.powi(k as i32).recip();
+        let mut binom = 1.0_f64; // C(k, 0)
+        #[allow(clippy::needless_range_loop)] // binomial expansion over powers
+        for j in 0..=k {
+            if j > 0 {
+                binom = binom * (k - j + 1) as f64 / j as f64;
+            }
+            coeffs[j] += ck * inv_scale_k * binom * (-mean).powi((k - j) as i32);
+        }
+    }
+
+    Ok(Polynomial::new(coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())), "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn fits_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|&v| 2.5 * v + 1.0).collect();
+        let p = polyfit(&x, &y, 1).unwrap();
+        assert_close(p.coeff(0), 1.0, 1e-9);
+        assert_close(p.coeff(1), 2.5, 1e-9);
+    }
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 0.5 * v * v - 3.0 * v + 7.0).collect();
+        let p = polyfit(&x, &y, 2).unwrap();
+        assert_close(p.coeff(0), 7.0, 1e-8);
+        assert_close(p.coeff(1), -3.0, 1e-8);
+        assert_close(p.coeff(2), 0.5, 1e-8);
+    }
+
+    #[test]
+    fn fits_with_large_x_values() {
+        // Aircraft-count-like domain: thousands to tens of thousands.
+        let x: Vec<f64> = (1..=32).map(|i| (i * 1000) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 1e-7 * v * v + 3e-3 * v + 0.2).collect();
+        let p = polyfit(&x, &y, 2).unwrap();
+        assert_close(p.coeff(2), 1e-7, 1e-6);
+        assert_close(p.coeff(1), 3e-3, 1e-6);
+        assert_close(p.coeff(0), 0.2, 1e-4);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        // Deterministic "noise" from a simple LCG so the test is stable.
+        let mut state = 42u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.01
+        };
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 4.0 * v + 2.0 + noise()).collect();
+        let p = polyfit(&x, &y, 1).unwrap();
+        assert_close(p.coeff(1), 4.0, 1e-3);
+    }
+
+    #[test]
+    fn underdetermined_is_an_error() {
+        assert_eq!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2), Err(FitError::Underdetermined));
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert_eq!(polyfit(&[1.0], &[1.0, 2.0], 0), Err(FitError::LengthMismatch));
+    }
+
+    #[test]
+    fn nan_input_errors() {
+        assert_eq!(polyfit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0], 1), Err(FitError::NonFinite));
+    }
+
+    #[test]
+    fn identical_x_is_singular_for_degree_one() {
+        assert_eq!(polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1), Err(FitError::Singular));
+    }
+
+    #[test]
+    fn horner_eval_matches_direct() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5]);
+        for x in [-3.0, 0.0, 1.5, 10.0] {
+            assert_close(p.eval(x), 1.0 - 2.0 * x + 0.5 * x * x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        let p = Polynomial::new(vec![1.0, 0.0, 2.0]);
+        let s = p.to_string();
+        assert!(s.contains("x^2"), "{s}");
+        assert!(!s.contains("·x "), "zero linear term should be skipped: {s}");
+    }
+
+    #[test]
+    fn degree_zero_fits_mean() {
+        let p = polyfit(&[1.0, 2.0, 3.0, 4.0], &[10.0, 20.0, 30.0, 40.0], 0).unwrap();
+        assert_close(p.coeff(0), 25.0, 1e-12);
+    }
+}

@@ -1,0 +1,206 @@
+//! Goodness-of-fit statistics and the paper's linear-vs-quadratic judgement.
+
+use crate::poly::{polyfit, Polynomial};
+use crate::FitError;
+use std::fmt;
+
+/// MATLAB-style goodness-of-fit numbers for one fitted model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GoodnessOfFit {
+    /// Sum of squared errors (residual sum of squares).
+    pub sse: f64,
+    /// Coefficient of determination, `1 - SSE/SST`.
+    pub r_squared: f64,
+    /// Degrees-of-freedom adjusted R².
+    pub adj_r_squared: f64,
+    /// Root mean squared error, `sqrt(SSE / (n - m))` (degrees-of-freedom
+    /// normalized, as MATLAB reports it).
+    pub rmse: f64,
+}
+
+impl GoodnessOfFit {
+    /// Compute the statistics for predictions `yhat` of observations `y`
+    /// from a model with `m` estimated coefficients.
+    pub fn compute(y: &[f64], yhat: &[f64], m: usize) -> GoodnessOfFit {
+        assert_eq!(y.len(), yhat.len());
+        let n = y.len();
+        assert!(n > 0);
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let sse: f64 = y.iter().zip(yhat).map(|(&a, &b)| (a - b) * (a - b)).sum();
+        let sst: f64 = y.iter().map(|&a| (a - mean) * (a - mean)).sum();
+        let r_squared = if sst > 0.0 { 1.0 - sse / sst } else { 1.0 };
+        let dof = n.saturating_sub(m);
+        let adj_r_squared = if sst > 0.0 && dof > 0 && n > 1 {
+            1.0 - (sse / dof as f64) / (sst / (n - 1) as f64)
+        } else {
+            r_squared
+        };
+        let rmse = if dof > 0 { (sse / dof as f64).sqrt() } else { 0.0 };
+        GoodnessOfFit { sse, r_squared, adj_r_squared, rmse }
+    }
+}
+
+impl fmt::Display for GoodnessOfFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SSE={:.4e}  R²={:.6}  adjR²={:.6}  RMSE={:.4e}",
+            self.sse, self.r_squared, self.adj_r_squared, self.rmse
+        )
+    }
+}
+
+/// A fitted polynomial together with its goodness-of-fit statistics.
+#[derive(Clone, Debug)]
+pub struct FitReport {
+    /// The fitted polynomial (coefficients in original x units).
+    pub poly: Polynomial,
+    /// Goodness-of-fit numbers on the fitting data.
+    pub gof: GoodnessOfFit,
+}
+
+impl fmt::Display for FitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f(x) = {}   [{}]", self.poly, self.gof)
+    }
+}
+
+/// Fit a polynomial and compute its goodness of fit in one call.
+pub fn fit_poly(x: &[f64], y: &[f64], degree: usize) -> Result<FitReport, FitError> {
+    let poly = polyfit(x, y, degree)?;
+    let yhat = poly.eval_many(x);
+    let gof = GoodnessOfFit::compute(y, &yhat, degree + 1);
+    Ok(FitReport { poly, gof })
+}
+
+/// The paper's verdict about the shape of a timing curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CurveClass {
+    /// Linear fit is adequate (quadratic adds nothing).
+    Linear,
+    /// Quadratic fits better, but the quadratic term contributes only a
+    /// small fraction of the total over the sampled domain — the paper's
+    /// "quadratic with a very small coefficient, i.e. near linear".
+    NearLinearQuadratic,
+    /// Quadratic fits better and its term is a substantial share of the
+    /// curve over the sampled domain.
+    Quadratic,
+}
+
+impl fmt::Display for CurveClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveClass::Linear => write!(f, "linear"),
+            CurveClass::NearLinearQuadratic => write!(f, "near-linear (small quadratic term)"),
+            CurveClass::Quadratic => write!(f, "quadratic"),
+        }
+    }
+}
+
+/// Classify a timing curve the way §6.2 of the paper does.
+///
+/// Fits linear and quadratic models. The quadratic model is preferred when
+/// its adjusted R² improves on the linear one by more than a small margin;
+/// in that case the quadratic-term share at the right edge of the domain
+/// decides between "near-linear" (share < 25 %) and genuinely "quadratic".
+/// Returns the class plus both fit reports so callers can print the same
+/// four goodness-of-fit numbers the paper shows.
+pub fn classify_curve(
+    x: &[f64],
+    y: &[f64],
+) -> Result<(CurveClass, FitReport, FitReport), FitError> {
+    let linear = fit_poly(x, y, 1)?;
+    let quad = fit_poly(x, y, 2)?;
+
+    let improvement = quad.gof.adj_r_squared - linear.gof.adj_r_squared;
+    let class = if improvement <= 1e-4 {
+        CurveClass::Linear
+    } else {
+        // Share of the quadratic term in the fitted value at max |x|.
+        let xmax = x.iter().fold(0.0_f64, |a, &b| a.max(b.abs()));
+        let quad_term = quad.poly.coeff(2) * xmax * xmax;
+        let total = quad.poly.eval(xmax).abs().max(1e-30);
+        if quad_term.abs() / total < 0.25 {
+            CurveClass::NearLinearQuadratic
+        } else {
+            CurveClass::Quadratic
+        }
+    };
+    Ok((class, linear, quad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_noise(state: &mut u64, amp: f64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * amp
+    }
+
+    #[test]
+    fn perfect_fit_has_r2_one_and_zero_sse() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v + 1.0).collect();
+        let r = fit_poly(&x, &y, 1).unwrap();
+        assert!(r.gof.sse < 1e-18);
+        assert!((r.gof.r_squared - 1.0).abs() < 1e-12);
+        assert!((r.gof.adj_r_squared - 1.0).abs() < 1e-12);
+        assert!(r.gof.rmse < 1e-9);
+    }
+
+    #[test]
+    fn gof_matches_hand_computation() {
+        // y = [1, 2, 4], yhat = [1, 2, 3]: SSE = 1, mean = 7/3,
+        // SST = (1-7/3)² + (2-7/3)² + (4-7/3)² = 16/9 + 1/9 + 25/9 = 42/9.
+        let g = GoodnessOfFit::compute(&[1.0, 2.0, 4.0], &[1.0, 2.0, 3.0], 2);
+        assert!((g.sse - 1.0).abs() < 1e-12);
+        assert!((g.r_squared - (1.0 - 9.0 / 42.0)).abs() < 1e-12);
+        // dof = 3 - 2 = 1, RMSE = sqrt(1/1) = 1.
+        assert!((g.rmse - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_pure_line_as_linear() {
+        let mut s = 7u64;
+        let x: Vec<f64> = (1..=30).map(|i| (i * 500) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2e-3 * v + 0.5 + lcg_noise(&mut s, 1e-4)).collect();
+        let (class, lin, _quad) = classify_curve(&x, &y).unwrap();
+        assert_eq!(class, CurveClass::Linear);
+        assert!(lin.gof.r_squared > 0.999);
+    }
+
+    #[test]
+    fn classify_small_quadratic_as_near_linear() {
+        // Quadratic contributes ~10% of the value at the right edge.
+        let x: Vec<f64> = (1..=30).map(|i| (i * 1000) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 1e-3 * v + 3.6e-9 * v * v).collect();
+        let (class, _lin, quad) = classify_curve(&x, &y).unwrap();
+        assert_eq!(class, CurveClass::NearLinearQuadratic);
+        assert!(quad.poly.coeff(2) > 0.0);
+    }
+
+    #[test]
+    fn classify_strong_quadratic() {
+        let x: Vec<f64> = (1..=30).map(|i| (i * 1000) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 1e-6 * v * v + 1e-3 * v).collect();
+        let (class, ..) = classify_curve(&x, &y).unwrap();
+        assert_eq!(class, CurveClass::Quadratic);
+    }
+
+    #[test]
+    fn display_formats_report() {
+        let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.to_vec();
+        let r = fit_poly(&x, &y, 1).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("R²="), "{s}");
+        assert!(s.contains("f(x) = "), "{s}");
+    }
+
+    #[test]
+    fn constant_y_yields_r2_one_by_convention() {
+        let g = GoodnessOfFit::compute(&[5.0, 5.0, 5.0], &[5.0, 5.0, 5.0], 1);
+        assert_eq!(g.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-compute-capability instruction cost tables.
+//!
+//! A warp instruction's issue cost on an SM is `warp_size / lanes`, where
+//! `lanes` is how many of that operation the SM can retire per cycle. FP32
+//! add/mul use all CUDA cores; divide, sqrt and special-function work run on
+//! narrower units whose relative width differs by generation. The table
+//! stores *reciprocal throughput factors* relative to the FP32 core count so
+//! the same table scales across SM widths within a generation.
+
+use crate::spec::{ComputeCapability, DeviceSpec};
+use sim_clock::{OpClass, OP_CLASS_COUNT};
+
+/// Architecture cost parameters resolved against a concrete [`DeviceSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostTable {
+    /// Issue cycles for one warp-wide instruction of each [`OpClass`],
+    /// indexed by `OpClass as usize`. Fractional cycles are meaningful:
+    /// they accumulate over thousands of instructions before rounding.
+    pub warp_issue_cycles: [f64; OP_CLASS_COUNT],
+    /// Extra issue cycles charged per *divergent* branch. The cost of
+    /// executing both paths is already captured by the max-over-lanes op
+    /// accounting; this models only the reconvergence-stack overhead, so it
+    /// is a handful of cycles (larger on the long-pipeline Tesla parts).
+    pub divergence_penalty_cycles: f64,
+    /// Fraction of peak DRAM bandwidth achieved by the application's access
+    /// pattern (CC 1.x has strict half-warp coalescing rules; later
+    /// generations recover much of it through L2).
+    pub coalescing_efficiency: f64,
+    /// Global memory latency in core cycles (latency floor for launches too
+    /// small to saturate anything).
+    pub mem_latency_cycles: f64,
+    /// Number of warps an SM must have resident to fully hide memory
+    /// latency; fewer warps leave a proportional share of latency exposed.
+    pub warps_to_hide_latency: f64,
+    /// Whether warp-uniform loads are served once per warp (L1/L2 or
+    /// broadcast path). False on compute capability 1.x, whose cacheless
+    /// memory system pays such reads per lane — the mechanism behind the
+    /// GeForce 9800 GT's visibly quadratic curves in the paper.
+    pub uniform_load_dedup: bool,
+}
+
+impl CostTable {
+    /// Build the cost table for a device.
+    pub fn for_spec(spec: &DeviceSpec) -> CostTable {
+        // Reciprocal throughput factors: what fraction of the FP32 lane
+        // count each unit class provides, per generation.
+        let (div_frac, sqrt_frac, sfu_frac, int_frac, divergence, coalescing, hide_warps, dedup) =
+            match spec.compute_capability {
+                // Tesla: 2 SFUs per 8-core SM (0.25), divide ~1/16 of core
+                // throughput, strict coalescing loses roughly half the peak
+                // bandwidth on the struct-of-records layout the ATM kernels
+                // use, divergence costs a long pipeline reissue, and there
+                // is no cache to deduplicate warp-uniform reads.
+                ComputeCapability::Cc1_0 => {
+                    (1.0 / 16.0, 1.0 / 16.0, 0.25, 1.0, 12.0, 0.50, 6.0, false)
+                }
+                // Kepler: 32 SFUs per 192-core SMX (1/6), divide ~1/12,
+                // relaxed coalescing and uniform-read service through L2.
+                ComputeCapability::Cc3_0 => {
+                    (1.0 / 12.0, 1.0 / 12.0, 1.0 / 6.0, 1.0, 6.0, 0.85, 24.0, true)
+                }
+                // Pascal: 32 SFUs per 128-core SM (0.25), divide ~1/10.
+                ComputeCapability::Cc6_1 => {
+                    (1.0 / 10.0, 1.0 / 10.0, 0.25, 1.0, 5.0, 0.90, 20.0, true)
+                }
+            };
+
+        let warp = spec.warp_size as f64;
+        let cores = spec.cores_per_sm as f64;
+        let per_lane = |frac: f64| warp / (cores * frac);
+
+        let mut warp_issue_cycles = [0.0; OP_CLASS_COUNT];
+        warp_issue_cycles[OpClass::IntAlu as usize] = per_lane(int_frac);
+        warp_issue_cycles[OpClass::FpAdd as usize] = per_lane(1.0);
+        warp_issue_cycles[OpClass::FpMul as usize] = per_lane(1.0);
+        warp_issue_cycles[OpClass::FpDiv as usize] = per_lane(div_frac);
+        warp_issue_cycles[OpClass::FpSqrt as usize] = per_lane(sqrt_frac);
+        warp_issue_cycles[OpClass::Sfu as usize] = per_lane(sfu_frac);
+        // A uniform branch costs one scheduler slot like an integer op.
+        warp_issue_cycles[OpClass::Branch as usize] = per_lane(int_frac);
+        // __syncthreads: a few cycles of barrier overhead per warp.
+        warp_issue_cycles[OpClass::Sync as usize] = 4.0;
+
+        CostTable {
+            warp_issue_cycles,
+            divergence_penalty_cycles: divergence,
+            coalescing_efficiency: coalescing,
+            mem_latency_cycles: spec.mem_latency_cycles as f64,
+            warps_to_hide_latency: hide_warps,
+            uniform_load_dedup: dedup,
+        }
+    }
+
+    /// Issue cycles for one warp-wide instruction of `class`.
+    #[inline]
+    pub fn issue_cycles(&self, class: OpClass) -> f64 {
+        self.warp_issue_cycles[class as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn tesla_fp_add_takes_four_cycles_per_warp() {
+        // 32 lanes / 8 cores = 4 cycles per warp instruction.
+        let t = CostTable::for_spec(&DeviceSpec::geforce_9800_gt());
+        assert_eq!(t.issue_cycles(OpClass::FpAdd), 4.0);
+    }
+
+    #[test]
+    fn kepler_fp_add_is_sub_cycle() {
+        // 32 lanes / 192 cores: one warp instruction every 1/6 cycle.
+        let t = CostTable::for_spec(&DeviceSpec::gtx_880m());
+        assert!((t.issue_cycles(OpClass::FpAdd) - 32.0 / 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_is_much_slower_than_add_everywhere() {
+        for spec in DeviceSpec::paper_catalog() {
+            let t = CostTable::for_spec(&spec);
+            assert!(
+                t.issue_cycles(OpClass::FpDiv) >= 8.0 * t.issue_cycles(OpClass::FpAdd),
+                "{}: div should be ≥8x add",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn newer_generations_coalesce_better() {
+        let old = CostTable::for_spec(&DeviceSpec::geforce_9800_gt());
+        let mid = CostTable::for_spec(&DeviceSpec::gtx_880m());
+        let new = CostTable::for_spec(&DeviceSpec::titan_x_pascal());
+        assert!(old.coalescing_efficiency < mid.coalescing_efficiency);
+        assert!(mid.coalescing_efficiency <= new.coalescing_efficiency);
+    }
+
+    #[test]
+    fn divergence_penalty_shrinks_with_generation() {
+        let old = CostTable::for_spec(&DeviceSpec::geforce_9800_gt());
+        let new = CostTable::for_spec(&DeviceSpec::titan_x_pascal());
+        assert!(old.divergence_penalty_cycles > new.divergence_penalty_cycles);
+    }
+
+    #[test]
+    fn all_issue_costs_are_positive() {
+        for spec in DeviceSpec::paper_catalog() {
+            let t = CostTable::for_spec(&spec);
+            for &c in &t.warp_issue_cycles {
+                assert!(c > 0.0);
+            }
+        }
+    }
+}

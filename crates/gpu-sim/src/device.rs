@@ -1,0 +1,330 @@
+//! The simulated CUDA device: kernel launches, transfers, timeline.
+
+use crate::cost::CostTable;
+use crate::launch::{LaunchConfig, ThreadCtx};
+use crate::memory::DeviceBuffer;
+use crate::report::{DeviceStats, LaunchReport, TransferDir, TransferReport};
+use crate::sm::{kernel_time, occupancy, SmSchedule};
+use crate::spec::DeviceSpec;
+use crate::trace::ThreadTrace;
+use crate::warp::WarpAccumulator;
+use sim_clock::{SimDuration, Timeline};
+
+/// A simulated CUDA device.
+///
+/// Owns the device clock ([`Timeline`]) and cumulative [`DeviceStats`].
+/// Kernels are Rust closures executed once per thread in deterministic
+/// block-major order; see the crate docs for the execution and timing model.
+pub struct CudaDevice {
+    spec: DeviceSpec,
+    table: CostTable,
+    timeline: Timeline,
+    stats: DeviceStats,
+    scratch_trace: ThreadTrace,
+}
+
+impl CudaDevice {
+    /// Bring up a device from a spec (validates the spec).
+    pub fn new(spec: DeviceSpec) -> Self {
+        spec.validate();
+        let table = CostTable::for_spec(&spec);
+        CudaDevice {
+            spec,
+            table,
+            timeline: Timeline::new(),
+            stats: DeviceStats::default(),
+            scratch_trace: ThreadTrace::new(),
+        }
+    }
+
+    /// Same, but with an event-recording timeline (for traces and the
+    /// determinism experiment).
+    pub fn with_recording_timeline(spec: DeviceSpec) -> Self {
+        let mut dev = CudaDevice::new(spec);
+        dev.timeline = Timeline::recording();
+        dev
+    }
+
+    /// The device's architectural spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The resolved cost table.
+    pub fn cost_table(&self) -> &CostTable {
+        &self.table
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// The device timeline (total elapsed simulated time, event log).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Total simulated time this device has spent.
+    pub fn elapsed(&self) -> SimDuration {
+        self.timeline.elapsed()
+    }
+
+    /// Reset clock and statistics (keeps the spec).
+    pub fn reset(&mut self) {
+        self.timeline.reset();
+        self.stats = DeviceStats::default();
+    }
+
+    /// Launch a kernel: run `kernel` once per thread of `cfg`, price the
+    /// traces, advance the device clock, and return the launch report.
+    ///
+    /// The closure receives the thread's [`ThreadCtx`] and its
+    /// [`ThreadTrace`] cost sink. Threads run sequentially in block-major
+    /// order — a valid serialization of a data-race-free CUDA kernel, and
+    /// the reason simulated results are deterministic.
+    pub fn launch<F>(&mut self, name: &str, cfg: LaunchConfig, mut kernel: F) -> LaunchReport
+    where
+        F: FnMut(ThreadCtx, &mut ThreadTrace),
+    {
+        cfg.validate(&self.spec);
+
+        let mut schedule = SmSchedule::new(self.spec.sm_count);
+        let mut warp = WarpAccumulator::new();
+        let warp_size = self.spec.warp_size;
+
+        for block_idx in 0..cfg.grid_dim {
+            for thread_idx in 0..cfg.block_dim {
+                let ctx = ThreadCtx {
+                    block_idx,
+                    thread_idx,
+                    block_dim: cfg.block_dim,
+                    grid_dim: cfg.grid_dim,
+                };
+                self.scratch_trace.reset();
+                kernel(ctx, &mut self.scratch_trace);
+                warp.add_lane(&self.scratch_trace);
+                if warp.lanes == warp_size {
+                    schedule.add_warp(block_idx, warp.close(&self.table));
+                }
+            }
+            // A partially filled trailing warp still occupies an issue slot.
+            if !warp.is_empty() {
+                schedule.add_warp(block_idx, warp.close(&self.table));
+            }
+        }
+
+        let timing = kernel_time(&schedule, &cfg, &self.spec, &self.table);
+        let report = LaunchReport {
+            kernel: name.to_owned(),
+            config: cfg,
+            threads: cfg.total_threads(),
+            warps: schedule.warps,
+            occupancy: occupancy(&cfg, &self.spec),
+            bytes: schedule.total_bytes,
+            critical_cycles: schedule.critical_path_cycles(),
+            timing,
+        };
+
+        self.timeline.advance(&format!("kernel:{name}"), timing.total);
+        self.stats.record_launch(&report);
+        report
+    }
+
+    /// Copy host data into a device buffer, charging PCIe time.
+    pub fn upload<T: Clone>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        host: &[T],
+    ) -> TransferReport {
+        buf.copy_from_host(host);
+        self.transfer(TransferDir::HostToDevice, buf.size_bytes())
+    }
+
+    /// Copy a device buffer out to host data, charging PCIe time.
+    pub fn download<T: Clone>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        host: &mut [T],
+    ) -> TransferReport {
+        buf.copy_to_host(host);
+        self.transfer(TransferDir::DeviceToHost, buf.size_bytes())
+    }
+
+    /// Charge time for a transfer of `bytes` without moving data (for
+    /// callers that manage their own host mirrors).
+    pub fn transfer(&mut self, dir: TransferDir, bytes: u64) -> TransferReport {
+        let bw_secs = bytes as f64 / (self.spec.pcie_mb_s as f64 * 1.0e6);
+        let duration = SimDuration::from_nanos(self.spec.transfer_overhead_ns)
+            + SimDuration::from_secs_f64(bw_secs);
+        let report = TransferReport { dir, bytes, duration };
+        self.timeline.advance(&format!("memcpy:{dir}"), duration);
+        self.stats.record_transfer(&report);
+        report
+    }
+}
+
+impl std::fmt::Debug for CudaDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CudaDevice")
+            .field("spec", &self.spec.name)
+            .field("elapsed", &self.elapsed())
+            .field("launches", &self.stats.launches)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::CostSink;
+
+    fn titan() -> CudaDevice {
+        CudaDevice::new(DeviceSpec::titan_x_pascal())
+    }
+
+    #[test]
+    fn launch_visits_every_thread_once_in_order() {
+        let mut dev = titan();
+        let mut visited = Vec::new();
+        dev.launch("probe", LaunchConfig::new(3, 4), |ctx, _| {
+            visited.push(ctx.global_id());
+        });
+        assert_eq!(visited, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn launch_report_counts_threads_and_warps() {
+        let mut dev = titan();
+        let r = dev.launch("k", LaunchConfig::new(2, 96), |_, t| t.fadd(1));
+        assert_eq!(r.threads, 192);
+        assert_eq!(r.warps, 6); // 3 warps per 96-thread block
+        assert!(r.duration() >= SimDuration::from_nanos(dev.spec().launch_overhead_ns));
+    }
+
+    #[test]
+    fn kernels_can_mutate_captured_host_state() {
+        let mut dev = titan();
+        let n = 1000usize;
+        let mut out = vec![0.0f32; n];
+        dev.launch("square", LaunchConfig::paper_for_items(n), |ctx, t| {
+            if ctx.in_range(n) {
+                let i = ctx.global_id();
+                out[i] = (i as f32) * (i as f32);
+                t.fmul(1);
+                t.store(4);
+            }
+        });
+        assert_eq!(out[10], 100.0);
+        assert_eq!(out[999], 999.0 * 999.0);
+    }
+
+    #[test]
+    fn more_work_takes_more_time() {
+        let mut dev = titan();
+        let small = dev.launch("s", LaunchConfig::paper_for_items(96), |_, t| t.fadd(100));
+        let big = dev.launch("b", LaunchConfig::paper_for_items(96_000), |_, t| t.fadd(100));
+        assert!(big.duration() > small.duration());
+    }
+
+    #[test]
+    fn old_card_is_slower_on_compute_heavy_kernel() {
+        let mut old = CudaDevice::new(DeviceSpec::geforce_9800_gt());
+        let mut new = titan();
+        let work = |_: ThreadCtx, t: &mut ThreadTrace| {
+            t.fadd(1000);
+            t.fmul(1000);
+        };
+        let r_old = old.launch("k", LaunchConfig::paper_for_items(9_600), work);
+        let r_new = new.launch("k", LaunchConfig::paper_for_items(9_600), work);
+        // Subtract fixed overheads to compare the compute bodies.
+        let body_old = r_old.duration() - r_old.timing.overhead;
+        let body_new = r_new.duration() - r_new.timing.overhead;
+        assert!(
+            body_old > body_new * 4,
+            "9800 GT ({body_old}) should be several times slower than Titan X ({body_new})"
+        );
+    }
+
+    #[test]
+    fn timeline_advances_with_launches_and_transfers() {
+        let mut dev = CudaDevice::with_recording_timeline(DeviceSpec::gtx_880m());
+        assert_eq!(dev.elapsed(), SimDuration::ZERO);
+        let mut buf = DeviceBuffer::<f32>::zeroed(1024);
+        let host = vec![1.0f32; 1024];
+        dev.upload(&mut buf, &host);
+        dev.launch("k", LaunchConfig::new(1, 96), |_, t| t.ialu(1));
+        let mut back = vec![0.0f32; 1024];
+        dev.download(&mut buf, &mut back);
+        assert_eq!(back, host);
+        assert_eq!(dev.timeline().events().len(), 3);
+        assert_eq!(dev.stats().launches, 1);
+        assert_eq!(dev.stats().h2d_transfers, 1);
+        assert_eq!(dev.stats().d2h_transfers, 1);
+        assert!(dev.elapsed() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        let run = || {
+            let mut dev = titan();
+            let n = 5000usize;
+            let mut data = vec![0.0f32; n];
+            for _ in 0..3 {
+                dev.launch("iter", LaunchConfig::paper_for_items(n), |ctx, t| {
+                    if ctx.in_range(n) {
+                        data[ctx.global_id()] += 1.5;
+                        t.fadd(1);
+                        t.load(4);
+                        t.store(4);
+                    }
+                });
+            }
+            (dev.elapsed(), data)
+        };
+        let (t1, d1) = run();
+        let (t2, d2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let mut dev = titan();
+        let small = dev.transfer(TransferDir::HostToDevice, 1 << 10);
+        let large = dev.transfer(TransferDir::HostToDevice, 1 << 26);
+        assert!(large.duration > small.duration);
+        // 64 MiB over 12 GB/s ≈ 5.6 ms.
+        let expected = 67_108_864.0 / 12.0e9;
+        let got = (large.duration - SimDuration::from_nanos(dev.spec().transfer_overhead_ns))
+            .as_secs_f64();
+        assert!((got - expected).abs() / expected < 0.05, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn reset_clears_clock_and_stats() {
+        let mut dev = titan();
+        dev.launch("k", LaunchConfig::new(1, 32), |_, t| t.fadd(1));
+        dev.reset();
+        assert_eq!(dev.elapsed(), SimDuration::ZERO);
+        assert_eq!(dev.stats().launches, 0);
+    }
+
+    #[test]
+    fn divergent_kernel_costs_more_than_uniform() {
+        let mut dev = titan();
+        let uniform = dev.launch("u", LaunchConfig::new(100, 96), |_, t| {
+            for _ in 0..64 {
+                t.branch(false);
+                t.fadd(1);
+            }
+        });
+        let divergent = dev.launch("d", LaunchConfig::new(100, 96), |_, t| {
+            for _ in 0..64 {
+                t.branch(true);
+                t.fadd(1);
+            }
+        });
+        assert!(divergent.critical_cycles > uniform.critical_cycles);
+    }
+}

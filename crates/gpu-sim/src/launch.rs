@@ -1,0 +1,155 @@
+//! Launch configuration and per-thread context.
+
+use crate::spec::DeviceSpec;
+
+/// A 1-D kernel launch configuration (`<<<grid, block>>>`).
+///
+/// The ATM application is one-dimensional over aircraft/radar indices, as in
+/// the paper (96 threads per block, blocks scale with the aircraft count),
+/// so the simulator models 1-D launches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in the grid.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+}
+
+impl LaunchConfig {
+    /// Construct a launch configuration.
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        LaunchConfig { grid_dim, block_dim }
+    }
+
+    /// The paper's configuration: fixed 96 threads per block, grid sized to
+    /// cover `n` work items (one aircraft/radar per thread).
+    pub fn paper_for_items(n: usize) -> Self {
+        const THREADS_PER_BLOCK: u32 = 96;
+        let blocks = n.div_ceil(THREADS_PER_BLOCK as usize).max(1) as u32;
+        LaunchConfig { grid_dim: blocks, block_dim: THREADS_PER_BLOCK }
+    }
+
+    /// Cover `n` items with a caller-chosen block size (for the block-size
+    /// ablation bench).
+    pub fn cover(n: usize, block_dim: u32) -> Self {
+        assert!(block_dim > 0, "block_dim must be positive");
+        let blocks = n.div_ceil(block_dim as usize).max(1) as u32;
+        LaunchConfig { grid_dim: blocks, block_dim }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+
+    /// Warps per block on a device (`ceil(block_dim / warp_size)`).
+    pub fn warps_per_block(&self, spec: &DeviceSpec) -> u32 {
+        self.block_dim.div_ceil(spec.warp_size)
+    }
+
+    /// Total warps in the launch.
+    pub fn total_warps(&self, spec: &DeviceSpec) -> u64 {
+        self.grid_dim as u64 * self.warps_per_block(spec) as u64
+    }
+
+    /// Panic if this launch exceeds hardware limits, mirroring the CUDA
+    /// runtime's launch-failure errors.
+    pub fn validate(&self, spec: &DeviceSpec) {
+        assert!(self.grid_dim > 0, "grid_dim must be positive");
+        assert!(self.block_dim > 0, "block_dim must be positive");
+        assert!(
+            self.block_dim <= spec.max_threads_per_block,
+            "block_dim {} exceeds device limit {} on {}",
+            self.block_dim,
+            spec.max_threads_per_block,
+            spec.name
+        );
+    }
+}
+
+/// Everything a kernel can ask about its position in a launch; the
+/// simulator's equivalent of `blockIdx`/`threadIdx`/`blockDim`/`gridDim`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Index of this thread's block within the grid.
+    pub block_idx: u32,
+    /// Index of this thread within its block.
+    pub thread_idx: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Blocks in the grid.
+    pub grid_dim: u32,
+}
+
+impl ThreadCtx {
+    /// The flattened global thread index
+    /// (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_id(&self) -> usize {
+        self.block_idx as usize * self.block_dim as usize + self.thread_idx as usize
+    }
+
+    /// Convenience guard used by every kernel in the ATM application:
+    /// whether this thread has a work item when `n` items are distributed
+    /// one per thread.
+    #[inline]
+    pub fn in_range(&self, n: usize) -> bool {
+        self.global_id() < n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn paper_config_uses_96_thread_blocks() {
+        let cfg = LaunchConfig::paper_for_items(96);
+        assert_eq!(cfg.block_dim, 96);
+        assert_eq!(cfg.grid_dim, 1);
+        let cfg = LaunchConfig::paper_for_items(97);
+        assert_eq!(cfg.grid_dim, 2);
+        let cfg = LaunchConfig::paper_for_items(9600);
+        assert_eq!(cfg.grid_dim, 100);
+    }
+
+    #[test]
+    fn paper_config_handles_zero_items() {
+        let cfg = LaunchConfig::paper_for_items(0);
+        assert_eq!(cfg.grid_dim, 1);
+        assert_eq!(cfg.total_threads(), 96);
+    }
+
+    #[test]
+    fn warp_counting_rounds_up() {
+        let spec = DeviceSpec::titan_x_pascal();
+        let cfg = LaunchConfig::new(2, 96);
+        assert_eq!(cfg.warps_per_block(&spec), 3);
+        assert_eq!(cfg.total_warps(&spec), 6);
+        let cfg = LaunchConfig::new(1, 33);
+        assert_eq!(cfg.warps_per_block(&spec), 2);
+    }
+
+    #[test]
+    fn global_id_is_block_major() {
+        let ctx = ThreadCtx { block_idx: 3, thread_idx: 5, block_dim: 96, grid_dim: 10 };
+        assert_eq!(ctx.global_id(), 3 * 96 + 5);
+        assert!(ctx.in_range(300));
+        assert!(!ctx.in_range(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_is_rejected() {
+        let spec = DeviceSpec::geforce_9800_gt(); // limit 512
+        LaunchConfig::new(1, 1024).validate(&spec);
+    }
+
+    #[test]
+    fn cover_distributes_evenly() {
+        let cfg = LaunchConfig::cover(1000, 256);
+        assert_eq!(cfg.grid_dim, 4);
+        assert!(cfg.total_threads() >= 1000);
+    }
+}

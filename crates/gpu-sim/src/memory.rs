@@ -1,0 +1,131 @@
+//! Modeled device-resident buffers.
+//!
+//! A [`DeviceBuffer`] owns data "on the device". Host code cannot touch the
+//! contents except through explicit `upload`/`download` calls on the owning
+//! [`crate::CudaDevice`] (which model PCIe time) or inside a kernel launch —
+//! the same discipline the CUDA runtime enforces, minus the footguns. The
+//! buffer tracks a generation counter so tests can assert that data actually
+//! moved when the paper's algorithm says it must (e.g. the radar shuffle
+//! round-trips through the host every period).
+
+/// A typed buffer in simulated device global memory.
+#[derive(Clone, Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    uploads: u64,
+    downloads: u64,
+}
+
+impl<T: Clone + Default> DeviceBuffer<T> {
+    /// Allocate a zero/default-initialized device buffer of `len` elements
+    /// (the analogue of `cudaMalloc` + `cudaMemset`).
+    pub fn zeroed(len: usize) -> Self {
+        DeviceBuffer { data: vec![T::default(); len], uploads: 0, downloads: 0 }
+    }
+}
+
+impl<T: Clone> DeviceBuffer<T> {
+    /// Allocate a device buffer holding a copy of `host` (allocation only —
+    /// transfer time is charged by [`crate::CudaDevice::upload`]).
+    pub fn from_host(host: &[T]) -> Self {
+        DeviceBuffer { data: host.to_vec(), uploads: 0, downloads: 0 }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes (what a transfer of the whole buffer moves).
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Kernel-side view of the contents. Only meaningful inside a launch;
+    /// named to make accidental host-side peeking greppable.
+    pub fn as_device_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Kernel-side mutable view of the contents.
+    pub fn as_device_slice_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Overwrite contents from host data. Called by
+    /// [`crate::CudaDevice::upload`]; panics on length mismatch like
+    /// `cudaMemcpy` with a bad size would fail.
+    pub(crate) fn copy_from_host(&mut self, host: &[T]) {
+        assert_eq!(host.len(), self.data.len(), "H2D size mismatch");
+        self.data.clone_from_slice(host);
+        self.uploads += 1;
+    }
+
+    /// Copy contents out to host data. Called by
+    /// [`crate::CudaDevice::download`].
+    pub(crate) fn copy_to_host(&mut self, host: &mut [T]) {
+        assert_eq!(host.len(), self.data.len(), "D2H size mismatch");
+        host.clone_from_slice(&self.data);
+        self.downloads += 1;
+    }
+
+    /// How many H2D copies this buffer has received.
+    pub fn upload_count(&self) -> u64 {
+        self.uploads
+    }
+
+    /// How many D2H copies this buffer has served.
+    pub fn download_count(&self) -> u64 {
+        self.downloads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_buffer_is_default_initialized() {
+        let b: DeviceBuffer<f32> = DeviceBuffer::zeroed(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.as_device_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(b.size_bytes(), 32);
+    }
+
+    #[test]
+    fn from_host_copies_contents() {
+        let b = DeviceBuffer::from_host(&[1u32, 2, 3]);
+        assert_eq!(b.as_device_slice(), &[1, 2, 3]);
+        assert_eq!(b.size_bytes(), 12);
+    }
+
+    #[test]
+    fn round_trip_preserves_data_and_counts() {
+        let mut b = DeviceBuffer::zeroed(4);
+        b.copy_from_host(&[9u64, 8, 7, 6]);
+        let mut out = vec![0u64; 4];
+        b.copy_to_host(&mut out);
+        assert_eq!(out, vec![9, 8, 7, 6]);
+        assert_eq!(b.upload_count(), 1);
+        assert_eq!(b.download_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "H2D size mismatch")]
+    fn mismatched_upload_panics() {
+        let mut b: DeviceBuffer<u8> = DeviceBuffer::zeroed(4);
+        b.copy_from_host(&[1, 2]);
+    }
+
+    #[test]
+    fn empty_buffer_is_empty() {
+        let b: DeviceBuffer<u8> = DeviceBuffer::zeroed(0);
+        assert!(b.is_empty());
+        assert_eq!(b.size_bytes(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Launch and transfer reports, and cumulative device statistics.
+
+use crate::launch::LaunchConfig;
+use crate::sm::{KernelTiming, Occupancy};
+use sim_clock::SimDuration;
+use std::fmt;
+
+/// Everything the simulator knows about one kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// Kernel name (used in timeline labels and traces).
+    pub kernel: String,
+    /// The launch geometry.
+    pub config: LaunchConfig,
+    /// Threads actually executed.
+    pub threads: u64,
+    /// Warps scheduled.
+    pub warps: u64,
+    /// Static occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Timing breakdown.
+    pub timing: KernelTiming,
+    /// Device-wide global memory traffic in bytes.
+    pub bytes: u64,
+    /// Critical-path SM issue cycles (busiest SM).
+    pub critical_cycles: f64,
+}
+
+impl LaunchReport {
+    /// The modeled duration of the launch.
+    pub fn duration(&self) -> SimDuration {
+        self.timing.total
+    }
+
+    /// Whether the launch was memory-bound under the roofline.
+    pub fn memory_bound(&self) -> bool {
+        self.timing.memory > self.timing.compute
+    }
+}
+
+impl fmt::Display for LaunchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} <<<{},{}>>> {} threads, {} warps, occ {:.0}%, {} ({})",
+            self.kernel,
+            self.config.grid_dim,
+            self.config.block_dim,
+            self.threads,
+            self.warps,
+            self.occupancy.fraction * 100.0,
+            self.timing.total,
+            if self.memory_bound() { "memory-bound" } else { "compute-bound" },
+        )
+    }
+}
+
+/// Direction of a host↔device transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host to device (`cudaMemcpyHostToDevice`).
+    HostToDevice,
+    /// Device to host (`cudaMemcpyDeviceToHost`).
+    DeviceToHost,
+}
+
+impl fmt::Display for TransferDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferDir::HostToDevice => write!(f, "H2D"),
+            TransferDir::DeviceToHost => write!(f, "D2H"),
+        }
+    }
+}
+
+/// Report for one modeled PCIe transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferReport {
+    /// Transfer direction.
+    pub dir: TransferDir,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Modeled duration (fixed overhead + bytes/bandwidth).
+    pub duration: SimDuration,
+}
+
+/// Cumulative statistics for a device since construction (or reset).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Kernel launches performed.
+    pub launches: u64,
+    /// Threads executed across all launches.
+    pub threads: u64,
+    /// Total modeled kernel time.
+    pub kernel_time: SimDuration,
+    /// H2D transfers performed.
+    pub h2d_transfers: u64,
+    /// D2H transfers performed.
+    pub d2h_transfers: u64,
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Total modeled transfer time.
+    pub transfer_time: SimDuration,
+}
+
+impl DeviceStats {
+    /// Fold a launch into the running totals.
+    pub fn record_launch(&mut self, report: &LaunchReport) {
+        self.launches += 1;
+        self.threads += report.threads;
+        self.kernel_time += report.duration();
+    }
+
+    /// Fold a transfer into the running totals.
+    pub fn record_transfer(&mut self, report: &TransferReport) {
+        match report.dir {
+            TransferDir::HostToDevice => {
+                self.h2d_transfers += 1;
+                self.h2d_bytes += report.bytes;
+            }
+            TransferDir::DeviceToHost => {
+                self.d2h_transfers += 1;
+                self.d2h_bytes += report.bytes;
+            }
+        }
+        self.transfer_time += report.duration;
+    }
+
+    /// Total modeled busy time (kernels + transfers).
+    pub fn total_time(&self) -> SimDuration {
+        self.kernel_time + self.transfer_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sm::Occupancy;
+
+    fn dummy_launch(threads: u64, total: SimDuration) -> LaunchReport {
+        LaunchReport {
+            kernel: "k".into(),
+            config: LaunchConfig::new(1, 96),
+            threads,
+            warps: threads.div_ceil(32),
+            occupancy: Occupancy { resident_warps: 3, resident_blocks: 1, fraction: 0.05 },
+            timing: KernelTiming {
+                compute: total,
+                memory: SimDuration::ZERO,
+                overhead: SimDuration::ZERO,
+                total,
+            },
+            bytes: 0,
+            critical_cycles: 0.0,
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_launches_and_transfers() {
+        let mut s = DeviceStats::default();
+        s.record_launch(&dummy_launch(96, SimDuration::from_micros(10)));
+        s.record_launch(&dummy_launch(192, SimDuration::from_micros(20)));
+        s.record_transfer(&TransferReport {
+            dir: TransferDir::HostToDevice,
+            bytes: 1_000,
+            duration: SimDuration::from_micros(5),
+        });
+        s.record_transfer(&TransferReport {
+            dir: TransferDir::DeviceToHost,
+            bytes: 500,
+            duration: SimDuration::from_micros(3),
+        });
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.threads, 288);
+        assert_eq!(s.kernel_time, SimDuration::from_micros(30));
+        assert_eq!(s.h2d_bytes, 1_000);
+        assert_eq!(s.d2h_bytes, 500);
+        assert_eq!(s.transfer_time, SimDuration::from_micros(8));
+        assert_eq!(s.total_time(), SimDuration::from_micros(38));
+    }
+
+    #[test]
+    fn launch_report_display_mentions_geometry() {
+        let r = dummy_launch(96, SimDuration::from_micros(10));
+        let s = r.to_string();
+        assert!(s.contains("<<<1,96>>>"), "{s}");
+        assert!(s.contains("compute-bound"), "{s}");
+    }
+
+    #[test]
+    fn transfer_dir_display() {
+        assert_eq!(TransferDir::HostToDevice.to_string(), "H2D");
+        assert_eq!(TransferDir::DeviceToHost.to_string(), "D2H");
+    }
+}

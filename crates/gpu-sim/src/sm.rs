@@ -1,0 +1,265 @@
+//! SM scheduling and the kernel timing model.
+//!
+//! Blocks are assigned to SMs round-robin (the hardware's wave scheduler is
+//! load-balancing for uniform blocks, which the ATM kernels are). Per SM we
+//! accumulate warp issue cycles; the kernel's compute time is the *maximum*
+//! over SMs divided by the core clock. Memory time is device-wide traffic
+//! over effective bandwidth plus an occupancy-scaled latency floor. The
+//! kernel's modeled duration is
+//!
+//! ```text
+//! launch_overhead + max(compute_time, memory_time)
+//! ```
+//!
+//! i.e. a roofline with perfect compute/memory overlap — optimistic but
+//! monotone and deterministic, which is what the reproduction needs.
+
+use crate::cost::CostTable;
+use crate::launch::LaunchConfig;
+use crate::spec::DeviceSpec;
+use crate::warp::WarpCost;
+use sim_clock::SimDuration;
+
+/// Static occupancy achieved by a launch on a device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Resident warps per SM (bounded by warp and block limits).
+    pub resident_warps: u32,
+    /// Resident blocks per SM.
+    pub resident_blocks: u32,
+    /// `resident_warps / max_warps_per_sm`, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Compute static occupancy for a launch (register/shared-memory pressure
+/// is not modeled; the ATM kernels are small and occupancy-limited by block
+/// geometry alone).
+pub fn occupancy(cfg: &LaunchConfig, spec: &DeviceSpec) -> Occupancy {
+    let warps_per_block = cfg.warps_per_block(spec);
+    let by_warps = spec.max_warps_per_sm / warps_per_block.max(1);
+    let resident_blocks = by_warps.min(spec.max_blocks_per_sm).max(1).min(cfg.grid_dim);
+    let resident_warps = (resident_blocks * warps_per_block).min(spec.max_warps_per_sm);
+    Occupancy {
+        resident_warps,
+        resident_blocks,
+        fraction: resident_warps as f64 / spec.max_warps_per_sm as f64,
+    }
+}
+
+/// Aggregated cost of one launch, before conversion to time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SmSchedule {
+    /// Per-SM accumulated warp issue cycles.
+    pub per_sm_cycles: Vec<f64>,
+    /// Device-wide global memory traffic in bytes.
+    pub total_bytes: u64,
+    /// Total warps scheduled.
+    pub warps: u64,
+}
+
+impl SmSchedule {
+    /// A schedule for a device with `sm_count` SMs.
+    pub fn new(sm_count: u32) -> Self {
+        SmSchedule {
+            per_sm_cycles: vec![0.0; sm_count as usize],
+            total_bytes: 0,
+            warps: 0,
+        }
+    }
+
+    /// Account one warp of block `block_idx` (blocks are placed on SM
+    /// `block_idx % sm_count`).
+    pub fn add_warp(&mut self, block_idx: u32, cost: WarpCost) {
+        let sm = block_idx as usize % self.per_sm_cycles.len();
+        self.per_sm_cycles[sm] += cost.issue_cycles;
+        self.total_bytes += cost.bytes;
+        self.warps += 1;
+    }
+
+    /// The busiest SM's cycle count.
+    pub fn critical_path_cycles(&self) -> f64 {
+        self.per_sm_cycles.iter().fold(0.0_f64, |a, &b| a.max(b))
+    }
+}
+
+/// Timing breakdown of one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelTiming {
+    /// Compute-side time (critical-path SM cycles / clock).
+    pub compute: SimDuration,
+    /// Memory-side time (traffic / effective bandwidth + exposed latency).
+    pub memory: SimDuration,
+    /// Fixed launch overhead.
+    pub overhead: SimDuration,
+    /// Modeled total: `overhead + max(compute, memory)`.
+    pub total: SimDuration,
+}
+
+/// Convert an [`SmSchedule`] into kernel time on a device.
+pub fn kernel_time(
+    schedule: &SmSchedule,
+    cfg: &LaunchConfig,
+    spec: &DeviceSpec,
+    table: &CostTable,
+) -> KernelTiming {
+    let occ = occupancy(cfg, spec);
+
+    // Compute side: the busiest SM's issue cycles at the core clock.
+    let compute_cycles = schedule.critical_path_cycles();
+    let compute = duration_from_cycles_f64(compute_cycles, spec.clock_mhz);
+
+    // Memory side: device-wide traffic over coalescing-derated bandwidth…
+    let effective_bw_bytes_per_s =
+        spec.mem_bandwidth_mb_s as f64 * 1.0e6 * table.coalescing_efficiency;
+    let bandwidth_secs = schedule.total_bytes as f64 / effective_bw_bytes_per_s;
+    // …plus the share of memory latency the resident warps cannot hide.
+    // With `resident_warps >= warps_to_hide_latency` the pipeline keeps
+    // enough requests in flight that latency disappears behind bandwidth;
+    // below that, a proportional share of one full latency is exposed per
+    // *round* of resident warps.
+    let hiding = (occ.resident_warps as f64 / table.warps_to_hide_latency).min(1.0);
+    let exposed_latency_cycles = if schedule.total_bytes > 0 {
+        let warp_rounds = (schedule.warps as f64
+            / (occ.resident_warps.max(1) as f64 * spec.sm_count as f64))
+            .ceil();
+        table.mem_latency_cycles * (1.0 - hiding) * warp_rounds
+    } else {
+        0.0
+    };
+    let memory = SimDuration::from_secs_f64(bandwidth_secs)
+        + duration_from_cycles_f64(exposed_latency_cycles, spec.clock_mhz);
+
+    let overhead = SimDuration::from_nanos(spec.launch_overhead_ns);
+    let total = overhead + compute.max(memory);
+    KernelTiming { compute, memory, overhead, total }
+}
+
+/// Fractional-cycle-accurate conversion to [`SimDuration`].
+fn duration_from_cycles_f64(cycles: f64, clock_mhz: u32) -> SimDuration {
+    // cycles * 1e6 / MHz picoseconds, computed in f64 then truncated: the
+    // f64 mantissa covers the magnitudes seen here (< 2^53 ps ≈ 2.5 h).
+    SimDuration::from_picos((cycles * 1.0e6 / clock_mhz as f64) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn titan() -> (DeviceSpec, CostTable) {
+        let spec = DeviceSpec::titan_x_pascal();
+        let table = CostTable::for_spec(&spec);
+        (spec, table)
+    }
+
+    #[test]
+    fn occupancy_of_paper_blocks_on_titan() {
+        let (spec, _) = titan();
+        // 96-thread blocks = 3 warps. 64-warp SM limit / 3 = 21 blocks by
+        // warps, capped at 32 max blocks -> 21 blocks, 63 warps.
+        let occ = occupancy(&LaunchConfig::new(1000, 96), &spec);
+        assert_eq!(occ.resident_blocks, 21);
+        assert_eq!(occ.resident_warps, 63);
+        assert!((occ.fraction - 63.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_capped_by_grid_size() {
+        let (spec, _) = titan();
+        let occ = occupancy(&LaunchConfig::new(2, 96), &spec);
+        assert_eq!(occ.resident_blocks, 2);
+        assert_eq!(occ.resident_warps, 6);
+    }
+
+    #[test]
+    fn occupancy_small_blocks_limited_by_block_slots() {
+        let (spec, _) = titan();
+        // 32-thread blocks = 1 warp each; block slots (32) bind before the
+        // warp limit (64).
+        let occ = occupancy(&LaunchConfig::new(1000, 32), &spec);
+        assert_eq!(occ.resident_blocks, 32);
+        assert_eq!(occ.resident_warps, 32);
+    }
+
+    #[test]
+    fn round_robin_balances_uniform_blocks() {
+        let mut s = SmSchedule::new(4);
+        for b in 0..8u32 {
+            s.add_warp(b, WarpCost { issue_cycles: 10.0, bytes: 100 });
+        }
+        assert!(s.per_sm_cycles.iter().all(|&c| (c - 20.0).abs() < 1e-12));
+        assert_eq!(s.total_bytes, 800);
+        assert_eq!(s.critical_path_cycles(), 20.0);
+    }
+
+    #[test]
+    fn critical_path_is_max_not_sum() {
+        let mut s = SmSchedule::new(2);
+        s.add_warp(0, WarpCost { issue_cycles: 100.0, bytes: 0 });
+        s.add_warp(1, WarpCost { issue_cycles: 30.0, bytes: 0 });
+        assert_eq!(s.critical_path_cycles(), 100.0);
+    }
+
+    #[test]
+    fn kernel_time_includes_overhead() {
+        let (spec, table) = titan();
+        let cfg = LaunchConfig::new(1, 96);
+        let s = SmSchedule::new(spec.sm_count);
+        let t = kernel_time(&s, &cfg, &spec, &table);
+        assert_eq!(t.total, SimDuration::from_nanos(spec.launch_overhead_ns));
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_cycles() {
+        let (spec, table) = titan();
+        let cfg = LaunchConfig::new(spec.sm_count, 96);
+        let mut s1 = SmSchedule::new(spec.sm_count);
+        let mut s2 = SmSchedule::new(spec.sm_count);
+        for b in 0..spec.sm_count {
+            s1.add_warp(b, WarpCost { issue_cycles: 1.0e6, bytes: 0 });
+            s2.add_warp(b, WarpCost { issue_cycles: 2.0e6, bytes: 0 });
+        }
+        let t1 = kernel_time(&s1, &cfg, &spec, &table);
+        let t2 = kernel_time(&s2, &cfg, &spec, &table);
+        let body1 = t1.total - t1.overhead;
+        let body2 = t2.total - t2.overhead;
+        let ratio = body2.as_picos() as f64 / body1.as_picos() as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bytes() {
+        let (spec, table) = titan();
+        let cfg = LaunchConfig::new(1000, 96);
+        let mut s = SmSchedule::new(spec.sm_count);
+        // Tiny compute, lots of traffic.
+        for b in 0..1000u32 {
+            s.add_warp(b, WarpCost { issue_cycles: 1.0, bytes: 10_000_000 });
+        }
+        let t = kernel_time(&s, &cfg, &spec, &table);
+        assert!(t.memory > t.compute);
+        // 10 GB over 480 GB/s * 0.9 ≈ 23 ms.
+        let expected_s = 1.0e10 / (480.0e9 * 0.9);
+        let got_s = t.memory.as_secs_f64();
+        assert!((got_s - expected_s).abs() / expected_s < 0.05, "{got_s} vs {expected_s}");
+    }
+
+    #[test]
+    fn low_occupancy_exposes_latency() {
+        let (spec, table) = titan();
+        // One tiny block: 3 resident warps, far below warps_to_hide_latency.
+        let cfg = LaunchConfig::new(1, 96);
+        let mut s = SmSchedule::new(spec.sm_count);
+        s.add_warp(0, WarpCost { issue_cycles: 1.0, bytes: 1024 });
+        let t = kernel_time(&s, &cfg, &spec, &table);
+        // Exposed latency must make memory time exceed pure bandwidth time.
+        let bw_only = 1024.0 / (480.0e9 * 0.9);
+        assert!(t.memory.as_secs_f64() > bw_only);
+    }
+
+    #[test]
+    fn cycles_to_duration_truncates_consistently() {
+        let d = duration_from_cycles_f64(1.5, 1000); // 1.5 cycles @1GHz = 1500ps
+        assert_eq!(d.as_picos(), 1500);
+    }
+}

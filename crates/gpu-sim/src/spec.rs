@@ -1,0 +1,235 @@
+//! Device specifications and the catalog of the paper's three NVIDIA cards.
+
+use std::fmt;
+
+/// NVIDIA compute capability generations relevant to the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum ComputeCapability {
+    /// Tesla generation (G80/G92): strict half-warp coalescing, no L1/L2
+    /// data caches, small SMs of 8 cores.
+    Cc1_0,
+    /// Kepler generation (GK104): 192-core SMX, relaxed coalescing via L2.
+    Cc3_0,
+    /// Pascal generation (GP102): 128-core SM, large L2, high bandwidth.
+    Cc6_1,
+}
+
+impl ComputeCapability {
+    /// The marketing "X.Y" string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ComputeCapability::Cc1_0 => "1.0",
+            ComputeCapability::Cc3_0 => "3.0",
+            ComputeCapability::Cc6_1 => "6.1",
+        }
+    }
+}
+
+impl fmt::Display for ComputeCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The architectural shape of a simulated CUDA device.
+///
+/// Only parameters that the timing model consumes are included. Values for
+/// the catalog devices are the published specifications of the physical
+/// cards (shader/boost clocks, SM topology, memory bandwidth); PCIe and
+/// launch-overhead figures are representative measurements for the
+/// respective eras, documented per constructor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Compute capability (selects the cost table).
+    pub compute_capability: ComputeCapability,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// CUDA cores (FP32 lanes) per SM.
+    pub cores_per_sm: u32,
+    /// Shader/core clock in MHz (the clock CUDA cores execute at).
+    pub clock_mhz: u32,
+    /// Peak global-memory bandwidth in MB/s (decimal, as marketed).
+    pub mem_bandwidth_mb_s: u64,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident warps per SM (occupancy ceiling).
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Host↔device transfer bandwidth in MB/s (effective, not bus peak).
+    pub pcie_mb_s: u64,
+    /// Fixed kernel-launch overhead in nanoseconds (driver + dispatch).
+    pub launch_overhead_ns: u64,
+    /// Fixed per-transfer overhead in nanoseconds.
+    pub transfer_overhead_ns: u64,
+    /// Global memory load latency in core cycles (used for the latency
+    /// floor when occupancy is too low to hide it).
+    pub mem_latency_cycles: u32,
+}
+
+impl DeviceSpec {
+    /// Total CUDA cores on the device.
+    pub fn total_cores(&self) -> u32 {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// GeForce 9800 GT — the paper's "old card with Compute Capacity of 1".
+    ///
+    /// G92: 14 SMs × 8 cores = 112 cores at 1500 MHz shader clock,
+    /// 57.6 GB/s GDDR3. CC 1.x limits: 512 threads/block, 24 warps/SM,
+    /// 8 blocks/SM. PCIe 2.0-era effective host transfer ≈ 3 GB/s; launch
+    /// overhead on that driver stack ≈ 15 µs.
+    pub fn geforce_9800_gt() -> DeviceSpec {
+        DeviceSpec {
+            name: "GeForce 9800 GT",
+            compute_capability: ComputeCapability::Cc1_0,
+            sm_count: 14,
+            cores_per_sm: 8,
+            clock_mhz: 1500,
+            mem_bandwidth_mb_s: 57_600,
+            warp_size: 32,
+            max_threads_per_block: 512,
+            max_warps_per_sm: 24,
+            max_blocks_per_sm: 8,
+            pcie_mb_s: 3_000,
+            launch_overhead_ns: 15_000,
+            transfer_overhead_ns: 10_000,
+            mem_latency_cycles: 500,
+        }
+    }
+
+    /// GTX 880M — the paper's laptop card, compute capability 3.0.
+    ///
+    /// GK104: 8 SMX × 192 cores = 1536 cores at 954 MHz, 160 GB/s GDDR5.
+    /// Kepler limits: 1024 threads/block, 64 warps/SM, 16 blocks/SM.
+    /// PCIe 3.0 laptop effective ≈ 6 GB/s; launch overhead ≈ 8 µs.
+    pub fn gtx_880m() -> DeviceSpec {
+        DeviceSpec {
+            name: "GTX 880M",
+            compute_capability: ComputeCapability::Cc3_0,
+            sm_count: 8,
+            cores_per_sm: 192,
+            clock_mhz: 954,
+            mem_bandwidth_mb_s: 160_000,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            pcie_mb_s: 6_000,
+            launch_overhead_ns: 8_000,
+            transfer_overhead_ns: 6_000,
+            mem_latency_cycles: 400,
+        }
+    }
+
+    /// Titan X (Pascal) — the paper's research card, compute capability 6.1.
+    ///
+    /// GP102: 28 SMs × 128 cores = 3584 cores at 1417 MHz base, 480 GB/s
+    /// GDDR5X. Pascal limits: 1024 threads/block, 64 warps/SM, 32 blocks/SM.
+    /// PCIe 3.0 x16 effective ≈ 12 GB/s; launch overhead ≈ 5 µs.
+    pub fn titan_x_pascal() -> DeviceSpec {
+        DeviceSpec {
+            name: "Titan X (Pascal)",
+            compute_capability: ComputeCapability::Cc6_1,
+            sm_count: 28,
+            cores_per_sm: 128,
+            clock_mhz: 1417,
+            mem_bandwidth_mb_s: 480_000,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            pcie_mb_s: 12_000,
+            launch_overhead_ns: 5_000,
+            transfer_overhead_ns: 4_000,
+            mem_latency_cycles: 350,
+        }
+    }
+
+    /// All three catalog devices, in the paper's order.
+    pub fn paper_catalog() -> Vec<DeviceSpec> {
+        vec![
+            DeviceSpec::geforce_9800_gt(),
+            DeviceSpec::gtx_880m(),
+            DeviceSpec::titan_x_pascal(),
+        ]
+    }
+
+    /// Validate internal consistency; panics with a descriptive message on
+    /// nonsense configurations (zero SMs, zero clock, warp size 0, …).
+    /// Called by [`crate::CudaDevice::new`].
+    pub fn validate(&self) {
+        assert!(self.sm_count > 0, "{}: sm_count must be > 0", self.name);
+        assert!(self.cores_per_sm > 0, "{}: cores_per_sm must be > 0", self.name);
+        assert!(self.clock_mhz > 0, "{}: clock_mhz must be > 0", self.name);
+        assert!(self.warp_size > 0, "{}: warp_size must be > 0", self.name);
+        assert!(
+            self.max_threads_per_block >= self.warp_size,
+            "{}: a block must fit at least one warp",
+            self.name
+        );
+        assert!(self.mem_bandwidth_mb_s > 0, "{}: bandwidth must be > 0", self.name);
+        assert!(self.pcie_mb_s > 0, "{}: pcie bandwidth must be > 0", self.name);
+        assert!(self.max_warps_per_sm > 0, "{}: max_warps_per_sm must be > 0", self.name);
+        assert!(self.max_blocks_per_sm > 0, "{}: max_blocks_per_sm must be > 0", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_totals_match_published_core_counts() {
+        assert_eq!(DeviceSpec::geforce_9800_gt().total_cores(), 112);
+        assert_eq!(DeviceSpec::gtx_880m().total_cores(), 1536);
+        assert_eq!(DeviceSpec::titan_x_pascal().total_cores(), 3584);
+    }
+
+    #[test]
+    fn catalog_validates() {
+        for spec in DeviceSpec::paper_catalog() {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    fn catalog_capabilities_match_paper() {
+        let cat = DeviceSpec::paper_catalog();
+        assert_eq!(cat[0].compute_capability, ComputeCapability::Cc1_0);
+        assert_eq!(cat[1].compute_capability, ComputeCapability::Cc3_0);
+        assert_eq!(cat[2].compute_capability, ComputeCapability::Cc6_1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sm_count")]
+    fn zero_sms_is_rejected() {
+        let mut spec = DeviceSpec::geforce_9800_gt();
+        spec.sm_count = 0;
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn tiny_block_limit_is_rejected() {
+        let mut spec = DeviceSpec::gtx_880m();
+        spec.max_threads_per_block = 16;
+        spec.validate();
+    }
+
+    #[test]
+    fn capability_display() {
+        assert_eq!(ComputeCapability::Cc1_0.to_string(), "1.0");
+        assert_eq!(ComputeCapability::Cc6_1.to_string(), "6.1");
+    }
+
+    #[test]
+    fn capability_ordering_follows_generations() {
+        assert!(ComputeCapability::Cc1_0 < ComputeCapability::Cc3_0);
+        assert!(ComputeCapability::Cc3_0 < ComputeCapability::Cc6_1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-thread operation traces.
+
+use sim_clock::{CostSink, OpClass, OP_CLASS_COUNT};
+
+/// The operation trace of one simulated CUDA thread.
+///
+/// A `ThreadTrace` is handed to the kernel closure for every thread; the
+/// kernel reports its abstract operation mix through the [`CostSink`]
+/// interface. The launch machinery folds lane traces into warp costs
+/// ([`crate::warp::WarpAccumulator`]) and reuses a single allocation per
+/// launch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// Per-class operation counts, indexed by `OpClass as usize`.
+    pub ops: [u64; OP_CLASS_COUNT],
+    /// Bytes read from global memory by this thread.
+    pub bytes_loaded: u64,
+    /// Bytes read warp-uniformly (same address across lanes); devices with
+    /// a cache/broadcast path serve these once per warp.
+    pub bytes_loaded_uniform: u64,
+    /// Bytes written to global memory by this thread.
+    pub bytes_stored: u64,
+    /// Branches this thread flagged as warp-divergent.
+    pub divergent_branches: u64,
+}
+
+impl ThreadTrace {
+    /// A fresh, empty trace.
+    pub fn new() -> Self {
+        ThreadTrace::default()
+    }
+
+    /// Zero all counters, keeping the value ready for the next thread.
+    #[inline]
+    pub fn reset(&mut self) {
+        *self = ThreadTrace::default();
+    }
+
+    /// Count for one operation class.
+    #[inline]
+    pub fn count(&self, class: OpClass) -> u64 {
+        self.ops[class as usize]
+    }
+
+    /// Total global-memory traffic of the thread (before any warp-level
+    /// deduplication of uniform reads).
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_loaded + self.bytes_loaded_uniform + self.bytes_stored
+    }
+
+    /// True when the thread reported no activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.iter().all(|&c| c == 0)
+            && self.bytes_loaded == 0
+            && self.bytes_loaded_uniform == 0
+            && self.bytes_stored == 0
+            && self.divergent_branches == 0
+    }
+}
+
+impl CostSink for ThreadTrace {
+    #[inline]
+    fn op(&mut self, class: OpClass, count: u64) {
+        self.ops[class as usize] += count;
+    }
+
+    #[inline]
+    fn load(&mut self, bytes: u64) {
+        self.bytes_loaded += bytes;
+    }
+
+    #[inline]
+    fn load_shared(&mut self, bytes: u64) {
+        self.bytes_loaded_uniform += bytes;
+    }
+
+    #[inline]
+    fn store(&mut self, bytes: u64) {
+        self.bytes_stored += bytes;
+    }
+
+    #[inline]
+    fn branch(&mut self, diverged: bool) {
+        self.ops[OpClass::Branch as usize] += 1;
+        if diverged {
+            self.divergent_branches += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_all_channels() {
+        let mut t = ThreadTrace::new();
+        t.fadd(2);
+        t.fdiv(1);
+        t.load(12);
+        t.load_shared(8);
+        t.store(4);
+        t.branch(true);
+        t.branch(false);
+        assert_eq!(t.count(OpClass::FpAdd), 2);
+        assert_eq!(t.count(OpClass::FpDiv), 1);
+        assert_eq!(t.count(OpClass::Branch), 2);
+        assert_eq!(t.divergent_branches, 1);
+        assert_eq!(t.bytes_loaded, 12);
+        assert_eq!(t.bytes_loaded_uniform, 8);
+        assert_eq!(t.bytes_stored, 4);
+        assert_eq!(t.total_bytes(), 24);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = ThreadTrace::new();
+        t.ialu(5);
+        t.load(100);
+        t.branch(true);
+        assert!(!t.is_empty());
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t, ThreadTrace::new());
+    }
+
+    #[test]
+    fn empty_trace_reports_empty() {
+        assert!(ThreadTrace::new().is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Lockstep warp cost aggregation.
+//!
+//! SIMT hardware issues one instruction for all lanes of a warp together; a
+//! lane that has nothing to do on a given instruction is masked off but the
+//! warp still spends the issue slot. The standard post-hoc approximation of
+//! that behaviour from per-lane traces is: for every operation class, the
+//! warp issues `max` over its lanes' counts. Divergent branches additionally
+//! serialize both paths — the accumulator tracks them separately so the
+//! device cost table can price the reconvergence.
+
+use crate::cost::CostTable;
+use crate::trace::ThreadTrace;
+use sim_clock::OP_CLASS_COUNT;
+#[cfg(test)]
+use sim_clock::OpClass;
+
+/// Folds per-lane [`ThreadTrace`]s into one warp's issue profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WarpAccumulator {
+    /// Per-class max-over-lanes instruction counts.
+    pub max_ops: [u64; OP_CLASS_COUNT],
+    /// Sum of lane memory reads (every lane's traffic is real traffic).
+    pub bytes_loaded: u64,
+    /// Max-over-lanes warp-uniform reads (served once per warp on devices
+    /// with a cache/broadcast path).
+    pub uniform_bytes_max: u64,
+    /// Sum-over-lanes warp-uniform reads (what a cacheless device pays).
+    pub uniform_bytes_sum: u64,
+    /// Sum of lane memory writes.
+    pub bytes_stored: u64,
+    /// Max-over-lanes divergent branch count (each divergence event stalls
+    /// the whole warp once).
+    pub divergent_branches: u64,
+    /// Lanes folded so far (for assertions / occupancy accounting).
+    pub lanes: u32,
+}
+
+impl WarpAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        WarpAccumulator::default()
+    }
+
+    /// Fold one lane's trace into the warp.
+    pub fn add_lane(&mut self, lane: &ThreadTrace) {
+        for i in 0..OP_CLASS_COUNT {
+            self.max_ops[i] = self.max_ops[i].max(lane.ops[i]);
+        }
+        self.bytes_loaded += lane.bytes_loaded;
+        self.uniform_bytes_max = self.uniform_bytes_max.max(lane.bytes_loaded_uniform);
+        self.uniform_bytes_sum += lane.bytes_loaded_uniform;
+        self.bytes_stored += lane.bytes_stored;
+        self.divergent_branches = self.divergent_branches.max(lane.divergent_branches);
+        self.lanes += 1;
+    }
+
+    /// True when no lane has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lanes == 0
+    }
+
+    /// Reset for reuse by the next warp.
+    pub fn reset(&mut self) {
+        *self = WarpAccumulator::default();
+    }
+
+    /// The warp's total issue cost in SM cycles under a cost table.
+    pub fn issue_cycles(&self, table: &CostTable) -> f64 {
+        let mut cycles = 0.0;
+        for i in 0..OP_CLASS_COUNT {
+            cycles += self.max_ops[i] as f64 * table.warp_issue_cycles[i];
+        }
+        cycles + self.divergent_branches as f64 * table.divergence_penalty_cycles
+    }
+
+    /// Total global-memory traffic of the warp in bytes under a cost
+    /// table: uniform reads are deduplicated to one transaction per warp
+    /// when the device has a broadcast/cache path, and paid per lane when
+    /// it does not (compute capability 1.x).
+    pub fn total_bytes(&self, table: &CostTable) -> u64 {
+        let uniform = if table.uniform_load_dedup {
+            self.uniform_bytes_max
+        } else {
+            self.uniform_bytes_sum
+        };
+        self.bytes_loaded + uniform + self.bytes_stored
+    }
+}
+
+/// Cost summary of one closed warp, ready for SM scheduling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WarpCost {
+    /// Issue cycles under the device's cost table.
+    pub issue_cycles: f64,
+    /// Global memory traffic in bytes.
+    pub bytes: u64,
+}
+
+impl WarpAccumulator {
+    /// Close the warp: price it against `table` and reset the accumulator.
+    pub fn close(&mut self, table: &CostTable) -> WarpCost {
+        let cost = WarpCost {
+            issue_cycles: self.issue_cycles(table),
+            bytes: self.total_bytes(table),
+        };
+        self.reset();
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+    use sim_clock::CostSink;
+
+    fn table() -> CostTable {
+        CostTable::for_spec(&DeviceSpec::geforce_9800_gt())
+    }
+
+    #[test]
+    fn lockstep_takes_max_over_lanes() {
+        let mut warp = WarpAccumulator::new();
+        let mut a = ThreadTrace::new();
+        a.fadd(10);
+        let mut b = ThreadTrace::new();
+        b.fadd(3);
+        warp.add_lane(&a);
+        warp.add_lane(&b);
+        assert_eq!(warp.max_ops[OpClass::FpAdd as usize], 10);
+        assert_eq!(warp.lanes, 2);
+    }
+
+    #[test]
+    fn memory_traffic_sums_over_lanes() {
+        let mut warp = WarpAccumulator::new();
+        for _ in 0..4 {
+            let mut t = ThreadTrace::new();
+            t.load(16);
+            t.store(4);
+            warp.add_lane(&t);
+        }
+        assert_eq!(warp.bytes_loaded, 64);
+        assert_eq!(warp.bytes_stored, 16);
+        assert_eq!(warp.total_bytes(&table()), 80);
+    }
+
+    #[test]
+    fn issue_cycles_price_by_class() {
+        let mut warp = WarpAccumulator::new();
+        let mut t = ThreadTrace::new();
+        t.fadd(2); // 2 * 4.0 cycles on Tesla
+        t.fdiv(1); // 1 * 64.0 cycles
+        warp.add_lane(&t);
+        let cycles = warp.issue_cycles(&table());
+        assert!((cycles - (8.0 + 64.0)).abs() < 1e-9, "{cycles}");
+    }
+
+    #[test]
+    fn divergence_adds_penalty_once_per_event() {
+        let mut warp = WarpAccumulator::new();
+        let mut a = ThreadTrace::new();
+        a.branch(true);
+        let mut b = ThreadTrace::new();
+        b.branch(true);
+        warp.add_lane(&a);
+        warp.add_lane(&b);
+        // Both lanes flagged the same divergence event -> max = 1 penalty,
+        // and the branch instruction itself is also max(1,1) = 1.
+        let t = table();
+        let expected = t.issue_cycles(OpClass::Branch) + t.divergence_penalty_cycles;
+        assert!((warp.issue_cycles(&t) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_returns_cost_and_resets() {
+        let mut warp = WarpAccumulator::new();
+        let mut t = ThreadTrace::new();
+        t.fmul(4);
+        t.load(8);
+        warp.add_lane(&t);
+        let cost = warp.close(&table());
+        assert!(cost.issue_cycles > 0.0);
+        assert_eq!(cost.bytes, 8);
+        assert!(warp.is_empty());
+    }
+
+    #[test]
+    fn empty_warp_costs_nothing() {
+        let mut warp = WarpAccumulator::new();
+        assert_eq!(warp.issue_cycles(&table()), 0.0);
+        let cost = warp.close(&table());
+        assert_eq!(cost.issue_cycles, 0.0);
+        assert_eq!(cost.bytes, 0);
+    }
+}
+
+#[cfg(test)]
+mod uniform_tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+    use sim_clock::CostSink;
+
+    fn full_warp_with_uniform_loads(spec: &DeviceSpec) -> (WarpAccumulator, CostTable) {
+        let table = CostTable::for_spec(spec);
+        let mut warp = WarpAccumulator::new();
+        for _ in 0..spec.warp_size {
+            let mut t = ThreadTrace::new();
+            t.load_shared(1_000);
+            t.load(16);
+            warp.add_lane(&t);
+        }
+        (warp, table)
+    }
+
+    #[test]
+    fn cached_devices_dedupe_uniform_reads_to_one_per_warp() {
+        let spec = DeviceSpec::titan_x_pascal();
+        let (warp, table) = full_warp_with_uniform_loads(&spec);
+        // 32 private loads of 16 B + ONE uniform transaction of 1000 B.
+        assert_eq!(warp.total_bytes(&table), 32 * 16 + 1_000);
+    }
+
+    #[test]
+    fn cacheless_cc1_pays_uniform_reads_per_lane() {
+        let spec = DeviceSpec::geforce_9800_gt();
+        let (warp, table) = full_warp_with_uniform_loads(&spec);
+        assert_eq!(warp.total_bytes(&table), 32 * 16 + 32 * 1_000);
+    }
+
+    #[test]
+    fn dedup_flag_follows_compute_capability() {
+        assert!(!CostTable::for_spec(&DeviceSpec::geforce_9800_gt()).uniform_load_dedup);
+        assert!(CostTable::for_spec(&DeviceSpec::gtx_880m()).uniform_load_dedup);
+        assert!(CostTable::for_spec(&DeviceSpec::titan_x_pascal()).uniform_load_dedup);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: launch accounting, occupancy bounds, timing laws.
+
+use gpu_sim::{CudaDevice, DeviceSpec, LaunchConfig};
+use proptest::prelude::*;
+use sim_clock::{CostSink, SimDuration};
+
+fn arb_spec() -> impl Strategy<Value = DeviceSpec> {
+    prop_oneof![
+        Just(DeviceSpec::geforce_9800_gt()),
+        Just(DeviceSpec::gtx_880m()),
+        Just(DeviceSpec::titan_x_pascal()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_thread_runs_exactly_once(
+        spec in arb_spec(),
+        grid in 1u32..40,
+        block in 1u32..512,
+    ) {
+        let block = block.min(spec.max_threads_per_block);
+        let mut dev = CudaDevice::new(spec);
+        let cfg = LaunchConfig::new(grid, block);
+        let total = cfg.total_threads() as usize;
+        let mut hits = vec![0u32; total];
+        dev.launch("probe", cfg, |ctx, _| {
+            hits[ctx.global_id()] += 1;
+        });
+        prop_assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn occupancy_respects_hardware_limits(
+        spec in arb_spec(),
+        grid in 1u32..10_000,
+        block in 1u32..512,
+    ) {
+        let block = block.min(spec.max_threads_per_block);
+        let cfg = LaunchConfig::new(grid, block);
+        let occ = gpu_sim::sm::occupancy(&cfg, &spec);
+        prop_assert!(occ.resident_warps >= 1);
+        prop_assert!(occ.resident_warps <= spec.max_warps_per_sm);
+        prop_assert!(occ.resident_blocks <= spec.max_blocks_per_sm);
+        prop_assert!(occ.fraction > 0.0 && occ.fraction <= 1.0);
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_per_thread_work(
+        spec in arb_spec(),
+        threads in 96usize..5_000,
+        ops_small in 1u64..500,
+        extra in 1u64..500,
+    ) {
+        let run = |ops: u64, spec: &DeviceSpec| {
+            let mut dev = CudaDevice::new(spec.clone());
+            let r = dev.launch("w", LaunchConfig::paper_for_items(threads), |ctx, t| {
+                if ctx.in_range(threads) {
+                    t.fadd(ops);
+                }
+            });
+            r.duration()
+        };
+        let small = run(ops_small, &spec);
+        let large = run(ops_small + extra, &spec);
+        prop_assert!(large >= small, "{small} > {large}");
+    }
+
+    #[test]
+    fn launches_are_bit_deterministic(
+        spec in arb_spec(),
+        threads in 1usize..3_000,
+        ops in 1u64..200,
+    ) {
+        let run = |spec: &DeviceSpec| {
+            let mut dev = CudaDevice::new(spec.clone());
+            let r = dev.launch("d", LaunchConfig::paper_for_items(threads), |ctx, t| {
+                if ctx.in_range(threads) {
+                    t.fmul(ops);
+                    t.load(8);
+                    t.load_shared(64);
+                }
+            });
+            (r.duration(), r.bytes, r.critical_cycles.to_bits())
+        };
+        prop_assert_eq!(run(&spec), run(&spec));
+    }
+
+    #[test]
+    fn transfers_scale_with_bytes_and_never_undershoot_overhead(
+        spec in arb_spec(),
+        bytes in 0u64..1_000_000_000,
+    ) {
+        let overhead = SimDuration::from_nanos(spec.transfer_overhead_ns);
+        let mut dev = CudaDevice::new(spec);
+        let r = dev.transfer(gpu_sim::report::TransferDir::HostToDevice, bytes);
+        prop_assert!(r.duration >= overhead);
+        let r2 = dev.transfer(gpu_sim::report::TransferDir::HostToDevice, bytes * 2);
+        prop_assert!(r2.duration >= r.duration);
+    }
+
+    #[test]
+    fn warp_count_matches_geometry(
+        spec in arb_spec(),
+        grid in 1u32..50,
+        block in 1u32..512,
+    ) {
+        let block = block.min(spec.max_threads_per_block);
+        let mut dev = CudaDevice::new(spec.clone());
+        let cfg = LaunchConfig::new(grid, block);
+        let r = dev.launch("warps", cfg, |_, t| t.ialu(1));
+        let expected = grid as u64 * block.div_ceil(spec.warp_size) as u64;
+        prop_assert_eq!(r.warps, expected);
+    }
+}

@@ -1,0 +1,27 @@
+//! MIMD (multi-core) substrate: a real threaded executor and a modeled
+//! 16-core Xeon.
+//!
+//! The reproduced paper's baseline is the 16-core Intel Xeon shared-memory
+//! implementation of the ATM tasks from the authors' prior work [12, 13],
+//! whose defining properties are (a) rapidly growing run time, (b) many
+//! missed deadlines, and (c) non-deterministic timing due to asynchrony and
+//! lock contention. This crate supplies both halves of the substitution:
+//!
+//! * [`MimdPool`] + [`LockedVec`] — an honest shared-memory implementation
+//!   substrate: scoped threads with static partitioning, barrier-phase
+//!   execution, lock-per-record access, and *measured* wall-clock time.
+//!   Running the ATM tasks on it exhibits real MIMD non-determinism on the
+//!   host machine.
+//! * [`XeonModel`] — a deterministic analytic model of the 2012-era 16-core
+//!   Xeon, consuming abstract operation counts (from
+//!   [`sim_clock::OpCounter`]) plus synchronization/contention terms, used
+//!   to regenerate the paper's figures with the Xeon series on the same
+//!   axes as the simulated devices.
+
+pub mod locked;
+pub mod model;
+pub mod pool;
+
+pub use locked::LockedVec;
+pub use model::{WorkEstimate, XeonModel};
+pub use pool::MimdPool;

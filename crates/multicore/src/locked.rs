@@ -1,0 +1,191 @@
+//! Lock-per-record shared storage with contention accounting.
+
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A vector of records, each behind its own mutex, with global counters for
+/// acquisitions and contended acquisitions.
+///
+/// This is the data layout the prior work's Xeon implementation used for
+/// the shared aircraft database: fine-grained record locking so different
+/// cores can update different aircraft concurrently — and the source of the
+/// contention that made its timing unpredictable. The contention counter
+/// feeds both the measured backend's reports and the calibration of the
+/// analytic [`crate::XeonModel`].
+pub struct LockedVec<T> {
+    slots: Vec<Mutex<T>>,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl<T> LockedVec<T> {
+    /// Wrap a vector of records.
+    pub fn new(items: Vec<T>) -> Self {
+        LockedVec {
+            slots: items.into_iter().map(Mutex::new).collect(),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lock record `i`, counting the acquisition and whether it contended.
+    pub fn lock(&self, i: usize) -> MutexGuard<'_, T> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(guard) = self.slots[i].try_lock() {
+            return guard;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.slots[i].lock()
+    }
+
+    /// Lock records `i` and `j` (distinct) in address order, avoiding the
+    /// AB/BA deadlock when two threads pair the same two aircraft.
+    pub fn lock_pair(&self, i: usize, j: usize) -> (MutexGuard<'_, T>, MutexGuard<'_, T>) {
+        assert_ne!(i, j, "lock_pair requires distinct indices");
+        if i < j {
+            let a = self.lock(i);
+            let b = self.lock(j);
+            (a, b)
+        } else {
+            let b = self.lock(j);
+            let a = self.lock(i);
+            (a, b)
+        }
+    }
+
+    /// Total lock acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that found the lock held (contended).
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Reset the counters.
+    pub fn reset_counters(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+    }
+
+    /// Tear down and return the records (requires exclusive ownership).
+    pub fn into_inner(self) -> Vec<T> {
+        self.slots.into_iter().map(Mutex::into_inner).collect()
+    }
+
+    /// Snapshot all records by cloning each under its lock.
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        (0..self.len()).map(|i| self.lock(i).clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::MimdPool;
+
+    #[test]
+    fn lock_allows_mutation() {
+        let v = LockedVec::new(vec![0u64; 4]);
+        *v.lock(2) += 7;
+        assert_eq!(v.into_inner(), vec![0, 0, 7, 0]);
+    }
+
+    #[test]
+    fn counts_acquisitions() {
+        let v = LockedVec::new(vec![(); 3]);
+        drop(v.lock(0));
+        drop(v.lock(1));
+        drop(v.lock(1));
+        assert_eq!(v.acquisitions(), 3);
+        v.reset_counters();
+        assert_eq!(v.acquisitions(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let v = LockedVec::new(vec![0u64; 8]);
+        let pool = MimdPool::new(8);
+        pool.parallel_for(10_000, |i| {
+            *v.lock(i % 8) += 1;
+        });
+        let totals = v.snapshot();
+        assert_eq!(totals.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn hot_lock_registers_contention() {
+        // Deterministic contention (robust even on a single-core host): one
+        // thread holds the lock across a rendezvous while another acquires.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let v = LockedVec::new(vec![0u64; 1]);
+        let holding = AtomicBool::new(false);
+        crossbeam::scope(|s| {
+            s.spawn(|_| {
+                let mut g = v.lock(0);
+                holding.store(true, Ordering::Release);
+                // Hold until the other thread has surely started waiting.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                *g += 1;
+            });
+            while !holding.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            *v.lock(0) += 1; // must contend: the holder is asleep
+        })
+        .unwrap();
+        assert_eq!(*v.lock(0), 2);
+        assert!(v.contended() > 0, "expected contention on a held lock");
+    }
+
+    #[test]
+    fn lock_pair_orders_consistently() {
+        let v = LockedVec::new(vec![1u64, 2]);
+        {
+            let (a, b) = v.lock_pair(1, 0);
+            assert_eq!(*a, 2);
+            assert_eq!(*b, 1);
+        }
+        let (a, b) = v.lock_pair(0, 1);
+        assert_eq!(*a, 1);
+        assert_eq!(*b, 2);
+    }
+
+    #[test]
+    fn lock_pair_under_concurrency_does_not_deadlock() {
+        let v = LockedVec::new(vec![0u64; 16]);
+        let pool = MimdPool::new(8);
+        pool.parallel_for(20_000, |i| {
+            let a = i % 16;
+            let b = (i * 7 + 1) % 16;
+            if a != b {
+                let (mut x, mut y) = v.lock_pair(a, b);
+                *x += 1;
+                *y += 1;
+            }
+        });
+        // Completion without deadlock is the assertion; sanity-check sums.
+        assert!(v.snapshot().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn lock_pair_rejects_same_index() {
+        let v = LockedVec::new(vec![0u64; 2]);
+        let _guards = v.lock_pair(1, 1);
+    }
+}

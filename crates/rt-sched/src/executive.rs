@@ -1,0 +1,287 @@
+//! The cyclic executive itself.
+
+use crate::report::{ExecutiveReport, PeriodRecord};
+use sim_clock::{SimDuration, Timeline};
+
+/// Shape of the major cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MajorCycleSpec {
+    /// Length of one period (the paper: 500 ms).
+    pub period: SimDuration,
+    /// Periods per major cycle (the paper: 16 → an 8-second major cycle).
+    pub periods_per_major: usize,
+}
+
+impl MajorCycleSpec {
+    /// The paper's Goodyear/STARAN schedule: 16 half-second periods.
+    pub fn paper() -> Self {
+        MajorCycleSpec { period: SimDuration::from_millis(500), periods_per_major: 16 }
+    }
+
+    /// Length of the whole major cycle.
+    pub fn major_cycle(&self) -> SimDuration {
+        self.period * self.periods_per_major as u64
+    }
+
+    /// Validate the spec (non-degenerate).
+    pub fn validate(&self) {
+        assert!(!self.period.is_zero(), "period must be positive");
+        assert!(self.periods_per_major > 0, "need at least one period per major cycle");
+    }
+}
+
+/// One task's execution within a period, as reported by the workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskExecution {
+    /// Task name ("Task1", "Task2+3", …) — aggregated by name in reports.
+    pub name: &'static str,
+    /// How long the task took (measured or modeled by the backend).
+    pub duration: SimDuration,
+}
+
+impl TaskExecution {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, duration: SimDuration) -> Self {
+        TaskExecution { name, duration }
+    }
+}
+
+/// A workload that knows which tasks to run in each period and how long
+/// each took.
+///
+/// `cycle` is the major-cycle index, `period` the period index within it.
+/// The executive calls this once per period, in order; implementations run
+/// their tasks *when called* (so state advances exactly as scheduled) and
+/// return the per-task durations.
+pub trait PeriodicWorkload {
+    /// Execute the tasks scheduled for (`cycle`, `period`).
+    fn run_period(&mut self, cycle: usize, period: usize) -> Vec<TaskExecution>;
+}
+
+impl<F> PeriodicWorkload for F
+where
+    F: FnMut(usize, usize) -> Vec<TaskExecution>,
+{
+    fn run_period(&mut self, cycle: usize, period: usize) -> Vec<TaskExecution> {
+        self(cycle, period)
+    }
+}
+
+/// The cyclic executive: drives a workload through major cycles and books
+/// every period against its deadline.
+#[derive(Clone, Debug)]
+pub struct CyclicExecutive {
+    spec: MajorCycleSpec,
+    clock: Timeline,
+}
+
+impl CyclicExecutive {
+    /// An executive over the given cycle shape.
+    pub fn new(spec: MajorCycleSpec) -> Self {
+        spec.validate();
+        CyclicExecutive { spec, clock: Timeline::new() }
+    }
+
+    /// The cycle shape.
+    pub fn spec(&self) -> &MajorCycleSpec {
+        &self.spec
+    }
+
+    /// Run `major_cycles` full major cycles of the workload.
+    ///
+    /// Within a period, task durations accumulate in order. A task whose
+    /// completion would cross the period boundary is charged as a deadline
+    /// miss; tasks after the first miss in the same period are counted as
+    /// skipped (they did execute functionally — state must advance — but
+    /// their time does not fit; this mirrors the paper's "skip so the next
+    /// period starts on time" rule while keeping the simulation state
+    /// consistent). Leftover slack is waited out so no period starts early.
+    pub fn run<W: PeriodicWorkload>(&mut self, workload: &mut W, major_cycles: usize) -> ExecutiveReport {
+        let mut report = ExecutiveReport::new(self.spec.period);
+        for cycle in 0..major_cycles {
+            for period in 0..self.spec.periods_per_major {
+                let period_start = self.clock.now();
+                let executions = workload.run_period(cycle, period);
+
+                let mut used = SimDuration::ZERO;
+                let mut missed = false;
+                let mut skipped = 0u32;
+                for exec in &executions {
+                    if missed {
+                        // Already over the boundary: this task is skipped.
+                        skipped += 1;
+                        report.record_skip(exec.name);
+                        continue;
+                    }
+                    let would_use = used + exec.duration;
+                    if would_use > self.spec.period {
+                        missed = true;
+                        report.record_miss(exec.name, cycle, period);
+                        // The missing task still consumed time up to (and
+                        // past) the boundary; clamp the period at its edge.
+                        used = self.spec.period;
+                    } else {
+                        used = would_use;
+                    }
+                    report.record_task(exec.name, exec.duration);
+                }
+
+                self.clock.skip(used);
+                let slack = self.spec.period.saturating_sub(used);
+                // Wait out the remaining slack: the next period must not
+                // start early.
+                self.clock.skip(slack);
+                debug_assert_eq!(
+                    self.clock.now() - period_start,
+                    self.spec.period,
+                    "every period must take exactly one period of simulated time"
+                );
+
+                report.record_period(PeriodRecord {
+                    cycle,
+                    period,
+                    used,
+                    slack,
+                    missed,
+                    skipped,
+                });
+            }
+        }
+        report
+    }
+
+    /// Total simulated time consumed so far.
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MajorCycleSpec {
+        MajorCycleSpec::paper()
+    }
+
+    #[test]
+    fn paper_spec_is_an_eight_second_cycle() {
+        let s = spec();
+        assert_eq!(s.major_cycle(), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn on_time_workload_has_no_misses_and_full_slack_accounting() {
+        let mut exec = CyclicExecutive::new(spec());
+        let mut workload = |_c: usize, _p: usize| {
+            vec![TaskExecution::new("Task1", SimDuration::from_millis(10))]
+        };
+        let report = exec.run(&mut workload, 2);
+        assert_eq!(report.total_misses(), 0);
+        assert_eq!(report.total_skips(), 0);
+        assert_eq!(report.periods().len(), 32);
+        for p in report.periods() {
+            assert_eq!(p.used, SimDuration::from_millis(10));
+            assert_eq!(p.slack, SimDuration::from_millis(490));
+        }
+        // 2 major cycles = 16 s of simulated time, no early starts.
+        assert_eq!(exec.elapsed(), SimDuration::from_secs(16));
+    }
+
+    #[test]
+    fn overlong_task_is_a_miss_and_period_is_clamped() {
+        let mut exec = CyclicExecutive::new(spec());
+        let mut workload = |_c: usize, p: usize| {
+            if p == 0 {
+                vec![TaskExecution::new("Task1", SimDuration::from_millis(700))]
+            } else {
+                vec![TaskExecution::new("Task1", SimDuration::from_millis(1))]
+            }
+        };
+        let report = exec.run(&mut workload, 1);
+        assert_eq!(report.total_misses(), 1);
+        let p0 = &report.periods()[0];
+        assert!(p0.missed);
+        assert_eq!(p0.used, SimDuration::from_millis(500));
+        assert_eq!(p0.slack, SimDuration::ZERO);
+        // The timeline still advances exactly one period per period.
+        assert_eq!(exec.elapsed(), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn tasks_after_a_miss_are_skipped() {
+        let mut exec = CyclicExecutive::new(spec());
+        let mut workload = |_c: usize, _p: usize| {
+            vec![
+                TaskExecution::new("Task1", SimDuration::from_millis(600)),
+                TaskExecution::new("Task2+3", SimDuration::from_millis(100)),
+            ]
+        };
+        let report = exec.run(&mut workload, 1);
+        assert_eq!(report.total_misses(), 16);
+        assert_eq!(report.total_skips(), 16);
+        // Skipped tasks never book an execution.
+        assert!(report.task_stats("Task2+3").is_none());
+    }
+
+    #[test]
+    fn exact_fit_is_not_a_miss() {
+        let mut exec = CyclicExecutive::new(spec());
+        let mut workload = |_c: usize, _p: usize| {
+            vec![TaskExecution::new("Task1", SimDuration::from_millis(500))]
+        };
+        let report = exec.run(&mut workload, 1);
+        assert_eq!(report.total_misses(), 0);
+        assert!(report.periods().iter().all(|p| p.slack.is_zero()));
+    }
+
+    #[test]
+    fn multiple_tasks_accumulate_within_a_period() {
+        let mut exec = CyclicExecutive::new(spec());
+        let mut workload = |_c: usize, _p: usize| {
+            vec![
+                TaskExecution::new("A", SimDuration::from_millis(200)),
+                TaskExecution::new("B", SimDuration::from_millis(200)),
+                TaskExecution::new("C", SimDuration::from_millis(200)),
+            ]
+        };
+        let report = exec.run(&mut workload, 1);
+        // A and B fit (400 ms); C crosses the boundary.
+        assert_eq!(report.total_misses(), 16);
+        assert_eq!(report.task_stats("A").unwrap().count, 16);
+        assert_eq!(report.task_stats("B").unwrap().count, 16);
+    }
+
+    #[test]
+    fn workload_sees_cycle_and_period_indices_in_order() {
+        let mut exec = CyclicExecutive::new(MajorCycleSpec {
+            period: SimDuration::from_millis(100),
+            periods_per_major: 4,
+        });
+        let mut seen = Vec::new();
+        let mut workload = |c: usize, p: usize| {
+            seen.push((c, p));
+            vec![]
+        };
+        exec.run(&mut workload, 2);
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1), (1, 2), (1, 3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_is_rejected() {
+        CyclicExecutive::new(MajorCycleSpec { period: SimDuration::ZERO, periods_per_major: 16 });
+    }
+
+    #[test]
+    fn empty_period_is_all_slack() {
+        let mut exec = CyclicExecutive::new(spec());
+        let mut workload = |_c: usize, _p: usize| Vec::new();
+        let report = exec.run(&mut workload, 1);
+        assert!(report.periods().iter().all(|p| p.slack == SimDuration::from_millis(500)));
+        assert_eq!(report.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Executive reports: per-period records and per-task statistics.
+
+use sim_clock::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Booking record for one executed period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeriodRecord {
+    /// Major-cycle index.
+    pub cycle: usize,
+    /// Period index within the major cycle.
+    pub period: usize,
+    /// Task time consumed (clamped at the period length on a miss).
+    pub used: SimDuration,
+    /// Slack waited out at the end of the period.
+    pub slack: SimDuration,
+    /// Whether a deadline was missed in this period.
+    pub missed: bool,
+    /// Tasks skipped after the miss.
+    pub skipped: u32,
+}
+
+/// Aggregated statistics for one task name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Completed executions booked.
+    pub count: u64,
+    /// Shortest execution.
+    pub min: SimDuration,
+    /// Longest execution.
+    pub max: SimDuration,
+    /// Sum of execution times.
+    pub total: SimDuration,
+}
+
+impl TaskStats {
+    fn new() -> Self {
+        TaskStats {
+            count: 0,
+            min: SimDuration::MAX,
+            max: SimDuration::ZERO,
+            total: SimDuration::ZERO,
+        }
+    }
+
+    fn record(&mut self, d: SimDuration) {
+        self.count += 1;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        self.total += d;
+    }
+
+    /// Mean execution time (zero when nothing ran).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total / self.count
+        }
+    }
+}
+
+/// One deadline miss, attributed to the task that crossed the boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissRecord {
+    /// Task that missed.
+    pub task: &'static str,
+    /// Major cycle of the miss.
+    pub cycle: usize,
+    /// Period of the miss.
+    pub period: usize,
+}
+
+/// Full report of an executive run.
+#[derive(Clone, Debug)]
+pub struct ExecutiveReport {
+    period_len: SimDuration,
+    periods: Vec<PeriodRecord>,
+    tasks: BTreeMap<&'static str, TaskStats>,
+    misses: Vec<MissRecord>,
+    skips: BTreeMap<&'static str, u64>,
+}
+
+impl ExecutiveReport {
+    /// An empty report for periods of length `period_len`.
+    pub fn new(period_len: SimDuration) -> Self {
+        ExecutiveReport {
+            period_len,
+            periods: Vec::new(),
+            tasks: BTreeMap::new(),
+            misses: Vec::new(),
+            skips: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn record_period(&mut self, rec: PeriodRecord) {
+        self.periods.push(rec);
+    }
+
+    pub(crate) fn record_task(&mut self, name: &'static str, d: SimDuration) {
+        self.tasks.entry(name).or_insert_with(TaskStats::new).record(d);
+    }
+
+    pub(crate) fn record_miss(&mut self, task: &'static str, cycle: usize, period: usize) {
+        self.misses.push(MissRecord { task, cycle, period });
+    }
+
+    pub(crate) fn record_skip(&mut self, task: &'static str) {
+        *self.skips.entry(task).or_insert(0) += 1;
+    }
+
+    /// All period records, in execution order.
+    pub fn periods(&self) -> &[PeriodRecord] {
+        &self.periods
+    }
+
+    /// Statistics for one task name.
+    pub fn task_stats(&self, name: &str) -> Option<&TaskStats> {
+        self.tasks.get(name)
+    }
+
+    /// All task names with statistics, in name order.
+    pub fn task_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.tasks.keys().copied()
+    }
+
+    /// Every miss, in order of occurrence.
+    pub fn misses(&self) -> &[MissRecord] {
+        &self.misses
+    }
+
+    /// Total deadline misses.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.len() as u64
+    }
+
+    /// Total skipped task executions.
+    pub fn total_skips(&self) -> u64 {
+        self.skips.values().sum()
+    }
+
+    /// Fraction of total period time spent executing tasks, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.periods.is_empty() {
+            return 0.0;
+        }
+        let used: SimDuration = self.periods.iter().map(|p| p.used).sum();
+        let avail = self.period_len * self.periods.len() as u64;
+        used.as_picos() as f64 / avail.as_picos() as f64
+    }
+
+    /// Largest `used` across periods (worst case observed).
+    pub fn worst_period(&self) -> SimDuration {
+        self.periods.iter().map(|p| p.used).max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+impl fmt::Display for ExecutiveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "periods={} misses={} skips={} utilization={:.2}%",
+            self.periods.len(),
+            self.total_misses(),
+            self.total_skips(),
+            self.utilization() * 100.0
+        )?;
+        for (name, s) in &self.tasks {
+            writeln!(
+                f,
+                "  {:<10} n={:<6} min={:<12} mean={:<12} max={}",
+                name,
+                s.count,
+                s.min.to_string(),
+                s.mean().to_string(),
+                s.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_stats_track_min_mean_max() {
+        let mut r = ExecutiveReport::new(SimDuration::from_millis(500));
+        r.record_task("T", SimDuration::from_millis(10));
+        r.record_task("T", SimDuration::from_millis(30));
+        r.record_task("T", SimDuration::from_millis(20));
+        let s = r.task_stats("T").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, SimDuration::from_millis(10));
+        assert_eq!(s.max, SimDuration::from_millis(30));
+        assert_eq!(s.mean(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn utilization_is_used_over_available() {
+        let mut r = ExecutiveReport::new(SimDuration::from_millis(500));
+        r.record_period(PeriodRecord {
+            cycle: 0,
+            period: 0,
+            used: SimDuration::from_millis(250),
+            slack: SimDuration::from_millis(250),
+            missed: false,
+            skipped: 0,
+        });
+        r.record_period(PeriodRecord {
+            cycle: 0,
+            period: 1,
+            used: SimDuration::from_millis(0),
+            slack: SimDuration::from_millis(500),
+            missed: false,
+            skipped: 0,
+        });
+        assert!((r.utilization() - 0.25).abs() < 1e-12);
+        assert_eq!(r.worst_period(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn misses_and_skips_accumulate() {
+        let mut r = ExecutiveReport::new(SimDuration::from_millis(500));
+        r.record_miss("T1", 0, 3);
+        r.record_miss("T1", 1, 3);
+        r.record_skip("T2");
+        r.record_skip("T2");
+        r.record_skip("T2");
+        assert_eq!(r.total_misses(), 2);
+        assert_eq!(r.total_skips(), 3);
+        assert_eq!(r.misses()[0], MissRecord { task: "T1", cycle: 0, period: 3 });
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut r = ExecutiveReport::new(SimDuration::from_millis(500));
+        r.record_task("Task1", SimDuration::from_millis(5));
+        let s = r.to_string();
+        assert!(s.contains("Task1"), "{s}");
+        assert!(s.contains("misses=0"), "{s}");
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = ExecutiveReport::new(SimDuration::from_millis(500));
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.worst_period(), SimDuration::ZERO);
+        assert_eq!(r.total_misses(), 0);
+        assert!(r.task_stats("nope").is_none());
+    }
+
+    #[test]
+    fn zero_count_stats_mean_is_zero() {
+        let s = TaskStats::new();
+        assert_eq!(s.mean(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,349 @@
+//! Integer simulated time.
+//!
+//! [`SimDuration`] is a span of simulated time stored as whole picoseconds in
+//! a `u64`; [`SimInstant`] is a point on a simulated timeline. `u64`
+//! picoseconds cover about 213 days of simulated time, far beyond anything a
+//! benchmark sweep produces, while keeping all arithmetic exact so that two
+//! identical runs cannot drift apart through floating-point rounding.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond/microsecond/millisecond/second.
+const PS_PER_NS: u64 = 1_000;
+const PS_PER_US: u64 = 1_000_000;
+const PS_PER_MS: u64 = 1_000_000_000;
+const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// An exact span of simulated time (integer picoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    picos: u64,
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { picos: 0 };
+    /// The largest representable duration; used as an "infinite" sentinel.
+    pub const MAX: SimDuration = SimDuration { picos: u64::MAX };
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_picos(picos: u64) -> Self {
+        SimDuration { picos }
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration { picos: ns * PS_PER_NS }
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration { picos: us * PS_PER_US }
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration { picos: ms * PS_PER_MS }
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration { picos: s * PS_PER_S }
+    }
+
+    /// Convert a cycle count at a clock frequency in MHz to a duration.
+    ///
+    /// One cycle at `f` MHz lasts `10^6 / f` picoseconds. The division is
+    /// performed after the multiply in 128-bit arithmetic so the result is
+    /// exact to the picosecond (truncated).
+    #[inline]
+    pub fn from_cycles(cycles: u64, clock_mhz: u32) -> Self {
+        assert!(clock_mhz > 0, "clock frequency must be positive");
+        let picos = (cycles as u128 * 1_000_000u128) / clock_mhz as u128;
+        SimDuration { picos: picos.min(u64::MAX as u128) as u64 }
+    }
+
+    /// Construct from a floating-point number of seconds (saturating, for
+    /// interop with measured wall-clock times).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let picos = secs * PS_PER_S as f64;
+        if picos >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration { picos: picos as u64 }
+        }
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_picos(self) -> u64 {
+        self.picos
+    }
+
+    /// Duration in nanoseconds (truncated).
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.picos / PS_PER_NS
+    }
+
+    /// Duration in microseconds (truncated).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.picos / PS_PER_US
+    }
+
+    /// Duration in milliseconds (truncated).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.picos / PS_PER_MS
+    }
+
+    /// Duration as floating-point seconds (for reporting/plotting only —
+    /// never feed this back into the simulation).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.picos as f64 / PS_PER_S as f64
+    }
+
+    /// Duration as floating-point milliseconds (for reporting/plotting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.picos as f64 / PS_PER_MS as f64
+    }
+
+    /// Saturating subtraction: zero if `other` is longer.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration { picos: self.picos.saturating_sub(other.picos) }
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        self.picos.checked_add(other.picos).map(|picos| SimDuration { picos })
+    }
+
+    /// Multiply by an integer factor, saturating at `SimDuration::MAX`.
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration { picos: self.picos.saturating_mul(factor) }
+    }
+
+    /// True when this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.picos == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { picos: self.picos.checked_add(rhs.picos).expect("SimDuration overflow") }
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { picos: self.picos.checked_sub(rhs.picos).expect("SimDuration underflow") }
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration { picos: self.picos.checked_mul(rhs).expect("SimDuration overflow") }
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration { picos: self.picos / rhs }
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({self})")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Human-readable rendering with an automatically chosen unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.picos;
+        if p == 0 {
+            write!(f, "0s")
+        } else if p < PS_PER_NS {
+            write!(f, "{p}ps")
+        } else if p < PS_PER_US {
+            write!(f, "{:.3}ns", p as f64 / PS_PER_NS as f64)
+        } else if p < PS_PER_MS {
+            write!(f, "{:.3}us", p as f64 / PS_PER_US as f64)
+        } else if p < PS_PER_S {
+            write!(f, "{:.3}ms", p as f64 / PS_PER_MS as f64)
+        } else {
+            write!(f, "{:.3}s", p as f64 / PS_PER_S as f64)
+        }
+    }
+}
+
+/// A point in simulated time, measured from the start of a [`crate::Timeline`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct SimInstant {
+    since_start: SimDuration,
+}
+
+impl SimInstant {
+    /// The origin of simulated time.
+    pub const EPOCH: SimInstant = SimInstant { since_start: SimDuration::ZERO };
+
+    /// Construct an instant at a given offset from the epoch.
+    #[inline]
+    pub const fn at(since_start: SimDuration) -> Self {
+        SimInstant { since_start }
+    }
+
+    /// Offset from the epoch.
+    #[inline]
+    pub const fn elapsed_since_epoch(self) -> SimDuration {
+        self.since_start
+    }
+
+    /// Span from an earlier instant (panics if `earlier` is later).
+    #[inline]
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        self.since_start - earlier.since_start
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant { since_start: self.since_start + rhs }
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.since_start += rhs;
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimDuration::from_nanos(1).as_picos(), 1_000);
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn cycles_at_one_ghz_are_one_ns() {
+        let d = SimDuration::from_cycles(5, 1_000);
+        assert_eq!(d, SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    fn cycles_truncate_to_picos() {
+        // 1 cycle at 1500 MHz = 666.66… ps, truncates to 666 ps.
+        assert_eq!(SimDuration::from_cycles(1, 1_500).as_picos(), 666);
+        // But 3 cycles = exactly 2000 ps: truncation happens once, on the
+        // total, not per cycle.
+        assert_eq!(SimDuration::from_cycles(3, 1_500).as_picos(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = SimDuration::from_millis(3);
+        let b = SimDuration::from_micros(250);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a * 4 / 4, a);
+        assert_eq!(a.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instants_order_and_subtract() {
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0 + SimDuration::from_millis(500);
+        assert!(t1 > t0);
+        assert_eq!(t1 - t0, SimDuration::from_millis(500));
+        assert_eq!(t1.elapsed_since_epoch().as_millis(), 500);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(SimDuration::from_picos(12).to_string(), "12ps");
+        assert_eq!(SimDuration::from_nanos(1).to_string(), "1.000ns");
+        assert_eq!(SimDuration::from_millis(500).to_string(), "500.000ms");
+        assert_eq!(SimDuration::from_secs(8).to_string(), "8.000s");
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn from_secs_f64_handles_edge_cases() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
+        let half = SimDuration::from_secs_f64(0.5);
+        assert_eq!(half, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration =
+            (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared simulated-time and cost-accounting foundation.
+//!
+//! Every architecture model in this workspace (the SIMT GPU simulator, the
+//! associative-processor emulator, the modeled multi-core) expresses elapsed
+//! time as an integer number of **picoseconds** so that repeated runs of the
+//! same workload produce bit-identical timelines — determinism is one of the
+//! claims of the reproduced paper and it must hold by construction in the
+//! simulators.
+//!
+//! The crate also defines [`CostSink`], the instrumentation channel through
+//! which a single implementation of an algorithm reports its abstract
+//! operation mix (flops, memory traffic, branches). Each architecture model
+//! implements `CostSink` with its own cost table, so the ATM task algorithms
+//! are written exactly once and re-priced per architecture.
+
+pub mod cost;
+pub mod duration;
+pub mod stopwatch;
+pub mod timeline;
+
+pub use cost::{CostSink, NullSink, OpClass, OpCounter, OP_CLASS_COUNT};
+pub use duration::{SimDuration, SimInstant};
+pub use stopwatch::Stopwatch;
+pub use timeline::{Timeline, TimelineEvent};

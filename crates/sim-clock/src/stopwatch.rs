@@ -1,0 +1,80 @@
+//! Wall-clock measurement bridged into simulated time.
+//!
+//! Host backends (the sequential reference and the real-thread MIMD backend)
+//! are *measured*, not modeled. [`Stopwatch`] wraps `std::time::Instant` and
+//! reports elapsed wall time as a [`SimDuration`] so measured and modeled
+//! results flow through the same reporting pipeline.
+
+use crate::duration::SimDuration;
+use std::time::Instant;
+
+/// A wall-clock stopwatch reporting [`SimDuration`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed wall time since `start`, as simulated-time units.
+    pub fn elapsed(&self) -> SimDuration {
+        let d = self.start.elapsed();
+        // u128 nanoseconds -> u64 picoseconds, saturating. A measured span
+        // long enough to saturate (213 days) would mean something else has
+        // gone very wrong.
+        let picos = d.as_nanos().saturating_mul(1_000);
+        SimDuration::from_picos(picos.min(u64::MAX as u128) as u64)
+    }
+
+    /// Restart the stopwatch, returning the span measured so far.
+    pub fn lap(&mut self) -> SimDuration {
+        let elapsed = self.elapsed();
+        self.start = Instant::now();
+        elapsed
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nondecreasing() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lap_resets_the_origin() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let first = sw.lap();
+        assert!(first >= SimDuration::from_millis(1));
+        // Immediately after a lap, elapsed is close to zero (well under the
+        // first lap's span).
+        assert!(sw.elapsed() < first + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn measured_time_is_positive_after_work() {
+        let sw = Stopwatch::start();
+        let mut acc = 0u64;
+        for i in 0..100_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        assert!(sw.elapsed() > SimDuration::ZERO);
+    }
+}

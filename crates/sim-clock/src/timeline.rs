@@ -1,0 +1,179 @@
+//! An append-only simulated timeline.
+//!
+//! Architecture models advance a [`Timeline`] by appending named events with
+//! durations: kernel launches, host↔device transfers, associative search
+//! passes, barrier phases. The timeline is the single source of truth for
+//! "how long did the device take", and its event log doubles as a trace for
+//! debugging and for the determinism experiment (two runs with the same seed
+//! must produce identical event logs).
+
+use crate::duration::{SimDuration, SimInstant};
+use std::fmt;
+
+/// One timed event on a device timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Short machine-readable label, e.g. `"kernel:TrackDrone"`.
+    pub label: String,
+    /// When the event started.
+    pub start: SimInstant,
+    /// How long it took.
+    pub duration: SimDuration,
+}
+
+impl TimelineEvent {
+    /// Instant at which the event completed.
+    pub fn end(&self) -> SimInstant {
+        self.start + self.duration
+    }
+}
+
+impl fmt::Display for TimelineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12} +{}] {}",
+            self.start.elapsed_since_epoch().to_string(),
+            self.duration,
+            self.label
+        )
+    }
+}
+
+/// An advancing simulated clock with an optional event log.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    now: SimInstant,
+    events: Vec<TimelineEvent>,
+    record_events: bool,
+}
+
+impl Timeline {
+    /// A timeline that records every event (useful for traces and tests).
+    pub fn recording() -> Self {
+        Timeline { now: SimInstant::EPOCH, events: Vec::new(), record_events: true }
+    }
+
+    /// A timeline that only tracks the clock (no per-event allocation; the
+    /// default for benchmark sweeps).
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Total simulated time elapsed since the epoch.
+    #[inline]
+    pub fn elapsed(&self) -> SimDuration {
+        self.now.elapsed_since_epoch()
+    }
+
+    /// Append an event of length `duration`, advancing the clock.
+    pub fn advance(&mut self, label: &str, duration: SimDuration) {
+        if self.record_events {
+            self.events.push(TimelineEvent {
+                label: label.to_owned(),
+                start: self.now,
+                duration,
+            });
+        }
+        self.now += duration;
+    }
+
+    /// Advance the clock without logging a named event (idle waits).
+    pub fn skip(&mut self, duration: SimDuration) {
+        self.now += duration;
+    }
+
+    /// The recorded events (empty unless constructed with [`Timeline::recording`]).
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Reset the clock to the epoch and clear the log.
+    pub fn reset(&mut self) {
+        self.now = SimInstant::EPOCH;
+        self.events.clear();
+    }
+
+    /// Sum of the durations of events whose label starts with `prefix`.
+    pub fn total_for(&self, prefix: &str) -> SimDuration {
+        self.events
+            .iter()
+            .filter(|e| e.label.starts_with(prefix))
+            .map(|e| e.duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_moves_the_clock() {
+        let mut t = Timeline::new();
+        t.advance("a", SimDuration::from_millis(2));
+        t.advance("b", SimDuration::from_millis(3));
+        assert_eq!(t.elapsed(), SimDuration::from_millis(5));
+        // Non-recording timeline keeps no events.
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn recording_timeline_logs_events_in_order() {
+        let mut t = Timeline::recording();
+        t.advance("kernel:Track", SimDuration::from_micros(10));
+        t.advance("memcpy:D2H", SimDuration::from_micros(5));
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].label, "kernel:Track");
+        assert_eq!(ev[0].start, SimInstant::EPOCH);
+        assert_eq!(ev[1].start.elapsed_since_epoch(), SimDuration::from_micros(10));
+        assert_eq!(ev[1].end().elapsed_since_epoch(), SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn skip_advances_without_logging() {
+        let mut t = Timeline::recording();
+        t.skip(SimDuration::from_secs(1));
+        assert_eq!(t.elapsed(), SimDuration::from_secs(1));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn total_for_filters_by_prefix() {
+        let mut t = Timeline::recording();
+        t.advance("kernel:A", SimDuration::from_micros(1));
+        t.advance("memcpy:H2D", SimDuration::from_micros(2));
+        t.advance("kernel:B", SimDuration::from_micros(4));
+        assert_eq!(t.total_for("kernel:"), SimDuration::from_micros(5));
+        assert_eq!(t.total_for("memcpy:"), SimDuration::from_micros(2));
+        assert_eq!(t.total_for("nothing"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reset_returns_to_epoch() {
+        let mut t = Timeline::recording();
+        t.advance("x", SimDuration::from_secs(2));
+        t.reset();
+        assert_eq!(t.elapsed(), SimDuration::ZERO);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn event_display_is_stable() {
+        let e = TimelineEvent {
+            label: "kernel:Track".into(),
+            start: SimInstant::EPOCH,
+            duration: SimDuration::from_micros(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("kernel:Track"));
+        assert!(s.contains("3.000us"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Deconfliction deep-dive: a dense converging scenario.
+//!
+//! Builds a deliberately hazardous airspace — several waves of aircraft
+//! converging on shared crossing points at matching altitudes — and traces
+//! what Batcher detection and rotation resolution do with it, pair by pair.
+//! This is the aircraft-to-aircraft deconfliction the paper contrasts with
+//! terrain-only deconfliction in related work.
+//!
+//! ```text
+//! cargo run --release --example deconfliction
+//! ```
+
+use atm::prelude::*;
+use atm_core::batcher::conflict_window;
+use atm_core::config::AtmConfig;
+use atm_core::detect::detect_resolve_all;
+use sim_clock::{NullSink, OpCounter};
+
+/// Waves of aircraft converging on crossing points.
+fn converging_fleet() -> Vec<Aircraft> {
+    let mut fleet = Vec::new();
+    // Wave 1: a head-on corridor at FL100. Gap 40 nm at 0.16 nm/period
+    // closing speed: conflicts open at t ≈ 231 periods — inside the
+    // 300-period critical window.
+    for k in 0..8 {
+        let y = -42.0 + 12.0 * k as f32;
+        fleet.push(Aircraft::at(-20.0, y).with_velocity(0.08, 0.0).with_altitude(10_000.0));
+        fleet.push(Aircraft::at(20.0, y + 0.5).with_velocity(-0.08, 0.0).with_altitude(10_000.0));
+    }
+    // Wave 2: crossing traffic climbing through the corridor at the same
+    // level, timed to cross while the corridor planes pass.
+    for k in 0..3 {
+        let x = -24.0 + 24.0 * k as f32;
+        fleet.push(Aircraft::at(x, -20.0).with_velocity(0.0, 0.07).with_altitude(10_000.0));
+    }
+    // Wave 3: identical geometry one flight level up — must be ignored by
+    // the altitude gate.
+    for k in 0..3 {
+        let x = -24.0 + 24.0 * k as f32;
+        fleet.push(Aircraft::at(x, -20.0).with_velocity(0.0, 0.07).with_altitude(14_000.0));
+    }
+    fleet
+}
+
+fn count_critical_pairs(fleet: &[Aircraft], cfg: &AtmConfig) -> usize {
+    let mut pairs = 0;
+    for i in 0..fleet.len() {
+        for j in (i + 1)..fleet.len() {
+            if (fleet[i].alt - fleet[j].alt).abs() >= cfg.alt_separation_ft {
+                continue;
+            }
+            if let Some((tmin, _)) = conflict_window(
+                &fleet[i],
+                (fleet[i].dx, fleet[i].dy),
+                &fleet[j],
+                cfg.separation_nm,
+                cfg.horizon_periods,
+                &mut NullSink,
+            ) {
+                if tmin < cfg.critical_periods {
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+fn main() {
+    let cfg = AtmConfig::default();
+    let mut fleet = converging_fleet();
+    println!("== Deconfliction deep-dive: {} aircraft, converging waves ==\n", fleet.len());
+
+    let before = count_critical_pairs(&fleet, &cfg);
+    println!("critical conflict pairs before resolution: {before}");
+    assert!(before > 0, "the scenario must actually be dangerous");
+
+    let mut ops = OpCounter::new();
+    let stats = detect_resolve_all(&mut fleet, &cfg, &mut ops);
+    println!("\ndetection/resolution statistics:");
+    println!("  pair checks        : {}", stats.pair_checks);
+    println!("  critical conflicts : {}", stats.critical_conflicts);
+    println!("  rotations attempted: {}", stats.rotations);
+    println!("  aircraft resolved  : {}", stats.resolved);
+    println!("  unresolved         : {}", stats.unresolved);
+    println!("\nabstract op mix of the task:");
+    println!("  fp add/mul: {} / {}", ops.count(sim_clock::OpClass::FpAdd), ops.count(sim_clock::OpClass::FpMul));
+    println!("  fp div    : {}", ops.count(sim_clock::OpClass::FpDiv));
+    println!("  sfu (trig): {}", ops.count(sim_clock::OpClass::Sfu));
+    println!("  mem bytes : {}", ops.total_bytes());
+
+    let after = count_critical_pairs(&fleet, &cfg);
+    println!("\ncritical conflict pairs after resolution: {after}");
+    println!(
+        "reduction: {before} -> {after} ({:.0}% cleared)",
+        100.0 * (before - after) as f64 / before as f64
+    );
+
+    // The paper's position: complete avoidance is not always possible in
+    // dense fields; what matters is that the bulk clears and the rest are
+    // flagged for altitude resolution.
+    let flagged = fleet.iter().filter(|a| a.col).count();
+    println!("aircraft left flagged for altitude resolution: {flagged}");
+    assert!(after < before, "resolution must reduce critical pairs");
+}

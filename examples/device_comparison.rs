@@ -1,0 +1,66 @@
+//! Device comparison: sweep the aircraft count across all six platforms.
+//!
+//! Reproduces the qualitative content of the paper's Figures 4–7 at the
+//! terminal: per-task mean execution times for the STARAN AP, the
+//! ClearSpeed CSX600 emulation, the modeled 16-core Xeon, and the three
+//! simulated NVIDIA cards, with curve-shape verdicts from the MATLAB-style
+//! fitting crate.
+//!
+//! ```text
+//! cargo run --release --example device_comparison
+//! ```
+
+use atm::prelude::*;
+use atm_core::backends::paper_roster;
+
+fn main() {
+    let sweep: Vec<usize> = vec![500, 1_000, 2_000, 4_000];
+    let seed = 7;
+
+    println!("== Task timings across platforms (mean per execution) ==\n");
+    println!(
+        "{:<22} {:>8} {:>16} {:>16} {:>8}",
+        "platform", "n", "Task 1", "Tasks 2+3", "misses"
+    );
+
+    // One fresh backend per (platform, n) so device clocks don't leak
+    // between runs; series collected for curve classification.
+    let mut series: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+
+    for (idx, _) in paper_roster().iter().enumerate() {
+        let mut xs = Vec::new();
+        let mut t1s = Vec::new();
+        let mut name = String::new();
+        for &n in &sweep {
+            let mut roster = paper_roster();
+            let backend = roster.swap_remove(idx);
+            name = backend.name();
+            let mut sim = AtmSimulation::with_field(n, seed, backend);
+            let out = sim.run(1);
+            println!(
+                "{:<22} {:>8} {:>16} {:>16} {:>8}",
+                out.backend_name,
+                n,
+                out.mean_task1().to_string(),
+                out.mean_task23().to_string(),
+                out.report.total_misses()
+            );
+            xs.push(n as f64);
+            t1s.push(out.mean_task1().as_secs_f64() * 1e3);
+        }
+        println!();
+        series.push((name, xs, t1s));
+    }
+
+    println!("== Curve shape of Task 1 (MATLAB-style classification) ==\n");
+    for (name, xs, ys) in &series {
+        match classify_curve(xs, ys) {
+            Ok((class, linear, quad)) => {
+                println!("{name:<22} -> {class}");
+                println!("    linear fit    : {linear}");
+                println!("    quadratic fit : {quad}");
+            }
+            Err(e) => println!("{name:<22} -> fit failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithm invariants.
+
+use atm::prelude::*;
+use atm_core::batcher::{axis_window, conflict_window};
+use atm_core::detect::{check_collision_path, rotate_velocity};
+use atm_core::track::track_correlate;
+use proptest::prelude::*;
+use sim_clock::NullSink;
+
+const HORIZON: f32 = 2_400.0;
+
+/// A plausible aircraft anywhere in the field with a realistic velocity.
+fn arb_aircraft() -> impl Strategy<Value = Aircraft> {
+    (
+        -128.0f32..128.0,
+        -128.0f32..128.0,
+        -0.1f32..0.1,
+        -0.1f32..0.1,
+        1_000.0f32..40_000.0,
+    )
+        .prop_map(|(x, y, dx, dy, alt)| {
+            Aircraft::at(x, y).with_velocity(dx, dy).with_altitude(alt)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- Batcher windows ----------
+
+    #[test]
+    fn axis_window_is_within_bounds(
+        pos in -300.0f32..300.0,
+        vel in -1.0f32..1.0,
+        sep in 0.1f32..10.0,
+    ) {
+        if let Some((lo, hi)) = axis_window(pos, vel, sep, HORIZON, &mut NullSink) {
+            prop_assert!(lo >= 0.0);
+            prop_assert!(hi <= HORIZON);
+            prop_assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn axis_window_matches_brute_force_sampling(
+        pos in -100.0f32..100.0,
+        vel in -0.5f32..0.5,
+    ) {
+        // Sample the trajectory: the analytic window and the sampled
+        // violation set must agree (up to sampling resolution at the edges).
+        let sep = 3.0f32;
+        let window = axis_window(pos, vel, sep, HORIZON, &mut NullSink);
+        let step = 1.0f32;
+        let mut t = 0.0f32;
+        while t <= HORIZON {
+            let violating = (pos + vel * t).abs() <= sep;
+            match window {
+                Some((lo, hi)) => {
+                    // Strictly inside the window must violate; strictly
+                    // outside must not (1-step guard band for f32 edges).
+                    if t > lo + step && t < hi - step {
+                        prop_assert!(violating, "t={t} inside ({lo},{hi}) but not violating");
+                    }
+                    if t < lo - step || t > hi + step {
+                        prop_assert!(!violating, "t={t} outside ({lo},{hi}) but violating");
+                    }
+                }
+                None => {
+                    // A guard band around exact tangency.
+                    let d = (pos + vel * t).abs();
+                    prop_assert!(d > sep - 0.51, "no window but violation at t={t} (d={d})");
+                }
+            }
+            t += step;
+        }
+    }
+
+    #[test]
+    fn conflict_window_is_symmetric_in_the_pair(
+        a in arb_aircraft(),
+        b in arb_aircraft(),
+    ) {
+        // Swapping track and trial (with their own velocities) must yield
+        // the same window: relative geometry is symmetric.
+        let w1 = conflict_window(&a, (a.dx, a.dy), &b, 3.0, HORIZON, &mut NullSink);
+        let w2 = conflict_window(&b, (b.dx, b.dy), &a, 3.0, HORIZON, &mut NullSink);
+        match (w1, w2) {
+            (None, None) => {}
+            (Some((l1, h1)), Some((l2, h2))) => {
+                prop_assert!((l1 - l2).abs() < 1e-2, "{l1} vs {l2}");
+                prop_assert!((h1 - h2).abs() < 1e-2, "{h1} vs {h2}");
+            }
+            other => prop_assert!(false, "asymmetric windows: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coincident_aircraft_always_conflict(a in arb_aircraft()) {
+        // An aircraft exactly on top of another (same velocity) violates
+        // separation for the whole horizon.
+        let b = a;
+        let w = conflict_window(&a, (a.dx, a.dy), &b, 3.0, HORIZON, &mut NullSink);
+        prop_assert_eq!(w, Some((0.0, HORIZON)));
+    }
+
+    // ---------- Rotation (Task 3) ----------
+
+    #[test]
+    fn rotation_preserves_speed(
+        vx in -1.0f32..1.0,
+        vy in -1.0f32..1.0,
+        angle in -3.2f32..3.2,
+    ) {
+        let (rx, ry) = rotate_velocity((vx, vy), angle, &mut NullSink);
+        let before = (vx * vx + vy * vy).sqrt();
+        let after = (rx * rx + ry * ry).sqrt();
+        prop_assert!((before - after).abs() < 1e-4 * (1.0 + before));
+    }
+
+    #[test]
+    fn opposite_rotations_cancel(
+        vx in -1.0f32..1.0,
+        vy in -1.0f32..1.0,
+        angle in 0.01f32..1.0,
+    ) {
+        let fwd = rotate_velocity((vx, vy), angle, &mut NullSink);
+        let back = rotate_velocity(fwd, -angle, &mut NullSink);
+        prop_assert!((back.0 - vx).abs() < 1e-4);
+        prop_assert!((back.1 - vy).abs() < 1e-4);
+    }
+
+    // ---------- Task 1 invariants over random fleets ----------
+
+    #[test]
+    fn track_state_machine_invariants(seed in 0u64..10_000, n in 2usize..120) {
+        let mut field = Airfield::with_seed(n, seed);
+        let mut radars = field.generate_radar();
+        let cfg = field.config().clone();
+        let stats = track_correlate(&mut field.aircraft, &mut radars, &cfg, &mut NullSink);
+
+        // Counting identity: every aircraft is in exactly one match state.
+        let none = field.aircraft.iter().filter(|a| a.r_match == 0).count() as u64;
+        prop_assert_eq!(
+            stats.matched + stats.dropped_aircraft + none,
+            n as u64
+        );
+
+        // Radar bookkeeping: matched + discarded + unmatched = all radars.
+        let matched_radars = radars.iter().filter(|r| r.matched()).count() as u64;
+        prop_assert_eq!(
+            matched_radars + stats.discarded_radars + stats.unmatched_radars,
+            n as u64
+        );
+
+        // A radar that claims aircraft p and survives validation implies
+        // the aircraft really is in MATCH_ONE... or was dropped later.
+        for r in &radars {
+            if r.matched() {
+                let p = r.r_match_with as usize;
+                prop_assert!(p < n);
+                prop_assert!(field.aircraft[p].r_match == 1 || field.aircraft[p].r_match == -1);
+            }
+        }
+
+        // No two *matched* radars point at the same aircraft in MATCH_ONE.
+        let mut seen = vec![0u32; n];
+        for r in &radars {
+            if r.matched() && field.aircraft[r.r_match_with as usize].r_match == 1 {
+                seen[r.r_match_with as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c <= 1), "two radars own one aircraft");
+    }
+
+    // ---------- Tasks 2+3 invariants ----------
+
+    #[test]
+    fn resolution_preserves_every_speed(seed in 0u64..5_000, n in 2usize..60) {
+        let mut field = Airfield::with_seed(n, seed);
+        let cfg = field.config().clone();
+        let speeds: Vec<f32> = field.aircraft.iter().map(|a| a.speed()).collect();
+        for i in 0..n {
+            check_collision_path(&mut field.aircraft, i, &cfg, &mut NullSink);
+        }
+        for (a, s0) in field.aircraft.iter().zip(speeds) {
+            prop_assert!((a.speed() - s0).abs() < 1e-3 * (1.0 + s0), "speed changed");
+        }
+    }
+
+    #[test]
+    fn committed_paths_have_no_critical_conflicts_left_behind(
+        seed in 0u64..2_000,
+        n in 2usize..50,
+    ) {
+        let mut field = Airfield::with_seed(n, seed);
+        let cfg = field.config().clone();
+        for i in 0..n {
+            let before = field.aircraft[i];
+            let s = check_collision_path(&mut field.aircraft, i, &cfg, &mut NullSink);
+            if s.resolved == 1 {
+                // The committed path differs from the original and is
+                // verified conflict-free at commit time (against the fleet
+                // as it stood). Direction changed, speed didn't.
+                let after = field.aircraft[i];
+                prop_assert!(after.dx != before.dx || after.dy != before.dy);
+                prop_assert!(!after.col);
+            }
+        }
+    }
+
+    // ---------- Airfield generator ----------
+
+    #[test]
+    fn setup_respects_all_configured_ranges(seed in 0u64..10_000, n in 1usize..200) {
+        let field = Airfield::with_seed(n, seed);
+        let cfg = field.config();
+        for a in &field.aircraft {
+            prop_assert!(a.x.abs() <= cfg.half_width);
+            prop_assert!(a.y.abs() <= cfg.half_width);
+            prop_assert!(a.alt >= cfg.alt_min_ft && a.alt <= cfg.alt_max_ft);
+            let kts = a.speed() * cfg.periods_per_hour;
+            prop_assert!(kts >= cfg.speed_min_kts - 0.5);
+            prop_assert!(kts <= cfg.speed_max_kts + 0.5);
+        }
+    }
+
+    #[test]
+    fn quarter_shuffle_is_a_permutation(n in 0usize..200) {
+        let mut v: Vec<usize> = (0..n).collect();
+        atm_core::airfield::shuffle_quarters(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    // ---------- Simulated time ----------
+
+    #[test]
+    fn sim_duration_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_picos(a);
+        let db = SimDuration::from_picos(b);
+        prop_assert_eq!((da + db) - db, da);
+        prop_assert_eq!(da.saturating_sub(db) + db.min(da + db), da.max(db));
+    }
+
+    #[test]
+    fn sim_duration_ordering_matches_picos(a in any::<u64>(), b in any::<u64>()) {
+        let da = SimDuration::from_picos(a);
+        let db = SimDuration::from_picos(b);
+        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+    }
+
+    // ---------- Curve fitting ----------
+
+    #[test]
+    fn polyfit_recovers_planted_lines(
+        intercept in -100.0f64..100.0,
+        slope in -10.0f64..10.0,
+    ) {
+        let x: Vec<f64> = (0..24).map(|i| (i * 700) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| intercept + slope * v).collect();
+        let fit = fit_poly(&x, &y, 1).unwrap();
+        prop_assert!((fit.poly.coeff(0) - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!((fit.poly.coeff(1) - slope).abs() < 1e-8 * (1.0 + slope.abs()));
+        prop_assert!(fit.gof.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn polyfit_residuals_never_beat_higher_degree(
+        seed in 0u64..1_000,
+    ) {
+        // SSE of a degree-2 fit can never exceed the degree-1 fit's SSE on
+        // the same data (nested models).
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 * v + noise()).collect();
+        let lin = fit_poly(&x, &y, 1).unwrap();
+        let quad = fit_poly(&x, &y, 2).unwrap();
+        prop_assert!(quad.gof.sse <= lin.gof.sse + 1e-9);
+    }
+}

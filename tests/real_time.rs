@@ -1,0 +1,111 @@
+//! End-to-end hard-real-time behaviour: the paper's §6 claims as
+//! integration tests over the full simulation stack.
+
+use atm::prelude::*;
+
+#[test]
+fn nvidia_devices_never_miss_within_the_evaluated_domain() {
+    // The paper's headline: all three cards meet every deadline. The
+    // evaluated domain here matches EXPERIMENTS.md (up to 8k aircraft).
+    for (name, make) in [
+        ("9800gt", GpuBackend::geforce_9800_gt as fn() -> GpuBackend),
+        ("880m", GpuBackend::gtx_880m),
+        ("titan", GpuBackend::titan_x_pascal),
+    ] {
+        let mut sim = AtmSimulation::with_field(4_000, 2018, Box::new(make()));
+        let out = sim.run(1);
+        assert_eq!(
+            out.report.total_misses(),
+            0,
+            "{name} missed deadlines at 4000 aircraft:\n{}",
+            out.report
+        );
+        assert_eq!(out.report.total_skips(), 0);
+    }
+}
+
+#[test]
+fn ap_platforms_meet_deadlines_at_their_evaluated_loads() {
+    let mut staran = AtmSimulation::with_field(1_500, 2018, Box::new(ApBackend::staran()));
+    assert_eq!(staran.run(1).report.total_misses(), 0);
+
+    // ClearSpeed virtualizes beyond 192 PEs; the prior work evaluated it at
+    // moderate loads where it held its deadlines.
+    let mut cs = AtmSimulation::with_field(1_000, 2018, Box::new(ApBackend::clearspeed()));
+    assert_eq!(cs.run(1).report.total_misses(), 0);
+}
+
+#[test]
+fn xeon_baseline_misses_many_deadlines_at_scale() {
+    let mut sim = AtmSimulation::with_field(12_000, 2018, Box::new(XeonModelBackend::new()));
+    let out = sim.run(1);
+    assert!(
+        out.report.total_misses() >= 8,
+        "the multi-core baseline must 'regularly miss a large number' at 12k: {}",
+        out.report
+    );
+}
+
+#[test]
+fn deadline_misses_grow_with_load_on_the_xeon() {
+    let misses_at = |n: usize| {
+        let mut sim = AtmSimulation::with_field(n, 2018, Box::new(XeonModelBackend::new()));
+        sim.run(1).report.total_misses()
+    };
+    let low = misses_at(1_000);
+    let high = misses_at(12_000);
+    assert!(low < high, "misses must grow with fleet size: {low} vs {high}");
+}
+
+#[test]
+fn periods_never_start_early() {
+    // §4.2: leftover slack is waited out. Simulated time after k major
+    // cycles is exactly k * 8 s regardless of how little work there was.
+    let mut sim = AtmSimulation::with_field(100, 1, Box::new(GpuBackend::titan_x_pascal()));
+    let out = sim.run(3);
+    let total_slack: SimDuration = out.report.periods().iter().map(|p| p.slack).sum();
+    let total_used: SimDuration = out.report.periods().iter().map(|p| p.used).sum();
+    assert_eq!(total_slack + total_used, SimDuration::from_secs(24));
+}
+
+#[test]
+fn task_schedule_follows_the_paper() {
+    // Task 1 every half-second, Tasks 2+3 only in the 16th period.
+    let mut sim = AtmSimulation::with_field(200, 9, Box::new(SequentialBackend::new()));
+    let out = sim.run(2);
+    assert_eq!(out.report.task_stats("Task1").unwrap().count, 32);
+    assert_eq!(out.report.task_stats("Task2+3").unwrap().count, 2);
+    // Tasks 2+3 executions land in period 15 only: check the per-period
+    // booked time jumps there.
+    for p in out.report.periods() {
+        if p.period != 15 {
+            assert!(!p.missed, "only the detection period could ever be tight here");
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_on_simulated_hardware_are_bit_identical() {
+    // §6.2: "we would get the exact same timings again and again".
+    let run = || {
+        let mut sim = AtmSimulation::with_field(600, 77, Box::new(GpuBackend::gtx_880m()));
+        let out = sim.run(1);
+        (
+            out.mean_task1().as_picos(),
+            out.mean_task23().as_picos(),
+            out.report.utilization().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn utilization_grows_with_fleet_size() {
+    let util = |n: usize| {
+        let mut sim = AtmSimulation::with_field(n, 3, Box::new(GpuBackend::geforce_9800_gt()));
+        sim.run(1).report.utilization()
+    };
+    let small = util(500);
+    let large = util(4_000);
+    assert!(large > small, "{small} !< {large}");
+}
