@@ -20,7 +20,10 @@ use sim_clock::SimDuration;
 
 /// Pad-free check: XOR permutations need a power-of-two array.
 fn assert_pow2(n: usize) {
-    assert!(n.is_power_of_two(), "flip network operations require a power-of-two PE count, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "flip network operations require a power-of-two PE count, got {n}"
+    );
 }
 
 impl<R> ApMachine<R> {
@@ -114,7 +117,11 @@ impl ApTimingProfile {
     /// priced here.
     pub fn flip_pass_time(&self) -> SimDuration {
         let cycles = self.arith_cycles_per_bit
-            * if self.physical_pes.is_some() { 1 } else { self.word_bits as u64 }
+            * if self.physical_pes.is_some() {
+                1
+            } else {
+                self.word_bits as u64
+            }
             + self.route_cycles_per_pass;
         SimDuration::from_cycles(cycles, self.clock_mhz)
     }

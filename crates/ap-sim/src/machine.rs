@@ -3,7 +3,8 @@
 use crate::ops::ApStats;
 use crate::responder::ResponderSet;
 use crate::timing::ApTimingProfile;
-use sim_clock::{SimDuration, Timeline};
+use sim_clock::{SimDuration, SimInstant, Timeline};
+use telemetry::{Recorder, TrackId};
 
 /// An associative processor holding one record of type `R` per PE.
 ///
@@ -17,6 +18,12 @@ pub struct ApMachine<R> {
     profile: ApTimingProfile,
     timeline: Timeline,
     stats: ApStats,
+    recorder: Recorder,
+    track: TrackId,
+    /// Offset of this machine's local clock on the recorder's track (a
+    /// caller running several machines in sequence keeps their spans from
+    /// overlapping by advancing the origin between runs).
+    origin: SimDuration,
 }
 
 impl<R> ApMachine<R> {
@@ -27,7 +34,19 @@ impl<R> ApMachine<R> {
             profile,
             timeline: Timeline::new(),
             stats: ApStats::default(),
+            recorder: Recorder::disabled(),
+            track: TrackId::default(),
+            origin: SimDuration::ZERO,
         }
+    }
+
+    /// Attach a telemetry recorder: every primitive emits a span on
+    /// `track` (category `"ap"`, with its virtual-PE pass count), anchored
+    /// at `origin` plus the machine's local clock.
+    pub fn set_telemetry(&mut self, recorder: Recorder, track: TrackId, origin: SimDuration) {
+        self.recorder = recorder;
+        self.track = track;
+        self.origin = origin;
     }
 
     /// Number of records currently loaded (one per active PE).
@@ -62,13 +81,36 @@ impl<R> ApMachine<R> {
     }
 
     fn charge(&mut self, label: &str, d: SimDuration) {
+        let passes = self.profile.passes(self.records.len());
+        if self.recorder.is_enabled() {
+            let start = SimInstant::at(self.origin + self.timeline.elapsed());
+            self.recorder.span_with_args(
+                self.track,
+                label,
+                "ap",
+                start,
+                d,
+                vec![
+                    ("passes", passes.into()),
+                    ("pes", self.records.len().into()),
+                ],
+            );
+            self.recorder.counter_add("ap.primitives", 1);
+            self.recorder.counter_add("ap.virtual_pe_passes", passes);
+            self.recorder.histogram_record("ap.primitive_ms", d);
+        }
         self.timeline.advance(label, d);
-        self.stats.passes += self.profile.passes(self.records.len());
+        self.stats.passes += passes;
     }
 
     /// Advance the machine clock by an externally computed primitive cost
     /// (used by the flip-network extension in [`crate::flip`]).
     pub(crate) fn advance_clock(&mut self, label: &str, d: SimDuration) {
+        if self.recorder.is_enabled() {
+            let start = SimInstant::at(self.origin + self.timeline.elapsed());
+            self.recorder.span(self.track, label, "ap", start, d);
+            self.recorder.counter_add("ap.primitives", 1);
+        }
         self.timeline.advance(label, d);
     }
 
@@ -128,7 +170,12 @@ impl<R> ApMachine<R> {
 
     /// Masked search: like [`ApMachine::search`] but only PEs in `mask`
     /// participate (others cannot respond).
-    pub fn search_masked<F>(&mut self, mask: &ResponderSet, fields: u32, mut pred: F) -> ResponderSet
+    pub fn search_masked<F>(
+        &mut self,
+        mask: &ResponderSet,
+        fields: u32,
+        mut pred: F,
+    ) -> ResponderSet
     where
         F: FnMut(&R) -> bool,
     {

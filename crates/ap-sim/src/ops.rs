@@ -29,7 +29,11 @@ pub struct ApStats {
 impl ApStats {
     /// Total primitive operations of all kinds.
     pub fn total_ops(&self) -> u64 {
-        self.broadcasts + self.searches + self.arith_steps + self.reductions + self.picks
+        self.broadcasts
+            + self.searches
+            + self.arith_steps
+            + self.reductions
+            + self.picks
             + self.io_ops
     }
 }
@@ -70,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_lists_counters() {
-        let s = ApStats { searches: 7, ..Default::default() };
+        let s = ApStats {
+            searches: 7,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("search=7"));
     }
 }

@@ -15,7 +15,10 @@ pub struct ResponderSet {
 impl ResponderSet {
     /// An empty responder set over `len` PEs.
     pub fn new(len: usize) -> Self {
-        ResponderSet { words: vec![0; len.div_ceil(64)], len }
+        ResponderSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// A set with every PE responding.

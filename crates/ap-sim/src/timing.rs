@@ -121,16 +121,16 @@ impl ApTimingProfile {
     /// Duration of an associative search over `fields` record fields on
     /// `n` records.
     pub fn search(&self, n: usize, fields: u32) -> SimDuration {
-        let per_pass = self.word_cost(self.search_cycles_per_bit) * fields as u64
-            + self.route_cycles_per_pass;
+        let per_pass =
+            self.word_cost(self.search_cycles_per_bit) * fields as u64 + self.route_cycles_per_pass;
         self.cycles_to_time(per_pass * self.passes(n))
     }
 
     /// Duration of a masked parallel arithmetic step of `ops` word
     /// operations on `n` records.
     pub fn arith(&self, n: usize, ops: u32) -> SimDuration {
-        let per_pass = self.word_cost(self.arith_cycles_per_bit) * ops as u64
-            + self.route_cycles_per_pass;
+        let per_pass =
+            self.word_cost(self.arith_cycles_per_bit) * ops as u64 + self.route_cycles_per_pass;
         self.cycles_to_time(per_pass * self.passes(n))
     }
 

@@ -1,8 +1,9 @@
-//! Property tests: responder sets against a reference model, flip-network
-//! algebra, machine-op timing laws.
+//! Randomized-but-deterministic tests: responder sets against a reference
+//! model, flip-network algebra, machine-op timing laws. Fixed seeds, so
+//! failures reproduce exactly.
 
 use ap_sim::{ApMachine, ApTimingProfile, ResponderSet};
-use proptest::prelude::*;
+use sim_clock::SimRng;
 use std::collections::BTreeSet;
 
 /// Build a ResponderSet and the reference BTreeSet from the same indices.
@@ -19,50 +20,61 @@ fn from_indices(len: usize, idx: &[usize]) -> (ResponderSet, BTreeSet<usize>) {
     (rs, model)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_indices(rng: &mut SimRng) -> Vec<usize> {
+    let count = (rng.next_u64() % 40) as usize;
+    (0..count)
+        .map(|_| (rng.next_u64() % 10_000) as usize)
+        .collect()
+}
 
-    #[test]
-    fn responder_set_matches_btreeset_model(
-        len in 1usize..500,
-        a in prop::collection::vec(0usize..10_000, 0..40),
-        b in prop::collection::vec(0usize..10_000, 0..40),
-    ) {
+#[test]
+fn responder_set_matches_btreeset_model() {
+    let mut rng = SimRng::seed_from_u64(0xB1);
+    for _ in 0..64 {
+        let len = 1 + (rng.next_u64() % 499) as usize;
+        let a = random_indices(&mut rng);
+        let b = random_indices(&mut rng);
         let (mut ra, ma) = from_indices(len, &a);
         let (rb, mb) = from_indices(len, &b);
 
-        prop_assert_eq!(ra.count(), ma.len());
-        prop_assert_eq!(ra.any(), !ma.is_empty());
-        prop_assert_eq!(ra.first(), ma.first().copied());
-        prop_assert_eq!(ra.iter().collect::<Vec<_>>(), ma.iter().copied().collect::<Vec<_>>());
+        assert_eq!(ra.count(), ma.len());
+        assert_eq!(ra.any(), !ma.is_empty());
+        assert_eq!(ra.first(), ma.first().copied());
+        assert_eq!(
+            ra.iter().collect::<Vec<_>>(),
+            ma.iter().copied().collect::<Vec<_>>()
+        );
 
         // Intersection.
         let mut and = ra.clone();
         and.and_with(&rb);
         let m_and: Vec<usize> = ma.intersection(&mb).copied().collect();
-        prop_assert_eq!(and.iter().collect::<Vec<_>>(), m_and);
+        assert_eq!(and.iter().collect::<Vec<_>>(), m_and);
 
         // Union.
         let mut or = ra.clone();
         or.or_with(&rb);
         let m_or: Vec<usize> = ma.union(&mb).copied().collect();
-        prop_assert_eq!(or.iter().collect::<Vec<_>>(), m_or);
+        assert_eq!(or.iter().collect::<Vec<_>>(), m_or);
 
         // Difference.
         ra.and_not_with(&rb);
         let m_diff: Vec<usize> = ma.difference(&mb).copied().collect();
-        prop_assert_eq!(ra.iter().collect::<Vec<_>>(), m_diff);
+        assert_eq!(ra.iter().collect::<Vec<_>>(), m_diff);
     }
+}
 
-    #[test]
-    fn flip_xor_is_an_involution_and_a_permutation(
-        log_n in 1u32..8,
-        pattern in 0usize..256,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn flip_xor_is_an_involution_and_a_permutation() {
+    let mut rng = SimRng::seed_from_u64(0xB2);
+    for _ in 0..64 {
+        let log_n = 1 + (rng.next_u64() % 7) as u32;
         let n = 1usize << log_n;
-        let pattern = pattern % n;
-        let values: Vec<i64> = (0..n as i64).map(|v| v.wrapping_mul(seed as i64 | 1)).collect();
+        let pattern = (rng.next_u64() % 256) as usize % n;
+        let seed = rng.next_u64() % 1_000;
+        let values: Vec<i64> = (0..n as i64)
+            .map(|v| v.wrapping_mul(seed as i64 | 1))
+            .collect();
         let mut m = ApMachine::new(ApTimingProfile::staran());
         m.load_records(values.clone(), 1);
 
@@ -72,18 +84,20 @@ proptest! {
         sorted_now.sort_unstable();
         let mut sorted_orig = values.clone();
         sorted_orig.sort_unstable();
-        prop_assert_eq!(sorted_now, sorted_orig);
+        assert_eq!(sorted_now, sorted_orig);
         // Involution: applying again restores the original order.
         m.flip_xor(pattern);
-        prop_assert_eq!(m.records(), &values[..]);
+        assert_eq!(m.records(), &values[..]);
     }
+}
 
-    #[test]
-    fn bitonic_sort_agrees_with_std_sort(
-        log_n in 1u32..8,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn bitonic_sort_agrees_with_std_sort() {
+    let mut rng = SimRng::seed_from_u64(0xB3);
+    for _ in 0..64 {
+        let log_n = 1 + (rng.next_u64() % 7) as u32;
         let n = 1usize << log_n;
+        let seed = rng.next_u64() % 10_000;
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let values: Vec<i64> = (0..n)
             .map(|_| {
@@ -96,14 +110,16 @@ proptest! {
         m.flip_bitonic_sort_by(|&v| v as f64);
         let mut expected = values;
         expected.sort_unstable();
-        prop_assert_eq!(m.records(), &expected[..]);
+        assert_eq!(m.records(), &expected[..]);
     }
+}
 
-    #[test]
-    fn search_time_is_independent_of_population(
-        n in 1usize..5_000,
-        threshold in 0i64..5_000,
-    ) {
+#[test]
+fn search_time_is_independent_of_population() {
+    let mut rng = SimRng::seed_from_u64(0xB4);
+    for _ in 0..32 {
+        let n = 1 + (rng.next_u64() % 4_999) as usize;
+        let threshold = (rng.next_u64() % 5_000) as i64;
         // STARAN searches cost the same no matter how many PEs respond.
         let mut m = ApMachine::new(ApTimingProfile::staran());
         m.load_records((0..n as i64).collect::<Vec<_>>(), 1);
@@ -113,12 +129,19 @@ proptest! {
         m.reset_clock();
         m.search(1, |_| true);
         let t2 = m.elapsed();
-        prop_assert_eq!(t1, t2);
+        assert_eq!(t1, t2);
     }
+}
 
-    #[test]
-    fn clearspeed_passes_match_ceil_division(n in 1usize..100_000) {
-        let p = ApTimingProfile::clearspeed_csx600();
-        prop_assert_eq!(p.passes(n), (n as u64).div_ceil(192));
+#[test]
+fn clearspeed_passes_match_ceil_division() {
+    let mut rng = SimRng::seed_from_u64(0xB5);
+    let p = ApTimingProfile::clearspeed_csx600();
+    for n in [1usize, 191, 192, 193, 384, 99_999] {
+        assert_eq!(p.passes(n), (n as u64).div_ceil(192));
+    }
+    for _ in 0..64 {
+        let n = 1 + (rng.next_u64() % 99_999) as usize;
+        assert_eq!(p.passes(n), (n as u64).div_ceil(192));
     }
 }

@@ -2,78 +2,66 @@
 //! (see `atm_bench::ablations` for the modeled-time comparisons; these
 //! benches execute both variants so regressions in either code path are
 //! caught, and print the modeled verdict once per run).
+//!
+//! Plain `harness = false` mains; pass a substring argument to filter.
 
 use atm_bench::ablations;
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::DeviceSpec;
 use std::hint::black_box;
-use std::sync::Once;
-use std::time::Duration;
+use std::time::Instant;
 
 const N: usize = 600;
 const SEED: u64 = 2018;
 
-static PRINT_ONCE: Once = Once::new();
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    for _ in 0..2 {
+        f();
+    }
+    let iters = 10u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:<52} {per:>12?}/iter");
+}
 
-fn print_modeled_verdicts() {
-    PRINT_ONCE.call_once(|| {
-        eprintln!("modeled ablation verdicts at n={N}:");
-        for a in ablations::all(N, SEED) {
-            eprintln!(
-                "  {:<18} paper {:>10.4} ms  vs  alternative {:>10.4} ms  ({:.2}x)",
-                a.id,
-                a.paper_ms,
-                a.alternative_ms,
-                a.speedup()
-            );
-        }
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let f = filter.as_str();
+
+    eprintln!("modeled ablation verdicts at n={N}:");
+    for a in ablations::all(N, SEED) {
+        eprintln!(
+            "  {:<18} paper {:>10.4} ms  vs  alternative {:>10.4} ms  ({:.2}x)",
+            a.id,
+            a.paper_ms,
+            a.alternative_ms,
+            a.speedup()
+        );
+    }
+
+    bench(f, "ablation_fused_kernel", || {
+        black_box(ablations::fused_kernel(N, SEED));
+    });
+    bench(f, "ablation_block_size", || {
+        black_box(ablations::block_size(
+            N,
+            SEED,
+            256,
+            DeviceSpec::titan_x_pascal(),
+        ));
+    });
+    bench(f, "ablation_expanding_box", || {
+        black_box(ablations::expanding_box(N, SEED));
+    });
+    bench(f, "ablation_pe_virtualization", || {
+        black_box(ablations::pe_virtualization(N, SEED));
+    });
+    bench(f, "ablation_locking", || {
+        black_box(ablations::locking(N, SEED));
     });
 }
-
-fn ablation_fused_kernel(c: &mut Criterion) {
-    print_modeled_verdicts();
-    c.bench_function("ablation_fused_kernel", |b| {
-        b.iter(|| black_box(ablations::fused_kernel(N, SEED)))
-    });
-}
-
-fn ablation_block_size(c: &mut Criterion) {
-    c.bench_function("ablation_block_size", |b| {
-        b.iter(|| {
-            black_box(ablations::block_size(N, SEED, 256, DeviceSpec::titan_x_pascal()))
-        })
-    });
-}
-
-fn ablation_expanding_box(c: &mut Criterion) {
-    c.bench_function("ablation_expanding_box", |b| {
-        b.iter(|| black_box(ablations::expanding_box(N, SEED)))
-    });
-}
-
-fn ablation_pe_virtualization(c: &mut Criterion) {
-    c.bench_function("ablation_pe_virtualization", |b| {
-        b.iter(|| black_box(ablations::pe_virtualization(N, SEED)))
-    });
-}
-
-fn ablation_locking(c: &mut Criterion) {
-    c.bench_function("ablation_locking", |b| {
-        b.iter(|| black_box(ablations::locking(N, SEED)))
-    });
-}
-
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets = ablation_fused_kernel, ablation_block_size, ablation_expanding_box,
-              ablation_pe_virtualization, ablation_locking
-}
-criterion_main!(benches);

@@ -1,117 +1,103 @@
 //! Microbenchmarks of the substrates the reproduction is built on: the
 //! SIMT simulator's launch machinery, the AP emulator's primitives, the
 //! cyclic executive, the airfield generator and the fitting crate.
+//!
+//! Plain `harness = false` mains; pass a substring argument to filter.
 
 use ap_sim::{ApMachine, ApTimingProfile};
 use atm_core::{Airfield, AtmConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use curvefit::polyfit;
 use gpu_sim::{CudaDevice, DeviceSpec, LaunchConfig};
 use rt_sched::{CyclicExecutive, MajorCycleSpec, TaskExecution};
 use sim_clock::{CostSink, SimDuration};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::Instant;
 
-fn gpu_launch_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gpu_sim_launch");
-    for threads in [96usize, 9_600, 96_000] {
-        group.bench_function(BenchmarkId::new("empty_kernel", threads), |b| {
-            let mut dev = CudaDevice::new(DeviceSpec::titan_x_pascal());
-            let cfg = LaunchConfig::paper_for_items(threads);
-            b.iter(|| {
-                black_box(dev.launch("bench", cfg, |ctx, t| {
-                    if ctx.in_range(threads) {
-                        t.fadd(1);
-                    }
-                }))
-            });
-        });
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
     }
-    group.finish();
+    for _ in 0..2 {
+        f();
+    }
+    let iters = 10u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:<52} {per:>12?}/iter");
 }
 
-fn ap_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ap_sim_primitives");
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let f = filter.as_str();
+
+    for threads in [96usize, 9_600, 96_000] {
+        let mut dev = CudaDevice::new(DeviceSpec::titan_x_pascal());
+        let cfg = LaunchConfig::paper_for_items(threads);
+        bench(f, &format!("gpu_sim_launch/empty_kernel/{threads}"), || {
+            black_box(dev.launch("bench", cfg, |ctx, t| {
+                if ctx.in_range(threads) {
+                    t.fadd(1);
+                }
+            }));
+        });
+    }
+
     let n = 10_000;
-    group.bench_function("search_10k", |b| {
+    {
         let mut m = ApMachine::new(ApTimingProfile::staran());
         m.load_records((0..n as i64).collect::<Vec<_>>(), 1);
-        b.iter(|| black_box(m.search(2, |&v| v % 7 == 0)));
-    });
-    group.bench_function("min_reduce_10k", |b| {
+        bench(f, "ap_sim_primitives/search_10k", || {
+            black_box(m.search(2, |&v| v % 7 == 0));
+        });
+    }
+    {
         let mut m = ApMachine::new(ApTimingProfile::staran());
         m.load_records((0..n as i64).collect::<Vec<_>>(), 1);
         let all = ap_sim::ResponderSet::all(n);
-        b.iter(|| black_box(m.min_by_key(&all, |&v| (v ^ 12345) as f64)));
-    });
-    group.finish();
-}
-
-fn executive_throughput(c: &mut Criterion) {
-    c.bench_function("rt_sched/major_cycle_bookkeeping", |b| {
-        b.iter(|| {
-            let mut exec = CyclicExecutive::new(MajorCycleSpec::paper());
-            let mut workload = |_c: usize, p: usize| {
-                let mut tasks =
-                    vec![TaskExecution::new("Task1", SimDuration::from_micros(100))];
-                if p == 15 {
-                    tasks.push(TaskExecution::new("Task2+3", SimDuration::from_millis(1)));
-                }
-                tasks
-            };
-            black_box(exec.run(&mut workload, 10))
-        })
-    });
-}
-
-fn airfield_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("airfield");
-    for n in [1_000usize, 8_000] {
-        group.bench_function(BenchmarkId::new("setup", n), |b| {
-            b.iter(|| black_box(Airfield::new(n, AtmConfig::with_seed(7))))
-        });
-        group.bench_function(BenchmarkId::new("radar_period", n), |b| {
-            let mut field = Airfield::new(n, AtmConfig::with_seed(7));
-            b.iter(|| black_box(field.generate_radar()))
+        bench(f, "ap_sim_primitives/min_reduce_10k", || {
+            black_box(m.min_by_key(&all, |&v| (v ^ 12345) as f64));
         });
     }
-    group.finish();
-}
 
-fn curve_fitting(c: &mut Criterion) {
+    bench(f, "rt_sched/major_cycle_bookkeeping", || {
+        let mut exec = CyclicExecutive::new(MajorCycleSpec::paper());
+        let mut workload = |_c: usize, p: usize| {
+            let mut tasks = vec![TaskExecution::new("Task1", SimDuration::from_micros(100))];
+            if p == 15 {
+                tasks.push(TaskExecution::new("Task2+3", SimDuration::from_millis(1)));
+            }
+            tasks
+        };
+        black_box(exec.run(&mut workload, 10));
+    });
+
+    for n in [1_000usize, 8_000] {
+        bench(f, &format!("airfield/setup/{n}"), || {
+            black_box(Airfield::new(n, AtmConfig::with_seed(7)));
+        });
+        let mut field = Airfield::new(n, AtmConfig::with_seed(7));
+        bench(f, &format!("airfield/radar_period/{n}"), || {
+            black_box(field.generate_radar());
+        });
+    }
+
     let x: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
     let y: Vec<f64> = x.iter().map(|&v| 1.0 + 0.5 * v + 1e-4 * v * v).collect();
-    c.bench_function("curvefit/polyfit_deg2_1000pts", |b| {
-        b.iter(|| black_box(polyfit(black_box(&x), black_box(&y), 2).unwrap()))
+    bench(f, "curvefit/polyfit_deg2_1000pts", || {
+        black_box(polyfit(black_box(&x), black_box(&y), 2).unwrap());
+    });
+
+    let mut trace = gpu_sim::ThreadTrace::new();
+    bench(f, "sim_clock/trace_hot_loop", || {
+        trace.reset();
+        for _ in 0..1_000 {
+            trace.fadd(4);
+            trace.load_shared(16);
+            trace.branch(false);
+        }
+        black_box(&trace);
     });
 }
-
-fn cost_sink_overhead(c: &mut Criterion) {
-    c.bench_function("sim_clock/trace_hot_loop", |b| {
-        let mut trace = gpu_sim::ThreadTrace::new();
-        b.iter(|| {
-            trace.reset();
-            for _ in 0..1_000 {
-                trace.fadd(4);
-                trace.load_shared(16);
-                trace.branch(false);
-            }
-            black_box(&trace);
-        })
-    });
-}
-
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets = gpu_launch_overhead, ap_primitives, executive_throughput,
-              airfield_generation, curve_fitting, cost_sink_overhead
-}
-criterion_main!(benches);

@@ -21,11 +21,11 @@ use atm_core::track::track_correlate;
 use atm_core::{Airfield, AtmConfig};
 use gpu_sim::DeviceSpec;
 use multicore::{WorkEstimate, XeonModel};
-use serde::Serialize;
 use sim_clock::OpCounter;
+use telemetry::JsonValue;
 
 /// One ablation contrast: the paper's choice vs. the alternative.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Ablation {
     /// Ablation id (kebab-case).
     pub id: String,
@@ -43,6 +43,25 @@ impl Ablation {
     /// Speedup of the paper's choice over the alternative.
     pub fn speedup(&self) -> f64 {
         self.alternative_ms / self.paper_ms.max(1e-12)
+    }
+
+    /// The ablation as a JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj()
+            .set("id", self.id.as_str())
+            .set("description", self.description.as_str())
+            .set("paper_ms", self.paper_ms)
+            .set("alternative_ms", self.alternative_ms)
+            .set("speedup", self.speedup())
+            .set(
+                "notes",
+                JsonValue::Arr(
+                    self.notes
+                        .iter()
+                        .map(|n| JsonValue::Str(n.clone()))
+                        .collect(),
+                ),
+            )
     }
 }
 
@@ -105,9 +124,7 @@ pub fn block_size(n: usize, seed: u64, alt_block: u32, spec: DeviceSpec) -> Abla
         ),
         paper_ms: t_paper.as_millis_f64(),
         alternative_ms: t_alt.as_millis_f64(),
-        notes: vec![
-            "results are identical by construction; only occupancy/geometry shifts".into(),
-        ],
+        notes: vec!["results are identical by construction; only occupancy/geometry shifts".into()],
     }
 }
 
@@ -229,7 +246,10 @@ pub fn locking(n: usize, seed: u64) -> Ablation {
         barriers: stats.passes_run as u64 + 2,
         n,
     };
-    let lock_free = WorkEstimate { lock_acquisitions: 0, ..locked.clone() };
+    let lock_free = WorkEstimate {
+        lock_acquisitions: 0,
+        ..locked.clone()
+    };
 
     let t_locked = model.time_for(&locked, 1);
     let t_free = model.time_for(&lock_free, 1);
@@ -242,7 +262,10 @@ pub fn locking(n: usize, seed: u64) -> Ablation {
         ),
         paper_ms: t_locked.as_millis_f64(),
         alternative_ms: t_free.as_millis_f64(),
-        notes: vec![format!("{} lock acquisitions modeled", locked.lock_acquisitions)],
+        notes: vec![format!(
+            "{} lock acquisitions modeled",
+            locked.lock_acquisitions
+        )],
     }
 }
 

@@ -8,19 +8,39 @@
 //!
 //! Tables print to stdout; JSON series land in `results/` (override with
 //! `--out DIR`). `--quick` shrinks the sweep for smoke runs.
+//!
+//! `--trace PATH` and `--metrics PATH` additionally run one major cycle of
+//! the full timed simulation on every paper platform with the telemetry
+//! recorder attached, then write a Chrome `trace_event` file (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>) and a metrics snapshot.
+//! Every platform in the capture is deterministically modeled, so the same
+//! seed produces byte-identical trace and metrics files on every run.
 
 use atm_bench::ablations;
 use atm_bench::experiments::{deadlines, determinism, throughput_normalized};
 use atm_bench::figures::{fig4, fig5, fig6, fig7, fig8, fig9};
 use atm_bench::series::FigureData;
 use atm_bench::sweep::SweepConfig;
+use atm_core::backends::Roster;
+use atm_core::AtmSimulation;
 use std::path::PathBuf;
+use telemetry::{JsonValue, Recorder};
 
 struct Options {
     figs: Vec<u32>,
     exps: Vec<String>,
     out: PathBuf,
     quick: bool,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+}
+
+/// The next argument, or a clean usage error naming the flag that needs it.
+fn value_of(args: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs {what} (try --help)");
+        std::process::exit(2);
+    })
 }
 
 fn parse_args() -> Options {
@@ -29,24 +49,28 @@ fn parse_args() -> Options {
         exps: Vec::new(),
         out: PathBuf::from("results"),
         quick: false,
+        trace: None,
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     let mut any = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fig" => {
-                let v = args.next().expect("--fig needs a number (4..=9)");
-                opts.figs.push(v.parse().expect("figure number"));
+                let v = value_of(&mut args, "--fig", "a number (4..=9)");
+                opts.figs.push(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--fig needs a number (4..=9), got '{v}'");
+                    std::process::exit(2);
+                }));
                 any = true;
             }
             "--exp" => {
-                opts.exps.push(args.next().expect("--exp needs a name"));
+                opts.exps.push(value_of(&mut args, "--exp", "a name"));
                 any = true;
             }
             "--all" => {
                 opts.figs = vec![4, 5, 6, 7, 8, 9];
-                opts.exps =
-                    vec![
+                opts.exps = vec![
                     "deadlines".into(),
                     "determinism".into(),
                     "ablations".into(),
@@ -54,12 +78,18 @@ fn parse_args() -> Options {
                 ];
                 any = true;
             }
-            "--out" => opts.out = PathBuf::from(args.next().expect("--out needs a dir")),
+            "--out" => opts.out = PathBuf::from(value_of(&mut args, "--out", "a directory")),
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(value_of(&mut args, "--trace", "a path")));
+            }
+            "--metrics" => {
+                opts.metrics = Some(PathBuf::from(value_of(&mut args, "--metrics", "a path")));
+            }
             "--quick" => opts.quick = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--all] [--fig N]... [--exp deadlines|determinism]... \
-                     [--quick] [--out DIR]"
+                     [--quick] [--out DIR] [--trace PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);
             }
@@ -81,17 +111,32 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Write `content` to `path`, or exit with a clean error naming the path.
+fn write_or_die(path: &std::path::Path, content: &str) {
+    std::fs::write(path, content).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+}
+
 fn emit(fig: &FigureData, out: &PathBuf) {
     println!("{fig}");
-    std::fs::create_dir_all(out).expect("create results dir");
+    std::fs::create_dir_all(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    });
     let path = out.join(format!("{}.json", fig.id));
-    std::fs::write(&path, fig.to_json()).expect("write JSON");
+    write_or_die(&path, &fig.to_json());
     println!("  (series written to {})\n", path.display());
 }
 
 fn main() {
     let opts = parse_args();
-    let sweep = if opts.quick { SweepConfig::quick() } else { SweepConfig::standard() };
+    let sweep = if opts.quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::standard()
+    };
     println!(
         "sweep: n = {:?}, seed = {}, reps = {}\n",
         sweep.ns, sweep.seed, sweep.reps
@@ -120,7 +165,13 @@ fn main() {
                 // cost driver; sweep a representative subset at full size
                 // or everything when quick.
                 let (cfg, subset): (SweepConfig, Option<&[&str]>) = if opts.quick {
-                    (SweepConfig { ns: vec![500, 2_000], ..SweepConfig::quick() }, None)
+                    (
+                        SweepConfig {
+                            ns: vec![500, 2_000],
+                            ..SweepConfig::quick()
+                        },
+                        None,
+                    )
                 } else {
                     (
                         SweepConfig {
@@ -137,7 +188,10 @@ fn main() {
                 };
                 let (rows, fig) = deadlines(&cfg, subset);
                 emit(&fig, &opts.out);
-                println!("{:<22} {:>8} {:>10} {:>10}", "platform", "n", "misses", "skips");
+                println!(
+                    "{:<22} {:>8} {:>10} {:>10}",
+                    "platform", "n", "misses", "skips"
+                );
                 for r in &rows {
                     for (i, &n) in r.n.iter().enumerate() {
                         println!(
@@ -162,7 +216,10 @@ fn main() {
                         r.platform,
                         r.identical,
                         r.spread,
-                        r.task1_ms.iter().map(|t| (t * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+                        r.task1_ms
+                            .iter()
+                            .map(|t| (t * 1000.0).round() / 1000.0)
+                            .collect::<Vec<_>>()
                     );
                 }
                 println!();
@@ -182,21 +239,59 @@ fn main() {
                 for a in &list {
                     println!(
                         "{:<18} {:>12.4} {:>14.4} {:>8.2}x",
-                        a.id, a.paper_ms, a.alternative_ms, a.speedup()
+                        a.id,
+                        a.paper_ms,
+                        a.alternative_ms,
+                        a.speedup()
                     );
                     for note in &a.notes {
                         println!("    {note}");
                     }
                 }
-                std::fs::create_dir_all(&opts.out).expect("create results dir");
+                std::fs::create_dir_all(&opts.out).unwrap_or_else(|e| {
+                    eprintln!("cannot create {}: {e}", opts.out.display());
+                    std::process::exit(1);
+                });
                 let path = opts.out.join("ablations.json");
-                std::fs::write(&path, serde_json::to_string_pretty(&list).unwrap())
-                    .expect("write JSON");
+                let json = JsonValue::Arr(list.iter().map(|a| a.to_json_value()).collect());
+                write_or_die(&path, &json.to_pretty());
                 println!("\n  (written to {})\n", path.display());
             }
             other => eprintln!(
                 "unknown experiment '{other}' (deadlines | determinism | ablations | normalized)"
             ),
         }
+    }
+
+    if opts.trace.is_some() || opts.metrics.is_some() {
+        capture_telemetry(&opts, sweep.seed);
+    }
+}
+
+/// One major cycle of the full timed simulation on every paper platform,
+/// recorded onto a single telemetry recorder. Each substrate lands on its
+/// own trace track: the cyclic executive on `rt-sched`, each simulated GPU
+/// on `gpu: <device>`, each associative machine on `ap: <machine>`. All
+/// captured platforms are deterministically modeled, so the output is
+/// byte-identical for a given seed.
+fn capture_telemetry(opts: &Options, seed: u64) {
+    let recorder = Recorder::enabled();
+    let n = if opts.quick { 300 } else { 1_000 };
+    for entry in Roster::paper().entries() {
+        let mut sim = AtmSimulation::with_field(n, seed, entry.instantiate());
+        sim.set_recorder(recorder.clone());
+        sim.run(1);
+    }
+    println!(
+        "telemetry capture: {} spans over one major cycle per platform (n={n}, seed={seed})",
+        recorder.span_count()
+    );
+    if let Some(path) = &opts.trace {
+        write_or_die(path, &recorder.chrome_trace());
+        println!("  (Chrome trace written to {})", path.display());
+    }
+    if let Some(path) = &opts.metrics {
+        write_or_die(path, &recorder.metrics_json());
+        println!("  (metrics written to {})", path.display());
     }
 }

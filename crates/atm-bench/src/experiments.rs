@@ -1,13 +1,12 @@
 //! E7/E8: the paper's prose claims as experiments.
 
 use crate::series::{FigureData, Series};
-use crate::sweep::{paper_factories, BackendFactory, SweepConfig};
-use atm_core::backends::{AtmBackend, GpuBackend};
+use crate::sweep::SweepConfig;
+use atm_core::backends::{AtmBackend, GpuBackend, Roster};
 use atm_core::{Airfield, AtmConfig, AtmSimulation};
-use serde::Serialize;
 
 /// Deadline-miss counts for one platform across the sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeadlineRow {
     /// Platform label.
     pub platform: String,
@@ -26,20 +25,22 @@ pub struct DeadlineRow {
 /// and tabulates misses. `subset` limits the roster (the full roster over
 /// large n is expensive on the functional simulator).
 pub fn deadlines(cfg: &SweepConfig, subset: Option<&[&str]>) -> (Vec<DeadlineRow>, FigureData) {
-    let factories: Vec<BackendFactory> = paper_factories()
-        .into_iter()
-        .filter(|f| subset.is_none_or(|keep| keep.contains(&f.label)))
+    let roster = Roster::paper();
+    let entries: Vec<_> = roster
+        .entries()
+        .iter()
+        .filter(|e| subset.is_none_or(|keep| keep.contains(&e.label)))
         .collect();
 
     let mut rows = Vec::new();
     let mut fig = FigureData::new("exp-deadlines", "Deadline misses per major cycle");
     fig.y_label = "misses per major cycle".to_owned();
 
-    for factory in &factories {
+    for entry in &entries {
         let mut misses = Vec::new();
         let mut skips = Vec::new();
         for &n in &cfg.ns {
-            let backend = (factory.make)();
+            let backend = entry.instantiate();
             let field = Airfield::new(n, AtmConfig::with_seed(cfg.seed));
             let mut sim = AtmSimulation::new(field, backend);
             let out = sim.run(1);
@@ -47,12 +48,12 @@ pub fn deadlines(cfg: &SweepConfig, subset: Option<&[&str]>) -> (Vec<DeadlineRow
             skips.push(out.report.total_skips());
         }
         fig.series.push(Series {
-            label: factory.label.to_owned(),
+            label: entry.label.to_owned(),
             x: cfg.ns.iter().map(|&n| n as f64).collect(),
             y_ms: misses.iter().map(|&m| m as f64).collect(),
         });
         rows.push(DeadlineRow {
-            platform: factory.label.to_owned(),
+            platform: entry.label.to_owned(),
             n: cfg.ns.clone(),
             misses,
             skips,
@@ -81,7 +82,7 @@ pub fn deadlines(cfg: &SweepConfig, subset: Option<&[&str]>) -> (Vec<DeadlineRow
 }
 
 /// E8 result: repeated-run timing spread per platform.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeterminismRow {
     /// Platform label.
     pub platform: String,
@@ -103,12 +104,12 @@ pub fn determinism(n: usize, seed: u64, reps: usize) -> (Vec<DeterminismRow>, Fi
     fig.x_label = "repetition".to_owned();
     fig.y_label = "Task 1 time (ms)".to_owned();
 
-    for factory in paper_factories() {
+    for entry in Roster::paper().entries() {
         let mut task1_ms = Vec::new();
         // One backend per platform, reused across repetitions: "running
         // the program again" re-executes on the same machine, and the
         // Xeon model's per-call jitter sequence models exactly that.
-        let mut backend = (factory.make)();
+        let mut backend = entry.instantiate();
         for _ in 0..reps {
             let mut field = Airfield::new(n, AtmConfig::with_seed(seed));
             let cfg = field.config().clone();
@@ -121,12 +122,12 @@ pub fn determinism(n: usize, seed: u64, reps: usize) -> (Vec<DeterminismRow>, Fi
         let min = task1_ms.iter().cloned().fold(f64::MAX, f64::min);
         let spread = if min > 0.0 { max / min } else { 1.0 };
         fig.series.push(Series {
-            label: factory.label.to_owned(),
+            label: entry.label.to_owned(),
             x: (1..=reps).map(|r| r as f64).collect(),
             y_ms: task1_ms.clone(),
         });
         rows.push(DeterminismRow {
-            platform: factory.label.to_owned(),
+            platform: entry.label.to_owned(),
             task1_ms,
             identical,
             spread,
@@ -178,9 +179,12 @@ mod tests {
 
     #[test]
     fn deadline_experiment_confirms_the_headline() {
-        let cfg = SweepConfig { ns: vec![500, 12_000], seed: 9, reps: 1 };
-        let (rows, fig) =
-            deadlines(&cfg, Some(&["Titan X (Pascal)", "Intel Xeon 16-core"]));
+        let cfg = SweepConfig {
+            ns: vec![500, 12_000],
+            seed: 9,
+            reps: 1,
+        };
+        let (rows, fig) = deadlines(&cfg, Some(&["Titan X (Pascal)", "Intel Xeon 16-core"]));
         assert_eq!(rows.len(), 2);
         let titan = rows.iter().find(|r| r.platform.contains("Titan")).unwrap();
         assert!(titan.misses.iter().all(|&m| m == 0));
@@ -213,19 +217,22 @@ mod tests {
 /// platform that is fast only because it is big scores worse here than a
 /// platform that uses its width efficiently.
 pub fn throughput_normalized(cfg: &SweepConfig) -> FigureData {
-    use crate::sweep::{paper_factories, sweep_roster, Task};
+    use crate::sweep::{sweep_roster, Task};
     let mut fig = FigureData::new(
         "exp-normalized",
         "Task 1 timings normalized to equal throughput capacity (§7.2)",
     );
     fig.y_label = "time x peak GFLOP/s (lower = more efficient)".to_owned();
 
-    let factories = paper_factories();
-    let raw = sweep_roster(&factories, Task::Track, cfg);
-    for (series, factory) in raw.into_iter().zip(&factories) {
-        let normalized: Vec<f64> =
-            series.y_ms.iter().map(|&y| y * factory.peak_gflops).collect();
-        fig.series.push(Series { label: series.label, x: series.x, y_ms: normalized });
+    let roster = Roster::paper();
+    let raw = sweep_roster(&roster, Task::Track, cfg);
+    for (series, entry) in raw.into_iter().zip(roster.entries()) {
+        let normalized: Vec<f64> = series.y_ms.iter().map(|&y| y * entry.peak_gflops).collect();
+        fig.series.push(Series {
+            label: series.label,
+            x: series.x,
+            y_ms: normalized,
+        });
     }
 
     // Efficiency verdict at the largest point.
@@ -254,7 +261,11 @@ mod normalized_tests {
 
     #[test]
     fn normalization_covers_all_platforms() {
-        let cfg = SweepConfig { ns: vec![300, 600], seed: 12, reps: 1 };
+        let cfg = SweepConfig {
+            ns: vec![300, 600],
+            seed: 12,
+            reps: 1,
+        };
         let fig = throughput_normalized(&cfg);
         assert_eq!(fig.series.len(), 6);
         assert!(fig.series.iter().all(|s| s.y_ms.iter().all(|&y| y > 0.0)));
@@ -263,10 +274,22 @@ mod normalized_tests {
     #[test]
     fn staran_is_most_efficient_per_unit_throughput() {
         // The AP's whole point: tiny hardware, constant-time primitives.
-        let cfg = SweepConfig { ns: vec![500, 1_000], seed: 12, reps: 1 };
+        let cfg = SweepConfig {
+            ns: vec![500, 1_000],
+            seed: 12,
+            reps: 1,
+        };
         let fig = throughput_normalized(&cfg);
-        let staran = fig.series.iter().find(|s| s.label.contains("STARAN")).unwrap();
-        let xeon = fig.series.iter().find(|s| s.label.contains("Xeon")).unwrap();
+        let staran = fig
+            .series
+            .iter()
+            .find(|s| s.label.contains("STARAN"))
+            .unwrap();
+        let xeon = fig
+            .series
+            .iter()
+            .find(|s| s.label.contains("Xeon"))
+            .unwrap();
         assert!(
             staran.y_ms.last().unwrap() < xeon.y_ms.last().unwrap(),
             "the AP must beat the Xeon on efficiency"

@@ -1,13 +1,14 @@
 //! Generators for the paper's Figures 4–9.
 
 use crate::series::{FigureData, Series};
-use crate::sweep::{nvidia_factories, paper_factories, sweep_roster, SweepConfig, Task};
+use crate::sweep::{sweep_roster, SweepConfig, Task};
+use atm_core::backends::{PlatformId, Roster};
 use curvefit::{classify_curve, fit_exponential, fit_poly, CurveClass};
 
 /// Fig. 4 — "Comparing Task 1 timings in all platforms".
 pub fn fig4(cfg: &SweepConfig) -> FigureData {
     let mut fig = FigureData::new("fig4", "Comparing Task 1 timings in all platforms");
-    fig.series = sweep_roster(&paper_factories(), Task::Track, cfg);
+    fig.series = sweep_roster(&Roster::paper(), Task::Track, cfg);
     annotate_ordering(&mut fig);
     annotate_xeon_growth(&mut fig);
     fig
@@ -16,7 +17,7 @@ pub fn fig4(cfg: &SweepConfig) -> FigureData {
 /// Fig. 5 — "Comparing Task 1 timings in all NVIDIA cards".
 pub fn fig5(cfg: &SweepConfig) -> FigureData {
     let mut fig = FigureData::new("fig5", "Comparing Task 1 timings in all NVIDIA cards");
-    fig.series = sweep_roster(&nvidia_factories(), Task::Track, cfg);
+    fig.series = sweep_roster(&Roster::nvidia(), Task::Track, cfg);
     annotate_ordering(&mut fig);
     fig
 }
@@ -24,7 +25,7 @@ pub fn fig5(cfg: &SweepConfig) -> FigureData {
 /// Fig. 6 — "Comparing Tasks 2 and 3 timings in all platforms".
 pub fn fig6(cfg: &SweepConfig) -> FigureData {
     let mut fig = FigureData::new("fig6", "Comparing Tasks 2 and 3 timings in all platforms");
-    fig.series = sweep_roster(&paper_factories(), Task::DetectResolve, cfg);
+    fig.series = sweep_roster(&Roster::paper(), Task::DetectResolve, cfg);
     annotate_ordering(&mut fig);
     annotate_xeon_growth(&mut fig);
     fig
@@ -32,9 +33,11 @@ pub fn fig6(cfg: &SweepConfig) -> FigureData {
 
 /// Fig. 7 — "Comparing Tasks 2 and 3 timings in all NVIDIA cards".
 pub fn fig7(cfg: &SweepConfig) -> FigureData {
-    let mut fig =
-        FigureData::new("fig7", "Comparing Tasks 2 and 3 timings in all NVIDIA cards");
-    fig.series = sweep_roster(&nvidia_factories(), Task::DetectResolve, cfg);
+    let mut fig = FigureData::new(
+        "fig7",
+        "Comparing Tasks 2 and 3 timings in all NVIDIA cards",
+    );
+    fig.series = sweep_roster(&Roster::nvidia(), Task::DetectResolve, cfg);
     annotate_ordering(&mut fig);
     fig
 }
@@ -43,21 +46,20 @@ pub fn fig7(cfg: &SweepConfig) -> FigureData {
 /// the Task 1 series on the 880M plus MATLAB-style linear/quadratic fits
 /// and goodness-of-fit numbers.
 pub fn fig8(cfg: &SweepConfig) -> FigureData {
-    let factories = nvidia_factories();
-    let m880 = factories.iter().find(|f| f.label == "GTX 880M").expect("880M in roster");
-    let series = sweep_roster(std::slice::from_ref(m880), Task::Track, cfg);
-    fit_figure("fig8", "Near linear curve for Task 1 timings on the GTX 880M card", series)
+    let roster = Roster::select([PlatformId::Gtx880m]);
+    let series = sweep_roster(&roster, Task::Track, cfg);
+    fit_figure(
+        "fig8",
+        "Near linear curve for Task 1 timings on the GTX 880M card",
+        series,
+    )
 }
 
 /// Fig. 9 — "Quadratic (low coefficient) curve for Tasks 2 and 3 timings
 /// on the GeForce 9800 GT card".
 pub fn fig9(cfg: &SweepConfig) -> FigureData {
-    let factories = nvidia_factories();
-    let gt = factories
-        .iter()
-        .find(|f| f.label == "GeForce 9800 GT")
-        .expect("9800 GT in roster");
-    let series = sweep_roster(std::slice::from_ref(gt), Task::DetectResolve, cfg);
+    let roster = Roster::select([PlatformId::Geforce9800Gt]);
+    let series = sweep_roster(&roster, Task::DetectResolve, cfg);
     fit_figure(
         "fig9",
         "Quadratic (low coefficient) curve for Tasks 2 and 3 timings on GT9800",
@@ -137,7 +139,8 @@ fn annotate_ordering(fig: &mut FigureData) {
         .map(|(l, y)| format!("{l} ({y:.3} ms)"))
         .collect::<Vec<_>>()
         .join("  <  ");
-    fig.notes.push(format!("at the largest sweep point: {order}"));
+    fig.notes
+        .push(format!("at the largest sweep point: {order}"));
 }
 
 #[cfg(test)]
@@ -145,7 +148,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> SweepConfig {
-        SweepConfig { ns: vec![200, 400, 800], seed: 5, reps: 1 }
+        SweepConfig {
+            ns: vec![200, 400, 800],
+            seed: 5,
+            reps: 1,
+        }
     }
 
     #[test]
@@ -173,7 +180,11 @@ mod tests {
 
     #[test]
     fn nvidia_beats_the_xeon_in_fig4_ordering() {
-        let f = fig4(&SweepConfig { ns: vec![1_000, 2_000], seed: 5, reps: 1 });
+        let f = fig4(&SweepConfig {
+            ns: vec![1_000, 2_000],
+            seed: 5,
+            reps: 1,
+        });
         let xeon = f.series.iter().find(|s| s.label.contains("Xeon")).unwrap();
         let titan = f.series.iter().find(|s| s.label.contains("Titan")).unwrap();
         assert!(

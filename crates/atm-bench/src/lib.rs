@@ -24,4 +24,4 @@ pub mod series;
 pub mod sweep;
 
 pub use series::{FigureData, Series};
-pub use sweep::{sweep_roster, BackendFactory, SweepConfig, Task};
+pub use sweep::{measure_point, sweep_roster, SweepConfig, Task};

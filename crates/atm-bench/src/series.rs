@@ -1,10 +1,10 @@
 //! Figure data containers and rendering.
 
-use serde::Serialize;
 use std::fmt;
+use telemetry::JsonValue;
 
 /// One platform's timing series over the aircraft-count sweep.
-#[derive(Clone, Debug, Serialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Series {
     /// Platform label (the figure legend entry).
     pub label: String,
@@ -22,10 +22,24 @@ impl Series {
             _ => 0.0,
         }
     }
+
+    /// The series as a JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj()
+            .set("label", self.label.as_str())
+            .set(
+                "x",
+                JsonValue::Arr(self.x.iter().map(|&v| JsonValue::F64(v)).collect()),
+            )
+            .set(
+                "y_ms",
+                JsonValue::Arr(self.y_ms.iter().map(|&v| JsonValue::F64(v)).collect()),
+            )
+    }
 }
 
 /// A regenerated figure: several series over the same sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureData {
     /// Identifier ("fig4" … "fig9").
     pub id: String,
@@ -54,9 +68,31 @@ impl FigureData {
         }
     }
 
+    /// The figure as a JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj()
+            .set("id", self.id.as_str())
+            .set("title", self.title.as_str())
+            .set("x_label", self.x_label.as_str())
+            .set("y_label", self.y_label.as_str())
+            .set(
+                "series",
+                JsonValue::Arr(self.series.iter().map(Series::to_json_value).collect()),
+            )
+            .set(
+                "notes",
+                JsonValue::Arr(
+                    self.notes
+                        .iter()
+                        .map(|n| JsonValue::Str(n.clone()))
+                        .collect(),
+                ),
+            )
+    }
+
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure data serializes")
+        self.to_json_value().to_pretty()
     }
 }
 
@@ -128,19 +164,53 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips_structure() {
-        let j = fig().to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["id"], "fig4");
-        assert_eq!(v["series"][1]["label"], "Titan X (Pascal)");
-        assert_eq!(v["series"][0]["y_ms"][1], 20.0);
+    fn json_structure_holds_ids_labels_and_values() {
+        let v = fig().to_json_value();
+        let JsonValue::Obj(fields) = &v else {
+            panic!("figure must be an object")
+        };
+        assert_eq!(
+            fields[0],
+            ("id".to_owned(), JsonValue::Str("fig4".to_owned()))
+        );
+        let series = fields
+            .iter()
+            .find(|(k, _)| k == "series")
+            .map(|(_, v)| v)
+            .unwrap();
+        let JsonValue::Arr(items) = series else {
+            panic!("series must be an array")
+        };
+        assert_eq!(items.len(), 2);
+        let JsonValue::Obj(s0) = &items[0] else {
+            panic!("series entries are objects")
+        };
+        assert_eq!(
+            s0[0],
+            ("label".to_owned(), JsonValue::Str("STARAN AP".to_owned()))
+        );
+        assert_eq!(
+            s0[2],
+            (
+                "y_ms".to_owned(),
+                JsonValue::Arr(vec![JsonValue::F64(10.0), JsonValue::F64(20.0)])
+            )
+        );
+        // Rendered text contains the values in round-trip form.
+        let text = fig().to_json();
+        assert!(text.contains("\"Titan X (Pascal)\""), "{text}");
+        assert!(text.contains("20.0"), "{text}");
     }
 
     #[test]
     fn per_aircraft_slope_proxy() {
         let s = &fig().series[0];
         assert!((s.final_per_aircraft() - 0.01).abs() < 1e-12);
-        let empty = Series { label: "e".into(), x: vec![], y_ms: vec![] };
+        let empty = Series {
+            label: "e".into(),
+            x: vec![],
+            y_ms: vec![],
+        };
         assert_eq!(empty.final_per_aircraft(), 0.0);
     }
 

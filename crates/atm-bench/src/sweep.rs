@@ -1,7 +1,7 @@
 //! Aircraft-count sweeps over backend rosters.
 
 use crate::series::Series;
-use atm_core::backends::{ApBackend, AtmBackend, GpuBackend, XeonModelBackend};
+use atm_core::backends::{Roster, RosterEntry};
 use atm_core::{Airfield, AtmConfig};
 
 /// Which task a sweep measures.
@@ -11,63 +11,6 @@ pub enum Task {
     Track,
     /// Tasks 2+3: collision detection & resolution (one execution).
     DetectResolve,
-}
-
-/// A named backend constructor, so sweeps get a *fresh* device per point
-/// (device clocks and jitter sequences must not leak between points).
-pub struct BackendFactory {
-    /// Legend label.
-    pub label: &'static str,
-    /// Constructor.
-    pub make: fn() -> Box<dyn AtmBackend>,
-    /// Peak arithmetic throughput proxy in GFLOP/s (lanes × clock × 2),
-    /// used by the §7.2 throughput-normalization experiment.
-    pub peak_gflops: f64,
-}
-
-/// The paper's six-platform roster (Figs. 4 and 6).
-pub fn paper_factories() -> Vec<BackendFactory> {
-    vec![
-        // STARAN: 8192 bit-serial PEs at ~7 MHz ≈ 8192×7e6/32 word ops/s.
-        BackendFactory {
-            label: "STARAN AP",
-            make: || Box::new(ApBackend::staran()),
-            peak_gflops: 8_192.0 * 7.0e6 / 32.0 / 1.0e9,
-        },
-        // CSX600: 2 × 96 PEs × 250 MHz, ~1 FLOP/cycle/PE.
-        BackendFactory {
-            label: "ClearSpeed CSX600",
-            make: || Box::new(ApBackend::clearspeed()),
-            peak_gflops: 192.0 * 0.25,
-        },
-        // Xeon: 16 cores × 3 GHz × 8-wide SIMD FMA ≈ 768 GFLOP/s.
-        BackendFactory {
-            label: "Intel Xeon 16-core",
-            make: || Box::new(XeonModelBackend::new()),
-            peak_gflops: 768.0,
-        },
-        // GPUs: cores × clock × 2 (FMA).
-        BackendFactory {
-            label: "GeForce 9800 GT",
-            make: || Box::new(GpuBackend::geforce_9800_gt()),
-            peak_gflops: 112.0 * 1.5 * 2.0,
-        },
-        BackendFactory {
-            label: "GTX 880M",
-            make: || Box::new(GpuBackend::gtx_880m()),
-            peak_gflops: 1_536.0 * 0.954 * 2.0,
-        },
-        BackendFactory {
-            label: "Titan X (Pascal)",
-            make: || Box::new(GpuBackend::titan_x_pascal()),
-            peak_gflops: 3_584.0 * 1.417 * 2.0,
-        },
-    ]
-}
-
-/// The NVIDIA-only roster (Figs. 5 and 7).
-pub fn nvidia_factories() -> Vec<BackendFactory> {
-    paper_factories().into_iter().skip(3).collect()
 }
 
 /// Sweep parameters.
@@ -84,31 +27,35 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The default sweep domain (matches EXPERIMENTS.md).
     pub fn standard() -> Self {
-        SweepConfig { ns: vec![500, 1_000, 2_000, 4_000, 8_000], seed: 2018, reps: 2 }
+        SweepConfig {
+            ns: vec![500, 1_000, 2_000, 4_000, 8_000],
+            seed: 2018,
+            reps: 2,
+        }
     }
 
     /// A fast domain for smoke runs (`figures --quick`).
     pub fn quick() -> Self {
-        SweepConfig { ns: vec![500, 1_000, 2_000], seed: 2018, reps: 1 }
+        SweepConfig {
+            ns: vec![500, 1_000, 2_000],
+            seed: 2018,
+            reps: 1,
+        }
     }
 }
 
 /// Measure one platform at one aircraft count: mean task time in ms.
 ///
 /// Each rep uses a fresh airfield (same seed — identical fleet) and a
-/// fresh backend; Task 1 measures a single period's tracking against a
-/// fresh radar picture, Tasks 2+3 a single detection/resolution execution,
-/// matching how the paper reports per-task times (averaged per execution).
-pub fn measure_point(
-    factory: &BackendFactory,
-    task: Task,
-    n: usize,
-    seed: u64,
-    reps: usize,
-) -> f64 {
+/// fresh backend instantiated from the roster entry (device clocks and
+/// jitter sequences must not leak between points); Task 1 measures a
+/// single period's tracking against a fresh radar picture, Tasks 2+3 a
+/// single detection/resolution execution, matching how the paper reports
+/// per-task times (averaged per execution).
+pub fn measure_point(entry: &RosterEntry, task: Task, n: usize, seed: u64, reps: usize) -> f64 {
     let mut total_ms = 0.0;
     for rep in 0..reps.max(1) {
-        let mut backend = (factory.make)();
+        let mut backend = entry.instantiate();
         let mut field = Airfield::new(n, AtmConfig::with_seed(seed));
         let cfg = field.config().clone();
         // Let later reps see a slightly advanced field (rep periods of
@@ -129,21 +76,22 @@ pub fn measure_point(
 }
 
 /// Sweep a roster of platforms over the configured aircraft counts.
-pub fn sweep_roster(
-    factories: &[BackendFactory],
-    task: Task,
-    cfg: &SweepConfig,
-) -> Vec<Series> {
-    factories
+pub fn sweep_roster(roster: &Roster, task: Task, cfg: &SweepConfig) -> Vec<Series> {
+    roster
+        .entries()
         .iter()
-        .map(|factory| {
+        .map(|entry| {
             let x: Vec<f64> = cfg.ns.iter().map(|&n| n as f64).collect();
             let y_ms: Vec<f64> = cfg
                 .ns
                 .iter()
-                .map(|&n| measure_point(factory, task, n, cfg.seed, cfg.reps))
+                .map(|&n| measure_point(entry, task, n, cfg.seed, cfg.reps))
                 .collect();
-            Series { label: factory.label.to_owned(), x, y_ms }
+            Series {
+                label: entry.label.to_owned(),
+                x,
+                y_ms,
+            }
         })
         .collect()
 }
@@ -151,32 +99,43 @@ pub fn sweep_roster(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use atm_core::backends::PlatformId;
+
+    fn titan() -> RosterEntry {
+        *Roster::paper()
+            .get(PlatformId::TitanXPascal)
+            .expect("titan in paper roster")
+    }
 
     #[test]
     fn rosters_have_the_papers_platforms() {
-        let all = paper_factories();
+        let all = Roster::paper();
         assert_eq!(all.len(), 6);
-        assert_eq!(all[0].label, "STARAN AP");
-        let nv = nvidia_factories();
+        assert_eq!(all.entries()[0].label, "STARAN AP");
+        let nv = Roster::nvidia();
         assert_eq!(nv.len(), 3);
-        assert!(nv.iter().all(|f| {
-            f.label.contains("GeForce") || f.label.contains("GTX") || f.label.contains("Titan")
+        assert!(nv.entries().iter().all(|e| {
+            e.label.contains("GeForce") || e.label.contains("GTX") || e.label.contains("Titan")
         }));
     }
 
     #[test]
     fn measured_points_are_positive_and_deterministic_for_modeled_backends() {
-        let titan = &nvidia_factories()[2];
-        let a = measure_point(titan, Task::Track, 400, 1, 1);
-        let b = measure_point(titan, Task::Track, 400, 1, 1);
+        let titan = titan();
+        let a = measure_point(&titan, Task::Track, 400, 1, 1);
+        let b = measure_point(&titan, Task::Track, 400, 1, 1);
         assert!(a > 0.0);
         assert_eq!(a, b);
     }
 
     #[test]
-    fn sweep_produces_one_series_per_factory() {
-        let cfg = SweepConfig { ns: vec![200, 400], seed: 3, reps: 1 };
-        let series = sweep_roster(&nvidia_factories(), Task::DetectResolve, &cfg);
+    fn sweep_produces_one_series_per_roster_entry() {
+        let cfg = SweepConfig {
+            ns: vec![200, 400],
+            seed: 3,
+            reps: 1,
+        };
+        let series = sweep_roster(&Roster::nvidia(), Task::DetectResolve, &cfg);
         assert_eq!(series.len(), 3);
         for s in &series {
             assert_eq!(s.x, vec![200.0, 400.0]);
@@ -187,9 +146,9 @@ mod tests {
 
     #[test]
     fn times_increase_with_fleet_size() {
-        let titan = &nvidia_factories()[2];
-        let small = measure_point(titan, Task::DetectResolve, 200, 4, 1);
-        let large = measure_point(titan, Task::DetectResolve, 1_000, 4, 1);
+        let titan = titan();
+        let small = measure_point(&titan, Task::DetectResolve, 200, 4, 1);
+        let large = measure_point(&titan, Task::DetectResolve, 1_000, 4, 1);
         assert!(large > small, "{small} !< {large}");
     }
 }

@@ -16,8 +16,7 @@
 
 use crate::config::AtmConfig;
 use crate::types::{Aircraft, RadarReport, NO_COLLISION};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_clock::SimRng;
 
 /// The airfield: aircraft state plus the seeded RNG that drives setup and
 /// radar noise.
@@ -26,7 +25,7 @@ pub struct Airfield {
     /// Current flight records.
     pub aircraft: Vec<Aircraft>,
     cfg: AtmConfig,
-    rng: SmallRng,
+    rng: SimRng,
     periods_elapsed: u64,
 }
 
@@ -34,9 +33,14 @@ impl Airfield {
     /// Create an airfield with `n` aircraft per the paper's `SetupFlight`.
     pub fn new(n: usize, cfg: AtmConfig) -> Airfield {
         cfg.validate();
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
         let aircraft = (0..n).map(|_| setup_flight(&mut rng, &cfg)).collect();
-        Airfield { aircraft, cfg, rng, periods_elapsed: 0 }
+        Airfield {
+            aircraft,
+            cfg,
+            rng,
+            periods_elapsed: 0,
+        }
     }
 
     /// Create with the paper's default parameters and a seed.
@@ -75,9 +79,9 @@ impl Airfield {
         for a in &self.aircraft {
             // Consume the noise draws even for dropped reports so dropout
             // does not perturb the RNG stream of the surviving ones.
-            let nx: f32 = self.rng.gen_range(-noise..=noise);
-            let ny: f32 = self.rng.gen_range(-noise..=noise);
-            if dropout > 0.0 && self.rng.gen_range(0.0..1.0f32) < dropout {
+            let nx: f32 = self.rng.range_f32_inclusive(-noise, noise);
+            let ny: f32 = self.rng.range_f32_inclusive(-noise, noise);
+            if dropout > 0.0 && self.rng.next_f32() < dropout {
                 continue;
             }
             reports.push(RadarReport::at(a.x + a.dx + nx, a.y + a.dy + ny));
@@ -109,36 +113,44 @@ impl Airfield {
 }
 
 /// One aircraft per the paper's `SetupFlight` procedure.
-fn setup_flight(rng: &mut SmallRng, cfg: &AtmConfig) -> Aircraft {
+fn setup_flight(rng: &mut SimRng, cfg: &AtmConfig) -> Aircraft {
     // Position: magnitude 0..=half_width, sign from the parity of a 0..=50
     // draw (even → negative x; odd → negative y), as §4.1 specifies.
-    let mut x: f32 = rng.gen_range(0.0..cfg.half_width);
-    let mut y: f32 = rng.gen_range(0.0..cfg.half_width);
-    if rng.gen_range(0..=50u32) % 2 == 0 {
+    let mut x: f32 = rng.range_f32(0.0, cfg.half_width);
+    let mut y: f32 = rng.range_f32(0.0, cfg.half_width);
+    if rng.range_u32_inclusive(0, 50).is_multiple_of(2) {
         x = -x;
     }
-    if rng.gen_range(0..=50u32) % 2 == 1 {
+    if rng.range_u32_inclusive(0, 50) % 2 == 1 {
         y = -y;
     }
 
     // Speed S in knots; |dx| uniform in [speed_min, S] (the paper draws Δx
     // "between 30 and 600" — it must not exceed S for dy to be real);
     // |dy| = sqrt(S² − dx²); random signs.
-    let s: f32 = rng.gen_range(cfg.speed_min_kts..=cfg.speed_max_kts);
+    let s: f32 = rng.range_f32_inclusive(cfg.speed_min_kts, cfg.speed_max_kts);
     let dx_mag: f32 = if s > cfg.speed_min_kts {
-        rng.gen_range(cfg.speed_min_kts..=s)
+        rng.range_f32_inclusive(cfg.speed_min_kts, s)
     } else {
         s
     };
     let dy_mag = (s * s - dx_mag * dx_mag).max(0.0).sqrt();
-    let dx_sign = if rng.gen_range(0..=50u32) % 2 == 0 { -1.0 } else { 1.0 };
-    let dy_sign = if rng.gen_range(0..=50u32) % 2 == 1 { -1.0 } else { 1.0 };
+    let dx_sign = if rng.range_u32_inclusive(0, 50).is_multiple_of(2) {
+        -1.0
+    } else {
+        1.0
+    };
+    let dy_sign = if rng.range_u32_inclusive(0, 50) % 2 == 1 {
+        -1.0
+    } else {
+        1.0
+    };
 
     // Knots → nm per period.
     let dx = dx_sign * dx_mag / cfg.periods_per_hour;
     let dy = dy_sign * dy_mag / cfg.periods_per_hour;
 
-    let alt = rng.gen_range(cfg.alt_min_ft..=cfg.alt_max_ft);
+    let alt = rng.range_f32_inclusive(cfg.alt_min_ft, cfg.alt_max_ft);
 
     Aircraft {
         x,
@@ -233,8 +245,11 @@ mod tests {
     #[test]
     fn radar_reports_are_near_expected_positions() {
         let mut f = field(200);
-        let expected: Vec<(f32, f32)> =
-            f.aircraft.iter().map(|a| (a.x + a.dx, a.y + a.dy)).collect();
+        let expected: Vec<(f32, f32)> = f
+            .aircraft
+            .iter()
+            .map(|a| (a.x + a.dx, a.y + a.dy))
+            .collect();
         let radars = f.generate_radar();
         assert_eq!(radars.len(), 200);
         // After unshuffling, each report must lie within the noise box of
@@ -323,7 +338,10 @@ mod tests {
         let stats = track_correlate(&mut f.aircraft, &mut radars, &cfg, &mut NullSink);
         assert_eq!(stats.matched, 0);
         for (a, b) in f.aircraft.iter().zip(&before) {
-            assert!((a.x - (b.x + b.dx)).abs() < 1e-6, "must coast on expected position");
+            assert!(
+                (a.x - (b.x + b.dx)).abs() < 1e-6,
+                "must coast on expected position"
+            );
         }
     }
 

@@ -21,16 +21,17 @@
 //! bit-identical to the sequential reference (see tests), so the backends
 //! differ only in *time*, never in answers.
 
-use crate::backends::{AtmBackend, TimingKind};
+use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 use crate::batcher::conflict_window;
 use crate::config::AtmConfig;
 use crate::terrain::{TerrainGrid, TerrainTaskConfig};
 use crate::types::{
-    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, NO_COLLISION,
-    RADAR_DISCARDED, RADAR_UNMATCHED,
+    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, NO_COLLISION, RADAR_DISCARDED,
+    RADAR_UNMATCHED,
 };
 use ap_sim::{ApMachine, ApTimingProfile, ResponderSet};
 use sim_clock::{NullSink, SimDuration};
+use telemetry::Recorder;
 
 /// One PE's contents: the flight record plus the scratch word the detection
 /// step uses for its per-PE window start.
@@ -49,12 +50,28 @@ const AP_RECORD_WORDS: u32 = Aircraft::RECORD_WORDS + 1;
 /// ATM on an emulated associative processor.
 pub struct ApBackend {
     profile: ApTimingProfile,
+    platform: PlatformId,
+    recorder: Recorder,
+    /// Where the next machine run starts on the telemetry track (machines
+    /// are rebuilt per task, so spans from successive tasks must not
+    /// overlap at origin zero).
+    telemetry_clock: SimDuration,
 }
 
 impl ApBackend {
-    /// ATM on an arbitrary AP timing profile.
+    /// ATM on an arbitrary AP timing profile. Profiles outside the paper's
+    /// two machines report themselves as the STARAN-class platform.
     pub fn new(profile: ApTimingProfile) -> Self {
-        ApBackend { profile }
+        let platform = match profile.name {
+            "ClearSpeed CSX600" => PlatformId::ClearSpeedCsx600,
+            _ => PlatformId::StaranAp,
+        };
+        ApBackend {
+            profile,
+            platform,
+            recorder: Recorder::disabled(),
+            telemetry_clock: SimDuration::ZERO,
+        }
     }
 
     /// The STARAN associative processor.
@@ -69,12 +86,28 @@ impl ApBackend {
 
     fn machine(&self, aircraft: &[Aircraft]) -> ApMachine<ApRecord> {
         let mut m = ApMachine::new(self.profile.clone());
+        if self.recorder.is_enabled() {
+            let track = self.recorder.track(&format!("ap: {}", self.profile.name));
+            m.set_telemetry(self.recorder.clone(), track, self.telemetry_clock);
+        }
         let records = aircraft
             .iter()
-            .map(|&a| ApRecord { a, scratch: f32::INFINITY, pending: None })
+            .map(|&a| ApRecord {
+                a,
+                scratch: f32::INFINITY,
+                pending: None,
+            })
             .collect();
         m.load_records(records, AP_RECORD_WORDS);
         m
+    }
+
+    /// Book a finished machine run: its elapsed time moves the telemetry
+    /// origin so the next run's spans start where this one ended.
+    fn finish(&mut self, m: &ApMachine<ApRecord>) -> SimDuration {
+        let elapsed = m.elapsed();
+        self.telemetry_clock += elapsed;
+        elapsed
     }
 
     fn writeback(m: &mut ApMachine<ApRecord>, aircraft: &mut [Aircraft]) {
@@ -86,12 +119,21 @@ impl ApBackend {
 }
 
 impl AtmBackend for ApBackend {
-    fn name(&self) -> String {
-        self.profile.name.to_owned()
+    fn info(&self) -> BackendInfo<'_> {
+        let device = match self.platform {
+            PlatformId::ClearSpeedCsx600 => "192 PEs @ 250 MHz (2x CSX600)",
+            _ => "8192 bit-serial PEs @ 7 MHz",
+        };
+        BackendInfo {
+            name: self.profile.name,
+            platform: self.platform,
+            timing: TimingKind::Modeled,
+            device,
+        }
     }
 
-    fn timing_kind(&self) -> TimingKind {
-        TimingKind::Modeled
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     fn track_correlate(
@@ -180,7 +222,7 @@ impl AtmBackend for ApBackend {
         Self::writeback(&mut m, aircraft);
         // Machine clock covers load I/O, every associative primitive, and
         // the unload I/O performed by writeback.
-        m.elapsed()
+        self.finish(&m)
     }
 
     fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration {
@@ -211,9 +253,7 @@ impl AtmBackend for ApBackend {
                 // in one parallel arithmetic step.
                 let track = m.broadcast(m.records()[i].a);
                 m.for_each_all(8, |p, r| {
-                    r.scratch = if p == i
-                        || (track.alt - r.a.alt).abs() >= cfg.alt_separation_ft
-                    {
+                    r.scratch = if p == i || (track.alt - r.a.alt).abs() >= cfg.alt_separation_ft {
                         f32::INFINITY
                     } else {
                         match conflict_window(
@@ -291,7 +331,7 @@ impl AtmBackend for ApBackend {
         }
 
         Self::writeback(&mut m, aircraft);
-        m.elapsed()
+        self.finish(&m)
     }
 
     fn terrain_avoidance(
@@ -325,7 +365,7 @@ impl AtmBackend for ApBackend {
             });
         }
         Self::writeback(&mut m, aircraft);
-        m.elapsed()
+        self.finish(&m)
     }
 }
 
@@ -335,7 +375,11 @@ mod tests {
     use crate::airfield::Airfield;
     use crate::backends::SequentialBackend;
 
-    fn track_on(backend: &mut dyn AtmBackend, n: usize, seed: u64) -> (Vec<Aircraft>, Vec<RadarReport>, SimDuration) {
+    fn track_on(
+        backend: &mut dyn AtmBackend,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Aircraft>, Vec<RadarReport>, SimDuration) {
         let mut field = Airfield::with_seed(n, seed);
         let mut radars = field.generate_radar();
         let cfg = field.config().clone();
@@ -400,7 +444,10 @@ mod tests {
         let (_, _, s1) = track_on(&mut ApBackend::clearspeed(), 192, 17);
         let (_, _, s8) = track_on(&mut ApBackend::clearspeed(), 1_536, 17);
         let ratio = s8.as_picos() as f64 / s1.as_picos() as f64;
-        assert!(ratio > 10.0, "expected ≫8× from virtualization, got {ratio}");
+        assert!(
+            ratio > 10.0,
+            "expected ≫8× from virtualization, got {ratio}"
+        );
     }
 
     #[test]

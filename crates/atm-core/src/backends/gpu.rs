@@ -17,7 +17,7 @@
 //! Launch geometry follows the paper: 96 threads per block, blocks scaling
 //! with the aircraft count (configurable for the block-size ablation).
 
-use crate::backends::{AtmBackend, TimingKind};
+use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 use crate::config::AtmConfig;
 use crate::detect::{check_collision_path, detect_only, DetectStats};
 use crate::terrain::{check_terrain, TerrainGrid, TerrainTaskConfig};
@@ -28,6 +28,7 @@ use crate::types::{Aircraft, RadarReport};
 use gpu_sim::report::TransferDir;
 use gpu_sim::{CudaDevice, DeviceSpec, LaunchConfig};
 use sim_clock::{CostSink, SimDuration};
+use telemetry::Recorder;
 
 /// The paper's threads-per-block choice.
 pub const PAPER_BLOCK_SIZE: u32 = 96;
@@ -37,18 +38,35 @@ pub struct GpuBackend {
     device: CudaDevice,
     block_size: u32,
     last_detect: Option<DetectStats>,
+    platform: PlatformId,
+    device_summary: String,
 }
 
 impl GpuBackend {
     /// ATM on an arbitrary device spec with the paper's block size.
     pub fn new(spec: DeviceSpec) -> Self {
-        GpuBackend { device: CudaDevice::new(spec), block_size: PAPER_BLOCK_SIZE, last_detect: None }
+        GpuBackend::with_block_size(spec, PAPER_BLOCK_SIZE)
     }
 
-    /// Override the threads-per-block (block-size ablation).
+    /// Override the threads-per-block (block-size ablation). Custom specs
+    /// outside the paper's three-card catalog report the Titan-class
+    /// platform id.
     pub fn with_block_size(spec: DeviceSpec, block_size: u32) -> Self {
         assert!(block_size > 0);
-        GpuBackend { device: CudaDevice::new(spec), block_size, last_detect: None }
+        let platform = PlatformId::from_device_name(spec.name).unwrap_or(PlatformId::TitanXPascal);
+        let device_summary = format!(
+            "{} CUDA cores @ {} MHz, {} SMs",
+            spec.total_cores(),
+            spec.clock_mhz,
+            spec.sm_count
+        );
+        GpuBackend {
+            device: CudaDevice::new(spec),
+            block_size,
+            last_detect: None,
+            platform,
+            device_summary,
+        }
     }
 
     /// The paper's GeForce 9800 GT.
@@ -98,29 +116,30 @@ impl GpuBackend {
         let lc = self.launch_config(n);
         let block = self.block_size as usize;
         let mut stats = DetectStats::default();
-        self.device.launch("CheckCollisionPath.tiled", lc, |ctx, tr| {
-            if ctx.in_range(n) {
-                // Functional result: identical to the fused kernel.
-                let s = check_collision_path(aircraft, ctx.global_id(), cfg, tr);
-                stats.pair_checks += s.pair_checks;
-                stats.critical_conflicts += s.critical_conflicts;
-                stats.rotations += s.rotations;
-                stats.resolved += s.resolved;
-                stats.unresolved += s.unresolved;
-                // Re-price the memory side: the scan above charged one
-                // warp-uniform load per trial record; under tiling each
-                // thread instead loads its share of every tile once
-                // (coalesced private traffic) and pays a barrier per tile.
-                // Scans per aircraft = 1 + rotations (each rescan rewalks
-                // the tiles resident in shared memory: no re-load needed).
-                let tiles = n.div_ceil(block) as u64;
-                tr.load((n as u64 * Aircraft::RECORD_BYTES).div_ceil(block as u64));
-                tr.op(sim_clock::OpClass::Sync, tiles);
-                // Remove the uniform-load accounting the shared scan added
-                // (priced instead by the tile staging above).
-                tr.bytes_loaded_uniform = 0;
-            }
-        });
+        self.device
+            .launch("CheckCollisionPath.tiled", lc, |ctx, tr| {
+                if ctx.in_range(n) {
+                    // Functional result: identical to the fused kernel.
+                    let s = check_collision_path(aircraft, ctx.global_id(), cfg, tr);
+                    stats.pair_checks += s.pair_checks;
+                    stats.critical_conflicts += s.critical_conflicts;
+                    stats.rotations += s.rotations;
+                    stats.resolved += s.resolved;
+                    stats.unresolved += s.unresolved;
+                    // Re-price the memory side: the scan above charged one
+                    // warp-uniform load per trial record; under tiling each
+                    // thread instead loads its share of every tile once
+                    // (coalesced private traffic) and pays a barrier per tile.
+                    // Scans per aircraft = 1 + rotations (each rescan rewalks
+                    // the tiles resident in shared memory: no re-load needed).
+                    let tiles = n.div_ceil(block) as u64;
+                    tr.load((n as u64 * Aircraft::RECORD_BYTES).div_ceil(block as u64));
+                    tr.op(sim_clock::OpClass::Sync, tiles);
+                    // Remove the uniform-load accounting the shared scan added
+                    // (priced instead by the tile staging above).
+                    tr.bytes_loaded_uniform = 0;
+                }
+            });
         self.last_detect = Some(stats);
         self.device.elapsed() - t0
     }
@@ -150,8 +169,7 @@ impl GpuBackend {
         // Conflict flags back to the host, triage, flagged set back down.
         self.device
             .transfer(TransferDir::DeviceToHost, n as u64 * Aircraft::RECORD_BYTES);
-        let flagged: Vec<usize> =
-            (0..n).filter(|&i| aircraft[i].col).collect();
+        let flagged: Vec<usize> = (0..n).filter(|&i| aircraft[i].col).collect();
         self.device
             .transfer(TransferDir::HostToDevice, flagged.len().max(1) as u64 * 8);
 
@@ -173,12 +191,17 @@ impl GpuBackend {
 }
 
 impl AtmBackend for GpuBackend {
-    fn name(&self) -> String {
-        self.device.spec().name.to_owned()
+    fn info(&self) -> BackendInfo<'_> {
+        BackendInfo {
+            name: self.device.spec().name,
+            platform: self.platform,
+            timing: TimingKind::Modeled,
+            device: &self.device_summary,
+        }
     }
 
-    fn timing_kind(&self) -> TimingKind {
-        TimingKind::Modeled
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.device.set_recorder(recorder);
     }
 
     fn on_setup(&mut self, aircraft: &[Aircraft]) -> SimDuration {
@@ -214,8 +237,10 @@ impl AtmBackend for GpuBackend {
 
         // The host-shuffled radar list for this period goes down to the
         // device (paper §4.1, GenerateRadarData round trip).
-        self.device
-            .transfer(TransferDir::HostToDevice, r as u64 * RadarReport::RECORD_BYTES);
+        self.device.transfer(
+            TransferDir::HostToDevice,
+            r as u64 * RadarReport::RECORD_BYTES,
+        );
 
         let ac_cfg = self.launch_config(n);
         let rd_cfg = self.launch_config(r);
@@ -231,15 +256,12 @@ impl AtmBackend for GpuBackend {
         // means separate kernel launches. Threads whose radar is already
         // settled exit immediately (priced as the early-out branch).
         for pass in 0..cfg.track_passes {
-            self.device.launch(
-                &format!("TrackCorrelate.pass{pass}"),
-                rd_cfg,
-                |ctx, tr| {
+            self.device
+                .launch(&format!("TrackCorrelate.pass{pass}"), rd_cfg, |ctx, tr| {
                     if ctx.in_range(r) {
                         correlate_radar_pass(aircraft, radars, ctx.global_id(), pass, cfg, tr);
                     }
-                },
-            );
+                });
         }
 
         self.device.launch("TrackAdopt", ac_cfg, |ctx, tr| {
@@ -299,7 +321,11 @@ mod tests {
     use crate::airfield::Airfield;
     use crate::backends::SequentialBackend;
 
-    fn run_track(backend: &mut dyn AtmBackend, n: usize, seed: u64) -> (Vec<Aircraft>, Vec<RadarReport>, SimDuration) {
+    fn run_track(
+        backend: &mut dyn AtmBackend,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Aircraft>, Vec<RadarReport>, SimDuration) {
         let mut field = Airfield::with_seed(n, seed);
         let mut radars = field.generate_radar();
         let cfg = field.config().clone();
@@ -380,7 +406,10 @@ mod tests {
         let mut ac2 = field.aircraft.clone();
         split.detect_resolve_split(&mut ac2, &cfg);
         assert!(split.device().stats().launches >= 1);
-        assert!(split.device().stats().d2h_transfers >= 1, "split pays the round trip");
+        assert!(
+            split.device().stats().d2h_transfers >= 1,
+            "split pays the round trip"
+        );
     }
 
     #[test]

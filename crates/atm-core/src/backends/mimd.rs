@@ -26,7 +26,7 @@
 //!   cannot, so this backend trades that freshness for parallelism — the
 //!   standard shared-memory formulation.)
 
-use crate::backends::{AtmBackend, TimingKind};
+use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 #[cfg(test)]
 use crate::batcher::conflict_window;
 use crate::config::AtmConfig;
@@ -34,27 +34,37 @@ use crate::detect::{rotate_velocity, scan_for_conflicts};
 use crate::terrain::{check_terrain, TerrainGrid, TerrainTaskConfig};
 use crate::track::any_unmatched;
 use crate::types::{
-    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, NO_COLLISION,
-    RADAR_DISCARDED, RADAR_UNMATCHED,
+    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, NO_COLLISION, RADAR_DISCARDED,
+    RADAR_UNMATCHED,
 };
 use multicore::MimdPool;
 use sim_clock::{NullSink, SimDuration, Stopwatch};
 use std::sync::atomic::{AtomicI32, Ordering};
+use telemetry::Recorder;
 
 /// ATM on real host threads over shared memory.
 pub struct MimdBackend {
     pool: MimdPool,
+    /// Formatted once at construction so [`AtmBackend::info`] can borrow.
+    name: String,
+    device: String,
 }
 
 impl MimdBackend {
     /// A backend with `threads` worker threads (the paper's Xeon had 16).
     pub fn new(threads: usize) -> Self {
-        MimdBackend { pool: MimdPool::new(threads) }
+        MimdBackend::from_pool(MimdPool::new(threads))
     }
 
     /// A backend sized to the host.
     pub fn host_sized() -> Self {
-        MimdBackend { pool: MimdPool::host_sized() }
+        MimdBackend::from_pool(MimdPool::host_sized())
+    }
+
+    fn from_pool(pool: MimdPool) -> Self {
+        let name = format!("MIMD host ({} threads)", pool.threads());
+        let device = format!("host CPU, {} worker threads", pool.threads());
+        MimdBackend { pool, name, device }
     }
 
     /// Worker thread count.
@@ -74,12 +84,17 @@ struct ResolveOutcome {
 }
 
 impl AtmBackend for MimdBackend {
-    fn name(&self) -> String {
-        format!("MIMD host ({} threads)", self.pool.threads())
+    fn info(&self) -> BackendInfo<'_> {
+        BackendInfo {
+            name: &self.name,
+            platform: PlatformId::MimdHost,
+            timing: TimingKind::Measured,
+            device: &self.device,
+        }
     }
 
-    fn timing_kind(&self) -> TimingKind {
-        TimingKind::Measured
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.pool.set_recorder(recorder);
     }
 
     fn track_correlate(
@@ -100,10 +115,11 @@ impl AtmBackend for MimdBackend {
 
         // Shared correlation state: expected positions are read-only during
         // the radar phase; match state and radar claims go through atomics.
-        let expected: Vec<(f32, f32)> =
-            aircraft.iter().map(|a| (a.expected_x, a.expected_y)).collect();
-        let match_state: Vec<AtomicI32> =
-            (0..n).map(|_| AtomicI32::new(MATCH_NONE)).collect();
+        let expected: Vec<(f32, f32)> = aircraft
+            .iter()
+            .map(|a| (a.expected_x, a.expected_y))
+            .collect();
+        let match_state: Vec<AtomicI32> = (0..n).map(|_| AtomicI32::new(MATCH_NONE)).collect();
         let claimed_by: Vec<AtomicI32> = (0..n).map(|_| AtomicI32::new(-1)).collect();
 
         for pass in 0..cfg.track_passes {
@@ -206,7 +222,9 @@ impl AtmBackend for MimdBackend {
                 let mut chk = 0u32;
                 loop {
                     let scan = scan_for_conflicts(snapshot, i, vel, cfg, &mut NullSink);
-                    let Some((partner, tmin)) = scan.critical else { break };
+                    let Some((partner, tmin)) = scan.critical else {
+                        break;
+                    };
                     out.col = true;
                     out.col_with = partner as i32;
                     out.time_till = tmin;
@@ -342,7 +360,10 @@ mod tests {
         let d = backend.track_correlate(&mut field.aircraft, &mut radars, &cfg);
         assert!(d > SimDuration::ZERO);
         let stats = track_invariants(&field.aircraft, &radars);
-        assert!(stats.matched > 500, "most aircraft should correlate: {stats:?}");
+        assert!(
+            stats.matched > 500,
+            "most aircraft should correlate: {stats:?}"
+        );
     }
 
     #[test]
@@ -354,8 +375,7 @@ mod tests {
         MimdBackend::new(4).track_correlate(&mut field.aircraft, &mut radars, &cfg);
         for (a, b) in field.aircraft.iter().zip(&before) {
             let expected = (b.x + b.dx, b.y + b.dy);
-            let at_expected =
-                (a.x - expected.0).abs() < 1e-6 && (a.y - expected.1).abs() < 1e-6;
+            let at_expected = (a.x - expected.0).abs() < 1e-6 && (a.y - expected.1).abs() < 1e-6;
             let at_some_radar = radars
                 .iter()
                 .any(|r| (a.x - r.rx).abs() < 1e-6 && (a.y - r.ry).abs() < 1e-6);
@@ -412,6 +432,8 @@ mod tests {
     fn thread_count_is_reported() {
         assert_eq!(MimdBackend::new(16).threads(), 16);
         assert!(MimdBackend::host_sized().threads() >= 1);
-        assert!(MimdBackend::new(3).name().contains("3 threads"));
+        let backend = MimdBackend::new(3);
+        assert!(backend.info().name.contains("3 threads"));
+        assert_eq!(backend.info().platform, PlatformId::MimdHost);
     }
 }

@@ -7,6 +7,14 @@
 //! function and timing together is what lets the cyclic executive and the
 //! figure harness treat all platforms uniformly, exactly as the paper's
 //! comparison does.
+//!
+//! Platform enumeration goes through [`Roster`]: `Roster::paper()` is the
+//! six-platform comparison of Figs. 4 and 6 in the paper's order,
+//! `Roster::nvidia()` the three-card subset of Figs. 5 and 7, and
+//! `Roster::select` any ad-hoc subset by [`PlatformId`]. Each
+//! [`RosterEntry`] carries the legend label and the peak-throughput proxy
+//! used by the normalization experiment, and builds a *fresh* backend per
+//! call so device clocks never leak between measurement points.
 
 mod ap;
 mod gpu;
@@ -24,6 +32,8 @@ use crate::config::AtmConfig;
 use crate::terrain::{TerrainGrid, TerrainTaskConfig};
 use crate::types::{Aircraft, RadarReport};
 use sim_clock::SimDuration;
+use std::fmt;
+use telemetry::Recorder;
 
 /// Whether a backend's reported durations are modeled (deterministic
 /// simulated time) or measured (host wall clock).
@@ -35,13 +45,92 @@ pub enum TimingKind {
     Measured,
 }
 
+/// Stable identity of an execution platform.
+///
+/// The first six variants are the paper's comparison roster in figure
+/// order; the two host variants cover the measured reference backends,
+/// which have no analogue in the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PlatformId {
+    /// Goodyear STARAN associative processor.
+    StaranAp,
+    /// ClearSpeed CSX600 associative emulation.
+    ClearSpeedCsx600,
+    /// Analytic 16-core Xeon multi-core model.
+    XeonMulticore,
+    /// NVIDIA GeForce 9800 GT (CC 1.x).
+    Geforce9800Gt,
+    /// NVIDIA GTX 880M (Kepler).
+    Gtx880m,
+    /// NVIDIA Titan X (Pascal).
+    TitanXPascal,
+    /// Single-threaded host reference (measured).
+    SequentialHost,
+    /// Real-thread MIMD host pool (measured).
+    MimdHost,
+}
+
+impl PlatformId {
+    /// Map a simulated device's marketing name back to its platform
+    /// (custom [`gpu_sim::DeviceSpec`]s that are not in the paper's
+    /// catalog have no id).
+    pub fn from_device_name(name: &str) -> Option<PlatformId> {
+        match name {
+            "GeForce 9800 GT" => Some(PlatformId::Geforce9800Gt),
+            "GTX 880M" => Some(PlatformId::Gtx880m),
+            "Titan X (Pascal)" => Some(PlatformId::TitanXPascal),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlatformId::StaranAp => "staran-ap",
+            PlatformId::ClearSpeedCsx600 => "clearspeed-csx600",
+            PlatformId::XeonMulticore => "xeon-multicore",
+            PlatformId::Geforce9800Gt => "geforce-9800-gt",
+            PlatformId::Gtx880m => "gtx-880m",
+            PlatformId::TitanXPascal => "titan-x-pascal",
+            PlatformId::SequentialHost => "sequential-host",
+            PlatformId::MimdHost => "mimd-host",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Borrowed description of a backend: identity, timing discipline and a
+/// one-line device summary. Returned by [`AtmBackend::info`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackendInfo<'a> {
+    /// Human-readable platform name (the series label in figures).
+    pub name: &'a str,
+    /// Stable platform identity.
+    pub platform: PlatformId,
+    /// Whether reported durations are modeled or measured.
+    pub timing: TimingKind,
+    /// Short device summary ("3584 CUDA cores @ 1417 MHz", …).
+    pub device: &'a str,
+}
+
 /// A platform that can execute the ATM tasks.
 pub trait AtmBackend {
-    /// Human-readable platform name (used as the series label in figures).
-    fn name(&self) -> String;
+    /// Identity, timing discipline and device summary of this backend.
+    fn info(&self) -> BackendInfo<'_>;
 
-    /// Whether durations are modeled or measured.
-    fn timing_kind(&self) -> TimingKind;
+    /// Whether durations are modeled or measured (shorthand for
+    /// `self.info().timing`).
+    fn timing_kind(&self) -> TimingKind {
+        self.info().timing
+    }
+
+    /// Attach a telemetry recorder. Backends that model their substrate
+    /// emit spans for kernel launches, associative passes, barrier phases
+    /// and transfers; the default implementation ignores the recorder.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let _ = recorder;
+    }
 
     /// One-time setup before a simulation run (e.g. the GPU backend charges
     /// the initial host→device upload of the flight database here).
@@ -71,26 +160,273 @@ pub trait AtmBackend {
     ) -> SimDuration;
 }
 
-/// The full platform roster of the paper's comparison, in its order:
-/// STARAN AP, ClearSpeed emulation, 16-core Xeon, and the three NVIDIA
-/// cards (plus none of the host-measured backends, which have no analogue
-/// in the paper's figures).
-pub fn paper_roster() -> Vec<Box<dyn AtmBackend>> {
-    vec![
-        Box::new(ApBackend::staran()),
-        Box::new(ApBackend::clearspeed()),
-        Box::new(XeonModelBackend::new()),
-        Box::new(GpuBackend::geforce_9800_gt()),
-        Box::new(GpuBackend::gtx_880m()),
-        Box::new(GpuBackend::titan_x_pascal()),
+/// One platform in a [`Roster`]: identity, legend label, the
+/// peak-throughput proxy used by the §7.2 normalization experiment, and a
+/// constructor producing a fresh backend (device clocks and jitter
+/// sequences must not leak between measurement points).
+#[derive(Clone, Copy)]
+pub struct RosterEntry {
+    /// Stable platform identity.
+    pub platform: PlatformId,
+    /// Legend label (matches `info().name` of the built backend).
+    pub label: &'static str,
+    /// Peak arithmetic throughput proxy in GFLOP/s (lanes × clock × 2).
+    pub peak_gflops: f64,
+    make: fn() -> Box<dyn AtmBackend>,
+}
+
+impl RosterEntry {
+    /// Build a fresh backend for this platform.
+    pub fn instantiate(&self) -> Box<dyn AtmBackend> {
+        (self.make)()
+    }
+}
+
+impl fmt::Debug for RosterEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RosterEntry")
+            .field("platform", &self.platform)
+            .field("label", &self.label)
+            .field("peak_gflops", &self.peak_gflops)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The full catalog, in the paper's figure order followed by the two
+/// host-measured reference platforms.
+fn catalog() -> [RosterEntry; 8] {
+    [
+        // STARAN: 8192 bit-serial PEs at ~7 MHz ≈ 8192×7e6/32 word ops/s.
+        RosterEntry {
+            platform: PlatformId::StaranAp,
+            label: "STARAN AP",
+            peak_gflops: 8_192.0 * 7.0e6 / 32.0 / 1.0e9,
+            make: || Box::new(ApBackend::staran()),
+        },
+        // CSX600: 2 × 96 PEs × 250 MHz, ~1 FLOP/cycle/PE.
+        RosterEntry {
+            platform: PlatformId::ClearSpeedCsx600,
+            label: "ClearSpeed CSX600",
+            peak_gflops: 192.0 * 0.25,
+            make: || Box::new(ApBackend::clearspeed()),
+        },
+        // Xeon: 16 cores × 3 GHz × 8-wide SIMD FMA ≈ 768 GFLOP/s.
+        RosterEntry {
+            platform: PlatformId::XeonMulticore,
+            label: "Intel Xeon 16-core",
+            peak_gflops: 768.0,
+            make: || Box::new(XeonModelBackend::new()),
+        },
+        // GPUs: cores × clock × 2 (FMA).
+        RosterEntry {
+            platform: PlatformId::Geforce9800Gt,
+            label: "GeForce 9800 GT",
+            peak_gflops: 112.0 * 1.5 * 2.0,
+            make: || Box::new(GpuBackend::geforce_9800_gt()),
+        },
+        RosterEntry {
+            platform: PlatformId::Gtx880m,
+            label: "GTX 880M",
+            peak_gflops: 1_536.0 * 0.954 * 2.0,
+            make: || Box::new(GpuBackend::gtx_880m()),
+        },
+        RosterEntry {
+            platform: PlatformId::TitanXPascal,
+            label: "Titan X (Pascal)",
+            peak_gflops: 3_584.0 * 1.417 * 2.0,
+            make: || Box::new(GpuBackend::titan_x_pascal()),
+        },
+        // Host references (measured; peak proxies are rough host figures
+        // and take no part in the paper's normalization).
+        RosterEntry {
+            platform: PlatformId::SequentialHost,
+            label: "Sequential (host)",
+            peak_gflops: 6.0,
+            make: || Box::new(SequentialBackend::new()),
+        },
+        RosterEntry {
+            platform: PlatformId::MimdHost,
+            label: "MIMD host",
+            peak_gflops: 48.0,
+            make: || Box::new(MimdBackend::host_sized()),
+        },
     ]
 }
 
-/// The three NVIDIA devices only (Figs. 5 and 7).
-pub fn nvidia_roster() -> Vec<Box<dyn AtmBackend>> {
-    vec![
-        Box::new(GpuBackend::geforce_9800_gt()),
-        Box::new(GpuBackend::gtx_880m()),
-        Box::new(GpuBackend::titan_x_pascal()),
-    ]
+/// An ordered selection of platforms for sweeps and figures.
+#[derive(Clone, Debug)]
+pub struct Roster {
+    entries: Vec<RosterEntry>,
+}
+
+impl Roster {
+    /// The paper's six-platform comparison (Figs. 4 and 6), in its order:
+    /// STARAN AP, ClearSpeed emulation, 16-core Xeon, then the three
+    /// NVIDIA cards.
+    pub fn paper() -> Roster {
+        Roster::select([
+            PlatformId::StaranAp,
+            PlatformId::ClearSpeedCsx600,
+            PlatformId::XeonMulticore,
+            PlatformId::Geforce9800Gt,
+            PlatformId::Gtx880m,
+            PlatformId::TitanXPascal,
+        ])
+    }
+
+    /// The three NVIDIA devices only (Figs. 5 and 7).
+    pub fn nvidia() -> Roster {
+        Roster::select([
+            PlatformId::Geforce9800Gt,
+            PlatformId::Gtx880m,
+            PlatformId::TitanXPascal,
+        ])
+    }
+
+    /// An arbitrary selection, in the given order. Duplicates are kept
+    /// (a sweep may legitimately measure one platform twice).
+    pub fn select(platforms: impl IntoIterator<Item = PlatformId>) -> Roster {
+        let catalog = catalog();
+        let entries = platforms
+            .into_iter()
+            .map(|p| {
+                *catalog
+                    .iter()
+                    .find(|e| e.platform == p)
+                    .expect("every PlatformId has a catalog entry")
+            })
+            .collect();
+        Roster { entries }
+    }
+
+    /// The selected entries, in order.
+    pub fn entries(&self) -> &[RosterEntry] {
+        &self.entries
+    }
+
+    /// Entry for one platform, if selected.
+    pub fn get(&self, platform: PlatformId) -> Option<&RosterEntry> {
+        self.entries.iter().find(|e| e.platform == platform)
+    }
+
+    /// Number of selected platforms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over the selected entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, RosterEntry> {
+        self.entries.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Roster {
+    type Item = &'a RosterEntry;
+    type IntoIter = std::slice::Iter<'a, RosterEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_roster_matches_the_papers_six_platform_order() {
+        let roster = Roster::paper();
+        let platforms: Vec<PlatformId> = roster.entries().iter().map(|e| e.platform).collect();
+        assert_eq!(
+            platforms,
+            vec![
+                PlatformId::StaranAp,
+                PlatformId::ClearSpeedCsx600,
+                PlatformId::XeonMulticore,
+                PlatformId::Geforce9800Gt,
+                PlatformId::Gtx880m,
+                PlatformId::TitanXPascal,
+            ]
+        );
+        let labels: Vec<&str> = roster.entries().iter().map(|e| e.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "STARAN AP",
+                "ClearSpeed CSX600",
+                "Intel Xeon 16-core",
+                "GeForce 9800 GT",
+                "GTX 880M",
+                "Titan X (Pascal)",
+            ]
+        );
+    }
+
+    #[test]
+    fn nvidia_roster_is_the_papers_gpu_subset() {
+        let nv = Roster::nvidia();
+        assert_eq!(nv.len(), 3);
+        let paper = Roster::paper();
+        assert_eq!(
+            nv.entries().iter().map(|e| e.platform).collect::<Vec<_>>(),
+            paper.entries()[3..]
+                .iter()
+                .map(|e| e.platform)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn entry_labels_match_backend_info_names() {
+        for entry in &Roster::paper() {
+            let backend = entry.instantiate();
+            let info = backend.info();
+            assert_eq!(info.name, entry.label, "{:?}", entry.platform);
+            assert_eq!(info.platform, entry.platform);
+            assert_eq!(info.timing, TimingKind::Modeled);
+            assert!(!info.device.is_empty());
+        }
+    }
+
+    #[test]
+    fn select_preserves_order_and_duplicates() {
+        let r = Roster::select([
+            PlatformId::TitanXPascal,
+            PlatformId::StaranAp,
+            PlatformId::TitanXPascal,
+        ]);
+        assert_eq!(
+            r.entries().iter().map(|e| e.platform).collect::<Vec<_>>(),
+            vec![
+                PlatformId::TitanXPascal,
+                PlatformId::StaranAp,
+                PlatformId::TitanXPascal
+            ]
+        );
+        assert!(r.get(PlatformId::StaranAp).is_some());
+        assert!(r.get(PlatformId::MimdHost).is_none());
+    }
+
+    #[test]
+    fn host_platforms_are_selectable_and_measured() {
+        let r = Roster::select([PlatformId::SequentialHost, PlatformId::MimdHost]);
+        for entry in &r {
+            let backend = entry.instantiate();
+            assert_eq!(backend.info().timing, TimingKind::Measured);
+        }
+    }
+
+    #[test]
+    fn device_names_round_trip_to_platform_ids() {
+        assert_eq!(
+            PlatformId::from_device_name("Titan X (Pascal)"),
+            Some(PlatformId::TitanXPascal)
+        );
+        assert_eq!(PlatformId::from_device_name("Voodoo 2"), None);
+    }
 }

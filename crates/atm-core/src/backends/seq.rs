@@ -1,6 +1,6 @@
 //! The single-threaded host reference backend.
 
-use crate::backends::{AtmBackend, TimingKind};
+use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 use crate::config::AtmConfig;
 use crate::detect::{detect_resolve_all, DetectStats};
 use crate::terrain::{terrain_avoidance_all, TerrainGrid, TerrainTaskConfig};
@@ -36,12 +36,13 @@ impl SequentialBackend {
 }
 
 impl AtmBackend for SequentialBackend {
-    fn name(&self) -> String {
-        "Sequential (host)".to_owned()
-    }
-
-    fn timing_kind(&self) -> TimingKind {
-        TimingKind::Measured
+    fn info(&self) -> BackendInfo<'_> {
+        BackendInfo {
+            name: "Sequential (host)",
+            platform: PlatformId::SequentialHost,
+            timing: TimingKind::Measured,
+            device: "host CPU, single thread",
+        }
     }
 
     fn track_correlate(

@@ -9,7 +9,7 @@
 //! behaviour of the prior work's 2012 Xeon — rapidly growing time and many
 //! missed deadlines — on the same axes as the simulated devices.
 
-use crate::backends::{AtmBackend, TimingKind};
+use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 use crate::config::AtmConfig;
 use crate::detect::detect_resolve_all;
 use crate::terrain::{terrain_avoidance_all, TerrainGrid, TerrainTaskConfig};
@@ -29,12 +29,18 @@ pub struct XeonModelBackend {
 impl XeonModelBackend {
     /// The paper's 16-core Xeon.
     pub fn new() -> Self {
-        XeonModelBackend { model: XeonModel::xeon_16_core(), call_seed: 0 }
+        XeonModelBackend {
+            model: XeonModel::xeon_16_core(),
+            call_seed: 0,
+        }
     }
 
     /// A backend over a custom model (used by ablations and tests).
     pub fn with_model(model: XeonModel) -> Self {
-        XeonModelBackend { model, call_seed: 0 }
+        XeonModelBackend {
+            model,
+            call_seed: 0,
+        }
     }
 
     /// The underlying model.
@@ -55,12 +61,13 @@ impl Default for XeonModelBackend {
 }
 
 impl AtmBackend for XeonModelBackend {
-    fn name(&self) -> String {
-        self.model.name.to_owned()
-    }
-
-    fn timing_kind(&self) -> TimingKind {
-        TimingKind::Modeled
+    fn info(&self) -> BackendInfo<'_> {
+        BackendInfo {
+            name: self.model.name,
+            platform: PlatformId::XeonMulticore,
+            timing: TimingKind::Modeled,
+            device: "16 cores @ 3 GHz (analytic model)",
+        }
     }
 
     fn track_correlate(
@@ -129,7 +136,11 @@ mod tests {
     use crate::airfield::Airfield;
     use crate::backends::SequentialBackend;
 
-    fn run_track(backend: &mut dyn AtmBackend, n: usize, seed: u64) -> (Vec<Aircraft>, SimDuration) {
+    fn run_track(
+        backend: &mut dyn AtmBackend,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Aircraft>, SimDuration) {
         let mut field = Airfield::with_seed(n, seed);
         let mut radars = field.generate_radar();
         let cfg = field.config().clone();

@@ -40,7 +40,11 @@ pub fn axis_window(
     if rel_vel.abs() < PARALLEL_EPS {
         sink.branch(true);
         // Parallel along this axis: in violation for all time or never.
-        return if rel_pos.abs() <= sep { Some((0.0, horizon)) } else { None };
+        return if rel_pos.abs() <= sep {
+            Some((0.0, horizon))
+        } else {
+            None
+        };
     }
     // Solve rel_pos + rel_vel·t ∈ [−sep, +sep].
     sink.fadd(2);
@@ -97,7 +101,12 @@ pub fn conflict_window(
 
 /// Whether two aircraft are within vertical separation of each other (the
 /// paper's 1000 ft altitude gate in Algorithm 2).
-pub fn same_altitude_band(a: &Aircraft, b: &Aircraft, alt_sep: f32, sink: &mut impl CostSink) -> bool {
+pub fn same_altitude_band(
+    a: &Aircraft,
+    b: &Aircraft,
+    alt_sep: f32,
+    sink: &mut impl CostSink,
+) -> bool {
     sink.fadd(2);
     sink.branch(false);
     (a.alt - b.alt).abs() < alt_sep
@@ -139,8 +148,7 @@ mod tests {
     fn currently_overlapping_pair_has_window_starting_now() {
         let track = Aircraft::at(0.0, 0.0).with_velocity(0.1, 0.0);
         let trial = Aircraft::at(1.0, 1.0).with_velocity(0.1, 0.0);
-        let (tmin, _) =
-            conflict_window(&track, (0.1, 0.0), &trial, 3.0, H, &mut sink()).unwrap();
+        let (tmin, _) = conflict_window(&track, (0.1, 0.0), &trial, 3.0, H, &mut sink()).unwrap();
         assert_eq!(tmin, 0.0);
     }
 
@@ -214,7 +222,10 @@ mod tests {
         let track = Aircraft::at(0.0, 0.0).with_velocity(1.0, 0.0);
         let trial = Aircraft::at(100.0, 0.0).with_velocity(-1.0, 0.0);
         conflict_window(&track, (1.0, 0.0), &trial, 3.0, H, &mut ops);
-        assert!(ops.count(sim_clock::OpClass::FpDiv) >= 2, "divisions must be priced");
+        assert!(
+            ops.count(sim_clock::OpClass::FpDiv) >= 2,
+            "divisions must be priced"
+        );
         assert!(ops.count(sim_clock::OpClass::FpAdd) > 0);
     }
 }

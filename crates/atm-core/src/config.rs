@@ -86,7 +86,10 @@ impl Default for AtmConfig {
 impl AtmConfig {
     /// The paper's configuration with a caller-chosen seed.
     pub fn with_seed(seed: u64) -> Self {
-        AtmConfig { seed, ..AtmConfig::default() }
+        AtmConfig {
+            seed,
+            ..AtmConfig::default()
+        }
     }
 
     /// The box half-width used in correlation pass `pass` (doubles each
@@ -124,8 +127,10 @@ impl AtmConfig {
         );
         assert!(self.separation_nm > 0.0);
         assert!(self.horizon_periods > 0.0);
-        assert!(self.critical_periods <= self.horizon_periods,
-            "critical window cannot exceed the detection horizon");
+        assert!(
+            self.critical_periods <= self.horizon_periods,
+            "critical window cannot exceed the detection horizon"
+        );
         assert!(self.rotation_step_deg > 0.0);
         assert!(self.rotation_max_deg >= self.rotation_step_deg);
     }
@@ -169,7 +174,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "critical window")]
     fn critical_beyond_horizon_is_rejected() {
-        let c = AtmConfig { critical_periods: 5_000.0, ..AtmConfig::default() };
+        let c = AtmConfig {
+            critical_periods: 5_000.0,
+            ..AtmConfig::default()
+        };
         c.validate();
     }
 

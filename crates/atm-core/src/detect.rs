@@ -78,9 +78,14 @@ pub fn scan_for_conflicts(
             continue;
         }
         checks += 1;
-        if let Some((tmin, _tmax)) =
-            conflict_window(track, vel, trial, cfg.separation_nm, cfg.horizon_periods, sink)
-        {
+        if let Some((tmin, _tmax)) = conflict_window(
+            track,
+            vel,
+            trial,
+            cfg.separation_nm,
+            cfg.horizon_periods,
+            sink,
+        ) {
             sink.branch(true);
             if tmin < cfg.critical_periods {
                 match earliest {
@@ -90,7 +95,10 @@ pub fn scan_for_conflicts(
             }
         }
     }
-    ScanResult { critical: earliest, checks }
+    ScanResult {
+        critical: earliest,
+        checks,
+    }
 }
 
 /// Rotate a velocity vector by `angle` radians (the Task 3 course change).
@@ -239,8 +247,12 @@ mod tests {
     /// t = 250 < 300, and far enough out that a ≤30° turn can clear it).
     fn head_on_pair() -> Vec<Aircraft> {
         vec![
-            Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0).with_altitude(10_000.0),
-            Aircraft::at(28.0, 0.0).with_velocity(-0.05, 0.0).with_altitude(10_000.0),
+            Aircraft::at(0.0, 0.0)
+                .with_velocity(0.05, 0.0)
+                .with_altitude(10_000.0),
+            Aircraft::at(28.0, 0.0)
+                .with_velocity(-0.05, 0.0)
+                .with_altitude(10_000.0),
         ]
     }
 
@@ -262,7 +274,10 @@ mod tests {
         let mut ac = head_on_pair();
         let speed_before = ac[0].speed();
         check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        assert!((ac[0].speed() - speed_before).abs() < 1e-6, "rotation must not change speed");
+        assert!(
+            (ac[0].speed() - speed_before).abs() < 1e-6,
+            "rotation must not change speed"
+        );
     }
 
     #[test]

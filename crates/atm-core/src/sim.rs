@@ -14,6 +14,7 @@ use crate::terrain::{TerrainGrid, TerrainTaskConfig};
 use crate::types::Aircraft;
 use rt_sched::{CyclicExecutive, ExecutiveReport, MajorCycleSpec, TaskExecution};
 use sim_clock::SimDuration;
+use telemetry::Recorder;
 
 /// Result of a simulation run.
 #[derive(Debug)]
@@ -29,12 +30,18 @@ pub struct SimOutcome {
 impl SimOutcome {
     /// Mean Task 1 execution time (zero if it never completed).
     pub fn mean_task1(&self) -> SimDuration {
-        self.report.task_stats("Task1").map(|s| s.mean()).unwrap_or(SimDuration::ZERO)
+        self.report
+            .task_stats("Task1")
+            .map(|s| s.mean())
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Mean Tasks 2+3 execution time.
     pub fn mean_task23(&self) -> SimDuration {
-        self.report.task_stats("Task2+3").map(|s| s.mean()).unwrap_or(SimDuration::ZERO)
+        self.report
+            .task_stats("Task2+3")
+            .map(|s| s.mean())
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -55,7 +62,12 @@ impl TerrainSchedule {
     /// The default schedule: every 4 periods (2 seconds), offset from the
     /// detection period.
     pub fn standard(grid: TerrainGrid) -> Self {
-        TerrainSchedule { grid, tcfg: TerrainTaskConfig::default(), every: 4, phase: 1 }
+        TerrainSchedule {
+            grid,
+            tcfg: TerrainTaskConfig::default(),
+            every: 4,
+            phase: 1,
+        }
     }
 }
 
@@ -64,18 +76,35 @@ pub struct AtmSimulation {
     field: Airfield,
     backend: Box<dyn AtmBackend>,
     terrain: Option<TerrainSchedule>,
+    recorder: Recorder,
 }
 
 impl AtmSimulation {
     /// Wire an airfield to a backend.
     pub fn new(field: Airfield, backend: Box<dyn AtmBackend>) -> Self {
-        AtmSimulation { field, backend, terrain: None }
+        AtmSimulation {
+            field,
+            backend,
+            terrain: None,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder: the cyclic executive emits period and
+    /// task spans, and the backend's substrate (GPU device, AP machine,
+    /// MIMD pool) emits its own spans onto the same recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.backend.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Enable the Task 4 terrain-avoidance schedule (the future-work
     /// extension; see [`crate::terrain`]).
     pub fn with_terrain(mut self, schedule: TerrainSchedule) -> Self {
-        assert!(schedule.every > 0, "terrain schedule period must be positive");
+        assert!(
+            schedule.every > 0,
+            "terrain schedule period must be positive"
+        );
         self.terrain = Some(schedule);
         self
     }
@@ -100,6 +129,7 @@ impl AtmSimulation {
             periods_per_major: cfg.periods_per_major,
         };
         let mut exec = CyclicExecutive::new(spec);
+        exec.set_recorder(self.recorder.clone());
 
         let field = &mut self.field;
         let backend = &mut self.backend;
@@ -112,11 +142,8 @@ impl AtmSimulation {
             let mut tasks = vec![TaskExecution::new("Task1", t1)];
             if let Some(sched) = terrain {
                 if period % sched.every == sched.phase % sched.every {
-                    let t4 = backend.terrain_avoidance(
-                        &mut field.aircraft,
-                        &sched.grid,
-                        &sched.tcfg,
-                    );
+                    let t4 =
+                        backend.terrain_avoidance(&mut field.aircraft, &sched.grid, &sched.tcfg);
                     tasks.push(TaskExecution::new("Terrain", t4));
                 }
             }
@@ -130,7 +157,7 @@ impl AtmSimulation {
         let report = exec.run(&mut workload, major_cycles);
 
         SimOutcome {
-            backend_name: self.backend.name(),
+            backend_name: self.backend.info().name.to_owned(),
             setup_time,
             report,
         }
@@ -176,8 +203,7 @@ mod tests {
 
     #[test]
     fn titan_x_never_misses_at_moderate_load() {
-        let mut sim =
-            AtmSimulation::with_field(2_000, 41, Box::new(GpuBackend::titan_x_pascal()));
+        let mut sim = AtmSimulation::with_field(2_000, 41, Box::new(GpuBackend::titan_x_pascal()));
         let out = sim.run(2);
         assert_eq!(out.report.total_misses(), 0, "{}", out.report);
         assert_eq!(out.report.periods().len(), 32);
@@ -196,8 +222,7 @@ mod tests {
 
     #[test]
     fn xeon_misses_deadlines_at_heavy_load() {
-        let mut sim =
-            AtmSimulation::with_field(16_000, 43, Box::new(XeonModelBackend::new()));
+        let mut sim = AtmSimulation::with_field(16_000, 43, Box::new(XeonModelBackend::new()));
         let out = sim.run(1);
         assert!(
             out.report.total_misses() > 0,
@@ -212,7 +237,10 @@ mod tests {
         let before: Vec<f32> = sim.aircraft().iter().map(|a| a.x).collect();
         sim.run(1);
         let after: Vec<f32> = sim.aircraft().iter().map(|a| a.x).collect();
-        assert_ne!(before, after, "16 periods of movement must change positions");
+        assert_ne!(
+            before, after,
+            "16 periods of movement must change positions"
+        );
         assert_eq!(sim.field().periods_elapsed(), 16);
     }
 
@@ -230,13 +258,15 @@ mod tests {
     #[test]
     fn modeled_simulation_is_deterministic_end_to_end() {
         let run = || {
-            let mut sim =
-                AtmSimulation::with_field(800, 46, Box::new(GpuBackend::gtx_880m()));
+            let mut sim = AtmSimulation::with_field(800, 46, Box::new(GpuBackend::gtx_880m()));
             let out = sim.run(1);
             (
                 out.mean_task1(),
                 out.mean_task23(),
-                sim.aircraft().iter().map(|a| (a.x, a.y)).collect::<Vec<_>>(),
+                sim.aircraft()
+                    .iter()
+                    .map(|a| (a.x, a.y))
+                    .collect::<Vec<_>>(),
             )
         };
         assert_eq!(run(), run());

@@ -15,9 +15,7 @@
 //! tasks.
 
 use crate::types::Aircraft;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sim_clock::CostSink;
+use sim_clock::{CostSink, SimRng};
 
 /// A square terrain elevation lattice over the airfield, sampled
 /// bilinearly.
@@ -37,9 +35,8 @@ impl TerrainGrid {
         assert!(half_width > 0.0);
         assert!(max_elev_ft >= 0.0);
         let side = cells + 1;
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7E44A1);
-        let mut elev: Vec<f32> =
-            (0..side * side).map(|_| rng.gen_range(0.0..1.0f32)).collect();
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x7E44A1);
+        let mut elev: Vec<f32> = (0..side * side).map(|_| rng.next_f32()).collect();
 
         // Three smoothing passes: 3×3 box blur with edge clamping.
         for _ in 0..3 {
@@ -72,12 +69,20 @@ impl TerrainGrid {
             *e = (*e - lo) / span * max_elev_ft;
         }
 
-        TerrainGrid { half_width, cells, elev }
+        TerrainGrid {
+            half_width,
+            cells,
+            elev,
+        }
     }
 
     /// Completely flat terrain at a fixed elevation (tests, oceans).
     pub fn flat(half_width: f32, elevation_ft: f32) -> TerrainGrid {
-        TerrainGrid { half_width, cells: 1, elev: vec![elevation_ft; 4] }
+        TerrainGrid {
+            half_width,
+            cells: 1,
+            elev: vec![elevation_ft; 4],
+        }
     }
 
     /// Grid half-width in nm.
@@ -127,7 +132,11 @@ pub struct TerrainTaskConfig {
 
 impl Default for TerrainTaskConfig {
     fn default() -> Self {
-        TerrainTaskConfig { lookahead_periods: 600.0, samples: 8, clearance_ft: 1_000.0 }
+        TerrainTaskConfig {
+            lookahead_periods: 600.0,
+            samples: 8,
+            clearance_ft: 1_000.0,
+        }
     }
 }
 
@@ -249,7 +258,9 @@ mod tests {
     #[test]
     fn low_flyer_over_mountains_gets_climbed() {
         let g = TerrainGrid::flat(128.0, 5_000.0);
-        let mut ac = vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0).with_altitude(2_000.0)];
+        let mut ac = vec![Aircraft::at(0.0, 0.0)
+            .with_velocity(0.05, 0.0)
+            .with_altitude(2_000.0)];
         let s = check_terrain(&mut ac, 0, &g, &TerrainTaskConfig::default(), &mut NullSink);
         assert_eq!(s.warnings, 1);
         assert_eq!(s.climbs, 1);
@@ -259,8 +270,9 @@ mod tests {
     #[test]
     fn high_flyer_is_left_alone() {
         let g = grid();
-        let mut ac =
-            vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0).with_altitude(39_000.0)];
+        let mut ac = vec![Aircraft::at(0.0, 0.0)
+            .with_velocity(0.05, 0.0)
+            .with_altitude(39_000.0)];
         let s = check_terrain(&mut ac, 0, &g, &TerrainTaskConfig::default(), &mut NullSink);
         assert_eq!(s.warnings, 0);
         assert_eq!(ac[0].alt, 39_000.0);
@@ -269,7 +281,10 @@ mod tests {
     #[test]
     fn sample_count_matches_config() {
         let g = grid();
-        let tcfg = TerrainTaskConfig { samples: 5, ..Default::default() };
+        let tcfg = TerrainTaskConfig {
+            samples: 5,
+            ..Default::default()
+        };
         let mut ac = vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0)];
         let s = check_terrain(&mut ac, 0, &g, &tcfg, &mut NullSink);
         assert_eq!(s.samples, 6, "look-ahead samples plus the current position");
@@ -283,8 +298,7 @@ mod tests {
             Aircraft::at(5.0, 5.0).with_altitude(20_000.0),
             Aircraft::at(-5.0, -5.0).with_altitude(3_500.0),
         ];
-        let s =
-            terrain_avoidance_all(&mut ac, &g, &TerrainTaskConfig::default(), &mut NullSink);
+        let s = terrain_avoidance_all(&mut ac, &g, &TerrainTaskConfig::default(), &mut NullSink);
         assert_eq!(s.warnings, 2);
         assert_eq!(s.climbs, 2);
         assert!(ac.iter().all(|a| a.alt >= 4_000.0));
@@ -295,14 +309,16 @@ mod tests {
         let g = grid();
         let tcfg = TerrainTaskConfig::default();
         let count_for = |n: usize| {
-            let mut ac: Vec<Aircraft> =
-                (0..n).map(|k| Aircraft::at(k as f32, 0.0)).collect();
+            let mut ac: Vec<Aircraft> = (0..n).map(|k| Aircraft::at(k as f32, 0.0)).collect();
             let mut ops = sim_clock::OpCounter::new();
             terrain_avoidance_all(&mut ac, &g, &tcfg, &mut ops);
             ops.total_compute_ops() as f64 / n as f64
         };
         let per_small = count_for(10);
         let per_large = count_for(1_000);
-        assert!((per_small - per_large).abs() < 2.0, "{per_small} vs {per_large}");
+        assert!(
+            (per_small - per_large).abs() < 2.0,
+            "{per_small} vs {per_large}"
+        );
     }
 }

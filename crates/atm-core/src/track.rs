@@ -22,8 +22,7 @@
 
 use crate::config::AtmConfig;
 use crate::types::{
-    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, RADAR_DISCARDED,
-    RADAR_UNMATCHED,
+    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, RADAR_DISCARDED, RADAR_UNMATCHED,
 };
 use sim_clock::CostSink;
 
@@ -216,12 +215,18 @@ pub fn track_correlate(
     }
 
     stats.matched = aircraft.iter().filter(|a| a.r_match == MATCH_ONE).count() as u64;
-    stats.dropped_aircraft =
-        aircraft.iter().filter(|a| a.r_match == MATCH_MULTIPLE).count() as u64;
-    stats.discarded_radars =
-        radars.iter().filter(|r| r.r_match_with == RADAR_DISCARDED).count() as u64;
-    stats.unmatched_radars =
-        radars.iter().filter(|r| r.r_match_with == RADAR_UNMATCHED).count() as u64;
+    stats.dropped_aircraft = aircraft
+        .iter()
+        .filter(|a| a.r_match == MATCH_MULTIPLE)
+        .count() as u64;
+    stats.discarded_radars = radars
+        .iter()
+        .filter(|r| r.r_match_with == RADAR_DISCARDED)
+        .count() as u64;
+    stats.unmatched_radars = radars
+        .iter()
+        .filter(|r| r.r_match_with == RADAR_UNMATCHED)
+        .count() as u64;
     stats
 }
 
@@ -354,7 +359,13 @@ mod tests {
         let mut ac: Vec<Aircraft> = vec![];
         let mut rd: Vec<RadarReport> = vec![];
         let stats = track_correlate(&mut ac, &mut rd, &cfg(), &mut NullSink);
-        assert_eq!(stats, TrackStats { passes_run: 1, ..Default::default() });
+        assert_eq!(
+            stats,
+            TrackStats {
+                passes_run: 1,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -380,7 +391,10 @@ mod tests {
         let mut aircraft = field.aircraft.clone();
         let mut ops = sim_clock::OpCounter::new();
         let stats = track_correlate(&mut aircraft, &mut radars, &cfg(), &mut ops);
-        assert!(stats.box_tests >= 64 * 64, "at least one full scan: {stats:?}");
+        assert!(
+            stats.box_tests >= 64 * 64,
+            "at least one full scan: {stats:?}"
+        );
         assert!(ops.count(sim_clock::OpClass::FpAdd) >= stats.box_tests);
         assert!(ops.bytes_loaded > 0);
     }

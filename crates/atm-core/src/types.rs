@@ -118,7 +118,11 @@ pub struct RadarReport {
 impl RadarReport {
     /// A fresh, unmatched report at a position.
     pub fn at(rx: f32, ry: f32) -> RadarReport {
-        RadarReport { rx, ry, r_match_with: RADAR_UNMATCHED }
+        RadarReport {
+            rx,
+            ry,
+            r_match_with: RADAR_UNMATCHED,
+        }
     }
 
     /// Whether the report still awaits a match.

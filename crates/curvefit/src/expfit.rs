@@ -72,7 +72,10 @@ pub fn fit_exponential(x: &[f64], y: &[f64]) -> Result<ExpFitReport, FitError> {
     }
     let log_y: Vec<f64> = y.iter().map(|&v| v.ln()).collect();
     let line = polyfit(x, &log_y, 1)?;
-    let model = Exponential { a: line.coeff(0).exp(), b: line.coeff(1) };
+    let model = Exponential {
+        a: line.coeff(0).exp(),
+        b: line.coeff(1),
+    };
     let yhat: Vec<f64> = x.iter().map(|&v| model.eval(v)).collect();
     let gof = GoodnessOfFit::compute(y, &yhat, 2);
     Ok(ExpFitReport { model, gof })
@@ -132,11 +135,7 @@ mod tests {
 
     #[test]
     fn display_shows_both_parameters() {
-        let fit = fit_exponential(
-            &[0.0, 1.0, 2.0, 3.0],
-            &[1.0, 2.0, 4.0, 8.0],
-        )
-        .unwrap();
+        let fit = fit_exponential(&[0.0, 1.0, 2.0, 3.0], &[1.0, 2.0, 4.0, 8.0]).unwrap();
         let s = fit.to_string();
         assert!(s.contains("exp("), "{s}");
         assert!(s.contains("R²="), "{s}");

@@ -104,7 +104,10 @@ mod tests {
     fn detects_singular_matrix() {
         let mut a = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
         let mut b = vec![1.0, 2.0];
-        assert_eq!(solve_linear_system(&mut a, &mut b, 2), Err(FitError::Singular));
+        assert_eq!(
+            solve_linear_system(&mut a, &mut b, 2),
+            Err(FitError::Singular)
+        );
     }
 
     #[test]

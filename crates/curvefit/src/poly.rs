@@ -13,7 +13,10 @@ pub struct Polynomial {
 impl Polynomial {
     /// Construct from coefficients in ascending-power order.
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "a polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "a polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -160,7 +163,10 @@ mod tests {
     use super::*;
 
     fn assert_close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())), "{a} != {b} (tol {tol})");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{a} != {b} (tol {tol})"
+        );
     }
 
     #[test]
@@ -198,7 +204,9 @@ mod tests {
         // Deterministic "noise" from a simple LCG so the test is stable.
         let mut state = 42u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.01
         };
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
@@ -209,22 +217,34 @@ mod tests {
 
     #[test]
     fn underdetermined_is_an_error() {
-        assert_eq!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2), Err(FitError::Underdetermined));
+        assert_eq!(
+            polyfit(&[1.0, 2.0], &[1.0, 2.0], 2),
+            Err(FitError::Underdetermined)
+        );
     }
 
     #[test]
     fn mismatched_lengths_error() {
-        assert_eq!(polyfit(&[1.0], &[1.0, 2.0], 0), Err(FitError::LengthMismatch));
+        assert_eq!(
+            polyfit(&[1.0], &[1.0, 2.0], 0),
+            Err(FitError::LengthMismatch)
+        );
     }
 
     #[test]
     fn nan_input_errors() {
-        assert_eq!(polyfit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0], 1), Err(FitError::NonFinite));
+        assert_eq!(
+            polyfit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0], 1),
+            Err(FitError::NonFinite)
+        );
     }
 
     #[test]
     fn identical_x_is_singular_for_degree_one() {
-        assert_eq!(polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1), Err(FitError::Singular));
+        assert_eq!(
+            polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1),
+            Err(FitError::Singular)
+        );
     }
 
     #[test]
@@ -240,7 +260,10 @@ mod tests {
         let p = Polynomial::new(vec![1.0, 0.0, 2.0]);
         let s = p.to_string();
         assert!(s.contains("x^2"), "{s}");
-        assert!(!s.contains("·x "), "zero linear term should be skipped: {s}");
+        assert!(
+            !s.contains("·x "),
+            "zero linear term should be skipped: {s}"
+        );
     }
 
     #[test]

@@ -35,8 +35,17 @@ impl GoodnessOfFit {
         } else {
             r_squared
         };
-        let rmse = if dof > 0 { (sse / dof as f64).sqrt() } else { 0.0 };
-        GoodnessOfFit { sse, r_squared, adj_r_squared, rmse }
+        let rmse = if dof > 0 {
+            (sse / dof as f64).sqrt()
+        } else {
+            0.0
+        };
+        GoodnessOfFit {
+            sse,
+            r_squared,
+            adj_r_squared,
+            rmse,
+        }
     }
 }
 
@@ -134,7 +143,9 @@ mod tests {
     use super::*;
 
     fn lcg_noise(state: &mut u64, amp: f64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * amp
     }
 
@@ -164,7 +175,10 @@ mod tests {
     fn classify_pure_line_as_linear() {
         let mut s = 7u64;
         let x: Vec<f64> = (1..=30).map(|i| (i * 500) as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&v| 2e-3 * v + 0.5 + lcg_noise(&mut s, 1e-4)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 2e-3 * v + 0.5 + lcg_noise(&mut s, 1e-4))
+            .collect();
         let (class, lin, _quad) = classify_curve(&x, &y).unwrap();
         assert_eq!(class, CurveClass::Linear);
         assert!(lin.gof.r_squared > 0.999);

@@ -56,9 +56,16 @@ impl CostTable {
                 }
                 // Kepler: 32 SFUs per 192-core SMX (1/6), divide ~1/12,
                 // relaxed coalescing and uniform-read service through L2.
-                ComputeCapability::Cc3_0 => {
-                    (1.0 / 12.0, 1.0 / 12.0, 1.0 / 6.0, 1.0, 6.0, 0.85, 24.0, true)
-                }
+                ComputeCapability::Cc3_0 => (
+                    1.0 / 12.0,
+                    1.0 / 12.0,
+                    1.0 / 6.0,
+                    1.0,
+                    6.0,
+                    0.85,
+                    24.0,
+                    true,
+                ),
                 // Pascal: 32 SFUs per 128-core SM (0.25), divide ~1/10.
                 ComputeCapability::Cc6_1 => {
                     (1.0 / 10.0, 1.0 / 10.0, 0.25, 1.0, 5.0, 0.90, 20.0, true)

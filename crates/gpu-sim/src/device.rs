@@ -8,7 +8,8 @@ use crate::sm::{kernel_time, occupancy, SmSchedule};
 use crate::spec::DeviceSpec;
 use crate::trace::ThreadTrace;
 use crate::warp::WarpAccumulator;
-use sim_clock::{SimDuration, Timeline};
+use sim_clock::{SimDuration, SimInstant, Timeline};
+use telemetry::{Recorder, TrackId};
 
 /// A simulated CUDA device.
 ///
@@ -21,6 +22,8 @@ pub struct CudaDevice {
     timeline: Timeline,
     stats: DeviceStats,
     scratch_trace: ThreadTrace,
+    recorder: Recorder,
+    track: TrackId,
 }
 
 impl CudaDevice {
@@ -34,7 +37,16 @@ impl CudaDevice {
             timeline: Timeline::new(),
             stats: DeviceStats::default(),
             scratch_trace: ThreadTrace::new(),
+            recorder: Recorder::disabled(),
+            track: TrackId::default(),
         }
+    }
+
+    /// Attach a telemetry recorder: every launch and transfer emits a span
+    /// on a track named after the device, anchored on the device timeline.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.track = recorder.track(&format!("gpu: {}", self.spec.name));
+        self.recorder = recorder;
     }
 
     /// Same, but with an event-recording timeline (for traces and the
@@ -126,17 +138,35 @@ impl CudaDevice {
             timing,
         };
 
-        self.timeline.advance(&format!("kernel:{name}"), timing.total);
+        if self.recorder.is_enabled() {
+            let start = SimInstant::at(self.timeline.elapsed());
+            self.recorder.span_with_args(
+                self.track,
+                &format!("kernel:{name}"),
+                "gpu.kernel",
+                start,
+                timing.total,
+                vec![
+                    ("threads", report.threads.into()),
+                    ("warps", report.warps.into()),
+                    ("occupancy", report.occupancy.fraction.into()),
+                    ("compute_ms", timing.compute.as_millis_f64().into()),
+                    ("memory_ms", timing.memory.as_millis_f64().into()),
+                    ("overhead_ms", timing.overhead.as_millis_f64().into()),
+                ],
+            );
+            self.recorder.counter_add("gpu.launches", 1);
+            self.recorder
+                .histogram_record("gpu.kernel_ms", timing.total);
+        }
+        self.timeline
+            .advance(&format!("kernel:{name}"), timing.total);
         self.stats.record_launch(&report);
         report
     }
 
     /// Copy host data into a device buffer, charging PCIe time.
-    pub fn upload<T: Clone>(
-        &mut self,
-        buf: &mut DeviceBuffer<T>,
-        host: &[T],
-    ) -> TransferReport {
+    pub fn upload<T: Clone>(&mut self, buf: &mut DeviceBuffer<T>, host: &[T]) -> TransferReport {
         buf.copy_from_host(host);
         self.transfer(TransferDir::HostToDevice, buf.size_bytes())
     }
@@ -157,7 +187,24 @@ impl CudaDevice {
         let bw_secs = bytes as f64 / (self.spec.pcie_mb_s as f64 * 1.0e6);
         let duration = SimDuration::from_nanos(self.spec.transfer_overhead_ns)
             + SimDuration::from_secs_f64(bw_secs);
-        let report = TransferReport { dir, bytes, duration };
+        let report = TransferReport {
+            dir,
+            bytes,
+            duration,
+        };
+        if self.recorder.is_enabled() {
+            let start = SimInstant::at(self.timeline.elapsed());
+            self.recorder.span_with_args(
+                self.track,
+                &format!("memcpy:{dir}"),
+                "gpu.transfer",
+                start,
+                duration,
+                vec![("bytes", bytes.into())],
+            );
+            self.recorder.counter_add("gpu.transfers", 1);
+            self.recorder.counter_add("gpu.transfer_bytes", bytes);
+        }
         self.timeline.advance(&format!("memcpy:{dir}"), duration);
         self.stats.record_transfer(&report);
         report
@@ -223,7 +270,9 @@ mod tests {
     fn more_work_takes_more_time() {
         let mut dev = titan();
         let small = dev.launch("s", LaunchConfig::paper_for_items(96), |_, t| t.fadd(100));
-        let big = dev.launch("b", LaunchConfig::paper_for_items(96_000), |_, t| t.fadd(100));
+        let big = dev.launch("b", LaunchConfig::paper_for_items(96_000), |_, t| {
+            t.fadd(100)
+        });
         assert!(big.duration() > small.duration());
     }
 
@@ -298,7 +347,10 @@ mod tests {
         let expected = 67_108_864.0 / 12.0e9;
         let got = (large.duration - SimDuration::from_nanos(dev.spec().transfer_overhead_ns))
             .as_secs_f64();
-        assert!((got - expected).abs() / expected < 0.05, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]

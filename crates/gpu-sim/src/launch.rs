@@ -18,7 +18,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Construct a launch configuration.
     pub fn new(grid_dim: u32, block_dim: u32) -> Self {
-        LaunchConfig { grid_dim, block_dim }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
     }
 
     /// The paper's configuration: fixed 96 threads per block, grid sized to
@@ -26,7 +29,10 @@ impl LaunchConfig {
     pub fn paper_for_items(n: usize) -> Self {
         const THREADS_PER_BLOCK: u32 = 96;
         let blocks = n.div_ceil(THREADS_PER_BLOCK as usize).max(1) as u32;
-        LaunchConfig { grid_dim: blocks, block_dim: THREADS_PER_BLOCK }
+        LaunchConfig {
+            grid_dim: blocks,
+            block_dim: THREADS_PER_BLOCK,
+        }
     }
 
     /// Cover `n` items with a caller-chosen block size (for the block-size
@@ -34,7 +40,10 @@ impl LaunchConfig {
     pub fn cover(n: usize, block_dim: u32) -> Self {
         assert!(block_dim > 0, "block_dim must be positive");
         let blocks = n.div_ceil(block_dim as usize).max(1) as u32;
-        LaunchConfig { grid_dim: blocks, block_dim }
+        LaunchConfig {
+            grid_dim: blocks,
+            block_dim,
+        }
     }
 
     /// Total threads in the launch.
@@ -133,7 +142,12 @@ mod tests {
 
     #[test]
     fn global_id_is_block_major() {
-        let ctx = ThreadCtx { block_idx: 3, thread_idx: 5, block_dim: 96, grid_dim: 10 };
+        let ctx = ThreadCtx {
+            block_idx: 3,
+            thread_idx: 5,
+            block_dim: 96,
+            grid_dim: 10,
+        };
         assert_eq!(ctx.global_id(), 3 * 96 + 5);
         assert!(ctx.in_range(300));
         assert!(!ctx.in_range(200));

@@ -20,7 +20,11 @@ impl<T: Clone + Default> DeviceBuffer<T> {
     /// Allocate a zero/default-initialized device buffer of `len` elements
     /// (the analogue of `cudaMalloc` + `cudaMemset`).
     pub fn zeroed(len: usize) -> Self {
-        DeviceBuffer { data: vec![T::default(); len], uploads: 0, downloads: 0 }
+        DeviceBuffer {
+            data: vec![T::default(); len],
+            uploads: 0,
+            downloads: 0,
+        }
     }
 }
 
@@ -28,7 +32,11 @@ impl<T: Clone> DeviceBuffer<T> {
     /// Allocate a device buffer holding a copy of `host` (allocation only —
     /// transfer time is charged by [`crate::CudaDevice::upload`]).
     pub fn from_host(host: &[T]) -> Self {
-        DeviceBuffer { data: host.to_vec(), uploads: 0, downloads: 0 }
+        DeviceBuffer {
+            data: host.to_vec(),
+            uploads: 0,
+            downloads: 0,
+        }
     }
 
     /// Number of elements.

@@ -50,7 +50,11 @@ impl fmt::Display for LaunchReport {
             self.warps,
             self.occupancy.fraction * 100.0,
             self.timing.total,
-            if self.memory_bound() { "memory-bound" } else { "compute-bound" },
+            if self.memory_bound() {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            },
         )
     }
 }
@@ -145,7 +149,11 @@ mod tests {
             config: LaunchConfig::new(1, 96),
             threads,
             warps: threads.div_ceil(32),
-            occupancy: Occupancy { resident_warps: 3, resident_blocks: 1, fraction: 0.05 },
+            occupancy: Occupancy {
+                resident_warps: 3,
+                resident_blocks: 1,
+                fraction: 0.05,
+            },
             timing: KernelTiming {
                 compute: total,
                 memory: SimDuration::ZERO,

@@ -37,7 +37,10 @@ pub struct Occupancy {
 pub fn occupancy(cfg: &LaunchConfig, spec: &DeviceSpec) -> Occupancy {
     let warps_per_block = cfg.warps_per_block(spec);
     let by_warps = spec.max_warps_per_sm / warps_per_block.max(1);
-    let resident_blocks = by_warps.min(spec.max_blocks_per_sm).max(1).min(cfg.grid_dim);
+    let resident_blocks = by_warps
+        .min(spec.max_blocks_per_sm)
+        .max(1)
+        .min(cfg.grid_dim);
     let resident_warps = (resident_blocks * warps_per_block).min(spec.max_warps_per_sm);
     Occupancy {
         resident_warps,
@@ -131,7 +134,12 @@ pub fn kernel_time(
 
     let overhead = SimDuration::from_nanos(spec.launch_overhead_ns);
     let total = overhead + compute.max(memory);
-    KernelTiming { compute, memory, overhead, total }
+    KernelTiming {
+        compute,
+        memory,
+        overhead,
+        total,
+    }
 }
 
 /// Fractional-cycle-accurate conversion to [`SimDuration`].
@@ -185,7 +193,13 @@ mod tests {
     fn round_robin_balances_uniform_blocks() {
         let mut s = SmSchedule::new(4);
         for b in 0..8u32 {
-            s.add_warp(b, WarpCost { issue_cycles: 10.0, bytes: 100 });
+            s.add_warp(
+                b,
+                WarpCost {
+                    issue_cycles: 10.0,
+                    bytes: 100,
+                },
+            );
         }
         assert!(s.per_sm_cycles.iter().all(|&c| (c - 20.0).abs() < 1e-12));
         assert_eq!(s.total_bytes, 800);
@@ -195,8 +209,20 @@ mod tests {
     #[test]
     fn critical_path_is_max_not_sum() {
         let mut s = SmSchedule::new(2);
-        s.add_warp(0, WarpCost { issue_cycles: 100.0, bytes: 0 });
-        s.add_warp(1, WarpCost { issue_cycles: 30.0, bytes: 0 });
+        s.add_warp(
+            0,
+            WarpCost {
+                issue_cycles: 100.0,
+                bytes: 0,
+            },
+        );
+        s.add_warp(
+            1,
+            WarpCost {
+                issue_cycles: 30.0,
+                bytes: 0,
+            },
+        );
         assert_eq!(s.critical_path_cycles(), 100.0);
     }
 
@@ -216,8 +242,20 @@ mod tests {
         let mut s1 = SmSchedule::new(spec.sm_count);
         let mut s2 = SmSchedule::new(spec.sm_count);
         for b in 0..spec.sm_count {
-            s1.add_warp(b, WarpCost { issue_cycles: 1.0e6, bytes: 0 });
-            s2.add_warp(b, WarpCost { issue_cycles: 2.0e6, bytes: 0 });
+            s1.add_warp(
+                b,
+                WarpCost {
+                    issue_cycles: 1.0e6,
+                    bytes: 0,
+                },
+            );
+            s2.add_warp(
+                b,
+                WarpCost {
+                    issue_cycles: 2.0e6,
+                    bytes: 0,
+                },
+            );
         }
         let t1 = kernel_time(&s1, &cfg, &spec, &table);
         let t2 = kernel_time(&s2, &cfg, &spec, &table);
@@ -234,14 +272,23 @@ mod tests {
         let mut s = SmSchedule::new(spec.sm_count);
         // Tiny compute, lots of traffic.
         for b in 0..1000u32 {
-            s.add_warp(b, WarpCost { issue_cycles: 1.0, bytes: 10_000_000 });
+            s.add_warp(
+                b,
+                WarpCost {
+                    issue_cycles: 1.0,
+                    bytes: 10_000_000,
+                },
+            );
         }
         let t = kernel_time(&s, &cfg, &spec, &table);
         assert!(t.memory > t.compute);
         // 10 GB over 480 GB/s * 0.9 ≈ 23 ms.
         let expected_s = 1.0e10 / (480.0e9 * 0.9);
         let got_s = t.memory.as_secs_f64();
-        assert!((got_s - expected_s).abs() / expected_s < 0.05, "{got_s} vs {expected_s}");
+        assert!(
+            (got_s - expected_s).abs() / expected_s < 0.05,
+            "{got_s} vs {expected_s}"
+        );
     }
 
     #[test]
@@ -250,7 +297,13 @@ mod tests {
         // One tiny block: 3 resident warps, far below warps_to_hide_latency.
         let cfg = LaunchConfig::new(1, 96);
         let mut s = SmSchedule::new(spec.sm_count);
-        s.add_warp(0, WarpCost { issue_cycles: 1.0, bytes: 1024 });
+        s.add_warp(
+            0,
+            WarpCost {
+                issue_cycles: 1.0,
+                bytes: 1024,
+            },
+        );
         let t = kernel_time(&s, &cfg, &spec, &table);
         // Exposed latency must make memory time exceed pure bandwidth time.
         let bw_only = 1024.0 / (480.0e9 * 0.9);

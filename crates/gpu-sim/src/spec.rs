@@ -164,7 +164,11 @@ impl DeviceSpec {
     /// Called by [`crate::CudaDevice::new`].
     pub fn validate(&self) {
         assert!(self.sm_count > 0, "{}: sm_count must be > 0", self.name);
-        assert!(self.cores_per_sm > 0, "{}: cores_per_sm must be > 0", self.name);
+        assert!(
+            self.cores_per_sm > 0,
+            "{}: cores_per_sm must be > 0",
+            self.name
+        );
         assert!(self.clock_mhz > 0, "{}: clock_mhz must be > 0", self.name);
         assert!(self.warp_size > 0, "{}: warp_size must be > 0", self.name);
         assert!(
@@ -172,10 +176,26 @@ impl DeviceSpec {
             "{}: a block must fit at least one warp",
             self.name
         );
-        assert!(self.mem_bandwidth_mb_s > 0, "{}: bandwidth must be > 0", self.name);
-        assert!(self.pcie_mb_s > 0, "{}: pcie bandwidth must be > 0", self.name);
-        assert!(self.max_warps_per_sm > 0, "{}: max_warps_per_sm must be > 0", self.name);
-        assert!(self.max_blocks_per_sm > 0, "{}: max_blocks_per_sm must be > 0", self.name);
+        assert!(
+            self.mem_bandwidth_mb_s > 0,
+            "{}: bandwidth must be > 0",
+            self.name
+        );
+        assert!(
+            self.pcie_mb_s > 0,
+            "{}: pcie bandwidth must be > 0",
+            self.name
+        );
+        assert!(
+            self.max_warps_per_sm > 0,
+            "{}: max_warps_per_sm must be > 0",
+            self.name
+        );
+        assert!(
+            self.max_blocks_per_sm > 0,
+            "{}: max_blocks_per_sm must be > 0",
+            self.name
+        );
     }
 }
 

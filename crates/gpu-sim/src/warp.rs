@@ -10,9 +10,9 @@
 
 use crate::cost::CostTable;
 use crate::trace::ThreadTrace;
-use sim_clock::OP_CLASS_COUNT;
 #[cfg(test)]
 use sim_clock::OpClass;
+use sim_clock::OP_CLASS_COUNT;
 
 /// Folds per-lane [`ThreadTrace`]s into one warp's issue profile.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

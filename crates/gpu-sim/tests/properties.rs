@@ -1,27 +1,24 @@
-//! Property tests: launch accounting, occupancy bounds, timing laws.
+//! Randomized-but-deterministic tests: launch accounting, occupancy
+//! bounds, timing laws. Fixed seeds, so failures reproduce exactly.
 
 use gpu_sim::{CudaDevice, DeviceSpec, LaunchConfig};
-use proptest::prelude::*;
-use sim_clock::{CostSink, SimDuration};
+use sim_clock::{CostSink, SimDuration, SimRng};
 
-fn arb_spec() -> impl Strategy<Value = DeviceSpec> {
-    prop_oneof![
-        Just(DeviceSpec::geforce_9800_gt()),
-        Just(DeviceSpec::gtx_880m()),
-        Just(DeviceSpec::titan_x_pascal()),
-    ]
+fn arb_spec(rng: &mut SimRng) -> DeviceSpec {
+    match rng.next_u64() % 3 {
+        0 => DeviceSpec::geforce_9800_gt(),
+        1 => DeviceSpec::gtx_880m(),
+        _ => DeviceSpec::titan_x_pascal(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_thread_runs_exactly_once(
-        spec in arb_spec(),
-        grid in 1u32..40,
-        block in 1u32..512,
-    ) {
-        let block = block.min(spec.max_threads_per_block);
+#[test]
+fn every_thread_runs_exactly_once() {
+    let mut rng = SimRng::seed_from_u64(0xC1);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut rng);
+        let grid = 1 + (rng.next_u64() % 39) as u32;
+        let block = (1 + (rng.next_u64() % 511) as u32).min(spec.max_threads_per_block);
         let mut dev = CudaDevice::new(spec);
         let cfg = LaunchConfig::new(grid, block);
         let total = cfg.total_threads() as usize;
@@ -29,31 +26,34 @@ proptest! {
         dev.launch("probe", cfg, |ctx, _| {
             hits[ctx.global_id()] += 1;
         });
-        prop_assert!(hits.iter().all(|&h| h == 1));
+        assert!(hits.iter().all(|&h| h == 1));
     }
+}
 
-    #[test]
-    fn occupancy_respects_hardware_limits(
-        spec in arb_spec(),
-        grid in 1u32..10_000,
-        block in 1u32..512,
-    ) {
-        let block = block.min(spec.max_threads_per_block);
+#[test]
+fn occupancy_respects_hardware_limits() {
+    let mut rng = SimRng::seed_from_u64(0xC2);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut rng);
+        let grid = 1 + (rng.next_u64() % 9_999) as u32;
+        let block = (1 + (rng.next_u64() % 511) as u32).min(spec.max_threads_per_block);
         let cfg = LaunchConfig::new(grid, block);
         let occ = gpu_sim::sm::occupancy(&cfg, &spec);
-        prop_assert!(occ.resident_warps >= 1);
-        prop_assert!(occ.resident_warps <= spec.max_warps_per_sm);
-        prop_assert!(occ.resident_blocks <= spec.max_blocks_per_sm);
-        prop_assert!(occ.fraction > 0.0 && occ.fraction <= 1.0);
+        assert!(occ.resident_warps >= 1);
+        assert!(occ.resident_warps <= spec.max_warps_per_sm);
+        assert!(occ.resident_blocks <= spec.max_blocks_per_sm);
+        assert!(occ.fraction > 0.0 && occ.fraction <= 1.0);
     }
+}
 
-    #[test]
-    fn kernel_time_is_monotone_in_per_thread_work(
-        spec in arb_spec(),
-        threads in 96usize..5_000,
-        ops_small in 1u64..500,
-        extra in 1u64..500,
-    ) {
+#[test]
+fn kernel_time_is_monotone_in_per_thread_work() {
+    let mut rng = SimRng::seed_from_u64(0xC3);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut rng);
+        let threads = 96 + (rng.next_u64() % 4_904) as usize;
+        let ops_small = 1 + rng.next_u64() % 499;
+        let extra = 1 + rng.next_u64() % 499;
         let run = |ops: u64, spec: &DeviceSpec| {
             let mut dev = CudaDevice::new(spec.clone());
             let r = dev.launch("w", LaunchConfig::paper_for_items(threads), |ctx, t| {
@@ -65,15 +65,17 @@ proptest! {
         };
         let small = run(ops_small, &spec);
         let large = run(ops_small + extra, &spec);
-        prop_assert!(large >= small, "{small} > {large}");
+        assert!(large >= small, "{small} > {large}");
     }
+}
 
-    #[test]
-    fn launches_are_bit_deterministic(
-        spec in arb_spec(),
-        threads in 1usize..3_000,
-        ops in 1u64..200,
-    ) {
+#[test]
+fn launches_are_bit_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0xC4);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut rng);
+        let threads = 1 + (rng.next_u64() % 2_999) as usize;
+        let ops = 1 + rng.next_u64() % 199;
         let run = |spec: &DeviceSpec| {
             let mut dev = CudaDevice::new(spec.clone());
             let r = dev.launch("d", LaunchConfig::paper_for_items(threads), |ctx, t| {
@@ -85,33 +87,36 @@ proptest! {
             });
             (r.duration(), r.bytes, r.critical_cycles.to_bits())
         };
-        prop_assert_eq!(run(&spec), run(&spec));
+        assert_eq!(run(&spec), run(&spec));
     }
+}
 
-    #[test]
-    fn transfers_scale_with_bytes_and_never_undershoot_overhead(
-        spec in arb_spec(),
-        bytes in 0u64..1_000_000_000,
-    ) {
+#[test]
+fn transfers_scale_with_bytes_and_never_undershoot_overhead() {
+    let mut rng = SimRng::seed_from_u64(0xC5);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut rng);
+        let bytes = rng.next_u64() % 1_000_000_000;
         let overhead = SimDuration::from_nanos(spec.transfer_overhead_ns);
         let mut dev = CudaDevice::new(spec);
         let r = dev.transfer(gpu_sim::report::TransferDir::HostToDevice, bytes);
-        prop_assert!(r.duration >= overhead);
+        assert!(r.duration >= overhead);
         let r2 = dev.transfer(gpu_sim::report::TransferDir::HostToDevice, bytes * 2);
-        prop_assert!(r2.duration >= r.duration);
+        assert!(r2.duration >= r.duration);
     }
+}
 
-    #[test]
-    fn warp_count_matches_geometry(
-        spec in arb_spec(),
-        grid in 1u32..50,
-        block in 1u32..512,
-    ) {
-        let block = block.min(spec.max_threads_per_block);
+#[test]
+fn warp_count_matches_geometry() {
+    let mut rng = SimRng::seed_from_u64(0xC6);
+    for _ in 0..48 {
+        let spec = arb_spec(&mut rng);
+        let grid = 1 + (rng.next_u64() % 49) as u32;
+        let block = (1 + (rng.next_u64() % 511) as u32).min(spec.max_threads_per_block);
         let mut dev = CudaDevice::new(spec.clone());
         let cfg = LaunchConfig::new(grid, block);
         let r = dev.launch("warps", cfg, |_, t| t.ialu(1));
         let expected = grid as u64 * block.div_ceil(spec.warp_size) as u64;
-        prop_assert_eq!(r.warps, expected);
+        assert_eq!(r.warps, expected);
     }
 }

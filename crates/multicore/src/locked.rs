@@ -1,7 +1,8 @@
 //! Lock-per-record shared storage with contention accounting.
 
-use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use telemetry::Recorder;
 
 /// A vector of records, each behind its own mutex, with global counters for
 /// acquisitions and contended acquisitions.
@@ -16,6 +17,7 @@ pub struct LockedVec<T> {
     slots: Vec<Mutex<T>>,
     acquisitions: AtomicU64,
     contended: AtomicU64,
+    recorder: Recorder,
 }
 
 impl<T> LockedVec<T> {
@@ -25,7 +27,17 @@ impl<T> LockedVec<T> {
             slots: items.into_iter().map(Mutex::new).collect(),
             acquisitions: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder: every contended acquisition (a lock
+    /// wait — the thread found the mutex held and had to block) bumps the
+    /// `mimd.lock_waits` counter. Uncontended fast-path acquisitions stay
+    /// counter-only on the local atomics so the hot path never touches the
+    /// recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Number of records.
@@ -41,11 +53,12 @@ impl<T> LockedVec<T> {
     /// Lock record `i`, counting the acquisition and whether it contended.
     pub fn lock(&self, i: usize) -> MutexGuard<'_, T> {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if let Some(guard) = self.slots[i].try_lock() {
+        if let Ok(guard) = self.slots[i].try_lock() {
             return guard;
         }
         self.contended.fetch_add(1, Ordering::Relaxed);
-        self.slots[i].lock()
+        self.recorder.counter_add("mimd.lock_waits", 1);
+        self.slots[i].lock().expect("record lock poisoned")
     }
 
     /// Lock records `i` and `j` (distinct) in address order, avoiding the
@@ -81,7 +94,10 @@ impl<T> LockedVec<T> {
 
     /// Tear down and return the records (requires exclusive ownership).
     pub fn into_inner(self) -> Vec<T> {
-        self.slots.into_iter().map(Mutex::into_inner).collect()
+        self.slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("record lock poisoned"))
+            .collect()
     }
 
     /// Snapshot all records by cloning each under its lock.
@@ -132,10 +148,12 @@ mod tests {
         // Deterministic contention (robust even on a single-core host): one
         // thread holds the lock across a rendezvous while another acquires.
         use std::sync::atomic::{AtomicBool, Ordering};
-        let v = LockedVec::new(vec![0u64; 1]);
+        let recorder = Recorder::enabled();
+        let mut v = LockedVec::new(vec![0u64; 1]);
+        v.set_recorder(recorder.clone());
         let holding = AtomicBool::new(false);
-        crossbeam::scope(|s| {
-            s.spawn(|_| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
                 let mut g = v.lock(0);
                 holding.store(true, Ordering::Release);
                 // Hold until the other thread has surely started waiting.
@@ -146,10 +164,14 @@ mod tests {
                 std::hint::spin_loop();
             }
             *v.lock(0) += 1; // must contend: the holder is asleep
-        })
-        .unwrap();
+        });
         assert_eq!(*v.lock(0), 2);
         assert!(v.contended() > 0, "expected contention on a held lock");
+        assert_eq!(
+            recorder.counter("mimd.lock_waits"),
+            v.contended(),
+            "every lock wait must reach the telemetry counter"
+        );
     }
 
     #[test]

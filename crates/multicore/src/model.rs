@@ -91,9 +91,9 @@ impl XeonModel {
             OpClass::FpMul => 1.0,
             OpClass::FpDiv => 20.0,
             OpClass::FpSqrt => 20.0,
-            OpClass::Sfu => 40.0, // libm sin/cos
+            OpClass::Sfu => 40.0,   // libm sin/cos
             OpClass::Branch => 1.5, // average including mispredictions
-            OpClass::Sync => 0.0,  // priced via WorkEstimate::barriers
+            OpClass::Sync => 0.0,   // priced via WorkEstimate::barriers
         }
     }
 
@@ -128,8 +128,7 @@ impl XeonModel {
         let cycles = weighted / self.ops_per_cycle;
         let scaling = self.serial_fraction + (1.0 - self.serial_fraction) / self.cores as f64;
         let compute_secs = cycles * scaling / (self.clock_mhz as f64 * 1.0e6);
-        let memory_secs =
-            work.ops.total_bytes() as f64 / (self.mem_bandwidth_mb_s as f64 * 1.0e6);
+        let memory_secs = work.ops.total_bytes() as f64 / (self.mem_bandwidth_mb_s as f64 * 1.0e6);
         let sync_secs = work.lock_acquisitions as f64 * self.lock_ns * 1.0e-9
             + work.barriers as f64 * self.barrier_ns * 1.0e-9;
         let base = compute_secs.max(memory_secs) + sync_secs;
@@ -146,7 +145,12 @@ mod tests {
     fn work(n: usize, flops: u64) -> WorkEstimate {
         let mut ops = OpCounter::new();
         ops.fadd(flops);
-        WorkEstimate { ops, lock_acquisitions: 0, barriers: 0, n }
+        WorkEstimate {
+            ops,
+            lock_acquisitions: 0,
+            barriers: 0,
+            n,
+        }
     }
 
     #[test]
@@ -173,7 +177,10 @@ mod tests {
         assert_eq!(m.time_for(&w, 42), m.time_for(&w, 42));
         let times: Vec<_> = (0..20).map(|s| m.time_for(&w, s)).collect();
         let distinct: std::collections::HashSet<_> = times.iter().collect();
-        assert!(distinct.len() > 10, "different seeds should scatter the time");
+        assert!(
+            distinct.len() > 10,
+            "different seeds should scatter the time"
+        );
     }
 
     #[test]
@@ -181,7 +188,10 @@ mod tests {
         let m = XeonModel::xeon_16_core();
         for seed in 0..1000 {
             let j = m.jitter(seed);
-            assert!((1.0..=1.0 + m.jitter_frac).contains(&j), "jitter {j} out of range");
+            assert!(
+                (1.0..=1.0 + m.jitter_frac).contains(&j),
+                "jitter {j} out of range"
+            );
         }
     }
 
@@ -192,9 +202,22 @@ mod tests {
         cheap.fadd(1_000_000);
         let mut dear = OpCounter::new();
         dear.fdiv(1_000_000);
-        let t_cheap =
-            m.time_for(&WorkEstimate { ops: cheap, n: 10, ..Default::default() }, 0);
-        let t_dear = m.time_for(&WorkEstimate { ops: dear, n: 10, ..Default::default() }, 0);
+        let t_cheap = m.time_for(
+            &WorkEstimate {
+                ops: cheap,
+                n: 10,
+                ..Default::default()
+            },
+            0,
+        );
+        let t_dear = m.time_for(
+            &WorkEstimate {
+                ops: dear,
+                n: 10,
+                ..Default::default()
+            },
+            0,
+        );
         assert!(t_dear > t_cheap * 10);
     }
 
@@ -213,7 +236,11 @@ mod tests {
         let m = XeonModel::xeon_16_core();
         let mut ops = OpCounter::new();
         ops.load(40_000_000_000); // 40 GB at 40 GB/s ≈ 1 s before contention
-        let w = WorkEstimate { ops, n: 10, ..Default::default() };
+        let w = WorkEstimate {
+            ops,
+            n: 10,
+            ..Default::default()
+        };
         let t = m.time_for(&w, 0);
         assert!(t >= SimDuration::from_millis(900), "{t}");
     }
@@ -224,8 +251,8 @@ mod tests {
         wide.cores = 1_000_000; // absurd width: serial fraction dominates
         let w = work(10, 1_000_000_000);
         let t = wide.time_for(&w, 0);
-        let serial_secs = 1.0e9 / wide.ops_per_cycle * wide.serial_fraction
-            / (wide.clock_mhz as f64 * 1.0e6);
+        let serial_secs =
+            1.0e9 / wide.ops_per_cycle * wide.serial_fraction / (wide.clock_mhz as f64 * 1.0e6);
         assert!(t.as_secs_f64() >= serial_secs * 0.99);
     }
 }

@@ -1,29 +1,44 @@
 //! Scoped-thread MIMD executor with measured timing.
 
-use sim_clock::{SimDuration, Stopwatch};
+use sim_clock::{SimDuration, SimInstant, Stopwatch};
+use std::sync::atomic::{AtomicU64, Ordering};
+use telemetry::{Recorder, TrackId};
 
 /// A shared-memory MIMD executor over a fixed number of worker threads.
 ///
 /// Work is partitioned statically (contiguous chunks, as the Xeon
 /// implementation in the prior work did) and executed with
-/// `crossbeam::scope` threads; each call is one barrier-synchronized phase
+/// `std::thread::scope` threads; each call is one barrier-synchronized phase
 /// — the call does not return until all workers finish, which is exactly
 /// the synchronization pattern whose straggler effects the paper blames for
 /// MIMD deadline misses. Timing is *measured* wall-clock time.
 pub struct MimdPool {
     threads: usize,
+    recorder: Recorder,
+    track: TrackId,
+    /// Cumulative phase time in picoseconds: the pool's own trace clock, so
+    /// successive barrier phases lay out end to end on the pool's track.
+    /// Atomic because the phase methods take `&self`.
+    clock_ps: AtomicU64,
 }
 
 impl MimdPool {
     /// A pool with `threads` workers (the paper's Xeon has 16).
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "a pool needs at least one thread");
-        MimdPool { threads }
+        MimdPool {
+            threads,
+            recorder: Recorder::disabled(),
+            track: TrackId::default(),
+            clock_ps: AtomicU64::new(0),
+        }
     }
 
     /// A pool sized to the host's available parallelism.
     pub fn host_sized() -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         MimdPool::new(threads)
     }
 
@@ -32,12 +47,51 @@ impl MimdPool {
         self.threads
     }
 
+    /// Attach a telemetry recorder: each barrier phase becomes a span on a
+    /// `"mimd: N threads"` track (measured wall time, laid out on the
+    /// pool's cumulative clock) and bumps the `mimd.barrier_phases` counter
+    /// and the `mimd.phase_ms` histogram.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.track = recorder.track(&format!("mimd: {} threads", self.threads));
+        self.recorder = recorder;
+    }
+
+    /// Book one completed barrier phase onto the trace.
+    fn book(&self, name: &str, d: SimDuration) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let start = self.clock_ps.fetch_add(d.as_picos(), Ordering::Relaxed);
+        self.recorder.span_with_args(
+            self.track,
+            name,
+            "mimd.phase",
+            SimInstant::at(SimDuration::from_picos(start)),
+            d,
+            vec![("threads", self.threads.into())],
+        );
+        self.recorder.counter_add("mimd.barrier_phases", 1);
+        self.recorder.histogram_record("mimd.phase_ms", d);
+    }
+
     /// One barrier phase: apply `f(i)` for every `i in 0..n`, partitioned
     /// contiguously over the workers. Returns measured wall time.
     ///
     /// `f` must be safe to call concurrently for distinct `i`; shared
     /// state must synchronize internally (see [`crate::LockedVec`]).
     pub fn parallel_for<F>(&self, n: usize, f: F) -> SimDuration
+    where
+        F: Fn(usize) + Sync,
+    {
+        let d = self.run_static(n, &f);
+        self.book("parallel_for", d);
+        d
+    }
+
+    /// The static-partition phase body, shared by [`MimdPool::parallel_for`]
+    /// and [`MimdPool::run_phases`] (which books each phase under its own
+    /// name rather than the generic one).
+    fn run_static<F>(&self, n: usize, f: &F) -> SimDuration
     where
         F: Fn(usize) + Sync,
     {
@@ -52,7 +106,7 @@ impl MimdPool {
             return sw.elapsed();
         }
         let chunk = n.div_ceil(self.threads);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..self.threads {
                 let start = t * chunk;
                 if start >= n {
@@ -60,14 +114,13 @@ impl MimdPool {
                 }
                 let end = (start + chunk).min(n);
                 let f = &f;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in start..end {
                         f(i);
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         sw.elapsed()
     }
 
@@ -77,6 +130,16 @@ impl MimdPool {
     /// exclusive access to its element with no locking. Returns measured
     /// wall time.
     pub fn parallel_for_mut<T, F>(&self, data: &mut [T], f: F) -> SimDuration
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let d = self.run_static_mut(data, f);
+        self.book("parallel_for_mut", d);
+        d
+    }
+
+    fn run_static_mut<T, F>(&self, data: &mut [T], f: F) -> SimDuration
     where
         T: Send,
         F: Fn(usize, &mut T) + Sync,
@@ -93,18 +156,17 @@ impl MimdPool {
             return sw.elapsed();
         }
         let chunk = n.div_ceil(self.threads);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let f = &f;
             for (t, slice) in data.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, item) in slice.iter_mut().enumerate() {
                         f(start + off, item);
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         sw.elapsed()
     }
 
@@ -119,7 +181,16 @@ impl MimdPool {
     where
         F: Fn(usize) + Sync,
     {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        let d = self.run_dynamic(n, chunk, f);
+        self.book("parallel_for_dynamic", d);
+        d
+    }
+
+    fn run_dynamic<F>(&self, n: usize, chunk: usize, f: F) -> SimDuration
+    where
+        F: Fn(usize) + Sync,
+    {
+        use std::sync::atomic::AtomicUsize;
         assert!(chunk > 0, "chunk size must be positive");
         let sw = Stopwatch::start();
         if n == 0 {
@@ -132,11 +203,11 @@ impl MimdPool {
             return sw.elapsed();
         }
         let next = AtomicUsize::new(0);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..self.threads {
                 let f = &f;
                 let next = &next;
-                s.spawn(move |_| loop {
+                s.spawn(move || loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
@@ -146,20 +217,27 @@ impl MimdPool {
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         sw.elapsed()
     }
 
     /// Run several named phases back to back with a barrier between each;
     /// returns the measured duration of each phase.
-    pub fn run_phases<'a, F>(&self, n: usize, phases: &mut [(&'a str, F)]) -> Vec<(&'a str, SimDuration)>
+    pub fn run_phases<'a, F>(
+        &self,
+        n: usize,
+        phases: &mut [(&'a str, F)],
+    ) -> Vec<(&'a str, SimDuration)>
     where
         F: Fn(usize) + Sync,
     {
         phases
             .iter()
-            .map(|(name, f)| (*name, self.parallel_for(n, f)))
+            .map(|(name, f)| {
+                let d = self.run_static(n, f);
+                self.book(name, d);
+                (*name, d)
+            })
             .collect()
     }
 }
@@ -295,6 +373,32 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn dynamic_scheduling_rejects_zero_chunks() {
         MimdPool::new(2).parallel_for_dynamic(10, 0, |_| {});
+    }
+
+    #[test]
+    fn recording_pool_books_every_barrier_phase() {
+        let recorder = telemetry::Recorder::enabled();
+        let mut pool = MimdPool::new(2);
+        pool.set_recorder(recorder.clone());
+        pool.parallel_for(100, |_| {});
+        let mut data = vec![0u8; 16];
+        pool.parallel_for_mut(&mut data, |_, v| *v += 1);
+        pool.parallel_for_dynamic(64, 8, |_| {});
+        let bump = |_: usize| {};
+        pool.run_phases(
+            10,
+            &mut [("alpha", &bump as &(dyn Fn(usize) + Sync)), ("beta", &bump)],
+        );
+        assert_eq!(recorder.counter("mimd.barrier_phases"), 5);
+        assert_eq!(recorder.spans_in_category("mimd.phase"), 5);
+    }
+
+    #[test]
+    fn disabled_pool_records_nothing() {
+        let pool = MimdPool::new(2);
+        pool.parallel_for(10, |_| {});
+        // No recorder attached: the phase still runs and times normally.
+        assert_eq!(pool.threads(), 2);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::report::{ExecutiveReport, PeriodRecord};
 use sim_clock::{SimDuration, Timeline};
+use telemetry::Recorder;
 
 /// Shape of the major cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,7 +16,10 @@ pub struct MajorCycleSpec {
 impl MajorCycleSpec {
     /// The paper's Goodyear/STARAN schedule: 16 half-second periods.
     pub fn paper() -> Self {
-        MajorCycleSpec { period: SimDuration::from_millis(500), periods_per_major: 16 }
+        MajorCycleSpec {
+            period: SimDuration::from_millis(500),
+            periods_per_major: 16,
+        }
     }
 
     /// Length of the whole major cycle.
@@ -26,7 +30,10 @@ impl MajorCycleSpec {
     /// Validate the spec (non-degenerate).
     pub fn validate(&self) {
         assert!(!self.period.is_zero(), "period must be positive");
-        assert!(self.periods_per_major > 0, "need at least one period per major cycle");
+        assert!(
+            self.periods_per_major > 0,
+            "need at least one period per major cycle"
+        );
     }
 }
 
@@ -73,13 +80,27 @@ where
 pub struct CyclicExecutive {
     spec: MajorCycleSpec,
     clock: Timeline,
+    recorder: Recorder,
 }
 
 impl CyclicExecutive {
     /// An executive over the given cycle shape.
     pub fn new(spec: MajorCycleSpec) -> Self {
         spec.validate();
-        CyclicExecutive { spec, clock: Timeline::new() }
+        CyclicExecutive {
+            spec,
+            clock: Timeline::new(),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder: every period and task execution emits
+    /// a span on the `"rt-sched"` track (the executive's simulated clock),
+    /// per-period slack is recorded into the `rt.slack_ms` histogram, and
+    /// deadline misses become instant events plus an `rt.deadline_misses`
+    /// counter.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The cycle shape.
@@ -96,8 +117,13 @@ impl CyclicExecutive {
     /// their time does not fit; this mirrors the paper's "skip so the next
     /// period starts on time" rule while keeping the simulation state
     /// consistent). Leftover slack is waited out so no period starts early.
-    pub fn run<W: PeriodicWorkload>(&mut self, workload: &mut W, major_cycles: usize) -> ExecutiveReport {
+    pub fn run<W: PeriodicWorkload>(
+        &mut self,
+        workload: &mut W,
+        major_cycles: usize,
+    ) -> ExecutiveReport {
         let mut report = ExecutiveReport::new(self.spec.period);
+        let track = self.recorder.track("rt-sched");
         for cycle in 0..major_cycles {
             for period in 0..self.spec.periods_per_major {
                 let period_start = self.clock.now();
@@ -114,9 +140,31 @@ impl CyclicExecutive {
                         continue;
                     }
                     let would_use = used + exec.duration;
+                    if self.recorder.is_enabled() {
+                        // The span shows the task's real length, even when
+                        // it overruns the boundary (that overrun *is* the
+                        // deadline miss, and the trace should show it).
+                        self.recorder.span_with_args(
+                            track,
+                            exec.name,
+                            "rt.task",
+                            period_start + used,
+                            exec.duration,
+                            vec![("cycle", cycle.into()), ("period", period.into())],
+                        );
+                    }
                     if would_use > self.spec.period {
                         missed = true;
                         report.record_miss(exec.name, cycle, period);
+                        if self.recorder.is_enabled() {
+                            self.recorder.instant(
+                                track,
+                                "deadline_miss",
+                                "rt.miss",
+                                period_start + self.spec.period,
+                            );
+                            self.recorder.counter_add("rt.deadline_misses", 1);
+                        }
                         // The missing task still consumed time up to (and
                         // past) the boundary; clamp the period at its edge.
                         used = self.spec.period;
@@ -131,6 +179,23 @@ impl CyclicExecutive {
                 // Wait out the remaining slack: the next period must not
                 // start early.
                 self.clock.skip(slack);
+                if self.recorder.is_enabled() {
+                    self.recorder.span_with_args(
+                        track,
+                        "period",
+                        "rt.period",
+                        period_start,
+                        self.spec.period,
+                        vec![
+                            ("cycle", cycle.into()),
+                            ("period", period.into()),
+                            ("used_ms", used.as_millis_f64().into()),
+                            ("slack_ms", slack.as_millis_f64().into()),
+                        ],
+                    );
+                    self.recorder.counter_add("rt.periods", 1);
+                    self.recorder.histogram_record("rt.slack_ms", slack);
+                }
                 debug_assert_eq!(
                     self.clock.now() - period_start,
                     self.spec.period,
@@ -173,9 +238,8 @@ mod tests {
     #[test]
     fn on_time_workload_has_no_misses_and_full_slack_accounting() {
         let mut exec = CyclicExecutive::new(spec());
-        let mut workload = |_c: usize, _p: usize| {
-            vec![TaskExecution::new("Task1", SimDuration::from_millis(10))]
-        };
+        let mut workload =
+            |_c: usize, _p: usize| vec![TaskExecution::new("Task1", SimDuration::from_millis(10))];
         let report = exec.run(&mut workload, 2);
         assert_eq!(report.total_misses(), 0);
         assert_eq!(report.total_skips(), 0);
@@ -227,9 +291,8 @@ mod tests {
     #[test]
     fn exact_fit_is_not_a_miss() {
         let mut exec = CyclicExecutive::new(spec());
-        let mut workload = |_c: usize, _p: usize| {
-            vec![TaskExecution::new("Task1", SimDuration::from_millis(500))]
-        };
+        let mut workload =
+            |_c: usize, _p: usize| vec![TaskExecution::new("Task1", SimDuration::from_millis(500))];
         let report = exec.run(&mut workload, 1);
         assert_eq!(report.total_misses(), 0);
         assert!(report.periods().iter().all(|p| p.slack.is_zero()));
@@ -266,14 +329,26 @@ mod tests {
         exec.run(&mut workload, 2);
         assert_eq!(
             seen,
-            vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1), (1, 2), (1, 3)]
+            vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3)
+            ]
         );
     }
 
     #[test]
     #[should_panic(expected = "period must be positive")]
     fn zero_period_is_rejected() {
-        CyclicExecutive::new(MajorCycleSpec { period: SimDuration::ZERO, periods_per_major: 16 });
+        CyclicExecutive::new(MajorCycleSpec {
+            period: SimDuration::ZERO,
+            periods_per_major: 16,
+        });
     }
 
     #[test]
@@ -281,7 +356,10 @@ mod tests {
         let mut exec = CyclicExecutive::new(spec());
         let mut workload = |_c: usize, _p: usize| Vec::new();
         let report = exec.run(&mut workload, 1);
-        assert!(report.periods().iter().all(|p| p.slack == SimDuration::from_millis(500)));
+        assert!(report
+            .periods()
+            .iter()
+            .all(|p| p.slack == SimDuration::from_millis(500)));
         assert_eq!(report.utilization(), 0.0);
     }
 }

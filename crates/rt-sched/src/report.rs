@@ -99,11 +99,18 @@ impl ExecutiveReport {
     }
 
     pub(crate) fn record_task(&mut self, name: &'static str, d: SimDuration) {
-        self.tasks.entry(name).or_insert_with(TaskStats::new).record(d);
+        self.tasks
+            .entry(name)
+            .or_insert_with(TaskStats::new)
+            .record(d);
     }
 
     pub(crate) fn record_miss(&mut self, task: &'static str, cycle: usize, period: usize) {
-        self.misses.push(MissRecord { task, cycle, period });
+        self.misses.push(MissRecord {
+            task,
+            cycle,
+            period,
+        });
     }
 
     pub(crate) fn record_skip(&mut self, task: &'static str) {
@@ -152,7 +159,11 @@ impl ExecutiveReport {
 
     /// Largest `used` across periods (worst case observed).
     pub fn worst_period(&self) -> SimDuration {
-        self.periods.iter().map(|p| p.used).max().unwrap_or(SimDuration::ZERO)
+        self.periods
+            .iter()
+            .map(|p| p.used)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -231,7 +242,14 @@ mod tests {
         r.record_skip("T2");
         assert_eq!(r.total_misses(), 2);
         assert_eq!(r.total_skips(), 3);
-        assert_eq!(r.misses()[0], MissRecord { task: "T1", cycle: 0, period: 3 });
+        assert_eq!(
+            r.misses()[0],
+            MissRecord {
+                task: "T1",
+                cycle: 0,
+                period: 3
+            }
+        );
     }
 
     #[test]

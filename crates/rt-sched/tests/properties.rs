@@ -1,22 +1,22 @@
-//! Property tests: the executive's accounting identities hold for
-//! arbitrary workloads.
+//! Randomized-but-deterministic tests: the executive's accounting
+//! identities hold for arbitrary workloads. Fixed seeds, so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
 use rt_sched::{CyclicExecutive, MajorCycleSpec, TaskExecution};
-use sim_clock::SimDuration;
+use sim_clock::{SimDuration, SimRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// For any workload: used + slack per period equals the period length,
+/// the simulated clock advances exactly cycles × major-cycle, and a
+/// period is missed iff its task durations overflow the period.
+#[test]
+fn accounting_identities_hold() {
+    let mut rng = SimRng::seed_from_u64(0xD1);
+    for _ in 0..64 {
+        let len = 1 + (rng.next_u64() % 63) as usize;
+        let durations: Vec<u64> = (0..len).map(|_| rng.next_u64() % 800).collect();
+        let periods_per_major = 1 + (rng.next_u64() % 7) as usize;
+        let cycles = 1 + (rng.next_u64() % 3) as usize;
 
-    /// For any workload: used + slack per period equals the period length,
-    /// the simulated clock advances exactly cycles × major-cycle, and a
-    /// period is missed iff its task durations overflow the period.
-    #[test]
-    fn accounting_identities_hold(
-        durations in prop::collection::vec(0u64..800, 1..64),
-        periods_per_major in 1usize..8,
-        cycles in 1usize..4,
-    ) {
         let spec = MajorCycleSpec {
             period: SimDuration::from_millis(500),
             periods_per_major,
@@ -35,32 +35,39 @@ proptest! {
         let report = exec.run(&mut workload, cycles);
 
         let expected_periods = cycles * periods_per_major;
-        prop_assert_eq!(report.periods().len(), expected_periods);
+        assert_eq!(report.periods().len(), expected_periods);
         for p in report.periods() {
-            prop_assert_eq!(p.used + p.slack, SimDuration::from_millis(500));
+            assert_eq!(p.used + p.slack, SimDuration::from_millis(500));
             // A missed period is clamped at the boundary: zero slack.
             if p.missed {
-                prop_assert!(p.slack.is_zero());
-                prop_assert_eq!(p.used, SimDuration::from_millis(500));
+                assert!(p.slack.is_zero());
+                assert_eq!(p.used, SimDuration::from_millis(500));
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             exec.elapsed(),
             SimDuration::from_millis(500) * expected_periods as u64
         );
 
         // Misses + skips never exceed scheduled task executions.
         let scheduled = (expected_periods * 2) as u64;
-        prop_assert!(report.total_misses() + report.total_skips() <= scheduled);
+        assert!(report.total_misses() + report.total_skips() <= scheduled);
     }
+}
 
-    /// Task statistics fold exactly the durations of the executions that
-    /// were booked (completed before their period's boundary).
-    #[test]
-    fn task_stats_totals_match_booked_time(
-        ms in prop::collection::vec(1u64..400, 4..32),
-    ) {
-        let spec = MajorCycleSpec { period: SimDuration::from_millis(500), periods_per_major: 4 };
+/// Task statistics fold exactly the durations of the executions that
+/// were booked (completed before their period's boundary).
+#[test]
+fn task_stats_totals_match_booked_time() {
+    let mut rng = SimRng::seed_from_u64(0xD2);
+    for _ in 0..64 {
+        let len = 4 + (rng.next_u64() % 28) as usize;
+        let ms: Vec<u64> = (0..len).map(|_| 1 + rng.next_u64() % 399).collect();
+
+        let spec = MajorCycleSpec {
+            period: SimDuration::from_millis(500),
+            periods_per_major: 4,
+        };
         let mut exec = CyclicExecutive::new(spec);
         let ms_ref = &ms;
         let mut i = 0usize;
@@ -71,17 +78,17 @@ proptest! {
         };
         let report = exec.run(&mut workload, 2);
         if let Some(stats) = report.task_stats("T") {
-            prop_assert!(stats.min <= stats.max);
-            prop_assert!(stats.mean() >= stats.min && stats.mean() <= stats.max);
-            prop_assert!(stats.total >= stats.max);
-            prop_assert_eq!(
+            assert!(stats.min <= stats.max);
+            assert!(stats.mean() >= stats.min && stats.mean() <= stats.max);
+            assert!(stats.total >= stats.max);
+            assert_eq!(
                 stats.count + report.total_misses(),
                 8,
                 "every scheduled execution is either booked or missed"
             );
         } else {
             // Possible only if every single execution missed.
-            prop_assert_eq!(report.total_misses(), 8);
+            assert_eq!(report.total_misses(), 8);
         }
     }
 }

@@ -37,25 +37,33 @@ impl SimDuration {
     /// Construct from nanoseconds.
     #[inline]
     pub const fn from_nanos(ns: u64) -> Self {
-        SimDuration { picos: ns * PS_PER_NS }
+        SimDuration {
+            picos: ns * PS_PER_NS,
+        }
     }
 
     /// Construct from microseconds.
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration { picos: us * PS_PER_US }
+        SimDuration {
+            picos: us * PS_PER_US,
+        }
     }
 
     /// Construct from milliseconds.
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration { picos: ms * PS_PER_MS }
+        SimDuration {
+            picos: ms * PS_PER_MS,
+        }
     }
 
     /// Construct from whole seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration { picos: s * PS_PER_S }
+        SimDuration {
+            picos: s * PS_PER_S,
+        }
     }
 
     /// Convert a cycle count at a clock frequency in MHz to a duration.
@@ -67,7 +75,9 @@ impl SimDuration {
     pub fn from_cycles(cycles: u64, clock_mhz: u32) -> Self {
         assert!(clock_mhz > 0, "clock frequency must be positive");
         let picos = (cycles as u128 * 1_000_000u128) / clock_mhz as u128;
-        SimDuration { picos: picos.min(u64::MAX as u128) as u64 }
+        SimDuration {
+            picos: picos.min(u64::MAX as u128) as u64,
+        }
     }
 
     /// Construct from a floating-point number of seconds (saturating, for
@@ -80,7 +90,9 @@ impl SimDuration {
         if picos >= u64::MAX as f64 {
             SimDuration::MAX
         } else {
-            SimDuration { picos: picos as u64 }
+            SimDuration {
+                picos: picos as u64,
+            }
         }
     }
 
@@ -124,19 +136,25 @@ impl SimDuration {
     /// Saturating subtraction: zero if `other` is longer.
     #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
-        SimDuration { picos: self.picos.saturating_sub(other.picos) }
+        SimDuration {
+            picos: self.picos.saturating_sub(other.picos),
+        }
     }
 
     /// Checked addition.
     #[inline]
     pub fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
-        self.picos.checked_add(other.picos).map(|picos| SimDuration { picos })
+        self.picos
+            .checked_add(other.picos)
+            .map(|picos| SimDuration { picos })
     }
 
     /// Multiply by an integer factor, saturating at `SimDuration::MAX`.
     #[inline]
     pub fn saturating_mul(self, factor: u64) -> SimDuration {
-        SimDuration { picos: self.picos.saturating_mul(factor) }
+        SimDuration {
+            picos: self.picos.saturating_mul(factor),
+        }
     }
 
     /// True when this span is zero.
@@ -150,7 +168,12 @@ impl Add for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { picos: self.picos.checked_add(rhs.picos).expect("SimDuration overflow") }
+        SimDuration {
+            picos: self
+                .picos
+                .checked_add(rhs.picos)
+                .expect("SimDuration overflow"),
+        }
     }
 }
 
@@ -165,7 +188,12 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { picos: self.picos.checked_sub(rhs.picos).expect("SimDuration underflow") }
+        SimDuration {
+            picos: self
+                .picos
+                .checked_sub(rhs.picos)
+                .expect("SimDuration underflow"),
+        }
     }
 }
 
@@ -180,7 +208,9 @@ impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration { picos: self.picos.checked_mul(rhs).expect("SimDuration overflow") }
+        SimDuration {
+            picos: self.picos.checked_mul(rhs).expect("SimDuration overflow"),
+        }
     }
 }
 
@@ -188,7 +218,9 @@ impl Div<u64> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn div(self, rhs: u64) -> SimDuration {
-        SimDuration { picos: self.picos / rhs }
+        SimDuration {
+            picos: self.picos / rhs,
+        }
     }
 }
 
@@ -232,7 +264,9 @@ pub struct SimInstant {
 
 impl SimInstant {
     /// The origin of simulated time.
-    pub const EPOCH: SimInstant = SimInstant { since_start: SimDuration::ZERO };
+    pub const EPOCH: SimInstant = SimInstant {
+        since_start: SimDuration::ZERO,
+    };
 
     /// Construct an instant at a given offset from the epoch.
     #[inline]
@@ -257,7 +291,9 @@ impl Add<SimDuration> for SimInstant {
     type Output = SimInstant;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimInstant {
-        SimInstant { since_start: self.since_start + rhs }
+        SimInstant {
+            since_start: self.since_start + rhs,
+        }
     }
 }
 
@@ -309,7 +345,10 @@ mod tests {
         let b = SimDuration::from_micros(250);
         assert_eq!((a + b) - b, a);
         assert_eq!(a * 4 / 4, a);
-        assert_eq!(a.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            a.saturating_sub(SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -342,8 +381,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_millis).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(10));
     }
 }

@@ -15,10 +15,12 @@
 
 pub mod cost;
 pub mod duration;
+pub mod rng;
 pub mod stopwatch;
 pub mod timeline;
 
 pub use cost::{CostSink, NullSink, OpClass, OpCounter, OP_CLASS_COUNT};
 pub use duration::{SimDuration, SimInstant};
+pub use rng::SimRng;
 pub use stopwatch::Stopwatch;
 pub use timeline::{Timeline, TimelineEvent};

@@ -17,7 +17,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Start timing now.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed wall time since `start`, as simulated-time units.

@@ -51,7 +51,11 @@ pub struct Timeline {
 impl Timeline {
     /// A timeline that records every event (useful for traces and tests).
     pub fn recording() -> Self {
-        Timeline { now: SimInstant::EPOCH, events: Vec::new(), record_events: true }
+        Timeline {
+            now: SimInstant::EPOCH,
+            events: Vec::new(),
+            record_events: true,
+        }
     }
 
     /// A timeline that only tracks the clock (no per-event allocation; the
@@ -133,8 +137,14 @@ mod tests {
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].label, "kernel:Track");
         assert_eq!(ev[0].start, SimInstant::EPOCH);
-        assert_eq!(ev[1].start.elapsed_since_epoch(), SimDuration::from_micros(10));
-        assert_eq!(ev[1].end().elapsed_since_epoch(), SimDuration::from_micros(15));
+        assert_eq!(
+            ev[1].start.elapsed_since_epoch(),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            ev[1].end().elapsed_since_epoch(),
+            SimDuration::from_micros(15)
+        );
     }
 
     #[test]

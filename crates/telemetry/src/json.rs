@@ -1,0 +1,228 @@
+//! A minimal, dependency-free JSON value and writer.
+//!
+//! The workspace builds offline with no registry dependencies, so the
+//! exporters (figure series, Chrome traces, metrics snapshots) serialize
+//! through this module instead of serde. Object keys keep insertion order
+//! and floats print in Rust's shortest round-trip form, so the same data
+//! always produces byte-identical output — a requirement of the repo's
+//! determinism policy.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (printed without a decimal point).
+    U64(u64),
+    /// A float (non-finite values print as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Insert a key (builder-style); panics on non-objects.
+    pub fn set(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("set() on non-object JSON value: {other:?}"),
+        }
+        self
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => out.push_str(&fmt_f64(*v)),
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    escape_into(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Format a float for JSON: shortest round-trip form, `null` if non-finite.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    // Distinguish 2.0 from the integer 2 the way serde_json does.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::obj()
+            .set("id", "fig4")
+            .set("xs", vec![1.0, 2.5])
+            .set("n", 3u64)
+            .set("ok", true);
+        assert_eq!(
+            v.to_compact(),
+            r#"{"id":"fig4","xs":[1.0,2.5],"n":3,"ok":true}"#
+        );
+        let pretty = v.to_pretty();
+        assert!(pretty.contains("\n  \"id\": \"fig4\""));
+    }
+
+    #[test]
+    fn escapes_control_characters_and_quotes() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn float_formatting_is_roundtrip_and_marks_integers() {
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(-3.25), "-3.25");
+    }
+
+    #[test]
+    fn empty_containers_render_compactly_even_in_pretty_mode() {
+        let v = JsonValue::obj()
+            .set("a", JsonValue::Arr(vec![]))
+            .set("b", JsonValue::obj());
+        assert_eq!(v.to_pretty(), "{\n  \"a\": [],\n  \"b\": {}\n}");
+    }
+}

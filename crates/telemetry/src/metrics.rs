@@ -1,0 +1,250 @@
+//! Counters, gauges and fixed-bucket histograms over simulated quantities.
+//!
+//! The registry is deliberately simple: metric names map to values in
+//! `BTreeMap`s, so a snapshot always serializes in name order and two
+//! equal-seed runs export byte-identical JSON.
+
+use crate::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first `bounds.len()` buckets; one overflow bucket catches everything
+/// above the last edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket edges.
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket edge"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Default edges for task/slack times in milliseconds: a 1–2–5 ladder
+    /// from 1 µs to 10 s, wide enough for every platform in the paper.
+    pub fn time_ms_bounds() -> Vec<f64> {
+        let mut edges = Vec::new();
+        for decade in -3i32..=3 {
+            for mantissa in [1.0, 2.0, 5.0] {
+                edges.push(mantissa * 10f64.powi(decade));
+            }
+        }
+        edges.push(10_000.0);
+        edges
+    }
+
+    /// Bucket index for a value: the first bucket whose upper edge admits
+    /// it, or the overflow bucket.
+    pub fn bucket_index(&self, value: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(self.bounds.len())
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        let i = self.bucket_index(value);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries, overflow last).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket upper edges.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Snapshot as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .set("bounds", self.bounds.clone())
+            .set(
+                "counts",
+                JsonValue::Arr(self.counts.iter().map(|&c| JsonValue::U64(c)).collect()),
+            )
+            .set("count", self.count)
+            .set("sum", self.sum)
+            .set("mean", self.mean())
+            .set("min", if self.count == 0 { 0.0 } else { self.min })
+            .set("max", if self.count == 0 { 0.0 } else { self.max })
+    }
+}
+
+/// Named counters, gauges and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter (created at zero on first touch).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Pre-register a histogram with explicit bucket edges.
+    pub fn histogram_with_bounds(&mut self, name: &str, bounds: &[f64]) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::with_bounds(bounds));
+    }
+
+    /// Record into a histogram, creating it with the default time edges on
+    /// first touch.
+    pub fn histogram_record(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::with_bounds(&Histogram::time_ms_bounds()))
+            .record(value);
+    }
+
+    /// Read a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Snapshot the whole registry as JSON (names in sorted order).
+    pub fn to_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .fold(JsonValue::obj(), |acc, (k, &v)| acc.set(k, v));
+        let gauges = self
+            .gauges
+            .iter()
+            .fold(JsonValue::obj(), |acc, (k, &v)| acc.set(k, v));
+        let histograms = self
+            .histograms
+            .iter()
+            .fold(JsonValue::obj(), |acc, (k, h)| acc.set(k, h.to_json()));
+        JsonValue::obj()
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("histograms", histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_upper_edge_inclusive_with_overflow() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 5.0]);
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0);
+        assert_eq!(h.bucket_index(1.0001), 1);
+        assert_eq!(h.bucket_index(5.0), 2);
+        assert_eq!(h.bucket_index(99.0), 3);
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 0, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 26.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_time_edges_are_ascending_and_span_the_platforms() {
+        let edges = Histogram::time_ms_bounds();
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        assert!(edges[0] <= 0.001);
+        assert!(*edges.last().unwrap() >= 10_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_edges_are_rejected() {
+        Histogram::with_bounds(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b.misses", 2);
+        m.counter_add("a.launches", 1);
+        m.counter_add("b.misses", 3);
+        m.gauge_set("util", 0.25);
+        m.histogram_record("slack_ms", 3.0);
+        assert_eq!(m.counter("b.misses"), 5);
+        assert_eq!(m.gauge("util"), Some(0.25));
+        assert_eq!(m.histogram("slack_ms").unwrap().count(), 1);
+        let json = m.to_json().to_compact();
+        let a = json.find("a.launches").unwrap();
+        let b = json.find("b.misses").unwrap();
+        assert!(a < b, "counters must serialize in name order");
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_has_zero_min_max() {
+        let h = Histogram::with_bounds(&[1.0]);
+        let s = h.to_json().to_compact();
+        assert!(s.contains("\"min\":0.0"));
+        assert!(s.contains("\"max\":0.0"));
+    }
+}

@@ -1,0 +1,292 @@
+//! The one public handle for recording simulated-time telemetry.
+//!
+//! A [`Recorder`] is either *disabled* (the default — every call is a
+//! single branch on a `None`, no allocation, no locking) or *enabled*, in
+//! which case it is a cheaply-cloneable shared handle onto one event log
+//! and metrics registry. There are no globals: a bench sweep can run many
+//! independent recorders in parallel, one per platform.
+//!
+//! Spans live on *tracks*. A track is one architecture's local clock — the
+//! cyclic executive's simulated time, a CUDA device's timeline, an AP
+//! machine's cycle counter — and becomes one process row in the exported
+//! Chrome trace. Span timestamps are integer picoseconds of the track's
+//! own clock, so recording is deterministic by construction whenever the
+//! underlying simulation is.
+
+use crate::metrics::MetricsRegistry;
+use sim_clock::{SimDuration, SimInstant};
+use std::sync::{Arc, Mutex};
+
+/// Identifies a track (one process row in the Chrome trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrackId(pub(crate) u32);
+
+/// A span argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument.
+    U64(u64),
+    /// Float argument.
+    F64(f64),
+    /// String argument.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One completed span on a track.
+#[derive(Clone, Debug)]
+pub(crate) struct SpanEvent {
+    pub track: u32,
+    pub name: String,
+    pub category: String,
+    pub start: SimInstant,
+    pub duration: SimDuration,
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// One instantaneous event (e.g. a deadline miss).
+#[derive(Clone, Debug)]
+pub(crate) struct InstantEvent {
+    pub track: u32,
+    pub name: String,
+    pub category: String,
+    pub at: SimInstant,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    pub tracks: Vec<String>,
+    pub spans: Vec<SpanEvent>,
+    pub instants: Vec<InstantEvent>,
+    pub metrics: MetricsRegistry,
+}
+
+/// Shared telemetry handle; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Recorder {
+    /// The zero-cost disabled recorder: every method is a no-op.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder with an empty event log.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(Inner::default()))),
+        }
+    }
+
+    /// Whether events are being collected. Callers with expensive argument
+    /// construction should check this first.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with<R: Default>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        match &self.inner {
+            Some(inner) => f(&mut inner.lock().expect("telemetry recorder poisoned")),
+            None => R::default(),
+        }
+    }
+
+    /// Register (or look up) a track by name; one process row per track in
+    /// the Chrome export. Returns a dummy id when disabled.
+    pub fn track(&self, name: &str) -> TrackId {
+        self.with(|inner| {
+            if let Some(i) = inner.tracks.iter().position(|t| t == name) {
+                TrackId(i as u32)
+            } else {
+                inner.tracks.push(name.to_owned());
+                TrackId((inner.tracks.len() - 1) as u32)
+            }
+        })
+    }
+
+    /// Record a completed span with no arguments.
+    pub fn span(
+        &self,
+        track: TrackId,
+        name: &str,
+        category: &str,
+        start: SimInstant,
+        duration: SimDuration,
+    ) {
+        self.span_with_args(track, name, category, start, duration, Vec::new());
+    }
+
+    /// Record a completed span with arguments.
+    pub fn span_with_args(
+        &self,
+        track: TrackId,
+        name: &str,
+        category: &str,
+        start: SimInstant,
+        duration: SimDuration,
+        args: Vec<(&str, ArgValue)>,
+    ) {
+        self.with(|inner| {
+            inner.spans.push(SpanEvent {
+                track: track.0,
+                name: name.to_owned(),
+                category: category.to_owned(),
+                start,
+                duration,
+                args: args.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+            });
+        });
+    }
+
+    /// Record an instantaneous event (rendered as an arrow/dot marker).
+    pub fn instant(&self, track: TrackId, name: &str, category: &str, at: SimInstant) {
+        self.with(|inner| {
+            inner.instants.push(InstantEvent {
+                track: track.0,
+                name: name.to_owned(),
+                category: category.to_owned(),
+                at,
+            });
+        });
+    }
+
+    /// Add to a named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.with(|inner| inner.metrics.counter_add(name, delta));
+    }
+
+    /// Read a counter (0 when disabled or never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with(|inner| inner.metrics.counter(name))
+    }
+
+    /// Set a named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.with(|inner| inner.metrics.gauge_set(name, value));
+    }
+
+    /// Pre-register a histogram with explicit bucket edges (ms).
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) {
+        self.with(|inner| inner.metrics.histogram_with_bounds(name, bounds));
+    }
+
+    /// Record a millisecond value into a histogram (default time edges on
+    /// first touch).
+    pub fn histogram_record_ms(&self, name: &str, value_ms: f64) {
+        self.with(|inner| inner.metrics.histogram_record(name, value_ms));
+    }
+
+    /// Record a simulated duration into a histogram, in milliseconds.
+    pub fn histogram_record(&self, name: &str, value: SimDuration) {
+        self.histogram_record_ms(name, value.as_millis_f64());
+    }
+
+    /// Total spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.with(|inner| inner.spans.len())
+    }
+
+    /// Spans recorded under a category (for tests and summaries).
+    pub fn spans_in_category(&self, category: &str) -> usize {
+        self.with(|inner| {
+            inner
+                .spans
+                .iter()
+                .filter(|s| s.category == category)
+                .count()
+        })
+    }
+
+    /// Export the event log as a Chrome `trace_event` JSON document.
+    pub fn chrome_trace(&self) -> String {
+        self.with(crate::trace::chrome_trace)
+    }
+
+    /// Export the metrics registry as a JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.with(|inner| inner.metrics.to_json().to_pretty() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_ignores_everything() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let t = r.track("dev");
+        r.span(
+            t,
+            "k",
+            "kernel",
+            SimInstant::EPOCH,
+            SimDuration::from_micros(5),
+        );
+        r.counter_add("launches", 1);
+        assert_eq!(r.span_count(), 0);
+        assert_eq!(r.counter("launches"), 0);
+    }
+
+    #[test]
+    fn clones_share_the_same_log() {
+        let r = Recorder::enabled();
+        let r2 = r.clone();
+        let t = r.track("dev");
+        r2.span(
+            t,
+            "k",
+            "kernel",
+            SimInstant::EPOCH,
+            SimDuration::from_micros(5),
+        );
+        assert_eq!(r.span_count(), 1);
+        assert_eq!(r.spans_in_category("kernel"), 1);
+    }
+
+    #[test]
+    fn tracks_deduplicate_by_name() {
+        let r = Recorder::enabled();
+        let a = r.track("dev");
+        let b = r.track("dev");
+        let c = r.track("other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn independent_recorders_are_isolated() {
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        a.counter_add("x", 1);
+        assert_eq!(b.counter("x"), 0);
+    }
+}

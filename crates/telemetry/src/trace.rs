@@ -1,0 +1,140 @@
+//! Chrome `trace_event` export.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! Perfetto: one `M` (metadata) event naming each track's process, then the
+//! recorded spans as `X` (complete) events and instants as `i` events.
+//! Timestamps are microseconds; we print them from integer picoseconds with
+//! exactly six fractional digits, so the output is byte-identical across
+//! runs whenever the event log is.
+
+use crate::json::escape_into;
+use crate::recorder::{ArgValue, Inner};
+use sim_clock::{SimDuration, SimInstant};
+use std::fmt::Write as _;
+
+/// Microseconds with six exact fractional digits, from integer picoseconds.
+fn us_from_ps(out: &mut String, ps: u64) {
+    let whole = ps / 1_000_000;
+    let frac = ps % 1_000_000;
+    let _ = write!(out, "{whole}.{frac:06}");
+}
+
+fn ts(out: &mut String, at: SimInstant) {
+    us_from_ps(out, at.elapsed_since_epoch().as_picos());
+}
+
+fn dur(out: &mut String, d: SimDuration) {
+    us_from_ps(out, d.as_picos());
+}
+
+fn arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ArgValue::F64(x) => out.push_str(&crate::json::fmt_f64(*x)),
+        ArgValue::Str(s) => escape_into(out, s),
+    }
+}
+
+/// Render the whole event log as a Chrome trace document.
+pub(crate) fn chrome_trace(inner: &mut Inner) -> String {
+    let mut out = String::with_capacity(256 + inner.spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+
+    // Process-name metadata: one process per track, pid = index + 1.
+    for (i, name) in inner.tracks.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":",
+            i + 1
+        );
+        escape_into(&mut out, name);
+        out.push_str("}}");
+    }
+
+    for span in &inner.spans {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"pid\":{},\"tid\":0,\"name\":",
+            span.track + 1
+        );
+        escape_into(&mut out, &span.name);
+        out.push_str(",\"cat\":");
+        escape_into(&mut out, &span.category);
+        out.push_str(",\"ts\":");
+        ts(&mut out, span.start);
+        out.push_str(",\"dur\":");
+        dur(&mut out, span.duration);
+        if !span.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in span.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, key);
+                out.push(':');
+                arg_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+
+    for inst in &inner.instants {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"tid\":0,\"name\":",
+            inst.track + 1
+        );
+        escape_into(&mut out, &inst.name);
+        out.push_str(",\"cat\":");
+        escape_into(&mut out, &inst.category);
+        out.push_str(",\"ts\":");
+        ts(&mut out, inst.at);
+        out.push('}');
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+    use sim_clock::{SimDuration, SimInstant};
+
+    #[test]
+    fn timestamps_are_exact_microseconds() {
+        let r = Recorder::enabled();
+        let t = r.track("device");
+        r.span(
+            t,
+            "kernel:Track",
+            "kernel",
+            SimInstant::at(SimDuration::from_picos(1_234_567)),
+            SimDuration::from_picos(7),
+        );
+        let trace = r.chrome_trace();
+        assert!(trace.contains("\"ts\":1.234567"), "{trace}");
+        assert!(trace.contains("\"dur\":0.000007"), "{trace}");
+    }
+
+    #[test]
+    fn disabled_recorder_exports_an_empty_document() {
+        let r = Recorder::disabled();
+        assert_eq!(r.chrome_trace(), "");
+    }
+}

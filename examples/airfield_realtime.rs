@@ -42,7 +42,10 @@ fn main() {
     let cycles: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
 
     let backend = backend_for(&tag);
-    println!("== Real-time ATM run: {} | {n} aircraft | {cycles} major cycle(s) ==\n", backend.name());
+    println!(
+        "== Real-time ATM run: {} | {n} aircraft | {cycles} major cycle(s) ==\n",
+        backend.info().name
+    );
 
     let mut sim = AtmSimulation::with_field(n, 0xA1F1E1D, backend);
     let outcome = sim.run(cycles);
@@ -57,11 +60,17 @@ fn main() {
         .map(|p| format!("cycle {} period {}", p.cycle, p.period))
         .collect();
     if missed_periods.is_empty() {
-        println!("every deadline met across {} periods", outcome.report.periods().len());
+        println!(
+            "every deadline met across {} periods",
+            outcome.report.periods().len()
+        );
     } else {
         println!("missed deadlines in: {}", missed_periods.join(", "));
         for m in outcome.report.misses() {
-            println!("  miss: {} at cycle {} period {}", m.task, m.cycle, m.period);
+            println!(
+                "  miss: {} at cycle {} period {}",
+                m.task, m.cycle, m.period
+            );
         }
     }
 

@@ -24,20 +24,36 @@ fn converging_fleet() -> Vec<Aircraft> {
     // 300-period critical window.
     for k in 0..8 {
         let y = -42.0 + 12.0 * k as f32;
-        fleet.push(Aircraft::at(-20.0, y).with_velocity(0.08, 0.0).with_altitude(10_000.0));
-        fleet.push(Aircraft::at(20.0, y + 0.5).with_velocity(-0.08, 0.0).with_altitude(10_000.0));
+        fleet.push(
+            Aircraft::at(-20.0, y)
+                .with_velocity(0.08, 0.0)
+                .with_altitude(10_000.0),
+        );
+        fleet.push(
+            Aircraft::at(20.0, y + 0.5)
+                .with_velocity(-0.08, 0.0)
+                .with_altitude(10_000.0),
+        );
     }
     // Wave 2: crossing traffic climbing through the corridor at the same
     // level, timed to cross while the corridor planes pass.
     for k in 0..3 {
         let x = -24.0 + 24.0 * k as f32;
-        fleet.push(Aircraft::at(x, -20.0).with_velocity(0.0, 0.07).with_altitude(10_000.0));
+        fleet.push(
+            Aircraft::at(x, -20.0)
+                .with_velocity(0.0, 0.07)
+                .with_altitude(10_000.0),
+        );
     }
     // Wave 3: identical geometry one flight level up — must be ignored by
     // the altitude gate.
     for k in 0..3 {
         let x = -24.0 + 24.0 * k as f32;
-        fleet.push(Aircraft::at(x, -20.0).with_velocity(0.0, 0.07).with_altitude(14_000.0));
+        fleet.push(
+            Aircraft::at(x, -20.0)
+                .with_velocity(0.0, 0.07)
+                .with_altitude(14_000.0),
+        );
     }
     fleet
 }
@@ -69,7 +85,10 @@ fn count_critical_pairs(fleet: &[Aircraft], cfg: &AtmConfig) -> usize {
 fn main() {
     let cfg = AtmConfig::default();
     let mut fleet = converging_fleet();
-    println!("== Deconfliction deep-dive: {} aircraft, converging waves ==\n", fleet.len());
+    println!(
+        "== Deconfliction deep-dive: {} aircraft, converging waves ==\n",
+        fleet.len()
+    );
 
     let before = count_critical_pairs(&fleet, &cfg);
     println!("critical conflict pairs before resolution: {before}");
@@ -84,7 +103,11 @@ fn main() {
     println!("  aircraft resolved  : {}", stats.resolved);
     println!("  unresolved         : {}", stats.unresolved);
     println!("\nabstract op mix of the task:");
-    println!("  fp add/mul: {} / {}", ops.count(sim_clock::OpClass::FpAdd), ops.count(sim_clock::OpClass::FpMul));
+    println!(
+        "  fp add/mul: {} / {}",
+        ops.count(sim_clock::OpClass::FpAdd),
+        ops.count(sim_clock::OpClass::FpMul)
+    );
     println!("  fp div    : {}", ops.count(sim_clock::OpClass::FpDiv));
     println!("  sfu (trig): {}", ops.count(sim_clock::OpClass::Sfu));
     println!("  mem bytes : {}", ops.total_bytes());

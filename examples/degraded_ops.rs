@@ -28,13 +28,15 @@ fn main() {
     cfg.validate();
 
     let grid = TerrainGrid::generate(99, cfg.half_width, 64, 12_000.0);
-    println!("== Degraded ops: {n} aircraft, 20% radar dropout, terrain to {:.0} ft ==\n",
-        grid.max_elevation());
+    println!(
+        "== Degraded ops: {n} aircraft, 20% radar dropout, terrain to {:.0} ft ==\n",
+        grid.max_elevation()
+    );
 
     let field = Airfield::new(n, cfg);
     let backend = Box::new(GpuBackend::geforce_9800_gt());
-    let mut sim = AtmSimulation::new(field, backend)
-        .with_terrain(TerrainSchedule::standard(grid.clone()));
+    let mut sim =
+        AtmSimulation::new(field, backend).with_terrain(TerrainSchedule::standard(grid.clone()));
     let out = sim.run(2);
 
     println!("{}", out.report);

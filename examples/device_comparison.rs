@@ -11,7 +11,6 @@
 //! ```
 
 use atm::prelude::*;
-use atm_core::backends::paper_roster;
 
 fn main() {
     let sweep: Vec<usize> = vec![500, 1_000, 2_000, 4_000];
@@ -27,15 +26,12 @@ fn main() {
     // between runs; series collected for curve classification.
     let mut series: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
 
-    for (idx, _) in paper_roster().iter().enumerate() {
+    for entry in Roster::paper().entries() {
         let mut xs = Vec::new();
         let mut t1s = Vec::new();
-        let mut name = String::new();
+        let name = entry.label.to_owned();
         for &n in &sweep {
-            let mut roster = paper_roster();
-            let backend = roster.swap_remove(idx);
-            name = backend.name();
-            let mut sim = AtmSimulation::with_field(n, seed, backend);
+            let mut sim = AtmSimulation::with_field(n, seed, entry.instantiate());
             let out = sim.run(1);
             println!(
                 "{:<22} {:>8} {:>16} {:>16} {:>8}",

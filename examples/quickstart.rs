@@ -27,13 +27,20 @@ fn main() {
     println!("mean Tasks 2+3   : {}", outcome.mean_task23());
     println!("deadline misses  : {}", outcome.report.total_misses());
     println!("worst period     : {}", outcome.report.worst_period());
-    println!("utilization      : {:.3}%", outcome.report.utilization() * 100.0);
+    println!(
+        "utilization      : {:.3}%",
+        outcome.report.utilization() * 100.0
+    );
 
     println!("\nper-task statistics:\n{}", outcome.report);
 
     let in_conflict = sim.aircraft().iter().filter(|a| a.col).count();
     println!("aircraft still flagged in conflict after the cycle: {in_conflict}");
 
-    assert_eq!(outcome.report.total_misses(), 0, "the Titan X must not miss deadlines");
+    assert_eq!(
+        outcome.report.total_misses(),
+        0,
+        "the Titan X must not miss deadlines"
+    );
     println!("\nOK: every deadline met.");
 }

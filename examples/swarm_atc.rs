@@ -17,19 +17,19 @@ use atm_core::config::AtmConfig;
 
 fn swarm_config() -> AtmConfig {
     AtmConfig {
-        half_width: 8.0,            // a 16 nm square patch
-        speed_min_kts: 10.0,        // quadcopter-class speeds…
-        speed_max_kts: 80.0,        // …up to small fixed-wing UAS
+        half_width: 8.0,     // a 16 nm square patch
+        speed_min_kts: 10.0, // quadcopter-class speeds…
+        speed_max_kts: 80.0, // …up to small fixed-wing UAS
         alt_min_ft: 100.0,
         alt_max_ft: 2_000.0,
-        alt_separation_ft: 150.0,   // tighter vertical layers
-        separation_nm: 0.25,        // protected bubble per drone
+        alt_separation_ft: 150.0, // tighter vertical layers
+        separation_nm: 0.25,      // protected bubble per drone
         radar_noise_nm: 0.02,
         track_box_half_nm: 0.05,
         period: SimDuration::from_millis(250),
-        periods_per_major: 8,       // a 2-second major cycle
-        horizon_periods: 1_200.0,   // 5 minutes at 250 ms
-        critical_periods: 240.0,    // 1 minute
+        periods_per_major: 8,     // a 2-second major cycle
+        horizon_periods: 1_200.0, // 5 minutes at 250 ms
+        critical_periods: 240.0,  // 1 minute
         seed: 0x00D2_05EE,
         ..AtmConfig::default()
     }

@@ -20,7 +20,9 @@
 //! * [`curvefit`] — MATLAB-style polynomial fitting and goodness-of-fit
 //!   statistics for the curve-shape analysis;
 //! * [`sim_clock`] — exact simulated time and the cross-architecture cost
-//!   accounting interface.
+//!   accounting interface;
+//! * [`telemetry`] — simulated-time spans, counters and histograms with
+//!   deterministic Chrome-trace and metrics-JSON exporters.
 //!
 //! ## Quickstart
 //!
@@ -42,21 +44,23 @@ pub use gpu_sim;
 pub use multicore;
 pub use rt_sched;
 pub use sim_clock;
+pub use telemetry;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use atm_core::backends::{
-        ApBackend, AtmBackend, GpuBackend, MimdBackend, SequentialBackend, TimingKind,
-        XeonModelBackend,
+        ApBackend, AtmBackend, BackendInfo, GpuBackend, MimdBackend, PlatformId, Roster,
+        RosterEntry, SequentialBackend, TimingKind, XeonModelBackend,
     };
     pub use atm_core::{
-        Aircraft, Airfield, AtmConfig, AtmSimulation, RadarReport, SimOutcome,
-        TerrainGrid, TerrainSchedule, TerrainTaskConfig,
+        Aircraft, Airfield, AtmConfig, AtmSimulation, RadarReport, SimOutcome, TerrainGrid,
+        TerrainSchedule, TerrainTaskConfig,
     };
     pub use curvefit::{classify_curve, fit_poly, CurveClass};
     pub use gpu_sim::{CudaDevice, DeviceSpec, LaunchConfig};
     pub use rt_sched::{CyclicExecutive, MajorCycleSpec};
     pub use sim_clock::{SimDuration, Stopwatch};
+    pub use telemetry::Recorder;
 }
 
 #[cfg(test)]

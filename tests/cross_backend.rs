@@ -17,7 +17,11 @@ fn fresh(n: usize, seed: u64) -> (Vec<Aircraft>, Vec<RadarReport>, AtmConfig) {
     (field.aircraft, radars, cfg)
 }
 
-fn run_track(backend: &mut dyn AtmBackend, n: usize, seed: u64) -> (Vec<Aircraft>, Vec<RadarReport>) {
+fn run_track(
+    backend: &mut dyn AtmBackend,
+    n: usize,
+    seed: u64,
+) -> (Vec<Aircraft>, Vec<RadarReport>) {
     let (mut ac, mut rd, cfg) = fresh(n, seed);
     backend.track_correlate(&mut ac, &mut rd, &cfg);
     (ac, rd)
@@ -55,7 +59,10 @@ fn all_deterministic_backends_agree_on_task1() {
                 track_equal(&ac, &ref_ac),
                 "{name} diverged from the sequential reference at n={n} seed={seed}"
             );
-            assert_eq!(rd, ref_rd, "{name} radar state diverged at n={n} seed={seed}");
+            assert_eq!(
+                rd, ref_rd,
+                "{name} radar state diverged at n={n} seed={seed}"
+            );
         }
     }
 }
@@ -86,7 +93,10 @@ fn multi_cycle_simulation_agrees_between_gpu_and_sequential() {
     let run = |backend: Box<dyn AtmBackend>| {
         let mut sim = AtmSimulation::with_field(300, 4242, backend);
         sim.run(2);
-        sim.aircraft().iter().map(|a| (a.x, a.y, a.dx, a.dy)).collect::<Vec<_>>()
+        sim.aircraft()
+            .iter()
+            .map(|a| (a.x, a.y, a.dx, a.dy))
+            .collect::<Vec<_>>()
     };
     let gpu = run(Box::new(GpuBackend::titan_x_pascal()));
     let seq = run(Box::new(SequentialBackend::new()));
@@ -98,7 +108,10 @@ fn multi_cycle_simulation_agrees_between_ap_and_sequential() {
     let run = |backend: Box<dyn AtmBackend>| {
         let mut sim = AtmSimulation::with_field(250, 777, backend);
         sim.run(2);
-        sim.aircraft().iter().map(|a| (a.x, a.y, a.dx, a.dy)).collect::<Vec<_>>()
+        sim.aircraft()
+            .iter()
+            .map(|a| (a.x, a.y, a.dx, a.dy))
+            .collect::<Vec<_>>()
     };
     let ap = run(Box::new(ApBackend::staran()));
     let seq = run(Box::new(SequentialBackend::new()));
@@ -153,7 +166,10 @@ fn modeled_times_rank_platforms_like_the_paper() {
 
 #[test]
 fn timing_kinds_are_declared_correctly() {
-    assert_eq!(GpuBackend::titan_x_pascal().timing_kind(), TimingKind::Modeled);
+    assert_eq!(
+        GpuBackend::titan_x_pascal().timing_kind(),
+        TimingKind::Modeled
+    );
     assert_eq!(ApBackend::staran().timing_kind(), TimingKind::Modeled);
     assert_eq!(XeonModelBackend::new().timing_kind(), TimingKind::Modeled);
     assert_eq!(SequentialBackend::new().timing_kind(), TimingKind::Measured);

@@ -1,52 +1,54 @@
-//! Property-based tests (proptest) over the core data structures and
-//! algorithm invariants.
+//! Randomized-but-deterministic tests over the core data structures and
+//! algorithm invariants. Each test drives a fixed-seed [`SimRng`] through a
+//! few dozen cases, so failures reproduce exactly without any external
+//! property-testing framework.
 
 use atm::prelude::*;
 use atm_core::batcher::{axis_window, conflict_window};
 use atm_core::detect::{check_collision_path, rotate_velocity};
 use atm_core::track::track_correlate;
-use proptest::prelude::*;
-use sim_clock::NullSink;
+use sim_clock::{NullSink, SimRng};
 
 const HORIZON: f32 = 2_400.0;
 
 /// A plausible aircraft anywhere in the field with a realistic velocity.
-fn arb_aircraft() -> impl Strategy<Value = Aircraft> {
-    (
-        -128.0f32..128.0,
-        -128.0f32..128.0,
-        -0.1f32..0.1,
-        -0.1f32..0.1,
-        1_000.0f32..40_000.0,
-    )
-        .prop_map(|(x, y, dx, dy, alt)| {
-            Aircraft::at(x, y).with_velocity(dx, dy).with_altitude(alt)
-        })
+fn arb_aircraft(rng: &mut SimRng) -> Aircraft {
+    let x = rng.range_f32_inclusive(-128.0, 128.0);
+    let y = rng.range_f32_inclusive(-128.0, 128.0);
+    let dx = rng.range_f32_inclusive(-0.1, 0.1);
+    let dy = rng.range_f32_inclusive(-0.1, 0.1);
+    let alt = rng.range_f32_inclusive(1_000.0, 40_000.0);
+    Aircraft::at(x, y).with_velocity(dx, dy).with_altitude(alt)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn uniform_f64(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    lo + (hi - lo) * unit
+}
 
-    // ---------- Batcher windows ----------
+// ---------- Batcher windows ----------
 
-    #[test]
-    fn axis_window_is_within_bounds(
-        pos in -300.0f32..300.0,
-        vel in -1.0f32..1.0,
-        sep in 0.1f32..10.0,
-    ) {
+#[test]
+fn axis_window_is_within_bounds() {
+    let mut rng = SimRng::seed_from_u64(0xA1);
+    for _ in 0..64 {
+        let pos = rng.range_f32_inclusive(-300.0, 300.0);
+        let vel = rng.range_f32_inclusive(-1.0, 1.0);
+        let sep = rng.range_f32_inclusive(0.1, 10.0);
         if let Some((lo, hi)) = axis_window(pos, vel, sep, HORIZON, &mut NullSink) {
-            prop_assert!(lo >= 0.0);
-            prop_assert!(hi <= HORIZON);
-            prop_assert!(lo <= hi);
+            assert!(lo >= 0.0);
+            assert!(hi <= HORIZON);
+            assert!(lo <= hi);
         }
     }
+}
 
-    #[test]
-    fn axis_window_matches_brute_force_sampling(
-        pos in -100.0f32..100.0,
-        vel in -0.5f32..0.5,
-    ) {
+#[test]
+fn axis_window_matches_brute_force_sampling() {
+    let mut rng = SimRng::seed_from_u64(0xA2);
+    for _ in 0..64 {
+        let pos = rng.range_f32_inclusive(-100.0, 100.0);
+        let vel = rng.range_f32_inclusive(-0.5, 0.5);
         // Sample the trajectory: the analytic window and the sampled
         // violation set must agree (up to sampling resolution at the edges).
         let sep = 3.0f32;
@@ -60,27 +62,29 @@ proptest! {
                     // Strictly inside the window must violate; strictly
                     // outside must not (1-step guard band for f32 edges).
                     if t > lo + step && t < hi - step {
-                        prop_assert!(violating, "t={t} inside ({lo},{hi}) but not violating");
+                        assert!(violating, "t={t} inside ({lo},{hi}) but not violating");
                     }
                     if t < lo - step || t > hi + step {
-                        prop_assert!(!violating, "t={t} outside ({lo},{hi}) but violating");
+                        assert!(!violating, "t={t} outside ({lo},{hi}) but violating");
                     }
                 }
                 None => {
                     // A guard band around exact tangency.
                     let d = (pos + vel * t).abs();
-                    prop_assert!(d > sep - 0.51, "no window but violation at t={t} (d={d})");
+                    assert!(d > sep - 0.51, "no window but violation at t={t} (d={d})");
                 }
             }
             t += step;
         }
     }
+}
 
-    #[test]
-    fn conflict_window_is_symmetric_in_the_pair(
-        a in arb_aircraft(),
-        b in arb_aircraft(),
-    ) {
+#[test]
+fn conflict_window_is_symmetric_in_the_pair() {
+    let mut rng = SimRng::seed_from_u64(0xA3);
+    for _ in 0..64 {
+        let a = arb_aircraft(&mut rng);
+        let b = arb_aircraft(&mut rng);
         // Swapping track and trial (with their own velocities) must yield
         // the same window: relative geometry is symmetric.
         let w1 = conflict_window(&a, (a.dx, a.dy), &b, 3.0, HORIZON, &mut NullSink);
@@ -88,52 +92,65 @@ proptest! {
         match (w1, w2) {
             (None, None) => {}
             (Some((l1, h1)), Some((l2, h2))) => {
-                prop_assert!((l1 - l2).abs() < 1e-2, "{l1} vs {l2}");
-                prop_assert!((h1 - h2).abs() < 1e-2, "{h1} vs {h2}");
+                assert!((l1 - l2).abs() < 1e-2, "{l1} vs {l2}");
+                assert!((h1 - h2).abs() < 1e-2, "{h1} vs {h2}");
             }
-            other => prop_assert!(false, "asymmetric windows: {other:?}"),
+            other => panic!("asymmetric windows: {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn coincident_aircraft_always_conflict(a in arb_aircraft()) {
+#[test]
+fn coincident_aircraft_always_conflict() {
+    let mut rng = SimRng::seed_from_u64(0xA4);
+    for _ in 0..64 {
         // An aircraft exactly on top of another (same velocity) violates
         // separation for the whole horizon.
+        let a = arb_aircraft(&mut rng);
         let b = a;
         let w = conflict_window(&a, (a.dx, a.dy), &b, 3.0, HORIZON, &mut NullSink);
-        prop_assert_eq!(w, Some((0.0, HORIZON)));
+        assert_eq!(w, Some((0.0, HORIZON)));
     }
+}
 
-    // ---------- Rotation (Task 3) ----------
+// ---------- Rotation (Task 3) ----------
 
-    #[test]
-    fn rotation_preserves_speed(
-        vx in -1.0f32..1.0,
-        vy in -1.0f32..1.0,
-        angle in -3.2f32..3.2,
-    ) {
+#[test]
+fn rotation_preserves_speed() {
+    let mut rng = SimRng::seed_from_u64(0xA5);
+    for _ in 0..64 {
+        let vx = rng.range_f32_inclusive(-1.0, 1.0);
+        let vy = rng.range_f32_inclusive(-1.0, 1.0);
+        let angle = rng.range_f32_inclusive(-3.2, 3.2);
         let (rx, ry) = rotate_velocity((vx, vy), angle, &mut NullSink);
         let before = (vx * vx + vy * vy).sqrt();
         let after = (rx * rx + ry * ry).sqrt();
-        prop_assert!((before - after).abs() < 1e-4 * (1.0 + before));
+        assert!((before - after).abs() < 1e-4 * (1.0 + before));
     }
+}
 
-    #[test]
-    fn opposite_rotations_cancel(
-        vx in -1.0f32..1.0,
-        vy in -1.0f32..1.0,
-        angle in 0.01f32..1.0,
-    ) {
+#[test]
+fn opposite_rotations_cancel() {
+    let mut rng = SimRng::seed_from_u64(0xA6);
+    for _ in 0..64 {
+        let vx = rng.range_f32_inclusive(-1.0, 1.0);
+        let vy = rng.range_f32_inclusive(-1.0, 1.0);
+        let angle = rng.range_f32_inclusive(0.01, 1.0);
         let fwd = rotate_velocity((vx, vy), angle, &mut NullSink);
         let back = rotate_velocity(fwd, -angle, &mut NullSink);
-        prop_assert!((back.0 - vx).abs() < 1e-4);
-        prop_assert!((back.1 - vy).abs() < 1e-4);
+        assert!((back.0 - vx).abs() < 1e-4);
+        assert!((back.1 - vy).abs() < 1e-4);
     }
+}
 
-    // ---------- Task 1 invariants over random fleets ----------
+// ---------- Task 1 invariants over random fleets ----------
 
-    #[test]
-    fn track_state_machine_invariants(seed in 0u64..10_000, n in 2usize..120) {
+#[test]
+fn track_state_machine_invariants() {
+    let mut rng = SimRng::seed_from_u64(0xA7);
+    for _ in 0..48 {
+        let seed = rng.next_u64() % 10_000;
+        let n = 2 + (rng.next_u64() % 118) as usize;
         let mut field = Airfield::with_seed(n, seed);
         let mut radars = field.generate_radar();
         let cfg = field.config().clone();
@@ -141,14 +158,11 @@ proptest! {
 
         // Counting identity: every aircraft is in exactly one match state.
         let none = field.aircraft.iter().filter(|a| a.r_match == 0).count() as u64;
-        prop_assert_eq!(
-            stats.matched + stats.dropped_aircraft + none,
-            n as u64
-        );
+        assert_eq!(stats.matched + stats.dropped_aircraft + none, n as u64);
 
         // Radar bookkeeping: matched + discarded + unmatched = all radars.
         let matched_radars = radars.iter().filter(|r| r.matched()).count() as u64;
-        prop_assert_eq!(
+        assert_eq!(
             matched_radars + stats.discarded_radars + stats.unmatched_radars,
             n as u64
         );
@@ -158,8 +172,8 @@ proptest! {
         for r in &radars {
             if r.matched() {
                 let p = r.r_match_with as usize;
-                prop_assert!(p < n);
-                prop_assert!(field.aircraft[p].r_match == 1 || field.aircraft[p].r_match == -1);
+                assert!(p < n);
+                assert!(field.aircraft[p].r_match == 1 || field.aircraft[p].r_match == -1);
             }
         }
 
@@ -170,13 +184,18 @@ proptest! {
                 seen[r.r_match_with as usize] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c <= 1), "two radars own one aircraft");
+        assert!(seen.iter().all(|&c| c <= 1), "two radars own one aircraft");
     }
+}
 
-    // ---------- Tasks 2+3 invariants ----------
+// ---------- Tasks 2+3 invariants ----------
 
-    #[test]
-    fn resolution_preserves_every_speed(seed in 0u64..5_000, n in 2usize..60) {
+#[test]
+fn resolution_preserves_every_speed() {
+    let mut rng = SimRng::seed_from_u64(0xA8);
+    for _ in 0..32 {
+        let seed = rng.next_u64() % 5_000;
+        let n = 2 + (rng.next_u64() % 58) as usize;
         let mut field = Airfield::with_seed(n, seed);
         let cfg = field.config().clone();
         let speeds: Vec<f32> = field.aircraft.iter().map(|a| a.speed()).collect();
@@ -184,15 +203,17 @@ proptest! {
             check_collision_path(&mut field.aircraft, i, &cfg, &mut NullSink);
         }
         for (a, s0) in field.aircraft.iter().zip(speeds) {
-            prop_assert!((a.speed() - s0).abs() < 1e-3 * (1.0 + s0), "speed changed");
+            assert!((a.speed() - s0).abs() < 1e-3 * (1.0 + s0), "speed changed");
         }
     }
+}
 
-    #[test]
-    fn committed_paths_have_no_critical_conflicts_left_behind(
-        seed in 0u64..2_000,
-        n in 2usize..50,
-    ) {
+#[test]
+fn committed_paths_have_no_critical_conflicts_left_behind() {
+    let mut rng = SimRng::seed_from_u64(0xA9);
+    for _ in 0..32 {
+        let seed = rng.next_u64() % 2_000;
+        let n = 2 + (rng.next_u64() % 48) as usize;
         let mut field = Airfield::with_seed(n, seed);
         let cfg = field.config().clone();
         for i in 0..n {
@@ -203,76 +224,95 @@ proptest! {
                 // verified conflict-free at commit time (against the fleet
                 // as it stood). Direction changed, speed didn't.
                 let after = field.aircraft[i];
-                prop_assert!(after.dx != before.dx || after.dy != before.dy);
-                prop_assert!(!after.col);
+                assert!(after.dx != before.dx || after.dy != before.dy);
+                assert!(!after.col);
             }
         }
     }
+}
 
-    // ---------- Airfield generator ----------
+// ---------- Airfield generator ----------
 
-    #[test]
-    fn setup_respects_all_configured_ranges(seed in 0u64..10_000, n in 1usize..200) {
+#[test]
+fn setup_respects_all_configured_ranges() {
+    let mut rng = SimRng::seed_from_u64(0xAA);
+    for _ in 0..48 {
+        let seed = rng.next_u64() % 10_000;
+        let n = 1 + (rng.next_u64() % 199) as usize;
         let field = Airfield::with_seed(n, seed);
         let cfg = field.config();
         for a in &field.aircraft {
-            prop_assert!(a.x.abs() <= cfg.half_width);
-            prop_assert!(a.y.abs() <= cfg.half_width);
-            prop_assert!(a.alt >= cfg.alt_min_ft && a.alt <= cfg.alt_max_ft);
+            assert!(a.x.abs() <= cfg.half_width);
+            assert!(a.y.abs() <= cfg.half_width);
+            assert!(a.alt >= cfg.alt_min_ft && a.alt <= cfg.alt_max_ft);
             let kts = a.speed() * cfg.periods_per_hour;
-            prop_assert!(kts >= cfg.speed_min_kts - 0.5);
-            prop_assert!(kts <= cfg.speed_max_kts + 0.5);
+            assert!(kts >= cfg.speed_min_kts - 0.5);
+            assert!(kts <= cfg.speed_max_kts + 0.5);
         }
     }
+}
 
-    #[test]
-    fn quarter_shuffle_is_a_permutation(n in 0usize..200) {
+#[test]
+fn quarter_shuffle_is_a_permutation() {
+    for n in 0usize..200 {
         let mut v: Vec<usize> = (0..n).collect();
         atm_core::airfield::shuffle_quarters(&mut v);
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
     }
+}
 
-    // ---------- Simulated time ----------
+// ---------- Simulated time ----------
 
-    #[test]
-    fn sim_duration_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+#[test]
+fn sim_duration_add_sub_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0xAB);
+    for _ in 0..64 {
+        let a = rng.next_u64() % (u64::MAX / 4);
+        let b = rng.next_u64() % (u64::MAX / 4);
         let da = SimDuration::from_picos(a);
         let db = SimDuration::from_picos(b);
-        prop_assert_eq!((da + db) - db, da);
-        prop_assert_eq!(da.saturating_sub(db) + db.min(da + db), da.max(db));
+        assert_eq!((da + db) - db, da);
+        assert_eq!(da.saturating_sub(db) + db.min(da + db), da.max(db));
     }
+}
 
-    #[test]
-    fn sim_duration_ordering_matches_picos(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn sim_duration_ordering_matches_picos() {
+    let mut rng = SimRng::seed_from_u64(0xAC);
+    for _ in 0..64 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let da = SimDuration::from_picos(a);
         let db = SimDuration::from_picos(b);
-        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+        assert_eq!(da.cmp(&db), a.cmp(&b));
     }
+}
 
-    // ---------- Curve fitting ----------
+// ---------- Curve fitting ----------
 
-    #[test]
-    fn polyfit_recovers_planted_lines(
-        intercept in -100.0f64..100.0,
-        slope in -10.0f64..10.0,
-    ) {
+#[test]
+fn polyfit_recovers_planted_lines() {
+    let mut rng = SimRng::seed_from_u64(0xAD);
+    for _ in 0..48 {
+        let intercept = uniform_f64(&mut rng, -100.0, 100.0);
+        let slope = uniform_f64(&mut rng, -10.0, 10.0);
         let x: Vec<f64> = (0..24).map(|i| (i * 700) as f64).collect();
         let y: Vec<f64> = x.iter().map(|&v| intercept + slope * v).collect();
         let fit = fit_poly(&x, &y, 1).unwrap();
-        prop_assert!((fit.poly.coeff(0) - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
-        prop_assert!((fit.poly.coeff(1) - slope).abs() < 1e-8 * (1.0 + slope.abs()));
-        prop_assert!(fit.gof.r_squared > 1.0 - 1e-9);
+        assert!((fit.poly.coeff(0) - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        assert!((fit.poly.coeff(1) - slope).abs() < 1e-8 * (1.0 + slope.abs()));
+        assert!(fit.gof.r_squared > 1.0 - 1e-9);
     }
+}
 
-    #[test]
-    fn polyfit_residuals_never_beat_higher_degree(
-        seed in 0u64..1_000,
-    ) {
-        // SSE of a degree-2 fit can never exceed the degree-1 fit's SSE on
-        // the same data (nested models).
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+#[test]
+fn polyfit_residuals_never_beat_higher_degree() {
+    // SSE of a degree-2 fit can never exceed the degree-1 fit's SSE on
+    // the same data (nested models).
+    for seed in 0u64..48 {
+        let mut state = (seed * 19 + 3).wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut noise = || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
@@ -281,6 +321,6 @@ proptest! {
         let y: Vec<f64> = x.iter().map(|&v| 2.0 * v + noise()).collect();
         let lin = fit_poly(&x, &y, 1).unwrap();
         let quad = fit_poly(&x, &y, 2).unwrap();
-        prop_assert!(quad.gof.sse <= lin.gof.sse + 1e-9);
+        assert!(quad.gof.sse <= lin.gof.sse + 1e-9);
     }
 }

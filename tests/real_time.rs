@@ -54,7 +54,10 @@ fn deadline_misses_grow_with_load_on_the_xeon() {
     };
     let low = misses_at(1_000);
     let high = misses_at(12_000);
-    assert!(low < high, "misses must grow with fleet size: {low} vs {high}");
+    assert!(
+        low < high,
+        "misses must grow with fleet size: {low} vs {high}"
+    );
 }
 
 #[test]
@@ -79,7 +82,10 @@ fn task_schedule_follows_the_paper() {
     // booked time jumps there.
     for p in out.report.periods() {
         if p.period != 15 {
-            assert!(!p.missed, "only the detection period could ever be tight here");
+            assert!(
+                !p.missed,
+                "only the detection period could ever be tight here"
+            );
         }
     }
 }

@@ -1,0 +1,91 @@
+//! End-to-end telemetry capture: the full timed simulation with a recorder
+//! attached must produce spans from every substrate, and — because every
+//! captured platform is deterministically modeled — byte-identical trace
+//! and metrics files across same-seed runs (the repo's determinism policy
+//! extended to the observability layer).
+
+use atm::prelude::*;
+
+/// One major cycle on the paper's modeled platforms, all recording into a
+/// single recorder; returns the two export artifacts.
+fn capture(seed: u64) -> (String, String) {
+    let recorder = Recorder::enabled();
+    for entry in Roster::paper().entries() {
+        let mut sim = AtmSimulation::with_field(400, seed, entry.instantiate());
+        sim.set_recorder(recorder.clone());
+        sim.run(1);
+    }
+    (recorder.chrome_trace(), recorder.metrics_json())
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_artifacts() {
+    let (trace_a, metrics_a) = capture(2018);
+    let (trace_b, metrics_b) = capture(2018);
+    assert_eq!(
+        trace_a, trace_b,
+        "Chrome trace must be byte-identical across runs"
+    );
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics snapshot must be byte-identical across runs"
+    );
+}
+
+#[test]
+fn capture_contains_spans_from_every_substrate() {
+    let recorder = Recorder::enabled();
+    for entry in Roster::paper().entries() {
+        let mut sim = AtmSimulation::with_field(400, 7, entry.instantiate());
+        sim.set_recorder(recorder.clone());
+        sim.run(1);
+    }
+    assert!(
+        recorder.spans_in_category("rt.task") > 0,
+        "executive task spans"
+    );
+    assert!(
+        recorder.spans_in_category("rt.period") > 0,
+        "executive period spans"
+    );
+    assert!(
+        recorder.spans_in_category("gpu.kernel") > 0,
+        "GPU kernel spans"
+    );
+    assert!(
+        recorder.spans_in_category("gpu.transfer") > 0,
+        "GPU transfer spans"
+    );
+    assert!(
+        recorder.spans_in_category("ap") > 0,
+        "associative-machine spans"
+    );
+    // Every period of every platform is booked: 6 platforms x 16 periods.
+    assert_eq!(recorder.counter("rt.periods"), 6 * 16);
+
+    let trace = recorder.chrome_trace();
+    for track in ["rt-sched", "gpu: Titan X (Pascal)", "ap: STARAN AP"] {
+        assert!(trace.contains(track), "trace must name the {track} track");
+    }
+}
+
+#[test]
+fn disabled_recorder_changes_nothing_and_records_nothing() {
+    let run = |record: bool| {
+        let mut sim = AtmSimulation::with_field(300, 11, Box::new(GpuBackend::titan_x_pascal()));
+        if record {
+            sim.set_recorder(Recorder::enabled());
+        }
+        let out = sim.run(1);
+        (
+            out.mean_task1(),
+            out.mean_task23(),
+            out.report.total_misses(),
+        )
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "recording must not perturb simulated timing"
+    );
+}
