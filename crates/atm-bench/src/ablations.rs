@@ -16,6 +16,7 @@
 //!   hypothetical lock-free variant (how much of the MIMD collapse is
 //!   synchronization).
 
+use crate::harness::Harness;
 use atm_core::backends::{ApBackend, AtmBackend, GpuBackend};
 use atm_core::track::track_correlate;
 use atm_core::{Airfield, AtmConfig};
@@ -271,14 +272,20 @@ pub fn locking(n: usize, seed: u64) -> Ablation {
 
 /// Run every ablation at a standard size.
 pub fn all(n: usize, seed: u64) -> Vec<Ablation> {
-    vec![
-        fused_kernel(n, seed),
-        block_size(n, seed, 256, DeviceSpec::titan_x_pascal()),
-        expanding_box(n, seed),
-        pe_virtualization(n, seed),
-        locking(n, seed),
-        shared_memory_tiling(n, seed),
-    ]
+    all_on(n, seed, &Harness::serial())
+}
+
+/// [`all`], fanning the six independent ablations across the harness's
+/// workers. Output order is fixed regardless of the job count.
+pub fn all_on(n: usize, seed: u64, harness: &Harness) -> Vec<Ablation> {
+    harness.run(6, |i| match i {
+        0 => fused_kernel(n, seed),
+        1 => block_size(n, seed, 256, DeviceSpec::titan_x_pascal()),
+        2 => expanding_box(n, seed),
+        3 => pe_virtualization(n, seed),
+        4 => locking(n, seed),
+        _ => shared_memory_tiling(n, seed),
+    })
 }
 
 #[cfg(test)]
@@ -333,5 +340,18 @@ mod tests {
         let ids: Vec<&str> = list.iter().map(|a| a.id.as_str()).collect();
         assert!(ids.contains(&"fused-kernel"));
         assert!(ids.contains(&"locking"));
+    }
+
+    #[test]
+    fn parallel_ablations_match_serial() {
+        let serial = all(400, 9);
+        let parallel = all_on(400, 9, &Harness::new(3));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.id, p.id);
+            assert_eq!(s.paper_ms, p.paper_ms);
+            assert_eq!(s.alternative_ms, p.alternative_ms);
+            assert_eq!(s.notes, p.notes);
+        }
     }
 }

@@ -1,0 +1,182 @@
+//! Wall-clock benchmark of the sweep pipeline itself.
+//!
+//! ```text
+//! cargo run --release -p atm-bench --bin bench
+//! cargo run --release -p atm-bench --bin bench -- --quick --jobs 4
+//! ```
+//!
+//! The figures/experiments pipeline is a *simulator*: its outputs are
+//! modeled times, but producing them costs real host time. This binary
+//! times the standard sweep (every paper platform × both tasks) through
+//! four host configurations —
+//!
+//! | stage | scan | harness |
+//! |---|---|---|
+//! | `serial-naive`    | naive O(n²) scan | 1 thread (the seed code path) |
+//! | `serial-banded`   | altitude-banded  | 1 thread |
+//! | `parallel-naive`  | naive O(n²) scan | `--jobs` threads |
+//! | `parallel-banded` | altitude-banded  | `--jobs` threads |
+//!
+//! — verifies that all four produce element-identical series (the
+//! determinism contract: neither knob may change a single output value),
+//! and writes `BENCH_sweep.json` with per-stage wall-clock times and
+//! speedups over the `serial-naive` baseline.
+
+use atm_bench::harness::Harness;
+use atm_bench::series::Series;
+use atm_bench::sweep::{sweep_roster_on, SweepConfig, Task};
+use atm_core::backends::Roster;
+use atm_core::ScanMode;
+use std::path::PathBuf;
+use std::time::Instant;
+use telemetry::JsonValue;
+
+struct Options {
+    out: PathBuf,
+    quick: bool,
+    jobs: Option<usize>,
+}
+
+fn value_of(args: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs {what} (try --help)");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        out: PathBuf::from("results/BENCH_sweep.json"),
+        quick: false,
+        jobs: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => opts.out = PathBuf::from(value_of(&mut args, "--out", "a path")),
+            "--quick" => opts.quick = true,
+            "--jobs" => {
+                let v = value_of(&mut args, "--jobs", "a worker count (>= 1)");
+                opts.jobs = Some(v.parse().ok().filter(|&j| j >= 1).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a worker count (>= 1), got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench [--quick] [--jobs N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// One timed pass of the full sweep: every paper platform × both tasks.
+fn run_stage(cfg: &SweepConfig, harness: &Harness) -> (f64, Vec<Vec<Series>>) {
+    let roster = Roster::paper();
+    let start = Instant::now();
+    let series: Vec<Vec<Series>> = [Task::Track, Task::DetectResolve]
+        .iter()
+        .map(|&task| sweep_roster_on(&roster, task, cfg, harness))
+        .collect();
+    (start.elapsed().as_secs_f64() * 1_000.0, series)
+}
+
+fn main() {
+    let opts = parse_args();
+    let harness = match opts.jobs {
+        Some(jobs) => Harness::new(jobs),
+        None => Harness::default_parallel(),
+    };
+    let base = if opts.quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::standard()
+    };
+    println!(
+        "bench: n = {:?}, seed = {}, reps = {}, jobs = {}",
+        base.ns,
+        base.seed,
+        base.reps,
+        harness.jobs()
+    );
+
+    let stages: [(&str, ScanMode, &Harness); 4] = [
+        ("serial-naive", ScanMode::Naive, &Harness::serial()),
+        ("serial-banded", ScanMode::Banded, &Harness::serial()),
+        ("parallel-naive", ScanMode::Naive, &harness),
+        ("parallel-banded", ScanMode::Banded, &harness),
+    ];
+
+    let mut wall_ms = Vec::new();
+    let mut results: Vec<Vec<Vec<Series>>> = Vec::new();
+    for (id, scan, h) in &stages {
+        let cfg = SweepConfig {
+            scan: *scan,
+            ..base.clone()
+        };
+        let (ms, series) = run_stage(&cfg, h);
+        println!("  {id:<16} {ms:>10.1} ms");
+        wall_ms.push(ms);
+        results.push(series);
+    }
+
+    // Determinism contract: every stage's series must be element-identical
+    // to the baseline's.
+    let identical = results.iter().all(|r| *r == results[0]);
+    if !identical {
+        eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
+    }
+    let baseline_ms = wall_ms[0];
+    let headline = baseline_ms / wall_ms[3].max(1e-9);
+    println!(
+        "  identical results: {identical}; parallel-banded speedup over serial-naive: {headline:.2}x"
+    );
+
+    let stage_json: Vec<JsonValue> = stages
+        .iter()
+        .zip(&wall_ms)
+        .map(|((id, scan, h), &ms)| {
+            JsonValue::obj()
+                .set("id", *id)
+                .set("scan", format!("{scan:?}").to_lowercase())
+                .set("jobs", h.jobs())
+                .set("wall_ms", ms)
+                .set("speedup_vs_serial_naive", baseline_ms / ms.max(1e-9))
+        })
+        .collect();
+    let json = JsonValue::obj()
+        .set(
+            "sweep",
+            JsonValue::obj()
+                .set("ns", base.ns.clone())
+                .set("seed", base.seed)
+                .set("reps", base.reps),
+        )
+        .set("jobs", harness.jobs())
+        .set("stages", JsonValue::Arr(stage_json))
+        .set("identical_results", identical)
+        .set("speedup_parallel_banded_vs_serial_naive", headline);
+
+    if let Some(dir) = opts.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+        }
+    }
+    std::fs::write(&opts.out, json.to_pretty()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", opts.out.display());
+        std::process::exit(1);
+    });
+    println!("  (written to {})", opts.out.display());
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,13 @@
 //! Tables print to stdout; JSON series land in `results/` (override with
 //! `--out DIR`). `--quick` shrinks the sweep for smoke runs.
 //!
+//! `--jobs N` fans the independent sweep/experiment points across N worker
+//! threads (default: the host's available parallelism; `--jobs 1` forces
+//! the serial code path). `--scan naive|banded` selects the conflict-scan
+//! implementation. Neither knob changes any output byte: results are
+//! slotted in serial order and both scans book identical modeled costs —
+//! only wall-clock time differs. CI diffs the artifacts across both knobs.
+//!
 //! `--trace PATH` and `--metrics PATH` additionally run one major cycle of
 //! the full timed simulation on every paper platform with the telemetry
 //! recorder attached, then write a Chrome `trace_event` file (load it at
@@ -19,10 +26,11 @@
 use atm_bench::ablations;
 use atm_bench::experiments::{deadlines, determinism, throughput_normalized};
 use atm_bench::figures::{fig4, fig5, fig6, fig7, fig8, fig9};
+use atm_bench::harness::Harness;
 use atm_bench::series::FigureData;
 use atm_bench::sweep::SweepConfig;
 use atm_core::backends::Roster;
-use atm_core::AtmSimulation;
+use atm_core::{AtmSimulation, ScanMode};
 use std::path::PathBuf;
 use telemetry::{JsonValue, Recorder};
 
@@ -33,6 +41,8 @@ struct Options {
     quick: bool,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    jobs: Option<usize>,
+    scan: ScanMode,
 }
 
 /// The next argument, or a clean usage error naming the flag that needs it.
@@ -51,6 +61,8 @@ fn parse_args() -> Options {
         quick: false,
         trace: None,
         metrics: None,
+        jobs: None,
+        scan: ScanMode::default(),
     };
     let mut args = std::env::args().skip(1);
     let mut any = false;
@@ -86,10 +98,29 @@ fn parse_args() -> Options {
                 opts.metrics = Some(PathBuf::from(value_of(&mut args, "--metrics", "a path")));
             }
             "--quick" => opts.quick = true,
+            "--jobs" => {
+                let v = value_of(&mut args, "--jobs", "a worker count (>= 1)");
+                opts.jobs = Some(v.parse().ok().filter(|&j| j >= 1).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a worker count (>= 1), got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
+            "--scan" => {
+                let v = value_of(&mut args, "--scan", "'naive' or 'banded'");
+                opts.scan = match v.as_str() {
+                    "naive" => ScanMode::Naive,
+                    "banded" => ScanMode::Banded,
+                    other => {
+                        eprintln!("--scan needs 'naive' or 'banded', got '{other}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--all] [--fig N]... [--exp deadlines|determinism]... \
-                     [--quick] [--out DIR] [--trace PATH] [--metrics PATH]"
+                     [--quick] [--jobs N] [--scan naive|banded] [--out DIR] \
+                     [--trace PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);
             }
@@ -132,24 +163,35 @@ fn emit(fig: &FigureData, out: &PathBuf) {
 
 fn main() {
     let opts = parse_args();
-    let sweep = if opts.quick {
-        SweepConfig::quick()
-    } else {
-        SweepConfig::standard()
+    let harness = match opts.jobs {
+        Some(jobs) => Harness::new(jobs),
+        None => Harness::default_parallel(),
+    };
+    let sweep = SweepConfig {
+        scan: opts.scan,
+        ..if opts.quick {
+            SweepConfig::quick()
+        } else {
+            SweepConfig::standard()
+        }
     };
     println!(
-        "sweep: n = {:?}, seed = {}, reps = {}\n",
-        sweep.ns, sweep.seed, sweep.reps
+        "sweep: n = {:?}, seed = {}, reps = {} (jobs = {}, scan = {:?})\n",
+        sweep.ns,
+        sweep.seed,
+        sweep.reps,
+        harness.jobs(),
+        sweep.scan
     );
 
     for &f in &opts.figs {
         let fig = match f {
-            4 => fig4(&sweep),
-            5 => fig5(&sweep),
-            6 => fig6(&sweep),
-            7 => fig7(&sweep),
-            8 => fig8(&sweep),
-            9 => fig9(&sweep),
+            4 => fig4(&sweep, &harness),
+            5 => fig5(&sweep, &harness),
+            6 => fig6(&sweep, &harness),
+            7 => fig7(&sweep, &harness),
+            8 => fig8(&sweep, &harness),
+            9 => fig9(&sweep, &harness),
             other => {
                 eprintln!("no figure {other} in the paper (4..=9)");
                 continue;
@@ -168,7 +210,7 @@ fn main() {
                     (
                         SweepConfig {
                             ns: vec![500, 2_000],
-                            ..SweepConfig::quick()
+                            ..sweep.clone()
                         },
                         None,
                     )
@@ -176,7 +218,7 @@ fn main() {
                     (
                         SweepConfig {
                             ns: vec![1_000, 2_000, 4_000, 8_000, 16_000],
-                            ..SweepConfig::standard()
+                            ..sweep.clone()
                         },
                         Some(&[
                             "Titan X (Pascal)",
@@ -186,7 +228,7 @@ fn main() {
                         ]),
                     )
                 };
-                let (rows, fig) = deadlines(&cfg, subset);
+                let (rows, fig) = deadlines(&cfg, subset, &harness);
                 emit(&fig, &opts.out);
                 println!(
                     "{:<22} {:>8} {:>10} {:>10}",
@@ -204,7 +246,7 @@ fn main() {
             }
             "determinism" => {
                 let n = if opts.quick { 500 } else { 2_000 };
-                let (rows, fig) = determinism(n, 2018, 5);
+                let (rows, fig) = determinism(n, 2018, 5, opts.scan, &harness);
                 emit(&fig, &opts.out);
                 println!(
                     "{:<22} {:>10} {:>10}  task1 times (ms)",
@@ -225,12 +267,12 @@ fn main() {
                 println!();
             }
             "normalized" => {
-                let fig = throughput_normalized(&sweep);
+                let fig = throughput_normalized(&sweep, &harness);
                 emit(&fig, &opts.out);
             }
             "ablations" => {
                 let n = if opts.quick { 400 } else { 2_000 };
-                let list = ablations::all(n, 2018);
+                let list = ablations::all_on(n, 2018, &harness);
                 println!("== ablations (modeled, n={n}) ==\n");
                 println!(
                     "{:<18} {:>12} {:>14} {:>9}",

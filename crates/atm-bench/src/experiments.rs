@@ -1,9 +1,10 @@
 //! E7/E8: the paper's prose claims as experiments.
 
+use crate::harness::Harness;
 use crate::series::{FigureData, Series};
 use crate::sweep::SweepConfig;
 use atm_core::backends::{AtmBackend, GpuBackend, Roster};
-use atm_core::{Airfield, AtmConfig, AtmSimulation};
+use atm_core::{Airfield, AtmConfig, AtmSimulation, ScanMode};
 
 /// Deadline-miss counts for one platform across the sweep.
 #[derive(Clone, Debug)]
@@ -23,8 +24,15 @@ pub struct DeadlineRow {
 ///
 /// Runs one full major cycle per (platform, n) under the cyclic executive
 /// and tabulates misses. `subset` limits the roster (the full roster over
-/// large n is expensive on the functional simulator).
-pub fn deadlines(cfg: &SweepConfig, subset: Option<&[&str]>) -> (Vec<DeadlineRow>, FigureData) {
+/// large n is expensive on the functional simulator). Each (platform, n)
+/// point is an independent simulation; the harness fans them across its
+/// workers and slots results by index, so the rows and figure are
+/// byte-identical to a serial run.
+pub fn deadlines(
+    cfg: &SweepConfig,
+    subset: Option<&[&str]>,
+    harness: &Harness,
+) -> (Vec<DeadlineRow>, FigureData) {
     let roster = Roster::paper();
     let entries: Vec<_> = roster
         .entries()
@@ -36,17 +44,21 @@ pub fn deadlines(cfg: &SweepConfig, subset: Option<&[&str]>) -> (Vec<DeadlineRow
     let mut fig = FigureData::new("exp-deadlines", "Deadline misses per major cycle");
     fig.y_label = "misses per major cycle".to_owned();
 
-    for entry in &entries {
-        let mut misses = Vec::new();
-        let mut skips = Vec::new();
-        for &n in &cfg.ns {
-            let backend = entry.instantiate();
-            let field = Airfield::new(n, AtmConfig::with_seed(cfg.seed));
-            let mut sim = AtmSimulation::new(field, backend);
-            let out = sim.run(1);
-            misses.push(out.report.total_misses());
-            skips.push(out.report.total_skips());
-        }
+    let per_entry = cfg.ns.len();
+    let points = harness.run(entries.len() * per_entry, |k| {
+        let entry = entries[k / per_entry];
+        let n = cfg.ns[k % per_entry];
+        let backend = entry.instantiate();
+        let field = Airfield::new(n, cfg.atm_config());
+        let mut sim = AtmSimulation::new(field, backend);
+        let out = sim.run(1);
+        (out.report.total_misses(), out.report.total_skips())
+    });
+
+    for (i, entry) in entries.iter().enumerate() {
+        let slice = &points[i * per_entry..(i + 1) * per_entry];
+        let misses: Vec<u64> = slice.iter().map(|&(m, _)| m).collect();
+        let skips: Vec<u64> = slice.iter().map(|&(_, s)| s).collect();
         fig.series.push(Series {
             label: entry.label.to_owned(),
             x: cfg.ns.iter().map(|&n| n as f64).collect(),
@@ -98,20 +110,39 @@ pub struct DeterminismRow {
 /// timings again and again" (NVIDIA), vs. MIMD unpredictability; plus the
 /// §7.1 claim that special situations cost no more than ~5× the usual
 /// time (checked with a collision-burst fleet on the Titan X).
-pub fn determinism(n: usize, seed: u64, reps: usize) -> (Vec<DeterminismRow>, FigureData) {
-    let mut rows = Vec::new();
+///
+/// Parallelism note: repetitions within a platform share one backend (the
+/// Xeon model's jitter sequence depends on call order), so the harness
+/// fans across *platforms* only — each worker owns one platform's full
+/// serial repetition loop, keeping every row identical to a serial run.
+pub fn determinism(
+    n: usize,
+    seed: u64,
+    reps: usize,
+    scan: ScanMode,
+    harness: &Harness,
+) -> (Vec<DeterminismRow>, FigureData) {
     let mut fig = FigureData::new("exp-determinism", "Repeated-run timing spread");
     fig.x_label = "repetition".to_owned();
     fig.y_label = "Task 1 time (ms)".to_owned();
 
-    for entry in Roster::paper().entries() {
+    let roster = Roster::paper();
+    let entries = roster.entries();
+    let rows: Vec<DeterminismRow> = harness.run(entries.len(), |i| {
+        let entry = &entries[i];
         let mut task1_ms = Vec::new();
         // One backend per platform, reused across repetitions: "running
         // the program again" re-executes on the same machine, and the
         // Xeon model's per-call jitter sequence models exactly that.
         let mut backend = entry.instantiate();
         for _ in 0..reps {
-            let mut field = Airfield::new(n, AtmConfig::with_seed(seed));
+            let mut field = Airfield::new(
+                n,
+                AtmConfig {
+                    scan,
+                    ..AtmConfig::with_seed(seed)
+                },
+            );
             let cfg = field.config().clone();
             let mut radars = field.generate_radar();
             let d = backend.track_correlate(&mut field.aircraft, &mut radars, &cfg);
@@ -121,21 +152,23 @@ pub fn determinism(n: usize, seed: u64, reps: usize) -> (Vec<DeterminismRow>, Fi
         let max = task1_ms.iter().cloned().fold(f64::MIN, f64::max);
         let min = task1_ms.iter().cloned().fold(f64::MAX, f64::min);
         let spread = if min > 0.0 { max / min } else { 1.0 };
-        fig.series.push(Series {
-            label: entry.label.to_owned(),
-            x: (1..=reps).map(|r| r as f64).collect(),
-            y_ms: task1_ms.clone(),
-        });
-        rows.push(DeterminismRow {
+        DeterminismRow {
             platform: entry.label.to_owned(),
             task1_ms,
             identical,
             spread,
+        }
+    });
+    for row in &rows {
+        fig.series.push(Series {
+            label: row.platform.clone(),
+            x: (1..=reps).map(|r| r as f64).collect(),
+            y_ms: row.task1_ms.clone(),
         });
     }
 
     // §7.1: special situations (a conflict burst) vs. the usual load.
-    let burst_ratio = collision_burst_ratio(n.min(2_000), seed);
+    let burst_ratio = collision_burst_ratio(n.min(2_000), seed, scan);
     fig.notes.push(format!(
         "collision-burst Tasks 2+3 vs calm fleet on Titan X: {burst_ratio:.2}x \
          (paper bounds special situations at ~5x)"
@@ -145,8 +178,11 @@ pub fn determinism(n: usize, seed: u64, reps: usize) -> (Vec<DeterminismRow>, Fi
 
 /// Tasks 2+3 time on a conflict-saturated fleet relative to a calm fleet
 /// of the same size (Titan X).
-fn collision_burst_ratio(n: usize, seed: u64) -> f64 {
-    let cfg = AtmConfig::with_seed(seed);
+fn collision_burst_ratio(n: usize, seed: u64, scan: ScanMode) -> f64 {
+    let cfg = AtmConfig {
+        scan,
+        ..AtmConfig::with_seed(seed)
+    };
 
     // Calm: the standard random fleet (conflicts exist but are sparse).
     let mut calm_field = Airfield::new(n, cfg.clone());
@@ -183,8 +219,13 @@ mod tests {
             ns: vec![500, 12_000],
             seed: 9,
             reps: 1,
+            scan: ScanMode::default(),
         };
-        let (rows, fig) = deadlines(&cfg, Some(&["Titan X (Pascal)", "Intel Xeon 16-core"]));
+        let (rows, fig) = deadlines(
+            &cfg,
+            Some(&["Titan X (Pascal)", "Intel Xeon 16-core"]),
+            &Harness::serial(),
+        );
         assert_eq!(rows.len(), 2);
         let titan = rows.iter().find(|r| r.platform.contains("Titan")).unwrap();
         assert!(titan.misses.iter().all(|&m| m == 0));
@@ -199,12 +240,46 @@ mod tests {
 
     #[test]
     fn determinism_experiment_separates_modeled_from_jittered() {
-        let (rows, _fig) = determinism(400, 10, 3);
+        let (rows, _fig) = determinism(400, 10, 3, ScanMode::default(), &Harness::serial());
         let titan = rows.iter().find(|r| r.platform.contains("Titan")).unwrap();
         assert!(titan.identical, "simulated GPU timings must repeat exactly");
         let xeon = rows.iter().find(|r| r.platform.contains("Xeon")).unwrap();
         assert!(!xeon.identical, "the MIMD model must jitter run to run");
         assert!(xeon.spread > 1.0);
+    }
+
+    #[test]
+    fn parallel_determinism_matches_serial_including_xeon_jitter() {
+        // Platform-level fan-out must preserve every platform's per-rep
+        // jitter sequence (one backend per platform, reps stay serial).
+        let (serial, sfig) = determinism(300, 10, 3, ScanMode::default(), &Harness::serial());
+        let (parallel, pfig) = determinism(300, 10, 3, ScanMode::default(), &Harness::new(6));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.platform, p.platform);
+            assert_eq!(s.task1_ms, p.task1_ms, "platform {}", s.platform);
+            assert_eq!(s.spread, p.spread);
+        }
+        assert_eq!(sfig.notes, pfig.notes);
+    }
+
+    #[test]
+    fn parallel_deadlines_match_serial() {
+        let cfg = SweepConfig {
+            ns: vec![300, 600],
+            seed: 9,
+            reps: 1,
+            scan: ScanMode::default(),
+        };
+        let subset = Some(&["Titan X (Pascal)", "Intel Xeon 16-core"][..]);
+        let (serial, _) = deadlines(&cfg, subset, &Harness::serial());
+        let (parallel, _) = deadlines(&cfg, subset, &Harness::new(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.platform, p.platform);
+            assert_eq!(s.misses, p.misses);
+            assert_eq!(s.skips, p.skips);
+        }
     }
 }
 
@@ -216,8 +291,8 @@ mod tests {
 /// The returned series are `time × peak_gflops` (work-equivalents): a
 /// platform that is fast only because it is big scores worse here than a
 /// platform that uses its width efficiently.
-pub fn throughput_normalized(cfg: &SweepConfig) -> FigureData {
-    use crate::sweep::{sweep_roster, Task};
+pub fn throughput_normalized(cfg: &SweepConfig, harness: &Harness) -> FigureData {
+    use crate::sweep::{sweep_roster_on, Task};
     let mut fig = FigureData::new(
         "exp-normalized",
         "Task 1 timings normalized to equal throughput capacity (§7.2)",
@@ -225,7 +300,7 @@ pub fn throughput_normalized(cfg: &SweepConfig) -> FigureData {
     fig.y_label = "time x peak GFLOP/s (lower = more efficient)".to_owned();
 
     let roster = Roster::paper();
-    let raw = sweep_roster(&roster, Task::Track, cfg);
+    let raw = sweep_roster_on(&roster, Task::Track, cfg, harness);
     for (series, entry) in raw.into_iter().zip(roster.entries()) {
         let normalized: Vec<f64> = series.y_ms.iter().map(|&y| y * entry.peak_gflops).collect();
         fig.series.push(Series {
@@ -265,8 +340,9 @@ mod normalized_tests {
             ns: vec![300, 600],
             seed: 12,
             reps: 1,
+            scan: ScanMode::default(),
         };
-        let fig = throughput_normalized(&cfg);
+        let fig = throughput_normalized(&cfg, &Harness::serial());
         assert_eq!(fig.series.len(), 6);
         assert!(fig.series.iter().all(|s| s.y_ms.iter().all(|&y| y > 0.0)));
     }
@@ -278,8 +354,9 @@ mod normalized_tests {
             ns: vec![500, 1_000],
             seed: 12,
             reps: 1,
+            scan: ScanMode::default(),
         };
-        let fig = throughput_normalized(&cfg);
+        let fig = throughput_normalized(&cfg, &Harness::serial());
         let staran = fig
             .series
             .iter()

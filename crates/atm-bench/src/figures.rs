@@ -1,43 +1,49 @@
 //! Generators for the paper's Figures 4–9.
+//!
+//! Every generator takes a [`Harness`] and fans its sweep points across the
+//! harness's workers; the harness's index-slotted results keep each figure
+//! byte-identical to a serial run (pass [`Harness::serial`] to force the
+//! seed code path).
 
+use crate::harness::Harness;
 use crate::series::{FigureData, Series};
-use crate::sweep::{sweep_roster, SweepConfig, Task};
+use crate::sweep::{sweep_roster_on, SweepConfig, Task};
 use atm_core::backends::{PlatformId, Roster};
 use curvefit::{classify_curve, fit_exponential, fit_poly, CurveClass};
 
 /// Fig. 4 — "Comparing Task 1 timings in all platforms".
-pub fn fig4(cfg: &SweepConfig) -> FigureData {
+pub fn fig4(cfg: &SweepConfig, harness: &Harness) -> FigureData {
     let mut fig = FigureData::new("fig4", "Comparing Task 1 timings in all platforms");
-    fig.series = sweep_roster(&Roster::paper(), Task::Track, cfg);
+    fig.series = sweep_roster_on(&Roster::paper(), Task::Track, cfg, harness);
     annotate_ordering(&mut fig);
     annotate_xeon_growth(&mut fig);
     fig
 }
 
 /// Fig. 5 — "Comparing Task 1 timings in all NVIDIA cards".
-pub fn fig5(cfg: &SweepConfig) -> FigureData {
+pub fn fig5(cfg: &SweepConfig, harness: &Harness) -> FigureData {
     let mut fig = FigureData::new("fig5", "Comparing Task 1 timings in all NVIDIA cards");
-    fig.series = sweep_roster(&Roster::nvidia(), Task::Track, cfg);
+    fig.series = sweep_roster_on(&Roster::nvidia(), Task::Track, cfg, harness);
     annotate_ordering(&mut fig);
     fig
 }
 
 /// Fig. 6 — "Comparing Tasks 2 and 3 timings in all platforms".
-pub fn fig6(cfg: &SweepConfig) -> FigureData {
+pub fn fig6(cfg: &SweepConfig, harness: &Harness) -> FigureData {
     let mut fig = FigureData::new("fig6", "Comparing Tasks 2 and 3 timings in all platforms");
-    fig.series = sweep_roster(&Roster::paper(), Task::DetectResolve, cfg);
+    fig.series = sweep_roster_on(&Roster::paper(), Task::DetectResolve, cfg, harness);
     annotate_ordering(&mut fig);
     annotate_xeon_growth(&mut fig);
     fig
 }
 
 /// Fig. 7 — "Comparing Tasks 2 and 3 timings in all NVIDIA cards".
-pub fn fig7(cfg: &SweepConfig) -> FigureData {
+pub fn fig7(cfg: &SweepConfig, harness: &Harness) -> FigureData {
     let mut fig = FigureData::new(
         "fig7",
         "Comparing Tasks 2 and 3 timings in all NVIDIA cards",
     );
-    fig.series = sweep_roster(&Roster::nvidia(), Task::DetectResolve, cfg);
+    fig.series = sweep_roster_on(&Roster::nvidia(), Task::DetectResolve, cfg, harness);
     annotate_ordering(&mut fig);
     fig
 }
@@ -45,9 +51,9 @@ pub fn fig7(cfg: &SweepConfig) -> FigureData {
 /// Fig. 8 — "Near linear curve for Task 1 timings on the GTX 880M card":
 /// the Task 1 series on the 880M plus MATLAB-style linear/quadratic fits
 /// and goodness-of-fit numbers.
-pub fn fig8(cfg: &SweepConfig) -> FigureData {
+pub fn fig8(cfg: &SweepConfig, harness: &Harness) -> FigureData {
     let roster = Roster::select([PlatformId::Gtx880m]);
-    let series = sweep_roster(&roster, Task::Track, cfg);
+    let series = sweep_roster_on(&roster, Task::Track, cfg, harness);
     fit_figure(
         "fig8",
         "Near linear curve for Task 1 timings on the GTX 880M card",
@@ -57,9 +63,9 @@ pub fn fig8(cfg: &SweepConfig) -> FigureData {
 
 /// Fig. 9 — "Quadratic (low coefficient) curve for Tasks 2 and 3 timings
 /// on the GeForce 9800 GT card".
-pub fn fig9(cfg: &SweepConfig) -> FigureData {
+pub fn fig9(cfg: &SweepConfig, harness: &Harness) -> FigureData {
     let roster = Roster::select([PlatformId::Geforce9800Gt]);
-    let series = sweep_roster(&roster, Task::DetectResolve, cfg);
+    let series = sweep_roster_on(&roster, Task::DetectResolve, cfg, harness);
     fit_figure(
         "fig9",
         "Quadratic (low coefficient) curve for Tasks 2 and 3 timings on GT9800",
@@ -147,24 +153,27 @@ fn annotate_ordering(fig: &mut FigureData) {
 mod tests {
     use super::*;
 
+    use atm_core::ScanMode;
+
     fn tiny() -> SweepConfig {
         SweepConfig {
             ns: vec![200, 400, 800],
             seed: 5,
             reps: 1,
+            scan: ScanMode::default(),
         }
     }
 
     #[test]
     fn fig5_has_three_nvidia_series() {
-        let f = fig5(&tiny());
+        let f = fig5(&tiny(), &Harness::serial());
         assert_eq!(f.series.len(), 3);
         assert!(f.notes.iter().any(|n| n.contains("largest sweep point")));
     }
 
     #[test]
     fn fig8_classifies_the_880m_curve() {
-        let f = fig8(&tiny());
+        let f = fig8(&tiny(), &Harness::serial());
         assert_eq!(f.series.len(), 1);
         assert_eq!(f.series[0].label, "GTX 880M");
         assert!(f.notes.iter().any(|n| n.contains("classified")));
@@ -173,18 +182,34 @@ mod tests {
 
     #[test]
     fn fig9_fits_the_9800_gt_detect_curve() {
-        let f = fig9(&tiny());
+        let f = fig9(&tiny(), &Harness::serial());
         assert_eq!(f.series[0].label, "GeForce 9800 GT");
         assert!(f.notes.iter().any(|n| n.contains("quadratic")));
     }
 
     #[test]
+    fn parallel_figure_matches_serial_figure_exactly() {
+        let serial = fig6(&tiny(), &Harness::serial());
+        let parallel = fig6(&tiny(), &Harness::new(4));
+        assert_eq!(serial.notes, parallel.notes);
+        assert_eq!(serial.series.len(), parallel.series.len());
+        for (s, p) in serial.series.iter().zip(&parallel.series) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.y_ms, p.y_ms);
+        }
+    }
+
+    #[test]
     fn nvidia_beats_the_xeon_in_fig4_ordering() {
-        let f = fig4(&SweepConfig {
-            ns: vec![1_000, 2_000],
-            seed: 5,
-            reps: 1,
-        });
+        let f = fig4(
+            &SweepConfig {
+                ns: vec![1_000, 2_000],
+                seed: 5,
+                reps: 1,
+                scan: ScanMode::default(),
+            },
+            &Harness::serial(),
+        );
         let xeon = f.series.iter().find(|s| s.label.contains("Xeon")).unwrap();
         let titan = f.series.iter().find(|s| s.label.contains("Titan")).unwrap();
         assert!(

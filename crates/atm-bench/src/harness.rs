@@ -1,0 +1,144 @@
+//! A std-only scoped-thread work pool for fanning independent measurement
+//! points across host cores.
+//!
+//! Every sweep/experiment point in this crate is independent: each
+//! instantiates its own backend and airfield from a seed, and all paper
+//! platforms are deterministically modeled, so a point's result does not
+//! depend on when or where it runs. [`Harness::run`] exploits that: workers
+//! claim point indices from a shared counter and write results into
+//! index-addressed slots, so the returned `Vec` is in the exact order the
+//! serial loop would produce — downstream series, tables and JSON artifacts
+//! are byte-identical regardless of the job count. Only *wall clock*
+//! changes; simulated time is computed inside each point and never observes
+//! host scheduling.
+//!
+//! With `jobs <= 1` (or a single point) the pool is bypassed entirely and
+//! the exact serial code path runs, which is what `figures --jobs 1` and
+//! the benchmark baseline use.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width work pool (see module docs).
+#[derive(Clone, Debug)]
+pub struct Harness {
+    jobs: usize,
+}
+
+impl Harness {
+    /// A harness that runs everything inline on the calling thread.
+    pub fn serial() -> Harness {
+        Harness { jobs: 1 }
+    }
+
+    /// A harness with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Harness {
+        Harness { jobs: jobs.max(1) }
+    }
+
+    /// A harness sized to the host (`std::thread::available_parallelism`,
+    /// falling back to serial when the host cannot report it).
+    pub fn default_parallel() -> Harness {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Harness::new(jobs)
+    }
+
+    /// Configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Evaluate `f(0..count)` and return the results in index order.
+    ///
+    /// Serial (`jobs <= 1` or `count <= 1`) runs the plain iterator chain;
+    /// otherwise `min(jobs, count)` scoped threads claim indices from an
+    /// atomic counter and slot results by index. A panic in `f` propagates
+    /// to the caller when the scope joins.
+    pub fn run<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.jobs <= 1 || count <= 1 {
+            return (0..count).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        let next = &next;
+        let slots = &slots;
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(count) {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let value = f(i);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(value);
+                });
+            }
+        });
+        slots
+            .iter()
+            .map(|m| {
+                m.lock()
+                    .expect("slot lock poisoned")
+                    .take()
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_results_match_serial_in_value_and_order() {
+        let work = |i: usize| i * i + 1;
+        let serial = Harness::serial().run(100, work);
+        for jobs in [2, 3, 8, 200] {
+            assert_eq!(Harness::new(jobs).run(100, work), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_and_single_counts_are_fine() {
+        let h = Harness::new(4);
+        assert_eq!(h.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(h.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn jobs_are_clamped_to_at_least_one() {
+        assert_eq!(Harness::new(0).jobs(), 1);
+        assert!(Harness::default_parallel().jobs() >= 1);
+        assert_eq!(Harness::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently_when_asked() {
+        // Not a timing assertion — just that all indices are covered once
+        // with more threads than items and more items than threads.
+        let h = Harness::new(16);
+        let out = h.run(5, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        let big = h.run(1000, |i| i);
+        assert_eq!(big, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate() {
+        Harness::new(4).run(8, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -20,8 +20,10 @@
 pub mod ablations;
 pub mod experiments;
 pub mod figures;
+pub mod harness;
 pub mod series;
 pub mod sweep;
 
+pub use harness::Harness;
 pub use series::{FigureData, Series};
-pub use sweep::{measure_point, sweep_roster, SweepConfig, Task};
+pub use sweep::{measure_point, sweep_roster, sweep_roster_on, SweepConfig, Task};

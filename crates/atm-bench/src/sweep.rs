@@ -1,8 +1,9 @@
 //! Aircraft-count sweeps over backend rosters.
 
+use crate::harness::Harness;
 use crate::series::Series;
 use atm_core::backends::{Roster, RosterEntry};
-use atm_core::{Airfield, AtmConfig};
+use atm_core::{Airfield, AtmConfig, ScanMode};
 
 /// Which task a sweep measures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,6 +23,9 @@ pub struct SweepConfig {
     pub seed: u64,
     /// Executions averaged per point.
     pub reps: usize,
+    /// Conflict-scan implementation (wall-clock knob only — results and
+    /// modeled times are identical either way, see DESIGN.md).
+    pub scan: ScanMode,
 }
 
 impl SweepConfig {
@@ -31,6 +35,7 @@ impl SweepConfig {
             ns: vec![500, 1_000, 2_000, 4_000, 8_000],
             seed: 2018,
             reps: 2,
+            scan: ScanMode::default(),
         }
     }
 
@@ -40,29 +45,60 @@ impl SweepConfig {
             ns: vec![500, 1_000, 2_000],
             seed: 2018,
             reps: 1,
+            scan: ScanMode::default(),
+        }
+    }
+
+    /// The [`AtmConfig`] every point of this sweep runs under.
+    pub fn atm_config(&self) -> AtmConfig {
+        AtmConfig {
+            scan: self.scan,
+            ..AtmConfig::with_seed(self.seed)
         }
     }
 }
 
 /// Measure one platform at one aircraft count: mean task time in ms.
 ///
-/// Each rep uses a fresh airfield (same seed — identical fleet) and a
-/// fresh backend instantiated from the roster entry (device clocks and
-/// jitter sequences must not leak between points); Task 1 measures a
-/// single period's tracking against a fresh radar picture, Tasks 2+3 a
-/// single detection/resolution execution, matching how the paper reports
+/// Each rep uses a fresh backend instantiated from the roster entry
+/// (device clocks and jitter sequences must not leak between points) and
+/// an airfield advanced `rep` periods past the seed state, so averaging
+/// covers more than one radar picture; Task 1 measures a single period's
+/// tracking against a fresh radar picture, Tasks 2+3 a single
+/// detection/resolution execution, matching how the paper reports
 /// per-task times (averaged per execution).
 pub fn measure_point(entry: &RosterEntry, task: Task, n: usize, seed: u64, reps: usize) -> f64 {
+    measure_point_scan(entry, task, n, seed, reps, ScanMode::default())
+}
+
+/// [`measure_point`] with an explicit conflict-[`ScanMode`].
+pub fn measure_point_scan(
+    entry: &RosterEntry,
+    task: Task,
+    n: usize,
+    seed: u64,
+    reps: usize,
+    scan: ScanMode,
+) -> f64 {
     let mut total_ms = 0.0;
+    // One shared baseline advanced incrementally: rep `r` measures against
+    // the seed field after `r` periods of drift. (Replaying `r` periods
+    // from scratch per rep — as earlier revisions did — is O(reps²) in
+    // `end_period` calls for the identical per-rep field state.)
+    let mut baseline = Airfield::new(
+        n,
+        AtmConfig {
+            scan,
+            ..AtmConfig::with_seed(seed)
+        },
+    );
+    let cfg = baseline.config().clone();
     for rep in 0..reps.max(1) {
-        let mut backend = entry.instantiate();
-        let mut field = Airfield::new(n, AtmConfig::with_seed(seed));
-        let cfg = field.config().clone();
-        // Let later reps see a slightly advanced field (rep periods of
-        // drift) so averaging covers more than one radar picture.
-        for _ in 0..rep {
-            field.end_period();
+        if rep > 0 {
+            baseline.end_period();
         }
+        let mut backend = entry.instantiate();
+        let mut field = baseline.clone();
         let d = match task {
             Task::Track => {
                 let mut radars = field.generate_radar();
@@ -75,23 +111,38 @@ pub fn measure_point(entry: &RosterEntry, task: Task, n: usize, seed: u64, reps:
     total_ms / reps.max(1) as f64
 }
 
-/// Sweep a roster of platforms over the configured aircraft counts.
+/// Sweep a roster of platforms over the configured aircraft counts,
+/// serially on the calling thread.
 pub fn sweep_roster(roster: &Roster, task: Task, cfg: &SweepConfig) -> Vec<Series> {
-    roster
-        .entries()
+    sweep_roster_on(roster, task, cfg, &Harness::serial())
+}
+
+/// Sweep a roster of platforms over the configured aircraft counts,
+/// fanning every `(platform, n)` point across the harness's workers.
+///
+/// Every point is independent (fresh backend and airfield per point), and
+/// the harness slots results by index, so the returned series are
+/// identical — element for element — to the serial sweep's.
+pub fn sweep_roster_on(
+    roster: &Roster,
+    task: Task,
+    cfg: &SweepConfig,
+    harness: &Harness,
+) -> Vec<Series> {
+    let entries = roster.entries();
+    let per_entry = cfg.ns.len();
+    let y = harness.run(entries.len() * per_entry, |k| {
+        let entry = &entries[k / per_entry];
+        let n = cfg.ns[k % per_entry];
+        measure_point_scan(entry, task, n, cfg.seed, cfg.reps, cfg.scan)
+    });
+    entries
         .iter()
-        .map(|entry| {
-            let x: Vec<f64> = cfg.ns.iter().map(|&n| n as f64).collect();
-            let y_ms: Vec<f64> = cfg
-                .ns
-                .iter()
-                .map(|&n| measure_point(entry, task, n, cfg.seed, cfg.reps))
-                .collect();
-            Series {
-                label: entry.label.to_owned(),
-                x,
-                y_ms,
-            }
+        .enumerate()
+        .map(|(i, entry)| Series {
+            label: entry.label.to_owned(),
+            x: cfg.ns.iter().map(|&n| n as f64).collect(),
+            y_ms: y[i * per_entry..(i + 1) * per_entry].to_vec(),
         })
         .collect()
 }
@@ -134,6 +185,7 @@ mod tests {
             ns: vec![200, 400],
             seed: 3,
             reps: 1,
+            scan: ScanMode::default(),
         };
         let series = sweep_roster(&Roster::nvidia(), Task::DetectResolve, &cfg);
         assert_eq!(series.len(), 3);
@@ -142,6 +194,59 @@ mod tests {
             assert_eq!(s.y_ms.len(), 2);
             assert!(s.y_ms.iter().all(|&y| y > 0.0));
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_to_serial_sweep() {
+        let cfg = SweepConfig {
+            ns: vec![200, 400, 600],
+            seed: 3,
+            reps: 2,
+            scan: ScanMode::default(),
+        };
+        let serial = sweep_roster(&Roster::paper(), Task::DetectResolve, &cfg);
+        let parallel = sweep_roster_on(
+            &Roster::paper(),
+            Task::DetectResolve,
+            &cfg,
+            &Harness::new(4),
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.x, p.x);
+            assert_eq!(s.y_ms, p.y_ms, "series {} diverged", s.label);
+        }
+    }
+
+    #[test]
+    fn scan_mode_does_not_change_measured_times() {
+        let titan = titan();
+        for task in [Task::Track, Task::DetectResolve] {
+            let naive = measure_point_scan(&titan, task, 500, 7, 2, ScanMode::Naive);
+            let banded = measure_point_scan(&titan, task, 500, 7, 2, ScanMode::Banded);
+            assert_eq!(naive, banded, "task {task:?}");
+        }
+    }
+
+    #[test]
+    fn multi_rep_mean_is_the_mean_over_advanced_fields() {
+        // The warm-up rewrite must still give rep r the field advanced r
+        // periods: the 2-rep mean equals the hand-computed mean of the seed
+        // field and the once-advanced field, each on a fresh backend.
+        let titan = titan();
+        let two = measure_point(&titan, Task::DetectResolve, 300, 11, 2);
+
+        let mut baseline = Airfield::new(300, AtmConfig::with_seed(11));
+        let cfg = baseline.config().clone();
+        let mut rep0 = baseline.clone();
+        let d0 = titan.instantiate().detect_resolve(&mut rep0.aircraft, &cfg);
+        baseline.end_period();
+        let d1 = titan
+            .instantiate()
+            .detect_resolve(&mut baseline.aircraft, &cfg);
+        let expected = (d0.as_millis_f64() + d1.as_millis_f64()) / 2.0;
+        assert_eq!(two, expected);
     }
 
     #[test]

@@ -229,6 +229,13 @@ impl AtmBackend for ApBackend {
         let mut m = self.machine(aircraft);
         let n = aircraft.len();
         let rotations = cfg.rotation_sequence();
+        // Host-side pruning of the PE walk. The machine's masked primitives
+        // price by the PE array width (associative lockstep), so driving
+        // the window step and the critical search through a band mask books
+        // the exact same machine time and stats as the all-PE versions —
+        // only the emulator's host work shrinks. Out-of-band PEs' scratch
+        // is never read: both the search and the min-reduction are masked.
+        let bands = crate::detect::AltitudeBands::for_config(aircraft, cfg);
 
         for i in 0..n {
             // Reset the track's bookkeeping (control-unit writes + one
@@ -248,11 +255,21 @@ impl AtmBackend for ApBackend {
             };
             let mut chk = 0u32;
 
+            // The candidate mask depends only on altitudes, which never
+            // change during Tasks 2+3 — build it once per track.
+            let scan_mask = bands.as_ref().map(|b| {
+                let mut mask = ResponderSet::new(n);
+                for p in b.candidates(m.records()[i].a.alt) {
+                    mask.set(p);
+                }
+                mask
+            });
+
             loop {
                 // Broadcast the track and compute every PE's window start
                 // in one parallel arithmetic step.
                 let track = m.broadcast(m.records()[i].a);
-                m.for_each_all(8, |p, r| {
+                let window = |p: usize, r: &mut ApRecord| {
                     r.scratch = if p == i || (track.alt - r.a.alt).abs() >= cfg.alt_separation_ft {
                         f32::INFINITY
                     } else {
@@ -268,11 +285,20 @@ impl AtmBackend for ApBackend {
                             None => f32::INFINITY,
                         }
                     };
-                });
+                };
 
                 // Associative search for critical responders, then the
                 // min-reduction picks the earliest conflict.
-                let critical = m.search(1, |r| r.scratch < cfg.critical_periods);
+                let critical = match &scan_mask {
+                    Some(mask) => {
+                        m.for_each_masked(mask, 8, window);
+                        m.search_masked(mask, 1, |r| r.scratch < cfg.critical_periods)
+                    }
+                    None => {
+                        m.for_each_all(8, window);
+                        m.search(1, |r| r.scratch < cfg.critical_periods)
+                    }
+                };
                 if !critical.any() {
                     break;
                 }

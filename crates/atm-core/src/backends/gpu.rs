@@ -19,7 +19,7 @@
 
 use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 use crate::config::AtmConfig;
-use crate::detect::{check_collision_path, detect_only, DetectStats};
+use crate::detect::{check_collision_path_with, detect_only_with, AltitudeBands, DetectStats};
 use crate::terrain::{check_terrain, TerrainGrid, TerrainTaskConfig};
 use crate::track::{
     adopt_expected_phase, apply_radar_phase, correlate_radar_pass, expected_position_phase,
@@ -115,17 +115,21 @@ impl GpuBackend {
         let n = aircraft.len();
         let lc = self.launch_config(n);
         let block = self.block_size as usize;
+        // Host-side scan pruning; altitudes are stable for the whole launch.
+        let bands = AltitudeBands::for_config(aircraft, cfg);
         let mut stats = DetectStats::default();
         self.device
             .launch("CheckCollisionPath.tiled", lc, |ctx, tr| {
                 if ctx.in_range(n) {
                     // Functional result: identical to the fused kernel.
-                    let s = check_collision_path(aircraft, ctx.global_id(), cfg, tr);
-                    stats.pair_checks += s.pair_checks;
-                    stats.critical_conflicts += s.critical_conflicts;
-                    stats.rotations += s.rotations;
-                    stats.resolved += s.resolved;
-                    stats.unresolved += s.unresolved;
+                    let s = check_collision_path_with(
+                        aircraft,
+                        bands.as_ref(),
+                        ctx.global_id(),
+                        cfg,
+                        tr,
+                    );
+                    stats.absorb(&s);
                     // Re-price the memory side: the scan above charged one
                     // warp-uniform load per trial record; under tiling each
                     // thread instead loads its share of every tile once
@@ -156,11 +160,14 @@ impl GpuBackend {
         let t0 = self.device.elapsed();
         let n = aircraft.len();
         let lc = self.launch_config(n);
+        // Valid across both launches: the resolve kernel only changes
+        // velocities and flags, never altitudes.
+        let bands = AltitudeBands::for_config(aircraft, cfg);
 
         let mut stats = DetectStats::default();
         self.device.launch("DetectOnly", lc, |ctx, tr| {
             if ctx.in_range(n) {
-                let s = detect_only(aircraft, ctx.global_id(), cfg, tr);
+                let s = detect_only_with(aircraft, bands.as_ref(), ctx.global_id(), cfg, tr);
                 stats.pair_checks += s.pair_checks;
                 stats.critical_conflicts += s.critical_conflicts;
             }
@@ -178,7 +185,13 @@ impl GpuBackend {
             let lc2 = self.launch_config(m);
             self.device.launch("ResolveOnly", lc2, |ctx, tr| {
                 if ctx.in_range(m) {
-                    let s = check_collision_path(aircraft, flagged[ctx.global_id()], cfg, tr);
+                    let s = check_collision_path_with(
+                        aircraft,
+                        bands.as_ref(),
+                        flagged[ctx.global_id()],
+                        cfg,
+                        tr,
+                    );
                     stats.rotations += s.rotations;
                     stats.resolved += s.resolved;
                     stats.unresolved += s.unresolved;
@@ -282,15 +295,15 @@ impl AtmBackend for GpuBackend {
         let t0 = self.device.elapsed();
         let n = aircraft.len();
         let lc = self.launch_config(n);
+        // One band index serves every thread of the launch (altitudes do
+        // not change during Tasks 2+3); modeled time is unaffected.
+        let bands = AltitudeBands::for_config(aircraft, cfg);
         let mut stats = DetectStats::default();
         self.device.launch("CheckCollisionPath", lc, |ctx, tr| {
             if ctx.in_range(n) {
-                let s = check_collision_path(aircraft, ctx.global_id(), cfg, tr);
-                stats.pair_checks += s.pair_checks;
-                stats.critical_conflicts += s.critical_conflicts;
-                stats.rotations += s.rotations;
-                stats.resolved += s.resolved;
-                stats.unresolved += s.unresolved;
+                let s =
+                    check_collision_path_with(aircraft, bands.as_ref(), ctx.global_id(), cfg, tr);
+                stats.absorb(&s);
             }
         });
         self.last_detect = Some(stats);

@@ -2,6 +2,24 @@
 
 use sim_clock::SimDuration;
 
+/// Host-side strategy for the Tasks 2+3 candidate scan.
+///
+/// This is a *wall-clock* knob only: both modes perform the same mutations,
+/// produce the same [`crate::detect::DetectStats`], and book the identical
+/// abstract-operation stream on every [`sim_clock::CostSink`], so modeled
+/// (simulated) time is bit-identical between them. `Banded` buckets aircraft
+/// by altitude band and visits only candidates that could pass the vertical
+/// separation gate, booking the skipped pairs' operation mix in aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Visit every other aircraft (the paper's O(n²) scan, the seed path).
+    Naive,
+    /// Visit only aircraft within ±1 altitude band of the scanning aircraft
+    /// (the fast path; results and modeled time match `Naive` exactly).
+    #[default]
+    Banded,
+}
+
 /// All tunable parameters of the airfield and the three tasks.
 ///
 /// Defaults are the values of the paper (§3–§5): a 256 nm × 256 nm field,
@@ -55,6 +73,9 @@ pub struct AtmConfig {
     pub rotation_max_deg: f32,
     /// Master RNG seed for the airfield.
     pub seed: u64,
+    /// Host-side candidate-scan strategy for Tasks 2+3 (wall-clock only;
+    /// results and modeled time are identical across modes).
+    pub scan: ScanMode,
 }
 
 impl Default for AtmConfig {
@@ -79,6 +100,7 @@ impl Default for AtmConfig {
             rotation_step_deg: 5.0,
             rotation_max_deg: 30.0,
             seed: 0x5EED_A7C0,
+            scan: ScanMode::default(),
         }
     }
 }

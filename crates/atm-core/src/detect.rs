@@ -24,9 +24,140 @@
 //! fusion ablation compares against lives in [`detect_only`].
 
 use crate::batcher::{conflict_window, same_altitude_band};
-use crate::config::AtmConfig;
+use crate::config::{AtmConfig, ScanMode};
 use crate::types::{Aircraft, NO_COLLISION};
-use sim_clock::CostSink;
+use sim_clock::{CostSink, NullSink};
+
+/// Largest bucket index magnitude the banded index will use. Beyond this
+/// the f64 rounding slack in `alt / width` is no longer provably below the
+/// half-ulp margin of the f32 altitude gate, so [`AltitudeBands::build`]
+/// falls back to a single catch-all bucket (still correct, no pruning).
+/// Real configurations sit around |bucket| ≤ 40.
+const MAX_BUCKET_MAGNITUDE: f64 = (1u64 << 24) as f64;
+
+/// An altitude-band bucketed index over a fleet snapshot.
+///
+/// Bucket `b` holds the aircraft with `floor(alt / width) == b`, where
+/// `width` is the vertical-separation threshold. Any pair passing the f32
+/// altitude gate `|a.alt − b.alt| < width` is at most one bucket apart
+/// (`|Δalt| < width` bounds the exact quotients within 1.0 of each other,
+/// and the f64 division error is ≪ the gate's own f32 half-ulp margin under
+/// [`MAX_BUCKET_MAGNITUDE`]), so a scan that visits buckets `b−1..=b+1` sees
+/// every candidate the naive O(n²) scan would accept. Altitudes never change
+/// during Tasks 2+3 — only velocities and collision flags do — so an index
+/// built once per detect execution stays valid through every rotation
+/// rescan of every aircraft.
+///
+/// This is purely a host-side wall-clock structure: callers book the skipped
+/// pairs' operation mix in aggregate (see [`scan_for_conflicts_banded`]), so
+/// every [`CostSink`] tallies exactly what the naive scan books.
+#[derive(Clone, Debug)]
+pub struct AltitudeBands {
+    /// Band width in feet as f64 (0.0 marks the degenerate single-bucket
+    /// fallback).
+    width: f64,
+    /// Bucket index of `buckets[0]`.
+    min_bucket: i64,
+    /// Aircraft indices grouped by altitude bucket, ascending bucket order.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl AltitudeBands {
+    /// Bucket index of one altitude, or `None` when the assignment is not
+    /// provably gate-consistent (non-finite altitude or huge quotient).
+    fn bucket_for(alt: f32, width: f64) -> Option<i64> {
+        let q = (alt as f64 / width).floor();
+        if q.is_finite() && q.abs() <= MAX_BUCKET_MAGNITUDE {
+            Some(q as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Build the index for a fleet under vertical separation
+    /// `alt_separation_ft`. Degenerate parameters (non-positive or
+    /// non-finite width, unbucketable altitudes, or a bucket span so wide
+    /// the index would waste memory) yield a single catch-all bucket, which
+    /// keeps every scan correct at naive cost.
+    pub fn build(aircraft: &[Aircraft], alt_separation_ft: f32) -> AltitudeBands {
+        let n = aircraft.len();
+        let width = alt_separation_ft as f64;
+        let fallback = || AltitudeBands {
+            width: 0.0,
+            min_bucket: 0,
+            buckets: vec![(0..n as u32).collect()],
+        };
+        if n == 0 || !width.is_finite() || width <= 0.0 {
+            return fallback();
+        }
+        let mut min_b = i64::MAX;
+        let mut max_b = i64::MIN;
+        for a in aircraft {
+            match Self::bucket_for(a.alt, width) {
+                Some(b) => {
+                    min_b = min_b.min(b);
+                    max_b = max_b.max(b);
+                }
+                None => return fallback(),
+            }
+        }
+        let span = (max_b as i128 - min_b as i128) + 1;
+        if span > (4 * n as i128).max(4_096) {
+            return fallback();
+        }
+        let mut buckets = vec![Vec::new(); span as usize];
+        for (idx, a) in aircraft.iter().enumerate() {
+            let b = Self::bucket_for(a.alt, width).expect("bucketed above");
+            buckets[(b - min_b) as usize].push(idx as u32);
+        }
+        AltitudeBands {
+            width,
+            min_bucket: min_b,
+            buckets,
+        }
+    }
+
+    /// Half-open range into `buckets` covering `bucket(alt) ± 1`.
+    fn candidate_range(&self, alt: f32) -> (usize, usize) {
+        if self.width <= 0.0 {
+            return (0, self.buckets.len());
+        }
+        let len = self.buckets.len() as i64;
+        let Some(b) = Self::bucket_for(alt, self.width) else {
+            // Unbucketable query altitude: scan everything (correctness
+            // over pruning; cannot happen for altitudes the index was
+            // built from).
+            return (0, self.buckets.len());
+        };
+        let lo = (b - 1 - self.min_bucket).clamp(0, len);
+        let hi = (b + 2 - self.min_bucket).clamp(0, len);
+        (lo as usize, hi.max(lo) as usize)
+    }
+
+    /// Aircraft indices that could pass the altitude gate against an
+    /// aircraft at `alt` (a superset: callers re-check the real gate).
+    pub fn candidates(&self, alt: f32) -> impl Iterator<Item = usize> + '_ {
+        let (lo, hi) = self.candidate_range(alt);
+        self.buckets[lo..hi]
+            .iter()
+            .flat_map(|b| b.iter().map(|&i| i as usize))
+    }
+
+    /// Number of buckets (1 for the degenerate fallback).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The index a backend should use for one detect execution under
+    /// `cfg.scan`: `None` for [`ScanMode::Naive`], a freshly built index
+    /// for [`ScanMode::Banded`].
+    pub fn for_config(aircraft: &[Aircraft], cfg: &AtmConfig) -> Option<AltitudeBands> {
+        match cfg.scan {
+            ScanMode::Naive => None,
+            ScanMode::Banded => Some(AltitudeBands::build(aircraft, cfg.alt_separation_ft)),
+        }
+    }
+}
 
 /// Outcome counters of one Tasks 2+3 execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -41,6 +172,17 @@ pub struct DetectStats {
     pub resolved: u64,
     /// Aircraft left with an unresolvable critical conflict.
     pub unresolved: u64,
+}
+
+impl DetectStats {
+    /// Fold another aircraft's stats into this total.
+    pub fn absorb(&mut self, s: &DetectStats) {
+        self.pair_checks += s.pair_checks;
+        self.critical_conflicts += s.critical_conflicts;
+        self.rotations += s.rotations;
+        self.resolved += s.resolved;
+        self.unresolved += s.unresolved;
+    }
 }
 
 /// Result of scanning one track aircraft against the fleet.
@@ -101,6 +243,90 @@ pub fn scan_for_conflicts(
     }
 }
 
+/// The banded fast path of [`scan_for_conflicts`]: visit only the aircraft
+/// within ±1 altitude band of the track, which is every pair the naive scan
+/// could accept (see [`AltitudeBands`]). The operation mix the naive scan
+/// books for *every* pair — loop index work, the self check, the shared
+/// record read and the altitude-gate compare — is booked up front in
+/// aggregate, so the sink's totals (and therefore every backend's modeled
+/// time) are bit-identical to the naive scan; only candidates that pass the
+/// real altitude gate book their conflict windows individually, exactly as
+/// the naive scan does. Returns the same result and the same check count.
+pub fn scan_for_conflicts_banded(
+    aircraft: &[Aircraft],
+    bands: &AltitudeBands,
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> ScanResult {
+    let track = &aircraft[i];
+    let n = aircraft.len() as u64;
+    // Aggregate of what the naive scan books unconditionally: n iterations
+    // of `ialu(1); branch(false)` plus, for the n−1 non-self pairs, one
+    // shared record read and the altitude gate's `fadd(2); branch(false)`.
+    sink.ialu(n);
+    sink.branches(2 * n - 1, false);
+    sink.loads_shared(n - 1, Aircraft::RECORD_BYTES);
+    sink.fadd(2 * (n - 1));
+
+    let mut earliest: Option<(usize, f32)> = None;
+    let mut checks = 0u64;
+    for p in bands.candidates(track.alt) {
+        if p == i {
+            continue;
+        }
+        let trial = &aircraft[p];
+        // Re-check the real f32 gate (candidates are a superset); its cost
+        // is already in the aggregate above, so book it to a null sink.
+        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink) {
+            continue;
+        }
+        checks += 1;
+        if let Some((tmin, _tmax)) = conflict_window(
+            track,
+            vel,
+            trial,
+            cfg.separation_nm,
+            cfg.horizon_periods,
+            sink,
+        ) {
+            sink.branch(true);
+            if tmin < cfg.critical_periods {
+                // Bucket order is not index order, so pick the lexicographic
+                // minimum over (tmin, p) explicitly — the same pair the
+                // naive ascending-index scan settles on.
+                match earliest {
+                    Some((bp, bt)) if bt < tmin || (bt == tmin && bp < p) => {}
+                    _ => earliest = Some((p, tmin)),
+                }
+            }
+        }
+    }
+    ScanResult {
+        critical: earliest,
+        checks,
+    }
+}
+
+/// Dispatch between the naive scan and the banded fast path (`None` means
+/// naive). Backends hold an `Option<AltitudeBands>` per detect execution
+/// and call this from their per-aircraft loops.
+#[inline]
+pub fn scan_for_conflicts_with(
+    aircraft: &[Aircraft],
+    bands: Option<&AltitudeBands>,
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> ScanResult {
+    match bands {
+        Some(b) => scan_for_conflicts_banded(aircraft, b, i, vel, cfg, sink),
+        None => scan_for_conflicts(aircraft, i, vel, cfg, sink),
+    }
+}
+
 /// Rotate a velocity vector by `angle` radians (the Task 3 course change).
 pub fn rotate_velocity(vel: (f32, f32), angle: f32, sink: &mut impl CostSink) -> (f32, f32) {
     sink.sfu(2); // sin + cos
@@ -120,6 +346,31 @@ pub fn check_collision_path(
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> DetectStats {
+    check_collision_path_with(aircraft, None, i, cfg, sink)
+}
+
+/// [`check_collision_path`] over a prebuilt altitude-band index: identical
+/// mutations, stats and booked cost totals, fewer candidate visits. The
+/// index stays valid across the internal rotation rescans (altitudes do not
+/// change) and across all aircraft of one detect execution.
+pub fn check_collision_path_banded(
+    aircraft: &mut [Aircraft],
+    bands: &AltitudeBands,
+    i: usize,
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> DetectStats {
+    check_collision_path_with(aircraft, Some(bands), i, cfg, sink)
+}
+
+/// [`check_collision_path`] with an optional band index (`None` = naive).
+pub fn check_collision_path_with(
+    aircraft: &mut [Aircraft],
+    bands: Option<&AltitudeBands>,
+    i: usize,
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> DetectStats {
     let mut stats = DetectStats::default();
 
     // Reset this aircraft's horizon bookkeeping (Algorithm 2 init).
@@ -134,7 +385,7 @@ pub fn check_collision_path(
     let mut chk = 0u32; // course corrections attempted (paper's `chk`)
 
     loop {
-        let scan = scan_for_conflicts(aircraft, i, vel, cfg, sink);
+        let scan = scan_for_conflicts_with(aircraft, bands, i, vel, cfg, sink);
         stats.pair_checks += scan.checks;
 
         let Some((partner, tmin)) = scan.critical else {
@@ -198,11 +449,34 @@ pub fn detect_only(
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> DetectStats {
+    detect_only_with(aircraft, None, i, cfg, sink)
+}
+
+/// [`detect_only`] over a prebuilt altitude-band index (same contract as
+/// [`check_collision_path_banded`]).
+pub fn detect_only_banded(
+    aircraft: &mut [Aircraft],
+    bands: &AltitudeBands,
+    i: usize,
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> DetectStats {
+    detect_only_with(aircraft, Some(bands), i, cfg, sink)
+}
+
+/// [`detect_only`] with an optional band index (`None` = naive).
+pub fn detect_only_with(
+    aircraft: &mut [Aircraft],
+    bands: Option<&AltitudeBands>,
+    i: usize,
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> DetectStats {
     let mut stats = DetectStats::default();
     aircraft[i].time_till = cfg.critical_periods;
     sink.store(4);
     let vel = (aircraft[i].dx, aircraft[i].dy);
-    let scan = scan_for_conflicts(aircraft, i, vel, cfg, sink);
+    let scan = scan_for_conflicts_with(aircraft, bands, i, vel, cfg, sink);
     stats.pair_checks = scan.checks;
     if let Some((partner, tmin)) = scan.critical {
         stats.critical_conflicts = 1;
@@ -215,20 +489,24 @@ pub fn detect_only(
 }
 
 /// Sequential reference driver: run the fused routine for every aircraft in
-/// index order and fold the stats.
+/// index order and fold the stats. Honors [`AtmConfig::scan`]: under
+/// [`ScanMode::Banded`] one altitude-band index is built up front and reused
+/// for every aircraft (altitudes never change during Tasks 2+3).
 pub fn detect_resolve_all(
     aircraft: &mut [Aircraft],
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> DetectStats {
+    let bands = AltitudeBands::for_config(aircraft, cfg);
     let mut total = DetectStats::default();
     for i in 0..aircraft.len() {
-        let s = check_collision_path(aircraft, i, cfg, sink);
-        total.pair_checks += s.pair_checks;
-        total.critical_conflicts += s.critical_conflicts;
-        total.rotations += s.rotations;
-        total.resolved += s.resolved;
-        total.unresolved += s.unresolved;
+        total.absorb(&check_collision_path_with(
+            aircraft,
+            bands.as_ref(),
+            i,
+            cfg,
+            sink,
+        ));
     }
     total
 }
@@ -405,5 +683,104 @@ mod tests {
             (s, ac)
         };
         assert_eq!(mk(), mk());
+    }
+
+    /// A small deterministic fleet spread over several altitude bands with
+    /// real conflicts in it.
+    fn banded_fleet() -> Vec<Aircraft> {
+        let mut ac = Vec::new();
+        for k in 0..40u32 {
+            let ang = k as f32 * 0.7;
+            let alt = 5_000.0 + (k % 7) as f32 * 900.0; // straddles bands
+            ac.push(
+                Aircraft::at(30.0 * ang.cos(), 30.0 * ang.sin())
+                    .with_velocity(-0.05 * ang.cos(), -0.05 * ang.sin())
+                    .with_altitude(alt),
+            );
+        }
+        ac
+    }
+
+    #[test]
+    fn banded_scan_matches_naive_scan_exactly() {
+        let ac = banded_fleet();
+        let bands = AltitudeBands::build(&ac, cfg().alt_separation_ft);
+        for i in 0..ac.len() {
+            let vel = (ac[i].dx, ac[i].dy);
+            let mut cn = sim_clock::OpCounter::new();
+            let mut cb = sim_clock::OpCounter::new();
+            let rn = scan_for_conflicts(&ac, i, vel, &cfg(), &mut cn);
+            let rb = scan_for_conflicts_banded(&ac, &bands, i, vel, &cfg(), &mut cb);
+            assert_eq!(rn, rb, "scan result must match for aircraft {i}");
+            assert_eq!(cn, cb, "booked cost totals must match for aircraft {i}");
+        }
+    }
+
+    #[test]
+    fn banded_detect_resolve_matches_naive_end_to_end() {
+        let run = |mode: ScanMode| {
+            let mut ac = banded_fleet();
+            let mut ops = sim_clock::OpCounter::new();
+            let c = AtmConfig {
+                scan: mode,
+                ..cfg()
+            };
+            let s = detect_resolve_all(&mut ac, &c, &mut ops);
+            (ac, s, ops)
+        };
+        let naive = run(ScanMode::Naive);
+        let banded = run(ScanMode::Banded);
+        assert_eq!(naive.0, banded.0, "mutated fleets must be identical");
+        assert_eq!(naive.1, banded.1, "DetectStats must be identical");
+        assert_eq!(naive.2, banded.2, "cost totals must be identical");
+        assert!(
+            naive.1.critical_conflicts > 0,
+            "fleet should have conflicts"
+        );
+    }
+
+    #[test]
+    fn bands_prune_candidates_but_cover_all_gate_passers() {
+        let ac = banded_fleet();
+        let sep = cfg().alt_separation_ft;
+        let bands = AltitudeBands::build(&ac, sep);
+        assert!(bands.bucket_count() > 1, "fleet spans several bands");
+        for i in 0..ac.len() {
+            let cands: Vec<usize> = bands.candidates(ac[i].alt).collect();
+            assert!(cands.len() < ac.len(), "banding should prune aircraft {i}");
+            for p in 0..ac.len() {
+                if p != i && (ac[i].alt - ac[p].alt).abs() < sep {
+                    assert!(cands.contains(&p), "gate-passing pair ({i},{p}) missed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_band_width_falls_back_to_one_bucket() {
+        let ac = banded_fleet();
+        for width in [0.0_f32, -5.0, f32::NAN, f32::INFINITY] {
+            let bands = AltitudeBands::build(&ac, width);
+            assert_eq!(bands.bucket_count(), 1);
+            assert_eq!(bands.candidates(ac[0].alt).count(), ac.len());
+        }
+        assert_eq!(AltitudeBands::build(&[], 1_000.0).bucket_count(), 1);
+    }
+
+    #[test]
+    fn detect_only_banded_matches_naive() {
+        let base = banded_fleet();
+        let bands = AltitudeBands::build(&base, cfg().alt_separation_ft);
+        for i in 0..base.len() {
+            let mut an = base.clone();
+            let mut ab = base.clone();
+            let mut cn = sim_clock::OpCounter::new();
+            let mut cb = sim_clock::OpCounter::new();
+            let sn = detect_only(&mut an, i, &cfg(), &mut cn);
+            let sb = detect_only_banded(&mut ab, &bands, i, &cfg(), &mut cb);
+            assert_eq!(sn, sb);
+            assert_eq!(an, ab);
+            assert_eq!(cn, cb);
+        }
     }
 }

@@ -38,7 +38,8 @@ pub mod types;
 
 pub use airfield::Airfield;
 pub use backends::AtmBackend;
-pub use config::AtmConfig;
+pub use config::{AtmConfig, ScanMode};
+pub use detect::AltitudeBands;
 pub use sim::{AtmSimulation, SimOutcome, TerrainSchedule};
 pub use terrain::{TerrainGrid, TerrainTaskConfig};
 pub use types::{Aircraft, RadarReport};

@@ -4,7 +4,7 @@ use crate::cost::CostTable;
 use crate::launch::{LaunchConfig, ThreadCtx};
 use crate::memory::DeviceBuffer;
 use crate::report::{DeviceStats, LaunchReport, TransferDir, TransferReport};
-use crate::sm::{kernel_time, occupancy, SmSchedule};
+use crate::sm::{kernel_time_with_occupancy, occupancy, Occupancy, SmSchedule};
 use crate::spec::DeviceSpec;
 use crate::trace::ThreadTrace;
 use crate::warp::WarpAccumulator;
@@ -22,6 +22,10 @@ pub struct CudaDevice {
     timeline: Timeline,
     stats: DeviceStats,
     scratch_trace: ThreadTrace,
+    /// Occupancy of the most recent launch geometry. The ATM pipelines
+    /// launch the same geometry every period, so this one-entry cache
+    /// serves nearly every launch.
+    occ_cache: Option<(LaunchConfig, Occupancy)>,
     recorder: Recorder,
     track: TrackId,
 }
@@ -37,8 +41,22 @@ impl CudaDevice {
             timeline: Timeline::new(),
             stats: DeviceStats::default(),
             scratch_trace: ThreadTrace::new(),
+            occ_cache: None,
             recorder: Recorder::disabled(),
             track: TrackId::default(),
+        }
+    }
+
+    /// Occupancy of `cfg` on this device, memoized for the common case of
+    /// back-to-back launches with identical geometry.
+    fn occupancy_for(&mut self, cfg: LaunchConfig) -> Occupancy {
+        match self.occ_cache {
+            Some((cached_cfg, occ)) if cached_cfg == cfg => occ,
+            _ => {
+                let occ = occupancy(&cfg, &self.spec);
+                self.occ_cache = Some((cfg, occ));
+                occ
+            }
         }
     }
 
@@ -126,13 +144,16 @@ impl CudaDevice {
             }
         }
 
-        let timing = kernel_time(&schedule, &cfg, &self.spec, &self.table);
+        // One memoized occupancy computation serves both the timing model
+        // and the report (the seed computed it twice per launch).
+        let occ = self.occupancy_for(cfg);
+        let timing = kernel_time_with_occupancy(&schedule, &self.spec, &self.table, occ);
         let report = LaunchReport {
             kernel: name.to_owned(),
             config: cfg,
             threads: cfg.total_threads(),
             warps: schedule.warps,
-            occupancy: occupancy(&cfg, &self.spec),
+            occupancy: occ,
             bytes: schedule.total_bytes,
             critical_cycles: schedule.critical_path_cycles(),
             timing,

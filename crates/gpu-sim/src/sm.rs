@@ -105,8 +105,18 @@ pub fn kernel_time(
     spec: &DeviceSpec,
     table: &CostTable,
 ) -> KernelTiming {
-    let occ = occupancy(cfg, spec);
+    kernel_time_with_occupancy(schedule, spec, table, occupancy(cfg, spec))
+}
 
+/// [`kernel_time`] with a precomputed [`Occupancy`] — callers that already
+/// computed (or memoized) the occupancy of this launch geometry avoid
+/// re-deriving it per launch.
+pub fn kernel_time_with_occupancy(
+    schedule: &SmSchedule,
+    spec: &DeviceSpec,
+    table: &CostTable,
+    occ: Occupancy,
+) -> KernelTiming {
     // Compute side: the busiest SM's issue cycles at the core clock.
     let compute_cycles = schedule.critical_path_cycles();
     let compute = duration_from_cycles_f64(compute_cycles, spec.clock_mhz);

@@ -87,6 +87,19 @@ impl CostSink for ThreadTrace {
             self.divergent_branches += 1;
         }
     }
+
+    #[inline]
+    fn branches(&mut self, count: u64, diverged: bool) {
+        self.ops[OpClass::Branch as usize] += count;
+        if diverged {
+            self.divergent_branches += count;
+        }
+    }
+
+    #[inline]
+    fn loads_shared(&mut self, count: u64, bytes_each: u64) {
+        self.bytes_loaded_uniform += count * bytes_each;
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +141,24 @@ mod tests {
     #[test]
     fn empty_trace_reports_empty() {
         assert!(ThreadTrace::new().is_empty());
+    }
+
+    #[test]
+    fn aggregate_bookings_match_per_call_bookings() {
+        let mut per_call = ThreadTrace::new();
+        for _ in 0..9 {
+            per_call.branch(false);
+        }
+        for _ in 0..2 {
+            per_call.branch(true);
+        }
+        for _ in 0..4 {
+            per_call.load_shared(32);
+        }
+        let mut agg = ThreadTrace::new();
+        agg.branches(9, false);
+        agg.branches(2, true);
+        agg.loads_shared(4, 32);
+        assert_eq!(per_call, agg);
     }
 }

@@ -85,6 +85,26 @@ pub trait CostSink {
         self.op(OpClass::Branch, 1);
     }
 
+    /// Record `count` branches that all share one divergence hint, in a
+    /// single call. Fast paths that *skip* work (e.g. the banded conflict
+    /// scan) use this to book the operation mix of the skipped iterations
+    /// in aggregate; every sink must tally exactly as if [`CostSink::branch`]
+    /// had been called `count` times, so modeled time is unchanged.
+    fn branches(&mut self, count: u64, diverged: bool) {
+        for _ in 0..count {
+            self.branch(diverged);
+        }
+    }
+
+    /// Record `count` group-uniform reads of `bytes_each` bytes each, in a
+    /// single call. Must tally exactly as `count` calls to
+    /// [`CostSink::load_shared`] would.
+    fn loads_shared(&mut self, count: u64, bytes_each: u64) {
+        for _ in 0..count {
+            self.load_shared(bytes_each);
+        }
+    }
+
     /// Convenience: one FP add/sub/compare.
     #[inline]
     fn fadd(&mut self, count: u64) {
@@ -134,6 +154,10 @@ impl CostSink for NullSink {
     fn load(&mut self, _bytes: u64) {}
     #[inline]
     fn store(&mut self, _bytes: u64) {}
+    #[inline]
+    fn branches(&mut self, _count: u64, _diverged: bool) {}
+    #[inline]
+    fn loads_shared(&mut self, _count: u64, _bytes_each: u64) {}
 }
 
 /// A plain counting sink: tallies per-class operation counts and memory
@@ -226,6 +250,20 @@ impl CostSink for OpCounter {
             self.divergent_branches += 1;
         }
     }
+
+    #[inline]
+    fn branches(&mut self, count: u64, diverged: bool) {
+        self.ops[OpClass::Branch as usize] += count;
+        if diverged {
+            self.divergent_branches += count;
+        }
+    }
+
+    #[inline]
+    fn loads_shared(&mut self, count: u64, bytes_each: u64) {
+        self.bytes_loaded += count * bytes_each;
+        self.load_count += count;
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +335,25 @@ mod tests {
         s.store(u64::MAX);
         s.branch(true);
         // Nothing to assert beyond "it did not panic/overflow".
+    }
+
+    #[test]
+    fn aggregate_bookings_match_per_call_bookings() {
+        let mut per_call = OpCounter::new();
+        for _ in 0..7 {
+            per_call.branch(false);
+        }
+        for _ in 0..3 {
+            per_call.branch(true);
+        }
+        for _ in 0..5 {
+            per_call.load_shared(24);
+        }
+        let mut agg = OpCounter::new();
+        agg.branches(7, false);
+        agg.branches(3, true);
+        agg.loads_shared(5, 24);
+        assert_eq!(per_call, agg);
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub mod prelude {
         RosterEntry, SequentialBackend, TimingKind, XeonModelBackend,
     };
     pub use atm_core::{
-        Aircraft, Airfield, AtmConfig, AtmSimulation, RadarReport, SimOutcome, TerrainGrid,
-        TerrainSchedule, TerrainTaskConfig,
+        Aircraft, Airfield, AltitudeBands, AtmConfig, AtmSimulation, RadarReport, ScanMode,
+        SimOutcome, TerrainGrid, TerrainSchedule, TerrainTaskConfig,
     };
     pub use curvefit::{classify_curve, fit_poly, CurveClass};
     pub use gpu_sim::{CudaDevice, DeviceSpec, LaunchConfig};

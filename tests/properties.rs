@@ -324,3 +324,114 @@ fn polyfit_residuals_never_beat_higher_degree() {
         assert!(quad.gof.sse <= lin.gof.sse + 1e-9);
     }
 }
+
+// ---------- Banded scan vs. naive scan ----------
+
+/// A fleet whose altitudes cluster into a handful of flight levels, so the
+/// banded index actually prunes (random altitudes over the full range would
+/// leave most buckets singleton and prove little about correctness under
+/// contention).
+fn arb_fleet(rng: &mut SimRng, n: usize) -> Vec<Aircraft> {
+    (0..n)
+        .map(|_| {
+            let mut a = arb_aircraft(rng);
+            // 8 levels, 900 ft apart: within/adjacent/distant band pairs.
+            a.alt = 5_000.0 + (rng.next_u64() % 8) as f32 * 900.0;
+            a
+        })
+        .collect()
+}
+
+fn scan_cfg(seed: u64, scan: ScanMode) -> AtmConfig {
+    AtmConfig {
+        scan,
+        ..AtmConfig::with_seed(seed)
+    }
+}
+
+#[test]
+fn banded_detect_equals_naive_on_random_fleets() {
+    use atm_core::detect::detect_resolve_all;
+    use sim_clock::OpCounter;
+    let mut rng = SimRng::seed_from_u64(0xB0);
+    for case in 0..24 {
+        let n = 2 + (rng.next_u64() % 120) as usize;
+        let fleet = arb_fleet(&mut rng, n);
+
+        let mut naive = fleet.clone();
+        let mut naive_ops = OpCounter::new();
+        let naive_stats =
+            detect_resolve_all(&mut naive, &scan_cfg(1, ScanMode::Naive), &mut naive_ops);
+
+        let mut banded = fleet.clone();
+        let mut banded_ops = OpCounter::new();
+        let banded_stats =
+            detect_resolve_all(&mut banded, &scan_cfg(1, ScanMode::Banded), &mut banded_ops);
+
+        assert_eq!(naive, banded, "case {case}: fleets diverged (n={n})");
+        assert_eq!(naive_stats, banded_stats, "case {case}: stats diverged");
+        assert_eq!(naive_ops, banded_ops, "case {case}: booked costs diverged");
+    }
+}
+
+#[test]
+fn gpu_modeled_time_is_bit_identical_across_scan_modes() {
+    let mut rng = SimRng::seed_from_u64(0xB1);
+    for _ in 0..6 {
+        let seed = rng.next_u64() % 10_000;
+        let n = 50 + (rng.next_u64() % 400) as usize;
+        let fleet = Airfield::with_seed(n, seed).aircraft;
+
+        let mut naive = fleet.clone();
+        let mut gpu1 = GpuBackend::titan_x_pascal();
+        let t_naive = gpu1.detect_resolve(&mut naive, &scan_cfg(seed, ScanMode::Naive));
+
+        let mut banded = fleet.clone();
+        let mut gpu2 = GpuBackend::titan_x_pascal();
+        let t_banded = gpu2.detect_resolve(&mut banded, &scan_cfg(seed, ScanMode::Banded));
+
+        assert_eq!(naive, banded, "n={n} seed={seed}");
+        assert_eq!(
+            t_naive, t_banded,
+            "modeled GPU time diverged (n={n} seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn xeon_modeled_time_is_identical_across_scan_modes() {
+    let fleet = Airfield::with_seed(600, 77).aircraft;
+
+    let mut naive = fleet.clone();
+    let mut x1 = XeonModelBackend::new();
+    let t_naive = x1.detect_resolve(&mut naive, &scan_cfg(77, ScanMode::Naive));
+
+    let mut banded = fleet.clone();
+    let mut x2 = XeonModelBackend::new();
+    let t_banded = x2.detect_resolve(&mut banded, &scan_cfg(77, ScanMode::Banded));
+
+    assert_eq!(naive, banded);
+    assert_eq!(t_naive, t_banded, "Xeon weighted-op pricing diverged");
+}
+
+// ---------- Parallel sweep harness ----------
+
+#[test]
+fn parallel_and_serial_sweeps_produce_identical_series() {
+    use atm_bench::harness::Harness;
+    use atm_bench::sweep::{sweep_roster, sweep_roster_on, SweepConfig, Task};
+
+    let cfg = SweepConfig {
+        ns: vec![150, 300, 450],
+        seed: 21,
+        reps: 2,
+        scan: ScanMode::default(),
+    };
+    for task in [Task::Track, Task::DetectResolve] {
+        let serial = sweep_roster(&Roster::paper(), task, &cfg);
+        for jobs in [2, 5] {
+            let parallel = sweep_roster_on(&Roster::paper(), task, &cfg, &Harness::new(jobs));
+            assert_eq!(serial, parallel, "task {task:?}, jobs {jobs}");
+        }
+    }
+}
