@@ -8,16 +8,18 @@
 //! The figures/experiments pipeline is a *simulator*: its outputs are
 //! modeled times, but producing them costs real host time. This binary
 //! times the standard sweep (every paper platform × both tasks) through
-//! four host configurations —
+//! six host configurations —
 //!
 //! | stage | scan | harness |
 //! |---|---|---|
-//! | `serial-naive`    | naive O(n²) scan | 1 thread (the seed code path) |
-//! | `serial-banded`   | altitude-banded  | 1 thread |
-//! | `parallel-naive`  | naive O(n²) scan | `--jobs` threads |
-//! | `parallel-banded` | altitude-banded  | `--jobs` threads |
+//! | `serial-naive`    | naive O(n²) scan        | 1 thread (the seed code path) |
+//! | `serial-banded`   | altitude-banded         | 1 thread |
+//! | `serial-grid`     | altitude bands × spatial grid | 1 thread |
+//! | `parallel-naive`  | naive O(n²) scan        | `--jobs` threads |
+//! | `parallel-banded` | altitude-banded         | `--jobs` threads |
+//! | `parallel-grid`   | altitude bands × spatial grid | `--jobs` threads |
 //!
-//! — verifies that all four produce element-identical series (the
+//! — verifies that all six produce element-identical series (the
 //! determinism contract: neither knob may change a single output value),
 //! and writes `BENCH_sweep.json` with per-stage wall-clock times and
 //! speedups over the `serial-naive` baseline.
@@ -105,11 +107,13 @@ fn main() {
         harness.jobs()
     );
 
-    let stages: [(&str, ScanMode, &Harness); 4] = [
+    let stages: [(&str, ScanMode, &Harness); 6] = [
         ("serial-naive", ScanMode::Naive, &Harness::serial()),
         ("serial-banded", ScanMode::Banded, &Harness::serial()),
+        ("serial-grid", ScanMode::Grid, &Harness::serial()),
         ("parallel-naive", ScanMode::Naive, &harness),
         ("parallel-banded", ScanMode::Banded, &harness),
+        ("parallel-grid", ScanMode::Grid, &harness),
     ];
 
     let mut wall_ms = Vec::new();
@@ -132,9 +136,11 @@ fn main() {
         eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
     }
     let baseline_ms = wall_ms[0];
-    let headline = baseline_ms / wall_ms[3].max(1e-9);
+    let headline = baseline_ms / wall_ms[5].max(1e-9);
+    let grid_vs_banded = wall_ms[4] / wall_ms[5].max(1e-9);
     println!(
-        "  identical results: {identical}; parallel-banded speedup over serial-naive: {headline:.2}x"
+        "  identical results: {identical}; parallel-grid speedup over serial-naive: {headline:.2}x \
+         (over parallel-banded: {grid_vs_banded:.2}x)"
     );
 
     let stage_json: Vec<JsonValue> = stages
@@ -160,7 +166,8 @@ fn main() {
         .set("jobs", harness.jobs())
         .set("stages", JsonValue::Arr(stage_json))
         .set("identical_results", identical)
-        .set("speedup_parallel_banded_vs_serial_naive", headline);
+        .set("speedup_parallel_grid_vs_serial_naive", headline)
+        .set("speedup_parallel_grid_vs_parallel_banded", grid_vs_banded);
 
     if let Some(dir) = opts.out.parent() {
         if !dir.as_os_str().is_empty() {

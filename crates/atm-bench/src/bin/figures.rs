@@ -11,10 +11,11 @@
 //!
 //! `--jobs N` fans the independent sweep/experiment points across N worker
 //! threads (default: the host's available parallelism; `--jobs 1` forces
-//! the serial code path). `--scan naive|banded` selects the conflict-scan
-//! implementation. Neither knob changes any output byte: results are
-//! slotted in serial order and both scans book identical modeled costs —
-//! only wall-clock time differs. CI diffs the artifacts across both knobs.
+//! the serial code path). `--scan naive|banded|grid` selects the
+//! conflict-scan implementation. Neither knob changes any output byte:
+//! results are slotted in serial order and every scan books identical
+//! modeled costs — only wall-clock time differs. CI diffs the artifacts
+//! across the knob matrix.
 //!
 //! `--trace PATH` and `--metrics PATH` additionally run one major cycle of
 //! the full timed simulation on every paper platform with the telemetry
@@ -106,12 +107,13 @@ fn parse_args() -> Options {
                 }));
             }
             "--scan" => {
-                let v = value_of(&mut args, "--scan", "'naive' or 'banded'");
+                let v = value_of(&mut args, "--scan", "'naive', 'banded' or 'grid'");
                 opts.scan = match v.as_str() {
                     "naive" => ScanMode::Naive,
                     "banded" => ScanMode::Banded,
+                    "grid" => ScanMode::Grid,
                     other => {
-                        eprintln!("--scan needs 'naive' or 'banded', got '{other}'");
+                        eprintln!("--scan needs 'naive', 'banded' or 'grid', got '{other}'");
                         std::process::exit(2);
                     }
                 };
@@ -119,7 +121,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--all] [--fig N]... [--exp deadlines|determinism]... \
-                     [--quick] [--jobs N] [--scan naive|banded] [--out DIR] \
+                     [--quick] [--jobs N] [--scan naive|banded|grid] [--out DIR] \
                      [--trace PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);

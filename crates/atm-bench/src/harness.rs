@@ -56,13 +56,56 @@ impl Harness {
     /// otherwise `min(jobs, count)` scoped threads claim indices from an
     /// atomic counter and slot results by index. A panic in `f` propagates
     /// to the caller when the scope joins.
+    ///
+    /// Indices are claimed FIFO (0, 1, 2, …). When the per-index costs are
+    /// very uneven that tail-serialises — a worker that claims the heaviest
+    /// index last runs it alone while the others idle. Callers that know
+    /// their cost structure should pass a heaviest-first permutation to
+    /// [`Harness::run_ordered`] instead.
     pub fn run<T, F>(&self, count: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let order: Vec<usize> = (0..count).collect();
+        self.run_ordered(count, &order, f)
+    }
+
+    /// Evaluate `f` over `0..count`, claiming indices in the order given by
+    /// the permutation `order`, and return the results in *index* order.
+    ///
+    /// The claim order is a wall-clock knob only: results are slotted by
+    /// index, so the returned `Vec` is byte-identical to
+    /// [`Harness::run`]'s (and to the serial loop's) for any permutation.
+    /// Passing the heaviest indices first approximates LPT (longest
+    /// processing time) list scheduling, which avoids the FIFO tail where
+    /// the largest point starts last and runs alone.
+    ///
+    /// Panics if `order` is not a permutation of `0..count`.
+    pub fn run_ordered<T, F>(&self, count: usize, order: &[usize], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        assert_eq!(order.len(), count, "order must cover every index once");
+        let mut seen = vec![false; count];
+        for &i in order {
+            assert!(
+                i < count && !std::mem::replace(&mut seen[i], true),
+                "order must be a permutation of 0..count"
+            );
+        }
         if self.jobs <= 1 || count <= 1 {
-            return (0..count).map(f).collect();
+            // Execute in claim order even serially (so instrumented closures
+            // observe the same sequence), but return in index order.
+            let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+            for &i in order {
+                slots[i] = Some(f(i));
+            }
+            return slots
+                .into_iter()
+                .map(|v| v.expect("permutation filled every slot"))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
@@ -72,10 +115,11 @@ impl Harness {
         std::thread::scope(|scope| {
             for _ in 0..self.jobs.min(count) {
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= count {
                         break;
                     }
+                    let i = order[k];
                     let value = f(i);
                     *slots[i].lock().expect("slot lock poisoned") = Some(value);
                 });
@@ -140,5 +184,106 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn ordered_run_slots_results_by_index_for_any_permutation() {
+        let work = |i: usize| i * 31 + 5;
+        let serial = Harness::serial().run(20, work);
+        let reversed: Vec<usize> = (0..20).rev().collect();
+        let interleaved: Vec<usize> = (0..20)
+            .step_by(2)
+            .chain((0..20).skip(1).step_by(2))
+            .collect();
+        for order in [&reversed, &interleaved] {
+            for jobs in [1, 2, 7, 64] {
+                let out = Harness::new(jobs).run_ordered(20, order, work);
+                assert_eq!(out, serial, "jobs={jobs} order={order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_ordered_run_claims_in_the_given_order() {
+        // With one job the claim sequence is fully deterministic: the
+        // instrumented closure must observe exactly the permutation.
+        let order = vec![4usize, 0, 3, 1, 2];
+        let claimed = Mutex::new(Vec::new());
+        let out = Harness::serial().run_ordered(5, &order, |i| {
+            claimed.lock().unwrap().push(i);
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+        assert_eq!(*claimed.lock().unwrap(), order);
+    }
+
+    #[test]
+    fn parallel_ordered_run_claims_every_index_exactly_once() {
+        // Across threads the *completion* order may interleave, but the
+        // multiset of claimed indices must still be the permutation.
+        let order: Vec<usize> = (0..50).rev().collect();
+        let claimed = Mutex::new(Vec::new());
+        Harness::new(8).run_ordered(50, &order, |i| {
+            claimed.lock().unwrap().push(i);
+        });
+        let mut got = claimed.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn ordered_run_rejects_duplicate_indices() {
+        Harness::serial().run_ordered(3, &[0, 1, 1], |i| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover")]
+    fn ordered_run_rejects_short_orders() {
+        Harness::serial().run_ordered(3, &[0, 1], |i| i);
+    }
+
+    /// Simulate greedy list scheduling: workers claim items in `order`,
+    /// each item `i` occupying a worker for `durations[i]`; return the
+    /// makespan. This is the exact discipline `run_ordered` implements
+    /// (next free worker takes the next entry of the permutation), reduced
+    /// to arithmetic so the test is deterministic.
+    fn greedy_makespan(durations: &[u64], order: &[usize], workers: usize) -> u64 {
+        let mut busy_until = vec![0u64; workers.max(1)];
+        for &i in order {
+            let w = (0..busy_until.len())
+                .min_by_key(|&w| busy_until[w])
+                .expect("at least one worker");
+            busy_until[w] += durations[i];
+        }
+        busy_until.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn heaviest_first_beats_fifo_on_uneven_workloads() {
+        // The sweep's shape: many light points plus a dominant heavy one
+        // that FIFO starts last. Heaviest-first lets the light points pack
+        // around it instead of every worker idling while it runs alone.
+        let durations = [1, 1, 1, 1, 1, 1, 8u64];
+        let fifo: Vec<usize> = (0..durations.len()).collect();
+        let mut lpt = fifo.clone();
+        lpt.sort_by(|&a, &b| durations[b].cmp(&durations[a]).then(a.cmp(&b)));
+        let fifo_span = greedy_makespan(&durations, &fifo, 2);
+        let lpt_span = greedy_makespan(&durations, &lpt, 2);
+        assert_eq!(fifo_span, 11, "FIFO tail-serialises the heavy point");
+        assert_eq!(lpt_span, 8, "LPT overlaps it with the light ones");
+        assert!(lpt_span < fifo_span);
+
+        // A geometric ramp (the actual sweep ns double): LPT is never worse.
+        let ramp = [1u64, 2, 4, 8, 16, 1, 2, 4, 8, 16];
+        let fifo: Vec<usize> = (0..ramp.len()).collect();
+        let mut lpt = fifo.clone();
+        lpt.sort_by(|&a, &b| ramp[b].cmp(&ramp[a]).then(a.cmp(&b)));
+        for workers in [2, 3, 4] {
+            assert!(
+                greedy_makespan(&ramp, &lpt, workers) <= greedy_makespan(&ramp, &fifo, workers),
+                "workers={workers}"
+            );
+        }
     }
 }

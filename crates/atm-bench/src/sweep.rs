@@ -117,8 +117,25 @@ pub fn sweep_roster(roster: &Roster, task: Task, cfg: &SweepConfig) -> Vec<Serie
     sweep_roster_on(roster, task, cfg, &Harness::serial())
 }
 
+/// The order sweep points are claimed in: largest aircraft count first
+/// (stable by point index within equal counts).
+///
+/// Sweep cost grows superlinearly in `n`, so FIFO claiming tail-serialises:
+/// the largest points sit at the end of every platform's stripe and the
+/// last worker to claim one runs it alone while the rest idle. Claiming
+/// by descending `n` approximates LPT scheduling — the heavy points start
+/// first and the cheap ones pack around them. Purely a wall-clock choice:
+/// results are slotted by point index either way.
+fn claim_order(entry_count: usize, ns: &[usize]) -> Vec<usize> {
+    let per_entry = ns.len();
+    let mut order: Vec<usize> = (0..entry_count * per_entry).collect();
+    order.sort_by(|&a, &b| ns[b % per_entry].cmp(&ns[a % per_entry]).then(a.cmp(&b)));
+    order
+}
+
 /// Sweep a roster of platforms over the configured aircraft counts,
-/// fanning every `(platform, n)` point across the harness's workers.
+/// fanning every `(platform, n)` point across the harness's workers
+/// (largest `n` first — see [`claim_order`]).
 ///
 /// Every point is independent (fresh backend and airfield per point), and
 /// the harness slots results by index, so the returned series are
@@ -131,7 +148,8 @@ pub fn sweep_roster_on(
 ) -> Vec<Series> {
     let entries = roster.entries();
     let per_entry = cfg.ns.len();
-    let y = harness.run(entries.len() * per_entry, |k| {
+    let order = claim_order(entries.len(), &cfg.ns);
+    let y = harness.run_ordered(entries.len() * per_entry, &order, |k| {
         let entry = &entries[k / per_entry];
         let n = cfg.ns[k % per_entry];
         measure_point_scan(entry, task, n, cfg.seed, cfg.reps, cfg.scan)
@@ -224,9 +242,21 @@ mod tests {
         let titan = titan();
         for task in [Task::Track, Task::DetectResolve] {
             let naive = measure_point_scan(&titan, task, 500, 7, 2, ScanMode::Naive);
-            let banded = measure_point_scan(&titan, task, 500, 7, 2, ScanMode::Banded);
-            assert_eq!(naive, banded, "task {task:?}");
+            for scan in [ScanMode::Banded, ScanMode::Grid] {
+                let fast = measure_point_scan(&titan, task, 500, 7, 2, scan);
+                assert_eq!(naive, fast, "task {task:?}, scan {scan:?}");
+            }
         }
+    }
+
+    #[test]
+    fn sweep_points_are_claimed_largest_n_first() {
+        // 2 platforms × ns [500, 1000, 2000] → point k maps to
+        // n = ns[k % 3]; descending n with stable index tiebreak.
+        let order = claim_order(2, &[500, 1_000, 2_000]);
+        assert_eq!(order, vec![2, 5, 1, 4, 0, 3]);
+        // Equal counts degrade to plain FIFO.
+        assert_eq!(claim_order(2, &[7, 7]), vec![0, 1, 2, 3]);
     }
 
     #[test]

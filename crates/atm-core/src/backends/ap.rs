@@ -22,8 +22,9 @@
 //! differ only in *time*, never in answers.
 
 use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
-use crate::batcher::conflict_window;
+use crate::batcher::{conflict_window, within_critical_reach};
 use crate::config::AtmConfig;
+use crate::detect::ScanIndex;
 use crate::terrain::{TerrainGrid, TerrainTaskConfig};
 use crate::types::{
     Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_NONE, MATCH_ONE, NO_COLLISION, RADAR_DISCARDED,
@@ -229,13 +230,15 @@ impl AtmBackend for ApBackend {
         let mut m = self.machine(aircraft);
         let n = aircraft.len();
         let rotations = cfg.rotation_sequence();
+        let reach = cfg.critical_reach_nm();
         // Host-side pruning of the PE walk. The machine's masked primitives
         // price by the PE array width (associative lockstep), so driving
-        // the window step and the critical search through a band mask books
-        // the exact same machine time and stats as the all-PE versions —
-        // only the emulator's host work shrinks. Out-of-band PEs' scratch
-        // is never read: both the search and the min-reduction are masked.
-        let bands = crate::detect::AltitudeBands::for_config(aircraft, cfg);
+        // the window step and the critical search through a candidate mask
+        // books the exact same machine time and stats as the all-PE
+        // versions — only the emulator's host work shrinks. Out-of-mask
+        // PEs' scratch is never read: both the search and the min-reduction
+        // are masked.
+        let index = ScanIndex::for_config(aircraft, cfg);
 
         for i in 0..n {
             // Reset the track's bookkeeping (control-unit writes + one
@@ -255,22 +258,36 @@ impl AtmBackend for ApBackend {
             };
             let mut chk = 0u32;
 
-            // The candidate mask depends only on altitudes, which never
-            // change during Tasks 2+3 — build it once per track.
-            let scan_mask = bands.as_ref().map(|b| {
-                let mut mask = ResponderSet::new(n);
-                for p in b.candidates(m.records()[i].a.alt) {
-                    mask.set(p);
+            // The candidate mask depends only on positions and altitudes,
+            // which never change during Tasks 2+3 — build it once per
+            // track.
+            let scan_mask: Option<ResponderSet> = match &index {
+                ScanIndex::Naive => None,
+                ScanIndex::Banded(b) => {
+                    let mut mask = ResponderSet::new(n);
+                    for p in b.candidates(m.records()[i].a.alt) {
+                        mask.set(p);
+                    }
+                    Some(mask)
                 }
-                mask
-            });
+                ScanIndex::Grid(g) => {
+                    let mut mask = ResponderSet::new(n);
+                    for p in g.candidates(&m.records()[i].a) {
+                        mask.set(p);
+                    }
+                    Some(mask)
+                }
+            };
 
             loop {
                 // Broadcast the track and compute every PE's window start
                 // in one parallel arithmetic step.
                 let track = m.broadcast(m.records()[i].a);
                 let window = |p: usize, r: &mut ApRecord| {
-                    r.scratch = if p == i || (track.alt - r.a.alt).abs() >= cfg.alt_separation_ft {
+                    r.scratch = if p == i
+                        || (track.alt - r.a.alt).abs() >= cfg.alt_separation_ft
+                        || !within_critical_reach(&track, &r.a, reach, &mut NullSink)
+                    {
                         f32::INFINITY
                     } else {
                         match conflict_window(

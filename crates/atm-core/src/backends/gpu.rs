@@ -19,7 +19,7 @@
 
 use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 use crate::config::AtmConfig;
-use crate::detect::{check_collision_path_with, detect_only_with, AltitudeBands, DetectStats};
+use crate::detect::{check_collision_path_with, detect_only_with, DetectStats, ScanIndex};
 use crate::terrain::{check_terrain, TerrainGrid, TerrainTaskConfig};
 use crate::track::{
     adopt_expected_phase, apply_radar_phase, correlate_radar_pass, expected_position_phase,
@@ -115,20 +115,15 @@ impl GpuBackend {
         let n = aircraft.len();
         let lc = self.launch_config(n);
         let block = self.block_size as usize;
-        // Host-side scan pruning; altitudes are stable for the whole launch.
-        let bands = AltitudeBands::for_config(aircraft, cfg);
+        // Host-side scan pruning; positions and altitudes are stable for
+        // the whole launch.
+        let index = ScanIndex::for_config(aircraft, cfg);
         let mut stats = DetectStats::default();
         self.device
             .launch("CheckCollisionPath.tiled", lc, |ctx, tr| {
                 if ctx.in_range(n) {
                     // Functional result: identical to the fused kernel.
-                    let s = check_collision_path_with(
-                        aircraft,
-                        bands.as_ref(),
-                        ctx.global_id(),
-                        cfg,
-                        tr,
-                    );
+                    let s = check_collision_path_with(aircraft, &index, ctx.global_id(), cfg, tr);
                     stats.absorb(&s);
                     // Re-price the memory side: the scan above charged one
                     // warp-uniform load per trial record; under tiling each
@@ -161,13 +156,13 @@ impl GpuBackend {
         let n = aircraft.len();
         let lc = self.launch_config(n);
         // Valid across both launches: the resolve kernel only changes
-        // velocities and flags, never altitudes.
-        let bands = AltitudeBands::for_config(aircraft, cfg);
+        // velocities and flags, never positions or altitudes.
+        let index = ScanIndex::for_config(aircraft, cfg);
 
         let mut stats = DetectStats::default();
         self.device.launch("DetectOnly", lc, |ctx, tr| {
             if ctx.in_range(n) {
-                let s = detect_only_with(aircraft, bands.as_ref(), ctx.global_id(), cfg, tr);
+                let s = detect_only_with(aircraft, &index, ctx.global_id(), cfg, tr);
                 stats.pair_checks += s.pair_checks;
                 stats.critical_conflicts += s.critical_conflicts;
             }
@@ -187,7 +182,7 @@ impl GpuBackend {
                 if ctx.in_range(m) {
                     let s = check_collision_path_with(
                         aircraft,
-                        bands.as_ref(),
+                        &index,
                         flagged[ctx.global_id()],
                         cfg,
                         tr,
@@ -295,14 +290,14 @@ impl AtmBackend for GpuBackend {
         let t0 = self.device.elapsed();
         let n = aircraft.len();
         let lc = self.launch_config(n);
-        // One band index serves every thread of the launch (altitudes do
-        // not change during Tasks 2+3); modeled time is unaffected.
-        let bands = AltitudeBands::for_config(aircraft, cfg);
+        // One index serves every thread of the launch (positions and
+        // altitudes do not change during Tasks 2+3); modeled time is
+        // unaffected.
+        let index = ScanIndex::for_config(aircraft, cfg);
         let mut stats = DetectStats::default();
         self.device.launch("CheckCollisionPath", lc, |ctx, tr| {
             if ctx.in_range(n) {
-                let s =
-                    check_collision_path_with(aircraft, bands.as_ref(), ctx.global_id(), cfg, tr);
+                let s = check_collision_path_with(aircraft, &index, ctx.global_id(), cfg, tr);
                 stats.absorb(&s);
             }
         });

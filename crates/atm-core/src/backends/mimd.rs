@@ -30,7 +30,7 @@ use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 #[cfg(test)]
 use crate::batcher::conflict_window;
 use crate::config::AtmConfig;
-use crate::detect::{rotate_velocity, scan_for_conflicts_with, AltitudeBands};
+use crate::detect::{rotate_velocity, scan_for_conflicts_with, ScanIndex};
 use crate::terrain::{check_terrain, TerrainGrid, TerrainTaskConfig};
 use crate::track::any_unmatched;
 use crate::types::{
@@ -208,15 +208,15 @@ impl AtmBackend for MimdBackend {
         let n = aircraft.len();
         let snapshot: Vec<Aircraft> = aircraft.to_vec();
         let rotations = cfg.rotation_sequence();
-        // Shared read-only across worker threads; the snapshot's altitudes
-        // are frozen, so one index serves every thread.
-        let bands = AltitudeBands::for_config(&snapshot, cfg);
+        // Shared read-only across worker threads; the snapshot's positions
+        // and altitudes are frozen, so one index serves every thread.
+        let index = ScanIndex::for_config(&snapshot, cfg);
 
         let mut outcomes: Vec<ResolveOutcome> = vec![ResolveOutcome::default(); n];
         {
             let snapshot = &snapshot;
             let rotations = &rotations;
-            let bands = bands.as_ref();
+            let index = &index;
             self.pool.parallel_for_mut(&mut outcomes, |i, out| {
                 out.time_till = cfg.critical_periods;
                 out.col = false;
@@ -225,7 +225,7 @@ impl AtmBackend for MimdBackend {
                 let mut next_rotation = 0usize;
                 let mut chk = 0u32;
                 loop {
-                    let scan = scan_for_conflicts_with(snapshot, bands, i, vel, cfg, &mut NullSink);
+                    let scan = scan_for_conflicts_with(snapshot, index, i, vel, cfg, &mut NullSink);
                     let Some((partner, tmin)) = scan.critical else {
                         break;
                     };

@@ -112,6 +112,29 @@ pub fn same_altitude_band(
     (a.alt - b.alt).abs() < alt_sep
 }
 
+/// Whether two aircraft are horizontally close enough to reach a *critical*
+/// conflict (the range gate of Algorithm 2's scan; `reach` comes from
+/// [`crate::AtmConfig::critical_reach_nm`]).
+///
+/// Like the altitude gate this is evaluated unconditionally for every
+/// non-self pair, in every scan mode, with a fixed operation mix (two
+/// subtract-and-compare pairs, one axis each) — predicated, lockstep-style
+/// evaluation rather than short-circuiting, so the per-pair cost is
+/// data-independent and fast paths can book skipped pairs in aggregate.
+/// The compare is `<=`: with a zero-speed fleet `reach` collapses to the
+/// separation box exactly, and a pair sitting exactly on the box edge does
+/// have a (zero-width-start) violation window.
+pub fn within_critical_reach(
+    a: &Aircraft,
+    b: &Aircraft,
+    reach: f32,
+    sink: &mut impl CostSink,
+) -> bool {
+    sink.fadd(4);
+    sink.branch(false);
+    (a.x - b.x).abs() <= reach && (a.y - b.y).abs() <= reach
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +237,54 @@ mod tests {
         // Turn the track 90°: now it moves along +y away from the trial's
         // line; windows no longer overlap.
         assert!(conflict_window(&track, (0.0, 1.0), &trial, 3.0, H, &mut sink()).is_none());
+    }
+
+    #[test]
+    fn critical_reach_gate_is_a_per_axis_box() {
+        let a = Aircraft::at(0.0, 0.0);
+        assert!(within_critical_reach(
+            &a,
+            &Aircraft::at(50.0, -50.0),
+            56.0,
+            &mut sink()
+        ));
+        assert!(!within_critical_reach(
+            &a,
+            &Aircraft::at(57.0, 0.0),
+            56.0,
+            &mut sink()
+        ));
+        assert!(!within_critical_reach(
+            &a,
+            &Aircraft::at(0.0, -57.0),
+            56.0,
+            &mut sink()
+        ));
+        // Boundary is inclusive: a pair exactly at the reach still passes.
+        assert!(within_critical_reach(
+            &a,
+            &Aircraft::at(56.0, 56.0),
+            56.0,
+            &mut sink()
+        ));
+        // Infinite reach (degenerate config) passes everything finite.
+        assert!(within_critical_reach(
+            &a,
+            &Aircraft::at(1e30, -1e30),
+            f32::INFINITY,
+            &mut sink()
+        ));
+    }
+
+    #[test]
+    fn critical_reach_gate_books_a_fixed_mix() {
+        let a = Aircraft::at(0.0, 0.0);
+        let mut pass = sim_clock::OpCounter::new();
+        let mut fail = sim_clock::OpCounter::new();
+        within_critical_reach(&a, &Aircraft::at(1.0, 1.0), 56.0, &mut pass);
+        within_critical_reach(&a, &Aircraft::at(500.0, 500.0), 56.0, &mut fail);
+        assert_eq!(pass, fail, "gate cost must be data-independent");
+        assert_eq!(pass.count(sim_clock::OpClass::FpAdd), 4);
     }
 
     #[test]

@@ -4,20 +4,26 @@ use sim_clock::SimDuration;
 
 /// Host-side strategy for the Tasks 2+3 candidate scan.
 ///
-/// This is a *wall-clock* knob only: both modes perform the same mutations,
+/// This is a *wall-clock* knob only: all modes perform the same mutations,
 /// produce the same [`crate::detect::DetectStats`], and book the identical
 /// abstract-operation stream on every [`sim_clock::CostSink`], so modeled
 /// (simulated) time is bit-identical between them. `Banded` buckets aircraft
 /// by altitude band and visits only candidates that could pass the vertical
-/// separation gate, booking the skipped pairs' operation mix in aggregate.
+/// separation gate; `Grid` additionally buckets by a coarse x/y grid sized
+/// to the critical-reach envelope ([`AtmConfig::critical_reach_nm`]). Both
+/// fast paths book the skipped pairs' operation mix in aggregate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ScanMode {
     /// Visit every other aircraft (the paper's O(n²) scan, the seed path).
     Naive,
     /// Visit only aircraft within ±1 altitude band of the scanning aircraft
-    /// (the fast path; results and modeled time match `Naive` exactly).
-    #[default]
+    /// (results and modeled time match `Naive` exactly).
     Banded,
+    /// Visit only aircraft within ±1 altitude band *and* the same or an
+    /// adjacent spatial grid cell (the fastest path; results and modeled
+    /// time match `Naive` exactly).
+    #[default]
+    Grid,
 }
 
 /// All tunable parameters of the airfield and the three tasks.
@@ -76,6 +82,12 @@ pub struct AtmConfig {
     /// Host-side candidate-scan strategy for Tasks 2+3 (wall-clock only;
     /// results and modeled time are identical across modes).
     pub scan: ScanMode,
+    /// Spatial cell size for [`ScanMode::Grid`], nm. `0.0` (the default)
+    /// derives the cell from the critical-reach envelope
+    /// ([`AtmConfig::critical_reach_nm`]); explicit values are clamped *up*
+    /// to that envelope — a finer grid could not contain a gate-passing
+    /// pair within one cell of adjacency.
+    pub grid_cell_nm: f32,
 }
 
 impl Default for AtmConfig {
@@ -101,6 +113,7 @@ impl Default for AtmConfig {
             rotation_max_deg: 30.0,
             seed: 0x5EED_A7C0,
             scan: ScanMode::default(),
+            grid_cell_nm: 0.0,
         }
     }
 }
@@ -133,6 +146,27 @@ impl AtmConfig {
         seq
     }
 
+    /// The horizontal distance beyond which a pair cannot reach a *critical*
+    /// conflict (a window starting inside `critical_periods`): the 3 nm
+    /// separation box plus the distance two aircraft closing at twice the
+    /// configured maximum speed cover within the critical window, padded by
+    /// a 6.25 % slack that dominates every f32 rounding source in the
+    /// window computation (rotations preserve speed up to ~1 ulp).
+    ///
+    /// This is the range gate every scan mode applies per pair (see
+    /// [`crate::batcher::within_critical_reach`]) and the envelope the
+    /// spatial grid's cell size derives from. Degenerate configurations
+    /// yield `f32::INFINITY`, which passes every pair.
+    pub fn critical_reach_nm(&self) -> f32 {
+        let vmax = self.speed_max_kts / self.periods_per_hour;
+        let reach = self.separation_nm + 2.0 * vmax * self.critical_periods * 1.0625;
+        if reach.is_finite() && reach > 0.0 {
+            reach
+        } else {
+            f32::INFINITY
+        }
+    }
+
     /// Validate parameter consistency; panics on nonsense.
     pub fn validate(&self) {
         assert!(self.half_width > 0.0, "airfield must have positive extent");
@@ -155,6 +189,10 @@ impl AtmConfig {
         );
         assert!(self.rotation_step_deg > 0.0);
         assert!(self.rotation_max_deg >= self.rotation_step_deg);
+        assert!(
+            self.grid_cell_nm >= 0.0 && self.grid_cell_nm.is_finite(),
+            "grid cell size must be finite and non-negative (0 = auto)"
+        );
     }
 }
 
@@ -198,6 +236,48 @@ mod tests {
     fn critical_beyond_horizon_is_rejected() {
         let c = AtmConfig {
             critical_periods: 5_000.0,
+            ..AtmConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn critical_reach_covers_the_fastest_closing_pair() {
+        let c = AtmConfig::default();
+        let reach = c.critical_reach_nm();
+        // sep 3 + 2 · (600/7200) · 300 · 1.0625 = 3 + 53.125 nm.
+        assert!((reach - 56.125).abs() < 1e-3, "{reach}");
+        // The slack strictly exceeds the worst closing distance.
+        let worst = 2.0 * (c.speed_max_kts / c.periods_per_hour) * c.critical_periods;
+        assert!(reach > c.separation_nm + worst);
+    }
+
+    #[test]
+    fn critical_reach_degenerates_to_infinity() {
+        let c = AtmConfig {
+            separation_nm: f32::NAN,
+            ..AtmConfig::default()
+        };
+        assert_eq!(c.critical_reach_nm(), f32::INFINITY);
+    }
+
+    #[test]
+    fn zero_speed_reach_is_exactly_the_separation() {
+        // A static fleet's reach collapses to the separation box itself;
+        // the gate's `<=` compare then still admits a pair sitting exactly
+        // on the box edge (which has a zero-width window there).
+        let c = AtmConfig {
+            speed_max_kts: 0.0,
+            ..AtmConfig::default()
+        };
+        assert_eq!(c.critical_reach_nm(), c.separation_nm);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell size")]
+    fn negative_grid_cell_is_rejected() {
+        let c = AtmConfig {
+            grid_cell_nm: -1.0,
             ..AtmConfig::default()
         };
         c.validate();

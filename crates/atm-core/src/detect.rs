@@ -4,8 +4,9 @@
 //! Per track aircraft `i`:
 //!
 //! 1. reset `time_till` to the safe horizon and scan every other aircraft
-//!    at the same altitude band with Batcher's conflict window
-//!    ([`crate::batcher`]);
+//!    that is at the same altitude band *and* within critical reach
+//!    (both gates evaluated unconditionally, predication-style) with
+//!    Batcher's conflict window ([`crate::batcher`]);
 //! 2. if a conflict starts inside the critical window, mark both aircraft
 //!    (`col`, `col_with`, `time_till`) and **rotate** the track's trial
 //!    velocity by the next angle in the ±5°…±30° sequence, then restart
@@ -23,7 +24,7 @@
 //! routine, reused verbatim by every backend. The split-kernel variant the
 //! fusion ablation compares against lives in [`detect_only`].
 
-use crate::batcher::{conflict_window, same_altitude_band};
+use crate::batcher::{conflict_window, same_altitude_band, within_critical_reach};
 use crate::config::{AtmConfig, ScanMode};
 use crate::types::{Aircraft, NO_COLLISION};
 use sim_clock::{CostSink, NullSink};
@@ -148,13 +149,260 @@ impl AltitudeBands {
         self.buckets.len()
     }
 
-    /// The index a backend should use for one detect execution under
-    /// `cfg.scan`: `None` for [`ScanMode::Naive`], a freshly built index
-    /// for [`ScanMode::Banded`].
-    pub fn for_config(aircraft: &[Aircraft], cfg: &AtmConfig) -> Option<AltitudeBands> {
+    /// Whether the index is the single catch-all bucket (no pruning).
+    pub fn is_degenerate(&self) -> bool {
+        self.width <= 0.0
+    }
+
+    /// Bucket index of one altitude under this index's width, or `None`
+    /// when the index is degenerate or the altitude is unbucketable.
+    pub fn bucket_of(&self, alt: f32) -> Option<i64> {
+        if self.is_degenerate() {
+            None
+        } else {
+            Self::bucket_for(alt, self.width)
+        }
+    }
+}
+
+/// A coarse uniform x/y grid over the airfield, composed with the altitude
+/// bands: the [`ScanMode::Grid`] index.
+///
+/// Cell width is the critical-reach envelope
+/// ([`AtmConfig::critical_reach_nm`]) padded by a relative 1e-6 — strictly
+/// wider than any separation the range gate's inclusive `<=` compare can
+/// accept, so a pair passing the gate sits at most one cell apart per axis
+/// (the f64 floor-division error is ≪ the pad under
+/// [`MAX_BUCKET_MAGNITUDE`], the same argument as [`AltitudeBands`]). A
+/// scan that visits the track's cell ±1 on both axes therefore sees every
+/// pair the naive scan's two gates could accept. An explicit
+/// `cfg.grid_cell_nm` only ever *coarsens* the cells.
+///
+/// Positions, like altitudes, never change during Tasks 2+3, so one index
+/// per detect execution stays valid through every rotation rescan. Purely a
+/// host-side wall-clock structure: callers book skipped pairs in aggregate
+/// (see [`scan_for_conflicts_grid`]).
+///
+/// Storage is CSR over `(spatial cell, altitude bucket)` slots with the
+/// bucket dimension fastest-varying: the ±1-bucket range of one spatial
+/// cell is a single contiguous `idx` slice found by two O(1) offset loads,
+/// so a scan touches exactly the intersection of both dimensions with no
+/// per-candidate filtering and no per-cell searching.
+#[derive(Clone, Debug)]
+pub struct ConflictGrid {
+    /// The altitude dimension (candidates slice on bucket ±1).
+    bands: AltitudeBands,
+    /// Cell width in nm as f64 (0.0 marks the degenerate single cell).
+    cell_nm: f64,
+    /// Cell-coordinate origin of the first slot's spatial cell.
+    min_cx: i64,
+    min_cy: i64,
+    /// Grid extent in spatial cells.
+    cols: usize,
+    rows: usize,
+    /// Altitude-bucket span composed into the slots (1 when `bands` is
+    /// degenerate) and the bucket index of slot offset 0.
+    nb: usize,
+    min_b: i64,
+    /// CSR offsets: slot `(cy·cols + cx)·nb + b` holds aircraft of spatial
+    /// cell `(cx, cy)` and altitude bucket `min_b + b`; len `slots + 1`.
+    offsets: Vec<u32>,
+    /// Aircraft indices grouped by slot, ascending index within a slot.
+    idx: Vec<u32>,
+}
+
+impl ConflictGrid {
+    /// Build the index for one detect execution. Degenerate inputs (empty
+    /// fleet, non-finite reach or positions, a cell span so wide the grid
+    /// would waste memory) fall back to one catch-all cell — correct at
+    /// banded cost.
+    pub fn build(aircraft: &[Aircraft], cfg: &AtmConfig) -> ConflictGrid {
+        let bands = AltitudeBands::build(aircraft, cfg.alt_separation_ft);
+        let n = aircraft.len();
+        let (nb, min_b) = if bands.is_degenerate() {
+            (1usize, 0i64)
+        } else {
+            (bands.bucket_count(), bands.min_bucket)
+        };
+        // The pad restores a strict inequality margin over the gate's
+        // inclusive `<=` compare (and dwarfs the f64 division error).
+        let cell = (cfg.critical_reach_nm() as f64 * 1.000_001).max(cfg.grid_cell_nm as f64);
+
+        // Pick the spatial extent, or fall back to a single catch-all cell
+        // (degenerate inputs, unbucketable positions, or a slot table so
+        // large it would waste memory) — correct at banded cost either way,
+        // since the bucket dimension survives the fallback.
+        let mut spatial = None;
+        if n > 0 && cell.is_finite() && cell > 0.0 {
+            let (mut min_cx, mut max_cx) = (i64::MAX, i64::MIN);
+            let (mut min_cy, mut max_cy) = (i64::MAX, i64::MIN);
+            let mut bucketable = true;
+            for a in aircraft {
+                match (
+                    AltitudeBands::bucket_for(a.x, cell),
+                    AltitudeBands::bucket_for(a.y, cell),
+                ) {
+                    (Some(cx), Some(cy)) => {
+                        min_cx = min_cx.min(cx);
+                        max_cx = max_cx.max(cx);
+                        min_cy = min_cy.min(cy);
+                        max_cy = max_cy.max(cy);
+                    }
+                    _ => {
+                        bucketable = false;
+                        break;
+                    }
+                }
+            }
+            if bucketable {
+                let cols = (max_cx as i128 - min_cx as i128) + 1;
+                let rows = (max_cy as i128 - min_cy as i128) + 1;
+                let cap = (4 * n as i128).max(4_096);
+                if cols * rows <= cap && cols * rows * nb as i128 <= 2 * cap {
+                    spatial = Some((cell, min_cx, min_cy, cols as usize, rows as usize));
+                }
+            }
+        }
+        let (cell_nm, min_cx, min_cy, cols, rows) = spatial.unwrap_or((0.0, 0, 0, 1, 1));
+
+        // Counting-sort into (cell, bucket) slots, bucket fastest-varying;
+        // iteration order keeps indices ascending within each slot.
+        let slots = cols * rows * nb;
+        let slot_of = |a: &Aircraft| -> usize {
+            let spatial = if cell_nm > 0.0 {
+                let cx = AltitudeBands::bucket_for(a.x, cell_nm).expect("bucketed above");
+                let cy = AltitudeBands::bucket_for(a.y, cell_nm).expect("bucketed above");
+                (cy - min_cy) as usize * cols + (cx - min_cx) as usize
+            } else {
+                0
+            };
+            let b = match bands.bucket_of(a.alt) {
+                Some(b) => (b - min_b) as usize,
+                None => 0, // degenerate bands: everyone shares slot 0
+            };
+            spatial * nb + b
+        };
+        let mut offsets = vec![0u32; slots + 1];
+        for a in aircraft {
+            offsets[slot_of(a) + 1] += 1;
+        }
+        for k in 1..=slots {
+            offsets[k] += offsets[k - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut idx = vec![0u32; n];
+        for (i, a) in aircraft.iter().enumerate() {
+            let s = slot_of(a);
+            idx[cursor[s] as usize] = i as u32;
+            cursor[s] += 1;
+        }
+        ConflictGrid {
+            bands,
+            cell_nm,
+            min_cx,
+            min_cy,
+            cols,
+            rows,
+            nb,
+            min_b,
+            offsets,
+            idx,
+        }
+    }
+
+    /// Half-open cell-coordinate ranges covering `cell(v) ± 1` per axis.
+    fn cell_ranges(&self, x: f32, y: f32) -> (usize, usize, usize, usize) {
+        if self.cell_nm <= 0.0 {
+            return (0, self.cols, 0, self.rows);
+        }
+        let clamp_axis = |c: Option<i64>, min: i64, len: usize| match c {
+            Some(c) => {
+                let lo = (c - 1 - min).clamp(0, len as i64);
+                let hi = (c + 2 - min).clamp(0, len as i64);
+                (lo as usize, hi.max(lo) as usize)
+            }
+            // Unbucketable query position: scan everything (cannot happen
+            // for positions the grid was built from).
+            None => (0, len),
+        };
+        let (x_lo, x_hi) = clamp_axis(
+            AltitudeBands::bucket_for(x, self.cell_nm),
+            self.min_cx,
+            self.cols,
+        );
+        let (y_lo, y_hi) = clamp_axis(
+            AltitudeBands::bucket_for(y, self.cell_nm),
+            self.min_cy,
+            self.rows,
+        );
+        (x_lo, x_hi, y_lo, y_hi)
+    }
+
+    /// Aircraft indices that could pass *both* scan gates against `track`:
+    /// the 3×3 cell neighborhood intersected with altitude bucket ±1 (a
+    /// superset — callers re-check the real f32 gates). Slots are CSR with
+    /// the bucket dimension fastest-varying, so each spatial cell's
+    /// ±1-bucket range is one contiguous `idx` slice found by two offset
+    /// loads — the iteration count is the intersection's size, never the
+    /// looser of the two dimensions alone.
+    pub fn candidates<'g>(&'g self, track: &Aircraft) -> impl Iterator<Item = usize> + 'g {
+        let (x_lo, x_hi, y_lo, y_hi) = self.cell_ranges(track.x, track.y);
+        let (b_lo, b_hi) = match self.bands.bucket_of(track.alt) {
+            Some(tb) => {
+                let lo = (tb - 1 - self.min_b).clamp(0, self.nb as i64) as usize;
+                let hi = (tb + 2 - self.min_b).clamp(0, self.nb as i64) as usize;
+                (lo, hi.max(lo))
+            }
+            // Degenerate bands or unbucketable query altitude: all buckets.
+            None => (0, self.nb),
+        };
+        (y_lo..y_hi)
+            .flat_map(move |cy| (x_lo..x_hi).map(move |cx| cy * self.cols + cx))
+            .flat_map(move |cell| {
+                let base = cell * self.nb;
+                let lo = self.offsets[base + b_lo] as usize;
+                let hi = self.offsets[base + b_hi] as usize;
+                self.idx[lo..hi].iter().map(|&i| i as usize)
+            })
+    }
+
+    /// Number of spatial cells (1 for the degenerate fallback).
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The composed altitude-band index.
+    pub fn bands(&self) -> &AltitudeBands {
+        &self.bands
+    }
+}
+
+/// The per-execution candidate index selected by [`AtmConfig::scan`].
+///
+/// Backends build one with [`ScanIndex::for_config`] at the top of a detect
+/// execution and thread it through [`check_collision_path_with`] /
+/// [`detect_only_with`]; positions and altitudes never change during Tasks
+/// 2+3, so the index stays valid across every rotation rescan of every
+/// aircraft.
+#[derive(Clone, Debug)]
+pub enum ScanIndex {
+    /// No index: the naive O(n²) scan (the seed path).
+    Naive,
+    /// Altitude-band index ([`ScanMode::Banded`]).
+    Banded(AltitudeBands),
+    /// Spatial grid composed with altitude bands ([`ScanMode::Grid`]).
+    Grid(ConflictGrid),
+}
+
+impl ScanIndex {
+    /// Build the index `cfg.scan` selects for one detect execution.
+    pub fn for_config(aircraft: &[Aircraft], cfg: &AtmConfig) -> ScanIndex {
         match cfg.scan {
-            ScanMode::Naive => None,
-            ScanMode::Banded => Some(AltitudeBands::build(aircraft, cfg.alt_separation_ft)),
+            ScanMode::Naive => ScanIndex::Naive,
+            ScanMode::Banded => {
+                ScanIndex::Banded(AltitudeBands::build(aircraft, cfg.alt_separation_ft))
+            }
+            ScanMode::Grid => ScanIndex::Grid(ConflictGrid::build(aircraft, cfg)),
         }
     }
 }
@@ -195,9 +443,12 @@ pub struct ScanResult {
 }
 
 /// One full scan of aircraft `i` (with trial velocity `vel`) against all
-/// others: the Task 2 half. Read-only; backends that cannot mutate shared
-/// state mid-scan (the threaded MIMD implementation) drive the rotation
-/// loop themselves around this function.
+/// others: the Task 2 half. Each non-self pair passes through two
+/// data-independent gates — altitude band and critical reach — and only
+/// pairs passing both count as a check and evaluate their conflict window.
+/// Read-only; backends that cannot mutate shared state mid-scan (the
+/// threaded MIMD implementation) drive the rotation loop themselves around
+/// this function.
 pub fn scan_for_conflicts(
     aircraft: &[Aircraft],
     i: usize,
@@ -206,6 +457,7 @@ pub fn scan_for_conflicts(
     sink: &mut impl CostSink,
 ) -> ScanResult {
     let track = &aircraft[i];
+    let reach = cfg.critical_reach_nm();
     let mut earliest: Option<(usize, f32)> = None;
     let mut checks = 0u64;
     for (p, trial) in aircraft.iter().enumerate() {
@@ -216,7 +468,14 @@ pub fn scan_for_conflicts(
         }
         // Every track thread walks the same shared aircraft array.
         sink.load_shared(Aircraft::RECORD_BYTES);
-        if !same_altitude_band(track, trial, cfg.alt_separation_ft, sink) {
+        // Both gates evaluate unconditionally (predicated, lockstep-style —
+        // the SIMD substrates execute both sides of a divergence anyway),
+        // so every skipped pair books the same fixed mix regardless of
+        // *which* gate rejected it; the fast paths rely on that to book
+        // their skipped pairs in aggregate.
+        let same_band = same_altitude_band(track, trial, cfg.alt_separation_ft, sink);
+        let in_reach = within_critical_reach(track, trial, reach, sink);
+        if !(same_band && in_reach) {
             continue;
         }
         checks += 1;
@@ -243,15 +502,28 @@ pub fn scan_for_conflicts(
     }
 }
 
+/// Book the aggregate operation mix the naive scan accrues unconditionally
+/// over a fleet of `n`: n iterations of `ialu(1); branch(false)` plus, for
+/// the n−1 non-self pairs, one shared record read, the altitude gate's
+/// `fadd(2); branch(false)` and the range gate's `fadd(4); branch(false)`.
+/// All three sinks are purely accumulative, so totals — not call sequences
+/// — determine modeled time (DESIGN.md §8).
+fn book_unconditional_mix(n: u64, sink: &mut impl CostSink) {
+    sink.ialu(n);
+    sink.branches(3 * n - 2, false);
+    sink.loads_shared(n - 1, Aircraft::RECORD_BYTES);
+    sink.fadd(6 * (n - 1));
+}
+
 /// The banded fast path of [`scan_for_conflicts`]: visit only the aircraft
 /// within ±1 altitude band of the track, which is every pair the naive scan
 /// could accept (see [`AltitudeBands`]). The operation mix the naive scan
 /// books for *every* pair — loop index work, the self check, the shared
-/// record read and the altitude-gate compare — is booked up front in
-/// aggregate, so the sink's totals (and therefore every backend's modeled
-/// time) are bit-identical to the naive scan; only candidates that pass the
-/// real altitude gate book their conflict windows individually, exactly as
-/// the naive scan does. Returns the same result and the same check count.
+/// record read and both gate compares — is booked up front in aggregate, so
+/// the sink's totals (and therefore every backend's modeled time) are
+/// bit-identical to the naive scan; only candidates that pass the real
+/// gates book their conflict windows individually, exactly as the naive
+/// scan does. Returns the same result and the same check count.
 pub fn scan_for_conflicts_banded(
     aircraft: &[Aircraft],
     bands: &AltitudeBands,
@@ -261,14 +533,8 @@ pub fn scan_for_conflicts_banded(
     sink: &mut impl CostSink,
 ) -> ScanResult {
     let track = &aircraft[i];
-    let n = aircraft.len() as u64;
-    // Aggregate of what the naive scan books unconditionally: n iterations
-    // of `ialu(1); branch(false)` plus, for the n−1 non-self pairs, one
-    // shared record read and the altitude gate's `fadd(2); branch(false)`.
-    sink.ialu(n);
-    sink.branches(2 * n - 1, false);
-    sink.loads_shared(n - 1, Aircraft::RECORD_BYTES);
-    sink.fadd(2 * (n - 1));
+    let reach = cfg.critical_reach_nm();
+    book_unconditional_mix(aircraft.len() as u64, sink);
 
     let mut earliest: Option<(usize, f32)> = None;
     let mut checks = 0u64;
@@ -277,9 +543,11 @@ pub fn scan_for_conflicts_banded(
             continue;
         }
         let trial = &aircraft[p];
-        // Re-check the real f32 gate (candidates are a superset); its cost
-        // is already in the aggregate above, so book it to a null sink.
-        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink) {
+        // Re-check the real f32 gates (candidates are a superset); their
+        // cost is already in the aggregate above, so book to a null sink.
+        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
+            || !within_critical_reach(track, trial, reach, &mut NullSink)
+        {
             continue;
         }
         checks += 1;
@@ -309,21 +577,81 @@ pub fn scan_for_conflicts_banded(
     }
 }
 
-/// Dispatch between the naive scan and the banded fast path (`None` means
-/// naive). Backends hold an `Option<AltitudeBands>` per detect execution
-/// and call this from their per-aircraft loops.
-#[inline]
-pub fn scan_for_conflicts_with(
+/// The grid fast path of [`scan_for_conflicts`]: visit only the aircraft in
+/// the track's 3×3 cell neighborhood and ±1 altitude band, which is every
+/// pair the naive scan's two gates could accept (see [`ConflictGrid`]).
+/// Same aggregate-booking contract as [`scan_for_conflicts_banded`]: the
+/// sink's totals, the result and the check count are bit-identical to the
+/// naive scan's.
+pub fn scan_for_conflicts_grid(
     aircraft: &[Aircraft],
-    bands: Option<&AltitudeBands>,
+    grid: &ConflictGrid,
     i: usize,
     vel: (f32, f32),
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> ScanResult {
-    match bands {
-        Some(b) => scan_for_conflicts_banded(aircraft, b, i, vel, cfg, sink),
-        None => scan_for_conflicts(aircraft, i, vel, cfg, sink),
+    let track = &aircraft[i];
+    let reach = cfg.critical_reach_nm();
+    book_unconditional_mix(aircraft.len() as u64, sink);
+
+    let mut earliest: Option<(usize, f32)> = None;
+    let mut checks = 0u64;
+    for p in grid.candidates(track) {
+        if p == i {
+            continue;
+        }
+        let trial = &aircraft[p];
+        // Re-check the real f32 gates (candidates are a superset); their
+        // cost is already in the aggregate above, so book to a null sink.
+        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
+            || !within_critical_reach(track, trial, reach, &mut NullSink)
+        {
+            continue;
+        }
+        checks += 1;
+        if let Some((tmin, _tmax)) = conflict_window(
+            track,
+            vel,
+            trial,
+            cfg.separation_nm,
+            cfg.horizon_periods,
+            sink,
+        ) {
+            sink.branch(true);
+            if tmin < cfg.critical_periods {
+                // Cell order is not index order, so pick the lexicographic
+                // minimum over (tmin, p) explicitly — the same pair the
+                // naive ascending-index scan settles on.
+                match earliest {
+                    Some((bp, bt)) if bt < tmin || (bt == tmin && bp < p) => {}
+                    _ => earliest = Some((p, tmin)),
+                }
+            }
+        }
+    }
+    ScanResult {
+        critical: earliest,
+        checks,
+    }
+}
+
+/// Dispatch between the naive scan and the fast paths. Backends hold a
+/// [`ScanIndex`] per detect execution and call this from their
+/// per-aircraft loops.
+#[inline]
+pub fn scan_for_conflicts_with(
+    aircraft: &[Aircraft],
+    index: &ScanIndex,
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> ScanResult {
+    match index {
+        ScanIndex::Naive => scan_for_conflicts(aircraft, i, vel, cfg, sink),
+        ScanIndex::Banded(b) => scan_for_conflicts_banded(aircraft, b, i, vel, cfg, sink),
+        ScanIndex::Grid(g) => scan_for_conflicts_grid(aircraft, g, i, vel, cfg, sink),
     }
 }
 
@@ -346,27 +674,17 @@ pub fn check_collision_path(
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> DetectStats {
-    check_collision_path_with(aircraft, None, i, cfg, sink)
+    check_collision_path_with(aircraft, &ScanIndex::Naive, i, cfg, sink)
 }
 
-/// [`check_collision_path`] over a prebuilt altitude-band index: identical
+/// [`check_collision_path`] over a prebuilt [`ScanIndex`]: identical
 /// mutations, stats and booked cost totals, fewer candidate visits. The
-/// index stays valid across the internal rotation rescans (altitudes do not
-/// change) and across all aircraft of one detect execution.
-pub fn check_collision_path_banded(
-    aircraft: &mut [Aircraft],
-    bands: &AltitudeBands,
-    i: usize,
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> DetectStats {
-    check_collision_path_with(aircraft, Some(bands), i, cfg, sink)
-}
-
-/// [`check_collision_path`] with an optional band index (`None` = naive).
+/// index stays valid across the internal rotation rescans (positions and
+/// altitudes do not change) and across all aircraft of one detect
+/// execution.
 pub fn check_collision_path_with(
     aircraft: &mut [Aircraft],
-    bands: Option<&AltitudeBands>,
+    index: &ScanIndex,
     i: usize,
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
@@ -385,7 +703,7 @@ pub fn check_collision_path_with(
     let mut chk = 0u32; // course corrections attempted (paper's `chk`)
 
     loop {
-        let scan = scan_for_conflicts_with(aircraft, bands, i, vel, cfg, sink);
+        let scan = scan_for_conflicts_with(aircraft, index, i, vel, cfg, sink);
         stats.pair_checks += scan.checks;
 
         let Some((partner, tmin)) = scan.critical else {
@@ -449,25 +767,14 @@ pub fn detect_only(
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> DetectStats {
-    detect_only_with(aircraft, None, i, cfg, sink)
+    detect_only_with(aircraft, &ScanIndex::Naive, i, cfg, sink)
 }
 
-/// [`detect_only`] over a prebuilt altitude-band index (same contract as
-/// [`check_collision_path_banded`]).
-pub fn detect_only_banded(
-    aircraft: &mut [Aircraft],
-    bands: &AltitudeBands,
-    i: usize,
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> DetectStats {
-    detect_only_with(aircraft, Some(bands), i, cfg, sink)
-}
-
-/// [`detect_only`] with an optional band index (`None` = naive).
+/// [`detect_only`] over a prebuilt [`ScanIndex`] (same contract as
+/// [`check_collision_path_with`]).
 pub fn detect_only_with(
     aircraft: &mut [Aircraft],
-    bands: Option<&AltitudeBands>,
+    index: &ScanIndex,
     i: usize,
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
@@ -476,7 +783,7 @@ pub fn detect_only_with(
     aircraft[i].time_till = cfg.critical_periods;
     sink.store(4);
     let vel = (aircraft[i].dx, aircraft[i].dy);
-    let scan = scan_for_conflicts_with(aircraft, bands, i, vel, cfg, sink);
+    let scan = scan_for_conflicts_with(aircraft, index, i, vel, cfg, sink);
     stats.pair_checks = scan.checks;
     if let Some((partner, tmin)) = scan.critical {
         stats.critical_conflicts = 1;
@@ -489,24 +796,18 @@ pub fn detect_only_with(
 }
 
 /// Sequential reference driver: run the fused routine for every aircraft in
-/// index order and fold the stats. Honors [`AtmConfig::scan`]: under
-/// [`ScanMode::Banded`] one altitude-band index is built up front and reused
-/// for every aircraft (altitudes never change during Tasks 2+3).
+/// index order and fold the stats. Honors [`AtmConfig::scan`]: one
+/// [`ScanIndex`] is built up front and reused for every aircraft (positions
+/// and altitudes never change during Tasks 2+3).
 pub fn detect_resolve_all(
     aircraft: &mut [Aircraft],
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> DetectStats {
-    let bands = AltitudeBands::for_config(aircraft, cfg);
+    let index = ScanIndex::for_config(aircraft, cfg);
     let mut total = DetectStats::default();
     for i in 0..aircraft.len() {
-        total.absorb(&check_collision_path_with(
-            aircraft,
-            bands.as_ref(),
-            i,
-            cfg,
-            sink,
-        ));
+        total.absorb(&check_collision_path_with(aircraft, &index, i, cfg, sink));
     }
     total
 }
@@ -584,7 +885,8 @@ mod tests {
     #[test]
     fn non_critical_far_future_conflict_is_not_resolved() {
         // Conflict at t ≈ 1000 periods: inside the horizon, outside the
-        // 300-period critical window → detected pairs are left to resolve
+        // 300-period critical window (and outside critical reach, so the
+        // range gate already excludes it) → the pair is left to resolve
         // naturally.
         let mut ac = vec![
             Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0),
@@ -717,7 +1019,22 @@ mod tests {
     }
 
     #[test]
-    fn banded_detect_resolve_matches_naive_end_to_end() {
+    fn grid_scan_matches_naive_scan_exactly() {
+        let ac = banded_fleet();
+        let grid = ConflictGrid::build(&ac, &cfg());
+        for i in 0..ac.len() {
+            let vel = (ac[i].dx, ac[i].dy);
+            let mut cn = sim_clock::OpCounter::new();
+            let mut cg = sim_clock::OpCounter::new();
+            let rn = scan_for_conflicts(&ac, i, vel, &cfg(), &mut cn);
+            let rg = scan_for_conflicts_grid(&ac, &grid, i, vel, &cfg(), &mut cg);
+            assert_eq!(rn, rg, "scan result must match for aircraft {i}");
+            assert_eq!(cn, cg, "booked cost totals must match for aircraft {i}");
+        }
+    }
+
+    #[test]
+    fn fast_path_detect_resolve_matches_naive_end_to_end() {
         let run = |mode: ScanMode| {
             let mut ac = banded_fleet();
             let mut ops = sim_clock::OpCounter::new();
@@ -729,10 +1046,15 @@ mod tests {
             (ac, s, ops)
         };
         let naive = run(ScanMode::Naive);
-        let banded = run(ScanMode::Banded);
-        assert_eq!(naive.0, banded.0, "mutated fleets must be identical");
-        assert_eq!(naive.1, banded.1, "DetectStats must be identical");
-        assert_eq!(naive.2, banded.2, "cost totals must be identical");
+        for mode in [ScanMode::Banded, ScanMode::Grid] {
+            let fast = run(mode);
+            assert_eq!(
+                naive.0, fast.0,
+                "{mode:?}: mutated fleets must be identical"
+            );
+            assert_eq!(naive.1, fast.1, "{mode:?}: DetectStats must be identical");
+            assert_eq!(naive.2, fast.2, "{mode:?}: cost totals must be identical");
+        }
         assert!(
             naive.1.critical_conflicts > 0,
             "fleet should have conflicts"
@@ -768,19 +1090,139 @@ mod tests {
     }
 
     #[test]
-    fn detect_only_banded_matches_naive() {
+    fn detect_only_fast_paths_match_naive() {
         let base = banded_fleet();
-        let bands = AltitudeBands::build(&base, cfg().alt_separation_ft);
-        for i in 0..base.len() {
-            let mut an = base.clone();
-            let mut ab = base.clone();
-            let mut cn = sim_clock::OpCounter::new();
-            let mut cb = sim_clock::OpCounter::new();
-            let sn = detect_only(&mut an, i, &cfg(), &mut cn);
-            let sb = detect_only_banded(&mut ab, &bands, i, &cfg(), &mut cb);
-            assert_eq!(sn, sb);
-            assert_eq!(an, ab);
-            assert_eq!(cn, cb);
+        let indices = [
+            ScanIndex::Banded(AltitudeBands::build(&base, cfg().alt_separation_ft)),
+            ScanIndex::Grid(ConflictGrid::build(&base, &cfg())),
+        ];
+        for index in &indices {
+            for i in 0..base.len() {
+                let mut an = base.clone();
+                let mut af = base.clone();
+                let mut cn = sim_clock::OpCounter::new();
+                let mut cf = sim_clock::OpCounter::new();
+                let sn = detect_only(&mut an, i, &cfg(), &mut cn);
+                let sf = detect_only_with(&mut af, index, i, &cfg(), &mut cf);
+                assert_eq!(sn, sf);
+                assert_eq!(an, af);
+                assert_eq!(cn, cf);
+            }
         }
+    }
+
+    /// A fleet wide enough to span several grid cells (the banded fleet
+    /// sits at radius 30 nm, inside one ~56 nm cell of its neighbors).
+    fn spread_fleet() -> Vec<Aircraft> {
+        let mut ac = Vec::new();
+        for k in 0..60u32 {
+            let ang = k as f32 * 0.47;
+            let r = 20.0 + (k % 9) as f32 * 12.0; // radii 20..116 nm
+            let alt = 5_000.0 + (k % 5) as f32 * 700.0;
+            ac.push(
+                Aircraft::at(r * ang.cos(), r * ang.sin())
+                    .with_velocity(-0.05 * ang.cos(), -0.05 * ang.sin())
+                    .with_altitude(alt),
+            );
+        }
+        ac
+    }
+
+    #[test]
+    fn grid_prunes_candidates_but_covers_all_gate_passers() {
+        let ac = spread_fleet();
+        let c = cfg();
+        let grid = ConflictGrid::build(&ac, &c);
+        assert!(grid.cell_count() > 1, "fleet spans several cells");
+        let reach = c.critical_reach_nm();
+        let mut pruned_somewhere = false;
+        for i in 0..ac.len() {
+            let cands: Vec<usize> = grid.candidates(&ac[i]).collect();
+            pruned_somewhere |= cands.len() < ac.len();
+            for p in 0..ac.len() {
+                let both_gates = (ac[i].alt - ac[p].alt).abs() < c.alt_separation_ft
+                    && (ac[i].x - ac[p].x).abs() <= reach
+                    && (ac[i].y - ac[p].y).abs() <= reach;
+                if p != i && both_gates {
+                    assert!(cands.contains(&p), "gate-passing pair ({i},{p}) missed");
+                }
+            }
+        }
+        assert!(pruned_somewhere, "grid should prune at least one scan");
+    }
+
+    #[test]
+    fn grid_detect_resolve_matches_naive_on_a_spread_fleet() {
+        let run = |mode: ScanMode| {
+            let mut ac = spread_fleet();
+            let mut ops = sim_clock::OpCounter::new();
+            let c = AtmConfig {
+                scan: mode,
+                ..cfg()
+            };
+            let s = detect_resolve_all(&mut ac, &c, &mut ops);
+            (ac, s, ops)
+        };
+        let naive = run(ScanMode::Naive);
+        let grid = run(ScanMode::Grid);
+        assert_eq!(naive, grid);
+    }
+
+    #[test]
+    fn degenerate_grid_falls_back_to_one_cell() {
+        let ac = spread_fleet();
+        // Non-finite reach (degenerate separation) → one catch-all cell.
+        let c = AtmConfig {
+            separation_nm: f32::NAN,
+            ..cfg()
+        };
+        let grid = ConflictGrid::build(&ac, &c);
+        assert_eq!(grid.cell_count(), 1);
+        // Candidates still altitude-filtered through the composed bands.
+        assert!(grid.candidates(&ac[0]).count() <= ac.len());
+        // Non-finite positions → unbucketable → one catch-all cell.
+        let mut bad = ac.clone();
+        bad[3].x = f32::NAN;
+        let grid = ConflictGrid::build(&bad, &cfg());
+        assert_eq!(grid.cell_count(), 1);
+        assert_eq!(ConflictGrid::build(&[], &cfg()).cell_count(), 1);
+    }
+
+    #[test]
+    fn explicit_cell_size_only_coarsens_the_grid() {
+        let ac = spread_fleet();
+        let auto = ConflictGrid::build(&ac, &cfg());
+        // A finer request than the envelope is clamped up to it.
+        let fine = ConflictGrid::build(
+            &ac,
+            &AtmConfig {
+                grid_cell_nm: 1.0,
+                ..cfg()
+            },
+        );
+        assert_eq!(fine.cell_count(), auto.cell_count());
+        // A coarser request is honored and still covers every pair.
+        let coarse_cfg = AtmConfig {
+            grid_cell_nm: 200.0,
+            scan: ScanMode::Grid,
+            ..cfg()
+        };
+        let coarse = ConflictGrid::build(&ac, &coarse_cfg);
+        assert!(coarse.cell_count() <= auto.cell_count());
+        let mut a1 = ac.clone();
+        let mut a2 = ac.clone();
+        let s1 = detect_resolve_all(&mut a1, &cfg(), &mut NullSink);
+        let s2 = detect_resolve_all(&mut a2, &coarse_cfg, &mut NullSink);
+        assert_eq!(s1, s2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn scan_index_follows_the_config() {
+        let ac = banded_fleet();
+        let for_mode = |m| ScanIndex::for_config(&ac, &AtmConfig { scan: m, ..cfg() });
+        assert!(matches!(for_mode(ScanMode::Naive), ScanIndex::Naive));
+        assert!(matches!(for_mode(ScanMode::Banded), ScanIndex::Banded(_)));
+        assert!(matches!(for_mode(ScanMode::Grid), ScanIndex::Grid(_)));
     }
 }

@@ -39,7 +39,7 @@ pub mod types;
 pub use airfield::Airfield;
 pub use backends::AtmBackend;
 pub use config::{AtmConfig, ScanMode};
-pub use detect::AltitudeBands;
+pub use detect::{AltitudeBands, ConflictGrid, ScanIndex};
 pub use sim::{AtmSimulation, SimOutcome, TerrainSchedule};
 pub use terrain::{TerrainGrid, TerrainTaskConfig};
 pub use types::{Aircraft, RadarReport};

@@ -325,7 +325,7 @@ fn polyfit_residuals_never_beat_higher_degree() {
     }
 }
 
-// ---------- Banded scan vs. naive scan ----------
+// ---------- Fast scans (banded, grid) vs. naive scan ----------
 
 /// A fleet whose altitudes cluster into a handful of flight levels, so the
 /// banded index actually prunes (random altitudes over the full range would
@@ -349,29 +349,176 @@ fn scan_cfg(seed: u64, scan: ScanMode) -> AtmConfig {
     }
 }
 
-#[test]
-fn banded_detect_equals_naive_on_random_fleets() {
+/// Run Tasks 2+3 end to end under `cfg` and return everything observable:
+/// the mutated fleet, the detection statistics, and the booked op totals.
+fn full_detect(
+    fleet: &[Aircraft],
+    cfg: &AtmConfig,
+) -> (
+    Vec<Aircraft>,
+    atm_core::detect::DetectStats,
+    sim_clock::OpCounter,
+) {
     use atm_core::detect::detect_resolve_all;
-    use sim_clock::OpCounter;
+    let mut aircraft = fleet.to_vec();
+    let mut ops = sim_clock::OpCounter::new();
+    let stats = detect_resolve_all(&mut aircraft, cfg, &mut ops);
+    (aircraft, stats, ops)
+}
+
+/// Assert the three-way conformance contract on one fleet/config: banded
+/// and grid must match naive in mutated fleet, stats, and booked costs.
+fn assert_scans_agree(fleet: &[Aircraft], base: &AtmConfig, label: &str) {
+    let naive = full_detect(
+        fleet,
+        &AtmConfig {
+            scan: ScanMode::Naive,
+            ..base.clone()
+        },
+    );
+    for scan in [ScanMode::Banded, ScanMode::Grid] {
+        let fast = full_detect(
+            fleet,
+            &AtmConfig {
+                scan,
+                ..base.clone()
+            },
+        );
+        assert_eq!(naive.0, fast.0, "{label}: fleets diverged under {scan:?}");
+        assert_eq!(naive.1, fast.1, "{label}: stats diverged under {scan:?}");
+        assert_eq!(naive.2, fast.2, "{label}: costs diverged under {scan:?}");
+    }
+}
+
+#[test]
+fn fast_scans_equal_naive_on_random_fleets() {
     let mut rng = SimRng::seed_from_u64(0xB0);
     for case in 0..24 {
         let n = 2 + (rng.next_u64() % 120) as usize;
         let fleet = arb_fleet(&mut rng, n);
-
-        let mut naive = fleet.clone();
-        let mut naive_ops = OpCounter::new();
-        let naive_stats =
-            detect_resolve_all(&mut naive, &scan_cfg(1, ScanMode::Naive), &mut naive_ops);
-
-        let mut banded = fleet.clone();
-        let mut banded_ops = OpCounter::new();
-        let banded_stats =
-            detect_resolve_all(&mut banded, &scan_cfg(1, ScanMode::Banded), &mut banded_ops);
-
-        assert_eq!(naive, banded, "case {case}: fleets diverged (n={n})");
-        assert_eq!(naive_stats, banded_stats, "case {case}: stats diverged");
-        assert_eq!(naive_ops, banded_ops, "case {case}: booked costs diverged");
+        assert_scans_agree(
+            &fleet,
+            &AtmConfig::with_seed(1),
+            &format!("case {case} (n={n})"),
+        );
     }
+}
+
+#[test]
+fn fast_scans_equal_naive_when_every_aircraft_shares_one_cell() {
+    // Degenerate pruning: the whole fleet inside a radius far smaller than
+    // the ~56 nm cell, so the grid collapses to a single populated cell
+    // and the scan must behave exactly like the naive loop.
+    let mut rng = SimRng::seed_from_u64(0xB2);
+    for case in 0..8 {
+        let n = 2 + (rng.next_u64() % 60) as usize;
+        let fleet: Vec<Aircraft> = (0..n)
+            .map(|_| {
+                let mut a = arb_aircraft(&mut rng);
+                a.x = rng.range_f32_inclusive(-8.0, 8.0);
+                a.y = rng.range_f32_inclusive(-8.0, 8.0);
+                a.alt = 9_000.0 + (rng.next_u64() % 4) as f32 * 800.0;
+                a
+            })
+            .collect();
+        assert_scans_agree(
+            &fleet,
+            &AtmConfig::with_seed(2),
+            &format!("one-cell case {case}"),
+        );
+    }
+}
+
+#[test]
+fn fast_scans_equal_naive_on_cell_boundary_positions() {
+    // Aircraft sitting *exactly* on grid-cell boundaries (integer multiples
+    // of the derived cell width): floor-bucketing assigns each to exactly
+    // one cell, and pairs one cell apart sit exactly one reach from each
+    // other — the adjacency window must still cover every gate passer.
+    let cfg = AtmConfig::with_seed(3);
+    let cell = cfg.critical_reach_nm() as f64 * 1.000_001;
+    let mut rng = SimRng::seed_from_u64(0xB3);
+    let mut fleet = Vec::new();
+    for kx in -2i64..=2 {
+        for ky in -2i64..=2 {
+            let mut a = arb_aircraft(&mut rng);
+            a.x = ((kx as f64) * cell) as f32;
+            a.y = ((ky as f64) * cell) as f32;
+            a.alt = 10_000.0 + ((kx + ky).rem_euclid(3)) as f32 * 900.0;
+            fleet.push(a);
+            // A partner a hair inside the same corner, same band.
+            let mut b = arb_aircraft(&mut rng);
+            b.x = a.x - 0.25;
+            b.y = a.y - 0.25;
+            b.alt = a.alt + 100.0;
+            fleet.push(b);
+        }
+    }
+    assert_scans_agree(&fleet, &cfg, "cell-boundary lattice");
+}
+
+#[test]
+fn fast_scans_equal_naive_on_a_fleet_hugging_the_field_edge() {
+    // Everything pinned to the ±128 nm rim (corners and edges): the grid's
+    // populated cells form a hollow ring, min/max cell offsets are extreme,
+    // and clamping at the rim must not lose adjacency.
+    let mut rng = SimRng::seed_from_u64(0xB4);
+    let mut fleet = Vec::new();
+    for i in 0..48 {
+        let mut a = arb_aircraft(&mut rng);
+        let along = rng.range_f32_inclusive(-128.0, 128.0);
+        let rim = 128.0 - rng.range_f32_inclusive(0.0, 0.5);
+        match i % 4 {
+            0 => {
+                a.x = along;
+                a.y = rim;
+            }
+            1 => {
+                a.x = along;
+                a.y = -rim;
+            }
+            2 => {
+                a.x = rim;
+                a.y = along;
+            }
+            _ => {
+                a.x = -rim;
+                a.y = along;
+            }
+        }
+        a.alt = 20_000.0 + (i % 5) as f32 * 900.0;
+        fleet.push(a);
+    }
+    assert_scans_agree(&fleet, &AtmConfig::with_seed(4), "field-edge ring");
+}
+
+#[test]
+fn fast_scans_equal_naive_on_zero_velocity_clusters() {
+    // Static aircraft only conflict if their boxes already overlap. With
+    // speed_max 0 the reach collapses to the separation itself, so pairs
+    // exactly one separation apart sit on the gate's `<=` boundary (a
+    // zero-width window exists there) — the hardest edge for the range
+    // gate and the grid's containment argument alike.
+    let base = AtmConfig {
+        speed_min_kts: 0.0,
+        speed_max_kts: 0.0,
+        ..AtmConfig::with_seed(5)
+    };
+    let sep = base.separation_nm; // 3.0
+    let mut fleet = Vec::new();
+    for k in 0..10 {
+        let cx = -60.0 + k as f32 * 13.0;
+        let cy = 40.0 - k as f32 * 9.0;
+        // A cross of five static aircraft, arms exactly one separation out.
+        for (dx, dy) in [(0.0, 0.0), (sep, 0.0), (-sep, 0.0), (0.0, sep), (0.0, -sep)] {
+            fleet.push(
+                Aircraft::at(cx + dx, cy + dy)
+                    .with_velocity(0.0, 0.0)
+                    .with_altitude(15_000.0 + (k % 3) as f32 * 900.0),
+            );
+        }
+    }
+    assert_scans_agree(&fleet, &base, "zero-velocity crosses");
 }
 
 #[test]
@@ -386,15 +533,17 @@ fn gpu_modeled_time_is_bit_identical_across_scan_modes() {
         let mut gpu1 = GpuBackend::titan_x_pascal();
         let t_naive = gpu1.detect_resolve(&mut naive, &scan_cfg(seed, ScanMode::Naive));
 
-        let mut banded = fleet.clone();
-        let mut gpu2 = GpuBackend::titan_x_pascal();
-        let t_banded = gpu2.detect_resolve(&mut banded, &scan_cfg(seed, ScanMode::Banded));
+        for scan in [ScanMode::Banded, ScanMode::Grid] {
+            let mut fast = fleet.clone();
+            let mut gpu2 = GpuBackend::titan_x_pascal();
+            let t_fast = gpu2.detect_resolve(&mut fast, &scan_cfg(seed, scan));
 
-        assert_eq!(naive, banded, "n={n} seed={seed}");
-        assert_eq!(
-            t_naive, t_banded,
-            "modeled GPU time diverged (n={n} seed={seed})"
-        );
+            assert_eq!(naive, fast, "n={n} seed={seed} scan={scan:?}");
+            assert_eq!(
+                t_naive, t_fast,
+                "modeled GPU time diverged (n={n} seed={seed} scan={scan:?})"
+            );
+        }
     }
 }
 
@@ -406,12 +555,17 @@ fn xeon_modeled_time_is_identical_across_scan_modes() {
     let mut x1 = XeonModelBackend::new();
     let t_naive = x1.detect_resolve(&mut naive, &scan_cfg(77, ScanMode::Naive));
 
-    let mut banded = fleet.clone();
-    let mut x2 = XeonModelBackend::new();
-    let t_banded = x2.detect_resolve(&mut banded, &scan_cfg(77, ScanMode::Banded));
+    for scan in [ScanMode::Banded, ScanMode::Grid] {
+        let mut fast = fleet.clone();
+        let mut x2 = XeonModelBackend::new();
+        let t_fast = x2.detect_resolve(&mut fast, &scan_cfg(77, scan));
 
-    assert_eq!(naive, banded);
-    assert_eq!(t_naive, t_banded, "Xeon weighted-op pricing diverged");
+        assert_eq!(naive, fast, "scan={scan:?}");
+        assert_eq!(
+            t_naive, t_fast,
+            "Xeon weighted-op pricing diverged under {scan:?}"
+        );
+    }
 }
 
 // ---------- Parallel sweep harness ----------
