@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Cross-run bench regression gate.
+
+Compares per-stage wall-clock times between the previous successful run's
+``BENCH_sweep.json`` and the current one, and fails when any stage slowed
+down by more than the threshold (default 20%).
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 1.20]
+
+Stages are matched by their ``id``. Stages present on only one side (a
+newly added or retired bench stage) are reported but never fail the gate.
+A missing or unreadable baseline file is a graceful skip (exit 0): the
+first run on a fresh repository has nothing to compare against.
+
+Wall-clock on shared CI runners is noisy; the 20% margin plus the
+multi-rep sweep inside each stage keeps false positives rare while still
+catching the order-of-magnitude regressions this gate exists for (an
+accidentally serialized fan-out, a quadratic scan sneaking back in).
+"""
+
+import json
+import sys
+
+
+def load_stages(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {s["id"]: float(s["wall_ms"]) for s in doc.get("stages", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 1.20
+    for a in argv[1:]:
+        if a.startswith("--threshold"):
+            threshold = float(a.split("=", 1)[1] if "=" in a else argv[argv.index(a) + 1])
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+
+    baseline_path, current_path = args[0], args[1]
+    try:
+        baseline = load_stages(baseline_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"no usable baseline at {baseline_path} ({e}); skipping regression gate")
+        return 0
+    current = load_stages(current_path)
+
+    failed = []
+    for stage_id in sorted(set(baseline) | set(current)):
+        if stage_id not in baseline:
+            print(f"  {stage_id:<28} new stage ({current[stage_id]:.1f} ms), no baseline")
+            continue
+        if stage_id not in current:
+            print(f"  {stage_id:<28} retired stage (was {baseline[stage_id]:.1f} ms)")
+            continue
+        old, new = baseline[stage_id], current[stage_id]
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "REGRESSED" if ratio > threshold else "ok"
+        print(f"  {stage_id:<28} {old:9.1f} ms -> {new:9.1f} ms  ({ratio:5.2f}x)  {verdict}")
+        if ratio > threshold:
+            failed.append(stage_id)
+
+    if failed:
+        print(f"\n{len(failed)} stage(s) regressed beyond {threshold:.2f}x: {', '.join(failed)}")
+        return 1
+    print(f"\nall shared stages within the {threshold:.2f}x budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -275,10 +275,27 @@ pub fn all(n: usize, seed: u64) -> Vec<Ablation> {
     all_on(n, seed, &Harness::serial())
 }
 
+/// Relative cost estimates for the six ablations at the same `n`, measured
+/// once on the reference host (ms at n=2000, rounded): the detect-resolve
+/// pairs dominate — the 9800 GT functional walk (tiling) and the fused/split
+/// contrast are the heavy tail, the analytic locking model is ~free. Only
+/// the *order* matters (see [`crate::harness::descending_cost_order`]), so
+/// coarse static estimates claim correctly at every size.
+const ABLATION_COST_ESTIMATES: [f64; 6] = [
+    40.0, // fused-kernel: two full detect_resolve executions
+    30.0, // block-size: two detect_resolve executions, same device
+    8.0,  // expanding-box: two track_correlate executions
+    6.0,  // pe-virtualization: two track_correlate executions
+    3.0,  // locking: one serial track_correlate + analytic model
+    60.0, // shared-memory-tiling: two detect_resolve walks, tiled variant
+];
+
 /// [`all`], fanning the six independent ablations across the harness's
-/// workers. Output order is fixed regardless of the job count.
+/// workers, claimed heaviest-first per [`ABLATION_COST_ESTIMATES`]. Output
+/// order is fixed regardless of the job count or claim order.
 pub fn all_on(n: usize, seed: u64, harness: &Harness) -> Vec<Ablation> {
-    harness.run(6, |i| match i {
+    let order = crate::harness::descending_cost_order(&ABLATION_COST_ESTIMATES);
+    harness.run_ordered(6, &order, |i| match i {
         0 => fused_kernel(n, seed),
         1 => block_size(n, seed, 256, DeviceSpec::titan_x_pascal()),
         2 => expanding_box(n, seed),

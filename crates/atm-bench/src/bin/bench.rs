@@ -23,12 +23,22 @@
 //! determinism contract: neither knob may change a single output value),
 //! and writes `BENCH_sweep.json` with per-stage wall-clock times and
 //! speedups over the `serial-naive` baseline.
+//!
+//! A second section times the sharded detect (`sharded-detect-1/2/4`
+//! stages): one Tasks 2+3 execution per sweep point through
+//! [`atm_core::detect_resolve_parallel`] at shard grid sides 1, 2 and 4
+//! (shards=1 is the exact sequential code path), verifying that fleets,
+//! stats and booked op totals are bit-identical across shard counts and
+//! reporting the per-point wall-clock win.
 
 use atm_bench::harness::Harness;
 use atm_bench::series::Series;
 use atm_bench::sweep::{sweep_roster_on, SweepConfig, Task};
 use atm_core::backends::Roster;
-use atm_core::ScanMode;
+use atm_core::detect::DetectStats;
+use atm_core::types::Aircraft;
+use atm_core::{detect_resolve_parallel, Airfield, AtmConfig, ScanMode};
+use sim_clock::OpCounter;
 use std::path::PathBuf;
 use std::time::Instant;
 use telemetry::JsonValue;
@@ -88,6 +98,33 @@ fn run_stage(cfg: &SweepConfig, harness: &Harness) -> (f64, Vec<Vec<Series>>) {
     (start.elapsed().as_secs_f64() * 1_000.0, series)
 }
 
+/// One timed pass of the sharded detect: a single Tasks 2+3 execution per
+/// sweep point (fresh seeded fleet, index build included — it is part of
+/// the work sharding must amortize). Returns per-point wall times and the
+/// full functional output per point for the cross-shard identity check.
+#[allow(clippy::type_complexity)]
+fn run_sharded_stage(
+    base: &SweepConfig,
+    shards: usize,
+    workers: usize,
+) -> (Vec<f64>, Vec<(Vec<Aircraft>, DetectStats, OpCounter)>) {
+    let mut per_point_ms = Vec::new();
+    let mut outputs = Vec::new();
+    for &n in &base.ns {
+        let cfg = AtmConfig {
+            shards,
+            scan: base.scan,
+            ..AtmConfig::with_seed(base.seed)
+        };
+        let mut field = Airfield::new(n, cfg.clone());
+        let start = Instant::now();
+        let (stats, ops) = detect_resolve_parallel(&mut field.aircraft, &cfg, workers);
+        per_point_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+        outputs.push((field.aircraft, stats, ops));
+    }
+    (per_point_ms, outputs)
+}
+
 fn main() {
     let opts = parse_args();
     let harness = match opts.jobs {
@@ -129,9 +166,45 @@ fn main() {
         results.push(series);
     }
 
+    // Sharded detect: one execution per sweep point, shards=1 is the exact
+    // sequential path, shards>1 fans waves across the harness's workers.
+    let shard_sides = [1usize, 2, 4];
+    println!(
+        "  sharded detect ({} workers at shards > 1):",
+        harness.jobs()
+    );
+    let mut sharded_ms: Vec<Vec<f64>> = Vec::new();
+    let mut sharded_out = Vec::new();
+    for &shards in &shard_sides {
+        let workers = if shards > 1 { harness.jobs() } else { 1 };
+        let (per_point, out) = run_sharded_stage(&base, shards, workers);
+        let total: f64 = per_point.iter().sum();
+        println!(
+            "  sharded-detect-{shards} {total:>10.1} ms  (per point: {})",
+            per_point
+                .iter()
+                .zip(&base.ns)
+                .map(|(ms, n)| format!("n={n} {ms:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        sharded_ms.push(per_point);
+        sharded_out.push(out);
+    }
+    let sharded_identical = sharded_out.iter().all(|o| *o == sharded_out[0]);
+    if !sharded_identical {
+        eprintln!("RESULT MISMATCH: a sharded stage diverged from shards=1");
+    }
+    let largest_speedup = sharded_ms[0].last().copied().unwrap_or(0.0)
+        / sharded_ms[2].last().copied().unwrap_or(1.0).max(1e-9);
+    println!(
+        "  shards=4 speedup over shards=1 at n={}: {largest_speedup:.2}x",
+        base.ns.last().copied().unwrap_or(0)
+    );
+
     // Determinism contract: every stage's series must be element-identical
     // to the baseline's.
-    let identical = results.iter().all(|r| *r == results[0]);
+    let identical = results.iter().all(|r| *r == results[0]) && sharded_identical;
     if !identical {
         eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
     }
@@ -143,7 +216,7 @@ fn main() {
          (over parallel-banded: {grid_vs_banded:.2}x)"
     );
 
-    let stage_json: Vec<JsonValue> = stages
+    let mut stage_json: Vec<JsonValue> = stages
         .iter()
         .zip(&wall_ms)
         .map(|((id, scan, h), &ms)| {
@@ -155,6 +228,22 @@ fn main() {
                 .set("speedup_vs_serial_naive", baseline_ms / ms.max(1e-9))
         })
         .collect();
+    for (i, &shards) in shard_sides.iter().enumerate() {
+        let total: f64 = sharded_ms[i].iter().sum();
+        stage_json.push(
+            JsonValue::obj()
+                .set("id", format!("sharded-detect-{shards}"))
+                .set("scan", format!("{:?}", base.scan).to_lowercase())
+                .set("shards", shards)
+                .set("jobs", if shards > 1 { harness.jobs() } else { 1 })
+                .set("wall_ms", total)
+                .set("point_wall_ms", sharded_ms[i].clone())
+                .set(
+                    "speedup_vs_shards1",
+                    sharded_ms[0].iter().sum::<f64>() / total.max(1e-9),
+                ),
+        );
+    }
     let json = JsonValue::obj()
         .set(
             "sweep",
@@ -167,7 +256,8 @@ fn main() {
         .set("stages", JsonValue::Arr(stage_json))
         .set("identical_results", identical)
         .set("speedup_parallel_grid_vs_serial_naive", headline)
-        .set("speedup_parallel_grid_vs_parallel_banded", grid_vs_banded);
+        .set("speedup_parallel_grid_vs_parallel_banded", grid_vs_banded)
+        .set("speedup_shards4_vs_shards1_largest_n", largest_speedup);
 
     if let Some(dir) = opts.out.parent() {
         if !dir.as_os_str().is_empty() {

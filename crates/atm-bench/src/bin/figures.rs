@@ -44,6 +44,7 @@ struct Options {
     metrics: Option<PathBuf>,
     jobs: Option<usize>,
     scan: ScanMode,
+    shards: usize,
 }
 
 /// The next argument, or a clean usage error naming the flag that needs it.
@@ -64,6 +65,7 @@ fn parse_args() -> Options {
         metrics: None,
         jobs: None,
         scan: ScanMode::default(),
+        shards: 1,
     };
     let mut args = std::env::args().skip(1);
     let mut any = false;
@@ -118,10 +120,21 @@ fn parse_args() -> Options {
                     }
                 };
             }
+            "--shards" => {
+                let v = value_of(&mut args, "--shards", "a shard grid side (1..=32)");
+                opts.shards = v
+                    .parse()
+                    .ok()
+                    .filter(|s| (1..=32).contains(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs a shard grid side (1..=32), got '{v}'");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--all] [--fig N]... [--exp deadlines|determinism]... \
-                     [--quick] [--jobs N] [--scan naive|banded|grid] [--out DIR] \
+                     [--quick] [--jobs N] [--scan naive|banded|grid] [--shards N] [--out DIR] \
                      [--trace PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);
@@ -171,6 +184,7 @@ fn main() {
     };
     let sweep = SweepConfig {
         scan: opts.scan,
+        shards: opts.shards,
         ..if opts.quick {
             SweepConfig::quick()
         } else {
@@ -178,12 +192,13 @@ fn main() {
         }
     };
     println!(
-        "sweep: n = {:?}, seed = {}, reps = {} (jobs = {}, scan = {:?})\n",
+        "sweep: n = {:?}, seed = {}, reps = {} (jobs = {}, scan = {:?}, shards = {})\n",
         sweep.ns,
         sweep.seed,
         sweep.reps,
         harness.jobs(),
-        sweep.scan
+        sweep.scan,
+        sweep.shards
     );
 
     for &f in &opts.figs {

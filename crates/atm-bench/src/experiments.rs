@@ -45,7 +45,11 @@ pub fn deadlines(
     fig.y_label = "misses per major cycle".to_owned();
 
     let per_entry = cfg.ns.len();
-    let points = harness.run(entries.len() * per_entry, |k| {
+    // Point cost is dominated by the fleet size (a full major cycle is
+    // superlinear in n), so claim largest-n-first like the sweep path —
+    // the measured cost estimate behind `claim_order` (see sweep.rs).
+    let order = crate::sweep::claim_order(entries.len(), &cfg.ns);
+    let points = harness.run_ordered(entries.len() * per_entry, &order, |k| {
         let entry = entries[k / per_entry];
         let n = cfg.ns[k % per_entry];
         let backend = entry.instantiate();
@@ -220,6 +224,7 @@ mod tests {
             seed: 9,
             reps: 1,
             scan: ScanMode::default(),
+            shards: 1,
         };
         let (rows, fig) = deadlines(
             &cfg,
@@ -270,6 +275,7 @@ mod tests {
             seed: 9,
             reps: 1,
             scan: ScanMode::default(),
+            shards: 1,
         };
         let subset = Some(&["Titan X (Pascal)", "Intel Xeon 16-core"][..]);
         let (serial, _) = deadlines(&cfg, subset, &Harness::serial());
@@ -341,6 +347,7 @@ mod normalized_tests {
             seed: 12,
             reps: 1,
             scan: ScanMode::default(),
+            shards: 1,
         };
         let fig = throughput_normalized(&cfg, &Harness::serial());
         assert_eq!(fig.series.len(), 6);
@@ -355,6 +362,7 @@ mod normalized_tests {
             seed: 12,
             reps: 1,
             scan: ScanMode::default(),
+            shards: 1,
         };
         let fig = throughput_normalized(&cfg, &Harness::serial());
         let staran = fig

@@ -161,6 +161,7 @@ mod tests {
             seed: 5,
             reps: 1,
             scan: ScanMode::default(),
+            shards: 1,
         }
     }
 
@@ -207,6 +208,7 @@ mod tests {
                 seed: 5,
                 reps: 1,
                 scan: ScanMode::default(),
+                shards: 1,
             },
             &Harness::serial(),
         );

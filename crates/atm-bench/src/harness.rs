@@ -137,6 +137,24 @@ impl Harness {
     }
 }
 
+/// The claim permutation for [`Harness::run_ordered`] given a per-index
+/// cost estimate: heaviest first, stable by index within equal costs (LPT
+/// list scheduling). The estimates only need relative accuracy — any
+/// monotone proxy of the real point cost (aircraft count, measured ms of a
+/// prior run) yields the same order. Non-finite estimates sort last.
+pub fn descending_cost_order(costs: &[f64]) -> Vec<usize> {
+    let key = |i: usize| {
+        if costs[i].is_finite() {
+            costs[i]
+        } else {
+            f64::NEG_INFINITY
+        }
+    };
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| key(b).total_cmp(&key(a)).then(a.cmp(&b)));
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +302,43 @@ mod tests {
                 greedy_makespan(&ramp, &lpt, workers) <= greedy_makespan(&ramp, &fifo, workers),
                 "workers={workers}"
             );
+        }
+    }
+
+    #[test]
+    fn descending_cost_order_is_a_stable_heaviest_first_permutation() {
+        assert_eq!(
+            descending_cost_order(&[3.0, 9.0, 1.0, 9.0]),
+            vec![1, 3, 0, 2]
+        );
+        assert_eq!(descending_cost_order(&[]), Vec::<usize>::new());
+        // Non-finite estimates sort last rather than poisoning the order.
+        assert_eq!(descending_cost_order(&[1.0, f64::NAN, 2.0]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn cost_ordered_claiming_makespan_is_no_worse_than_fifo() {
+        // The ablation fan-out's shape: six uneven points (see
+        // ABLATION_COST_ESTIMATES) plus the deadline experiment's shape
+        // (per-platform stripes of a geometric n ramp). In both, claiming
+        // by descending cost estimate must never lose to FIFO under the
+        // greedy discipline run_ordered implements.
+        let shapes: [&[u64]; 3] = [
+            &[40, 30, 8, 6, 3, 60],          // ablations
+            &[1, 4, 16, 1, 4, 16, 1, 4, 16], // deadlines: 3 platforms × 3 ns
+            &[5, 5, 5, 5],                   // uniform: order cannot matter
+        ];
+        for durations in shapes {
+            let costs: Vec<f64> = durations.iter().map(|&d| d as f64).collect();
+            let lpt = descending_cost_order(&costs);
+            let fifo: Vec<usize> = (0..durations.len()).collect();
+            for workers in [2, 3, 4] {
+                assert!(
+                    greedy_makespan(durations, &lpt, workers)
+                        <= greedy_makespan(durations, &fifo, workers),
+                    "shape {durations:?} workers={workers}"
+                );
+            }
         }
     }
 }

@@ -26,6 +26,9 @@ pub struct SweepConfig {
     /// Conflict-scan implementation (wall-clock knob only — results and
     /// modeled times are identical either way, see DESIGN.md).
     pub scan: ScanMode,
+    /// Geographic shard grid side (wall-clock knob only, like `scan` —
+    /// see DESIGN.md §9). `1` is the unsharded pipeline.
+    pub shards: usize,
 }
 
 impl SweepConfig {
@@ -36,6 +39,7 @@ impl SweepConfig {
             seed: 2018,
             reps: 2,
             scan: ScanMode::default(),
+            shards: 1,
         }
     }
 
@@ -46,6 +50,7 @@ impl SweepConfig {
             seed: 2018,
             reps: 1,
             scan: ScanMode::default(),
+            shards: 1,
         }
     }
 
@@ -53,6 +58,7 @@ impl SweepConfig {
     pub fn atm_config(&self) -> AtmConfig {
         AtmConfig {
             scan: self.scan,
+            shards: self.shards,
             ..AtmConfig::with_seed(self.seed)
         }
     }
@@ -80,6 +86,22 @@ pub fn measure_point_scan(
     reps: usize,
     scan: ScanMode,
 ) -> f64 {
+    measure_point_sharded(entry, task, n, seed, reps, scan, 1)
+}
+
+/// [`measure_point_scan`] with an explicit shard grid side
+/// ([`AtmConfig::shards`]). Like the scan mode, sharding is a wall-clock
+/// knob only: every backend's results and modeled times are bit-identical
+/// at any shard count.
+pub fn measure_point_sharded(
+    entry: &RosterEntry,
+    task: Task,
+    n: usize,
+    seed: u64,
+    reps: usize,
+    scan: ScanMode,
+    shards: usize,
+) -> f64 {
     let mut total_ms = 0.0;
     // One shared baseline advanced incrementally: rep `r` measures against
     // the seed field after `r` periods of drift. (Replaying `r` periods
@@ -89,6 +111,7 @@ pub fn measure_point_scan(
         n,
         AtmConfig {
             scan,
+            shards,
             ..AtmConfig::with_seed(seed)
         },
     );
@@ -126,7 +149,7 @@ pub fn sweep_roster(roster: &Roster, task: Task, cfg: &SweepConfig) -> Vec<Serie
 /// by descending `n` approximates LPT scheduling — the heavy points start
 /// first and the cheap ones pack around them. Purely a wall-clock choice:
 /// results are slotted by point index either way.
-fn claim_order(entry_count: usize, ns: &[usize]) -> Vec<usize> {
+pub(crate) fn claim_order(entry_count: usize, ns: &[usize]) -> Vec<usize> {
     let per_entry = ns.len();
     let mut order: Vec<usize> = (0..entry_count * per_entry).collect();
     order.sort_by(|&a, &b| ns[b % per_entry].cmp(&ns[a % per_entry]).then(a.cmp(&b)));
@@ -152,7 +175,7 @@ pub fn sweep_roster_on(
     let y = harness.run_ordered(entries.len() * per_entry, &order, |k| {
         let entry = &entries[k / per_entry];
         let n = cfg.ns[k % per_entry];
-        measure_point_scan(entry, task, n, cfg.seed, cfg.reps, cfg.scan)
+        measure_point_sharded(entry, task, n, cfg.seed, cfg.reps, cfg.scan, cfg.shards)
     });
     entries
         .iter()
@@ -204,6 +227,7 @@ mod tests {
             seed: 3,
             reps: 1,
             scan: ScanMode::default(),
+            shards: 1,
         };
         let series = sweep_roster(&Roster::nvidia(), Task::DetectResolve, &cfg);
         assert_eq!(series.len(), 3);
@@ -221,6 +245,7 @@ mod tests {
             seed: 3,
             reps: 2,
             scan: ScanMode::default(),
+            shards: 1,
         };
         let serial = sweep_roster(&Roster::paper(), Task::DetectResolve, &cfg);
         let parallel = sweep_roster_on(
@@ -245,6 +270,19 @@ mod tests {
             for scan in [ScanMode::Banded, ScanMode::Grid] {
                 let fast = measure_point_scan(&titan, task, 500, 7, 2, scan);
                 assert_eq!(naive, fast, "task {task:?}, scan {scan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_measured_times() {
+        let titan = titan();
+        for task in [Task::Track, Task::DetectResolve] {
+            let one = measure_point_sharded(&titan, task, 500, 7, 2, ScanMode::default(), 1);
+            for shards in [2usize, 4] {
+                let sharded =
+                    measure_point_sharded(&titan, task, 500, 7, 2, ScanMode::default(), shards);
+                assert_eq!(one, sharded, "task {task:?}, shards {shards}");
             }
         }
     }

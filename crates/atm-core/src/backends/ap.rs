@@ -277,6 +277,14 @@ impl AtmBackend for ApBackend {
                     }
                     Some(mask)
                 }
+                ScanIndex::Sharded(s) => {
+                    let track = m.records()[i].a;
+                    let mut mask = ResponderSet::new(n);
+                    for p in s.candidates_for(i, &track) {
+                        mask.set(p);
+                    }
+                    Some(mask)
+                }
             };
 
             loop {

@@ -88,6 +88,13 @@ pub struct AtmConfig {
     /// to that envelope — a finer grid could not contain a gate-passing
     /// pair within one cell of adjacency.
     pub grid_cell_nm: f32,
+    /// Geographic shard grid side: the airfield is partitioned into
+    /// `shards × shards` equal cells, each owning the aircraft inside it
+    /// plus a halo of foreign aircraft within critical reach of its borders
+    /// (see [`crate::shard`]). `1` (the default) is the unsharded pipeline.
+    /// Like [`AtmConfig::scan`], this is a *wall-clock* knob only: every
+    /// shard count produces byte-identical fleets, stats and modeled times.
+    pub shards: usize,
 }
 
 impl Default for AtmConfig {
@@ -114,6 +121,7 @@ impl Default for AtmConfig {
             seed: 0x5EED_A7C0,
             scan: ScanMode::default(),
             grid_cell_nm: 0.0,
+            shards: 1,
         }
     }
 }
@@ -192,6 +200,10 @@ impl AtmConfig {
         assert!(
             self.grid_cell_nm >= 0.0 && self.grid_cell_nm.is_finite(),
             "grid cell size must be finite and non-negative (0 = auto)"
+        );
+        assert!(
+            (1..=32).contains(&self.shards),
+            "shard grid side must be between 1 and 32"
         );
     }
 }
@@ -278,6 +290,26 @@ mod tests {
     fn negative_grid_cell_is_rejected() {
         let c = AtmConfig {
             grid_cell_nm: -1.0,
+            ..AtmConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn default_is_unsharded() {
+        assert_eq!(AtmConfig::default().shards, 1);
+        AtmConfig {
+            shards: 4,
+            ..AtmConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shard grid side")]
+    fn zero_shards_is_rejected() {
+        let c = AtmConfig {
+            shards: 0,
             ..AtmConfig::default()
         };
         c.validate();

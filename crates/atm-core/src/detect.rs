@@ -26,6 +26,7 @@
 
 use crate::batcher::{conflict_window, same_altitude_band, within_critical_reach};
 use crate::config::{AtmConfig, ScanMode};
+use crate::shard::ShardedIndex;
 use crate::types::{Aircraft, NO_COLLISION};
 use sim_clock::{CostSink, NullSink};
 
@@ -392,11 +393,19 @@ pub enum ScanIndex {
     Banded(AltitudeBands),
     /// Spatial grid composed with altitude bands ([`ScanMode::Grid`]).
     Grid(ConflictGrid),
+    /// Geographic shards with boundary halos ([`AtmConfig::shards`] > 1);
+    /// composes the shard partition with `cfg.scan` per shard.
+    Sharded(ShardedIndex),
 }
 
 impl ScanIndex {
-    /// Build the index `cfg.scan` selects for one detect execution.
+    /// Build the index `cfg.scan` selects for one detect execution. A shard
+    /// grid ([`AtmConfig::shards`] > 1) wraps the selected scan mode in the
+    /// sharded index, which builds the mode's inner index per shard.
     pub fn for_config(aircraft: &[Aircraft], cfg: &AtmConfig) -> ScanIndex {
+        if cfg.shards > 1 {
+            return ScanIndex::Sharded(ShardedIndex::build(aircraft, cfg));
+        }
         match cfg.scan {
             ScanMode::Naive => ScanIndex::Naive,
             ScanMode::Banded => {
@@ -636,6 +645,66 @@ pub fn scan_for_conflicts_grid(
     }
 }
 
+/// The sharded fast path of [`scan_for_conflicts`]: visit only the member
+/// set of the track's owner shard (its owned aircraft plus the boundary
+/// halo), pruned further by the shard's inner banded/grid index — a
+/// superset of every pair the naive scan's gates could accept (see
+/// [`ShardedIndex`]). Same aggregate-booking contract as
+/// [`scan_for_conflicts_banded`]: the sink's totals, the result and the
+/// check count are bit-identical to the naive scan's.
+pub fn scan_for_conflicts_sharded(
+    aircraft: &[Aircraft],
+    sharded: &ShardedIndex,
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> ScanResult {
+    let track = &aircraft[i];
+    let reach = cfg.critical_reach_nm();
+    book_unconditional_mix(aircraft.len() as u64, sink);
+
+    let mut earliest: Option<(usize, f32)> = None;
+    let mut checks = 0u64;
+    for p in sharded.candidates_for(i, track) {
+        if p == i {
+            continue;
+        }
+        let trial = &aircraft[p];
+        // Re-check the real f32 gates (candidates are a superset); their
+        // cost is already in the aggregate above, so book to a null sink.
+        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
+            || !within_critical_reach(track, trial, reach, &mut NullSink)
+        {
+            continue;
+        }
+        checks += 1;
+        if let Some((tmin, _tmax)) = conflict_window(
+            track,
+            vel,
+            trial,
+            cfg.separation_nm,
+            cfg.horizon_periods,
+            sink,
+        ) {
+            sink.branch(true);
+            if tmin < cfg.critical_periods {
+                // Member order is not index order under the inner grid, so
+                // pick the lexicographic minimum over (tmin, p) explicitly —
+                // the same pair the naive ascending-index scan settles on.
+                match earliest {
+                    Some((bp, bt)) if bt < tmin || (bt == tmin && bp < p) => {}
+                    _ => earliest = Some((p, tmin)),
+                }
+            }
+        }
+    }
+    ScanResult {
+        critical: earliest,
+        checks,
+    }
+}
+
 /// Dispatch between the naive scan and the fast paths. Backends hold a
 /// [`ScanIndex`] per detect execution and call this from their
 /// per-aircraft loops.
@@ -652,6 +721,7 @@ pub fn scan_for_conflicts_with(
         ScanIndex::Naive => scan_for_conflicts(aircraft, i, vel, cfg, sink),
         ScanIndex::Banded(b) => scan_for_conflicts_banded(aircraft, b, i, vel, cfg, sink),
         ScanIndex::Grid(g) => scan_for_conflicts_grid(aircraft, g, i, vel, cfg, sink),
+        ScanIndex::Sharded(s) => scan_for_conflicts_sharded(aircraft, s, i, vel, cfg, sink),
     }
 }
 
@@ -1224,5 +1294,64 @@ mod tests {
         assert!(matches!(for_mode(ScanMode::Naive), ScanIndex::Naive));
         assert!(matches!(for_mode(ScanMode::Banded), ScanIndex::Banded(_)));
         assert!(matches!(for_mode(ScanMode::Grid), ScanIndex::Grid(_)));
+        let sharded = ScanIndex::for_config(&ac, &AtmConfig { shards: 4, ..cfg() });
+        assert!(matches!(sharded, ScanIndex::Sharded(_)));
+    }
+
+    #[test]
+    fn sharded_scan_matches_naive_scan_exactly() {
+        for fleet in [banded_fleet(), spread_fleet()] {
+            for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+                let c = AtmConfig {
+                    shards: 4,
+                    scan,
+                    ..cfg()
+                };
+                let sharded = crate::shard::ShardedIndex::build(&fleet, &c);
+                for i in 0..fleet.len() {
+                    let vel = (fleet[i].dx, fleet[i].dy);
+                    let mut cn = sim_clock::OpCounter::new();
+                    let mut cs = sim_clock::OpCounter::new();
+                    let rn = scan_for_conflicts(&fleet, i, vel, &c, &mut cn);
+                    let rs = scan_for_conflicts_sharded(&fleet, &sharded, i, vel, &c, &mut cs);
+                    assert_eq!(rn, rs, "{scan:?}: scan result must match for aircraft {i}");
+                    assert_eq!(cn, cs, "{scan:?}: cost totals must match for aircraft {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_detect_resolve_matches_naive_end_to_end() {
+        let run = |shards: usize, mode: ScanMode| {
+            let mut ac = banded_fleet();
+            let mut ops = sim_clock::OpCounter::new();
+            let c = AtmConfig {
+                shards,
+                scan: mode,
+                ..cfg()
+            };
+            let s = detect_resolve_all(&mut ac, &c, &mut ops);
+            (ac, s, ops)
+        };
+        let naive = run(1, ScanMode::Naive);
+        for shards in [2usize, 4] {
+            for mode in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+                let sharded = run(shards, mode);
+                assert_eq!(
+                    naive.0, sharded.0,
+                    "shards={shards} {mode:?}: mutated fleets must be identical"
+                );
+                assert_eq!(
+                    naive.1, sharded.1,
+                    "shards={shards} {mode:?}: DetectStats must be identical"
+                );
+                assert_eq!(
+                    naive.2, sharded.2,
+                    "shards={shards} {mode:?}: cost totals must be identical"
+                );
+            }
+        }
+        assert!(naive.1.critical_conflicts > 0);
     }
 }

@@ -31,6 +31,7 @@ pub mod backends;
 pub mod batcher;
 pub mod config;
 pub mod detect;
+pub mod shard;
 pub mod sim;
 pub mod terrain;
 pub mod track;
@@ -40,6 +41,9 @@ pub use airfield::Airfield;
 pub use backends::AtmBackend;
 pub use config::{AtmConfig, ScanMode};
 pub use detect::{AltitudeBands, ConflictGrid, ScanIndex};
+pub use shard::{
+    detect_resolve_parallel, ShardMap, ShardedAirfield, ShardedCycleStats, ShardedIndex,
+};
 pub use sim::{AtmSimulation, SimOutcome, TerrainSchedule};
 pub use terrain::{TerrainGrid, TerrainTaskConfig};
 pub use types::{Aircraft, RadarReport};

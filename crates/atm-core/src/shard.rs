@@ -1,0 +1,962 @@
+//! Sharded airfields: geographic partitioning of the fleet with a
+//! cross-shard boundary (halo) scan and an exact parallel detect.
+//!
+//! The 256 nm × 256 nm field is cut into an S×S grid of shards
+//! ([`AtmConfig::shards`]). Each aircraft is **owned** by exactly one shard
+//! — the clamped floor cell of its position (the canonical shard-ownership
+//! rule, so every aircraft is scanned by exactly one shard and straddling
+//! pairs are examined exactly as often as in the unsharded pipeline). Each
+//! shard additionally holds a **halo**: every foreign aircraft within the
+//! critical-reach envelope of the shard's (measured) bounding box. A
+//! shard-local scan over `own ∪ halo` therefore sees every aircraft that
+//! could pass the pair gates against any of its owned aircraft
+//! ([`ShardedIndex`]); the scan itself composes with every
+//! [`crate::config::ScanMode`] by building the banded/grid index per shard.
+//!
+//! Like the banded and grid fast paths, sharding is a **wall-clock knob
+//! only**: the sharded scan books skipped pairs in aggregate (DESIGN.md §8,
+//! §9), so fleets, [`DetectStats`], booked op totals and every backend's
+//! modeled time are bit-identical to the unsharded run — enforced by the
+//! differential tests below, `tests/properties.rs` and `tests/golden.rs`.
+//!
+//! The wall-clock win comes from [`detect_resolve_parallel`]: an exact
+//! parallelization of the sequential Tasks 2+3 cascade. The sequential
+//! semantics are order-coupled (aircraft `i`'s scan must see the committed
+//! velocities of aircraft `j < i` and the initial velocities of `j > i`),
+//! but a turn's outcome can only depend on aircraft that pass the
+//! position/altitude pair gates — and those are static during Tasks 2+3.
+//! Building the gate-dependency DAG (edge `j → i` for `j < i` iff the pair
+//! passes both gates) and processing aircraft in topological *waves* makes
+//! every turn inside a wave a pure read of the live fleet: gate partners
+//! are never in the same wave, so lower-indexed partners are already
+//! committed and higher-indexed ones untouched, exactly as the sequential
+//! cascade would present them. Wave members are grouped by owner shard and
+//! fanned across worker threads; after each wave the resolved velocities
+//! are committed serially, and a final serial replay applies all deferred
+//! collision marks in the sequential write order — bit-for-bit.
+
+use crate::airfield::Airfield;
+use crate::batcher::{same_altitude_band, within_critical_reach};
+use crate::config::{AtmConfig, ScanMode};
+use crate::detect::{
+    detect_resolve_all, rotate_velocity, scan_for_conflicts_with, AltitudeBands, ConflictGrid,
+    DetectStats, ScanIndex,
+};
+use crate::track::{
+    adopt_expected_phase, any_unmatched, apply_radar_phase, correlate_radar_pass,
+    expected_position_phase, TrackStats,
+};
+use crate::types::{
+    Aircraft, RadarReport, MATCH_MULTIPLE, MATCH_ONE, NO_COLLISION, RADAR_DISCARDED,
+    RADAR_UNMATCHED,
+};
+use sim_clock::{CostSink, NullSink, OpCounter};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+/// The canonical shard-ownership rule: an S×S grid of equal cells over
+/// `[-half_width, half_width]²`. An aircraft belongs to the clamped floor
+/// cell of its position — a pure function of `(x, y)`, so ownership is
+/// deterministic, total (non-finite coordinates fall into shard 0) and
+/// unique: every aircraft is scanned by exactly one shard.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMap {
+    side: usize,
+    half_width: f32,
+    cell: f32,
+}
+
+impl ShardMap {
+    /// An S×S map over a field of the given half-width.
+    pub fn new(side: usize, half_width: f32) -> ShardMap {
+        let side = side.max(1);
+        ShardMap {
+            side,
+            half_width,
+            cell: 2.0 * half_width / side as f32,
+        }
+    }
+
+    fn axis(&self, v: f32) -> usize {
+        if !v.is_finite() || self.cell.is_nan() || self.cell <= 0.0 {
+            return 0;
+        }
+        let q = ((v + self.half_width) / self.cell).floor();
+        if !q.is_finite() {
+            return 0;
+        }
+        (q as i64).clamp(0, self.side as i64 - 1) as usize
+    }
+
+    /// Owner shard of a position (row-major cell id).
+    pub fn shard_of(&self, x: f32, y: f32) -> usize {
+        self.axis(y) * self.side + self.axis(x)
+    }
+
+    /// Cells per axis.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Total shard count (`side²`).
+    pub fn shard_count(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Cell width, nm.
+    pub fn cell_nm(&self) -> f32 {
+        self.cell
+    }
+}
+
+/// Per-shard candidate index: the shard's member list composed with the
+/// scan-mode index built over the gathered member records.
+#[derive(Clone, Debug)]
+enum InnerIndex {
+    /// [`ScanMode::Naive`]: every member is a candidate.
+    All,
+    /// [`ScanMode::Banded`]: altitude bands over the members.
+    Banded(AltitudeBands),
+    /// [`ScanMode::Grid`]: spatial grid × altitude bands over the members.
+    Grid(ConflictGrid),
+}
+
+/// One shard's slice of the fleet: owned aircraft plus the boundary halo.
+#[derive(Clone, Debug)]
+struct ShardCell {
+    /// Global aircraft ids, ascending: the shard's owned aircraft plus
+    /// every foreign aircraft within the padded critical-reach envelope of
+    /// the shard's measured bounding box (the halo-export contract).
+    members: Vec<u32>,
+    /// Scan-mode index over the gathered member records; its candidate ids
+    /// are *local* (positions in `members`).
+    inner: InnerIndex,
+}
+
+/// The sharded candidate index: ownership map, per-aircraft owner, and one
+/// [`ShardCell`] per shard. Built once per detect execution (positions and
+/// altitudes never change during Tasks 2+3) by [`ScanIndex::for_config`]
+/// when `cfg.shards > 1`.
+///
+/// Correctness (superset property): a gate-passing partner `j` of an
+/// aircraft `i` owned by shard `s` satisfies `|Δx| ≤ reach ∧ |Δy| ≤ reach`;
+/// `i` lies inside `s`'s measured bounding box, so `j` is within `reach` of
+/// the box and the halo pad (`reach · (1 + 1e-6) + 1 nm`, dominating every
+/// f32 rounding source in the gate's subtraction) admits it into
+/// `members(s)`. The scan re-checks the real f32 gates per candidate, so a
+/// generous halo can never change a result — only waste a visit.
+#[derive(Clone, Debug)]
+pub struct ShardedIndex {
+    map: ShardMap,
+    /// Owner shard per aircraft.
+    owner: Vec<u32>,
+    cells: Vec<ShardCell>,
+}
+
+impl ShardedIndex {
+    /// Build the index for one detect execution.
+    pub fn build(aircraft: &[Aircraft], cfg: &AtmConfig) -> ShardedIndex {
+        let map = ShardMap::new(cfg.shards, cfg.half_width);
+        let n = aircraft.len();
+        let shard_count = map.shard_count();
+        let owner: Vec<u32> = aircraft
+            .iter()
+            .map(|a| map.shard_of(a.x, a.y) as u32)
+            .collect();
+
+        let reach = cfg.critical_reach_nm();
+        let finite =
+            reach.is_finite() && aircraft.iter().all(|a| a.x.is_finite() && a.y.is_finite());
+
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        if finite {
+            // Measured bounding box of each shard's owned aircraft
+            // [lo_x, hi_x, lo_y, hi_y]; `None` for empty shards (which own
+            // nothing and therefore never scan).
+            let mut boxes: Vec<Option<[f32; 4]>> = vec![None; shard_count];
+            for (i, a) in aircraft.iter().enumerate() {
+                let b = boxes[owner[i] as usize].get_or_insert([a.x, a.x, a.y, a.y]);
+                b[0] = b[0].min(a.x);
+                b[1] = b[1].max(a.x);
+                b[2] = b[2].min(a.y);
+                b[3] = b[3].max(a.y);
+            }
+            let pad = reach * 1.000_001 + 1.0;
+            for (t, bx) in boxes.iter().enumerate() {
+                let Some(b) = bx else { continue };
+                for (j, a) in aircraft.iter().enumerate() {
+                    // Distance from the aircraft to the box, per axis.
+                    let ex = (b[0] - a.x).max(a.x - b[1]).max(0.0);
+                    let ey = (b[2] - a.y).max(a.y - b[3]).max(0.0);
+                    if ex <= pad && ey <= pad {
+                        members[t].push(j as u32);
+                    }
+                }
+            }
+        } else {
+            // Degenerate geometry: every shard sees the whole fleet
+            // (correct at unsharded cost, the same fallback posture as the
+            // banded/grid indexes).
+            for m in &mut members {
+                *m = (0..n as u32).collect();
+            }
+        }
+
+        let cells = members
+            .into_iter()
+            .map(|mem| {
+                let recs: Vec<Aircraft> = mem.iter().map(|&j| aircraft[j as usize]).collect();
+                let inner = match cfg.scan {
+                    ScanMode::Naive => InnerIndex::All,
+                    ScanMode::Banded => {
+                        InnerIndex::Banded(AltitudeBands::build(&recs, cfg.alt_separation_ft))
+                    }
+                    ScanMode::Grid => InnerIndex::Grid(ConflictGrid::build(&recs, cfg)),
+                };
+                ShardCell {
+                    members: mem,
+                    inner,
+                }
+            })
+            .collect();
+
+        ShardedIndex { map, owner, cells }
+    }
+
+    /// The ownership map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Owner shard of aircraft `i`.
+    pub fn owner_of(&self, i: usize) -> usize {
+        self.owner[i] as usize
+    }
+
+    /// Total shard count.
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Member ids (owned + halo, ascending) of one shard.
+    pub fn members(&self, shard: usize) -> &[u32] {
+        &self.cells[shard].members
+    }
+
+    /// Global candidate ids for track aircraft `i` (scanned by its owner
+    /// shard): a superset of every aircraft that could pass both pair gates
+    /// against `track` — callers re-check the real f32 gates. Used by the
+    /// sharded scan and by the AP backend's candidate masks.
+    pub fn candidates_for<'a>(
+        &'a self,
+        i: usize,
+        track: &'a Aircraft,
+    ) -> Box<dyn Iterator<Item = usize> + 'a> {
+        let cell = &self.cells[self.owner[i] as usize];
+        match &cell.inner {
+            InnerIndex::All => Box::new(cell.members.iter().map(|&j| j as usize)),
+            InnerIndex::Banded(b) => Box::new(
+                b.candidates(track.alt)
+                    .map(move |l| cell.members[l] as usize),
+            ),
+            InnerIndex::Grid(g) => {
+                Box::new(g.candidates(track).map(move |l| cell.members[l] as usize))
+            }
+        }
+    }
+
+    /// Halo size of one shard (members that are not owned by it).
+    pub fn halo_len(&self, shard: usize) -> usize {
+        self.cells[shard]
+            .members
+            .iter()
+            .filter(|&&j| self.owner[j as usize] as usize != shard)
+            .count()
+    }
+}
+
+/// Global candidate ids for aircraft `i` under any [`ScanIndex`] (a
+/// superset of its gate passers).
+fn candidate_iter<'a>(
+    index: &'a ScanIndex,
+    i: usize,
+    track: &'a Aircraft,
+    n: usize,
+) -> Box<dyn Iterator<Item = usize> + 'a> {
+    match index {
+        ScanIndex::Naive => Box::new(0..n),
+        ScanIndex::Banded(b) => Box::new(b.candidates(track.alt)),
+        ScanIndex::Grid(g) => Box::new(g.candidates(track)),
+        ScanIndex::Sharded(s) => s.candidates_for(i, track),
+    }
+}
+
+/// How one aircraft's fused Tasks 2+3 turn ended.
+#[derive(Clone, Copy, Debug)]
+enum TurnOutcome {
+    /// No critical conflict on the committed path: only the horizon reset
+    /// is written; incoming collision marks are preserved.
+    Clean,
+    /// A conflict-free trial path was committed (`chk > 0`).
+    Resolved { vel: (f32, f32) },
+    /// The rotation sequence was exhausted: original path kept, conflict
+    /// left flagged with the last partner.
+    Unresolved { partner: u32, tmin: f32 },
+}
+
+/// The condensed effect of one aircraft's turn, recorded by the read-only
+/// simulation [`simulate_turn`] and applied by the serial replay: partner
+/// marks in scan order, the turn outcome, and the turn's stats and booked
+/// op totals.
+#[derive(Clone, Debug)]
+struct TurnRecord {
+    /// `(partner, tmin)` per critical conflict, in encounter order.
+    events: Vec<(u32, f32)>,
+    outcome: TurnOutcome,
+    stats: DetectStats,
+    ops: OpCounter,
+}
+
+/// Read-only mirror of [`crate::detect::check_collision_path_with`]: runs
+/// aircraft `i`'s full rotation-loop turn against an immutable fleet view,
+/// recording every write it *would* perform instead of mutating. Bookings
+/// (stores, branches, scans, rotations) follow the mutating routine
+/// call-for-call, so the merged per-turn [`OpCounter`]s total exactly what
+/// the sequential cascade books.
+///
+/// Sound inside a wave because a turn reads only static fields (positions,
+/// altitudes) plus the velocities of its *gate passers* — and gate passers
+/// are never in the same wave.
+fn simulate_turn(fleet: &[Aircraft], index: &ScanIndex, i: usize, cfg: &AtmConfig) -> TurnRecord {
+    let mut ops = OpCounter::new();
+    let mut stats = DetectStats::default();
+    let mut events: Vec<(u32, f32)> = Vec::new();
+
+    // Horizon reset (deferred write): time_till, batx, baty.
+    ops.store(12);
+
+    let rotations = cfg.rotation_sequence();
+    let mut next_rotation = 0usize;
+    let mut vel = (fleet[i].dx, fleet[i].dy);
+    let mut chk = 0u32;
+
+    loop {
+        let scan = scan_for_conflicts_with(fleet, index, i, vel, cfg, &mut ops);
+        stats.pair_checks += scan.checks;
+
+        let Some((partner, tmin)) = scan.critical else {
+            break;
+        };
+        stats.critical_conflicts += 1;
+
+        // Mark both aircraft (deferred).
+        events.push((partner as u32, tmin));
+        ops.store(24);
+
+        ops.branch(false);
+        if next_rotation >= rotations.len() {
+            stats.unresolved += 1;
+            ops.store(8);
+            return TurnRecord {
+                events,
+                outcome: TurnOutcome::Unresolved {
+                    partner: partner as u32,
+                    tmin,
+                },
+                stats,
+                ops,
+            };
+        }
+
+        let base = (fleet[i].dx, fleet[i].dy);
+        vel = rotate_velocity(base, rotations[next_rotation], &mut ops);
+        next_rotation += 1;
+        chk += 1;
+        stats.rotations += 1;
+        ops.store(8);
+    }
+
+    ops.branch(false);
+    let outcome = if chk > 0 {
+        ops.store(20);
+        stats.resolved += 1;
+        TurnOutcome::Resolved { vel }
+    } else {
+        TurnOutcome::Clean
+    };
+    TurnRecord {
+        events,
+        outcome,
+        stats,
+        ops,
+    }
+}
+
+/// Exact parallel Tasks 2+3: bit-identical to
+/// [`crate::detect::detect_resolve_all`] run with an [`OpCounter`] sink, at
+/// any worker count.
+///
+/// With `workers == 1` or `cfg.shards == 1` this *is* the sequential
+/// reference (no threads). Otherwise aircraft are leveled by the static
+/// gate-dependency DAG, each wave's turns — grouped by owner shard — are
+/// simulated read-only across `workers` threads, resolved velocities are
+/// committed between waves, and a final serial replay applies the deferred
+/// collision marks in sequential write order.
+pub fn detect_resolve_parallel(
+    aircraft: &mut [Aircraft],
+    cfg: &AtmConfig,
+    workers: usize,
+) -> (DetectStats, OpCounter) {
+    let mut ops = OpCounter::new();
+    let workers = workers.max(1);
+    let n = aircraft.len();
+    if workers == 1 || cfg.shards <= 1 || n < 2 {
+        let stats = detect_resolve_all(aircraft, cfg, &mut ops);
+        return (stats, ops);
+    }
+
+    let index = ScanIndex::for_config(aircraft, cfg);
+    let reach = cfg.critical_reach_nm();
+
+    // Wave levels: level(i) = 1 + max level of its lower-indexed gate
+    // partners (0 when none). Gate partners never share a level, in either
+    // index direction.
+    let mut level = vec![0u32; n];
+    let mut max_level = 0u32;
+    for i in 0..n {
+        let track = aircraft[i];
+        let mut lv = 0u32;
+        for p in candidate_iter(&index, i, &track, n) {
+            if p >= i || level[p] < lv {
+                continue;
+            }
+            let other = &aircraft[p];
+            if same_altitude_band(&track, other, cfg.alt_separation_ft, &mut NullSink)
+                && within_critical_reach(&track, other, reach, &mut NullSink)
+            {
+                lv = lv.max(level[p] + 1);
+            }
+        }
+        level[i] = lv;
+        max_level = max_level.max(lv);
+    }
+
+    // Group each wave's members by owner shard: the unit a worker claims.
+    let (shard_count, owner_of): (usize, Box<dyn Fn(usize) -> usize>) = match &index {
+        ScanIndex::Sharded(s) => (s.shard_count(), Box::new(|i| s.owner_of(i))),
+        _ => (1, Box::new(|_| 0)),
+    };
+    let mut waves: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); shard_count]; max_level as usize + 1];
+    for i in 0..n {
+        waves[level[i] as usize][owner_of(i)].push(i as u32);
+    }
+    drop(owner_of);
+    for wave in &mut waves {
+        wave.retain(|g| !g.is_empty());
+    }
+
+    let slots: Vec<Mutex<Option<TurnRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let pool = workers
+        .min(waves.iter().map(|w| w.len()).max().unwrap_or(1))
+        .max(1);
+    let barrier = Barrier::new(pool);
+    let cursor = AtomicUsize::new(0);
+    let fleet_lock = RwLock::new(&mut *aircraft);
+    std::thread::scope(|scope| {
+        for w in 0..pool {
+            let (fleet_lock, slots, waves) = (&fleet_lock, &slots, &waves);
+            let (barrier, cursor, index) = (&barrier, &cursor, &index);
+            scope.spawn(move || {
+                for wave in waves {
+                    barrier.wait();
+                    {
+                        let guard = fleet_lock.read().expect("fleet lock");
+                        let fleet: &[Aircraft] = &guard;
+                        loop {
+                            let g = cursor.fetch_add(1, Ordering::SeqCst);
+                            if g >= wave.len() {
+                                break;
+                            }
+                            for &i in &wave[g] {
+                                let rec = simulate_turn(fleet, index, i as usize, cfg);
+                                *slots[i as usize].lock().expect("slot") = Some(rec);
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    // Worker 0 commits while the rest block at the next
+                    // wave's start barrier.
+                    if w == 0 {
+                        let mut guard = fleet_lock.write().expect("fleet lock");
+                        for grp in wave {
+                            for &i in grp {
+                                let slot = slots[i as usize].lock().expect("slot");
+                                if let Some(TurnRecord {
+                                    outcome: TurnOutcome::Resolved { vel },
+                                    ..
+                                }) = slot.as_ref()
+                                {
+                                    guard[i as usize].dx = vel.0;
+                                    guard[i as usize].dy = vel.1;
+                                }
+                            }
+                        }
+                        cursor.store(0, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    let _ = fleet_lock;
+
+    // Serial replay, ascending: apply each turn's condensed own writes and
+    // partner marks exactly where the sequential cascade would.
+    let mut total = DetectStats::default();
+    for (i, slot) in slots.iter().enumerate() {
+        let rec = slot
+            .lock()
+            .expect("slot")
+            .take()
+            .expect("every aircraft simulated");
+        match rec.outcome {
+            TurnOutcome::Clean => {
+                aircraft[i].time_till = cfg.critical_periods;
+                aircraft[i].batx = aircraft[i].dx;
+                aircraft[i].baty = aircraft[i].dy;
+            }
+            TurnOutcome::Resolved { vel } => {
+                aircraft[i].dx = vel.0;
+                aircraft[i].dy = vel.1;
+                aircraft[i].batx = vel.0;
+                aircraft[i].baty = vel.1;
+                aircraft[i].col = false;
+                aircraft[i].col_with = NO_COLLISION;
+                aircraft[i].time_till = cfg.critical_periods;
+            }
+            TurnOutcome::Unresolved { partner, tmin } => {
+                aircraft[i].col = true;
+                aircraft[i].col_with = partner as i32;
+                aircraft[i].time_till = tmin;
+                aircraft[i].batx = aircraft[i].dx;
+                aircraft[i].baty = aircraft[i].dy;
+            }
+        }
+        for &(p, t) in &rec.events {
+            let p = p as usize;
+            aircraft[p].col = true;
+            aircraft[p].col_with = i as i32;
+            aircraft[p].time_till = aircraft[p].time_till.min(t);
+        }
+        total.absorb(&rec.stats);
+        ops.merge(&rec.ops);
+    }
+    (total, ops)
+}
+
+/// Fan a pure per-aircraft phase over worker threads. Element-local phases
+/// (each call reads and writes only `aircraft[i]`) are order-independent,
+/// so contiguous ranges are handed to scoped threads; with one worker or a
+/// small fleet the loop runs inline.
+fn fan_aircraft_phase(
+    aircraft: &mut [Aircraft],
+    workers: usize,
+    phase: impl Fn(&mut [Aircraft], usize) + Sync,
+) {
+    let workers = workers.max(1);
+    if workers == 1 || aircraft.len() < 256 {
+        for i in 0..aircraft.len() {
+            phase(aircraft, i);
+        }
+        return;
+    }
+    let chunk = aircraft.len().div_ceil(workers);
+    let phase = &phase;
+    std::thread::scope(|s| {
+        for part in aircraft.chunks_mut(chunk) {
+            s.spawn(move || {
+                for i in 0..part.len() {
+                    phase(part, i);
+                }
+            });
+        }
+    });
+}
+
+/// Task 1 with its per-aircraft phases fanned across workers: identical
+/// results and stats to [`crate::track::track_correlate`].
+///
+/// Phases 1 (expected position) and 3a (adopt expected) are element-local
+/// and fan freely. The correlation passes (phase 2) are order-coupled — a
+/// radar's outcome depends on the match state earlier-indexed radars left
+/// behind (`MATCH_MULTIPLE` / first-hit logic), and the correlation box is
+/// ≤ 2 nm, far below any shard width — so they stay serial, exactly as the
+/// deterministic serialization defines them. Phase 3b writes through radar
+/// matches and is O(radars): serial.
+pub fn track_correlate_sharded(
+    aircraft: &mut [Aircraft],
+    radars: &mut [RadarReport],
+    cfg: &AtmConfig,
+    workers: usize,
+) -> TrackStats {
+    let mut stats = TrackStats::default();
+
+    fan_aircraft_phase(aircraft, workers, |ac, i| {
+        expected_position_phase(ac, i, &mut NullSink)
+    });
+
+    for pass in 0..cfg.track_passes {
+        if pass > 0 && !any_unmatched(radars) {
+            break;
+        }
+        stats.passes_run += 1;
+        for i in 0..radars.len() {
+            stats.box_tests += correlate_radar_pass(aircraft, radars, i, pass, cfg, &mut NullSink);
+        }
+    }
+
+    fan_aircraft_phase(aircraft, workers, |ac, i| {
+        adopt_expected_phase(ac, i, &mut NullSink)
+    });
+    for i in 0..radars.len() {
+        apply_radar_phase(aircraft, radars, i, &mut NullSink);
+    }
+
+    stats.matched = aircraft.iter().filter(|a| a.r_match == MATCH_ONE).count() as u64;
+    stats.dropped_aircraft = aircraft
+        .iter()
+        .filter(|a| a.r_match == MATCH_MULTIPLE)
+        .count() as u64;
+    stats.discarded_radars = radars
+        .iter()
+        .filter(|r| r.r_match_with == RADAR_DISCARDED)
+        .count() as u64;
+    stats.unmatched_radars = radars
+        .iter()
+        .filter(|r| r.r_match_with == RADAR_UNMATCHED)
+        .count() as u64;
+    stats
+}
+
+/// Accumulated outcome of one sharded major cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedCycleStats {
+    /// Task 1 stats summed over the cycle's periods.
+    pub track: TrackStats,
+    /// Tasks 2+3 stats of the cycle's detection period.
+    pub detect: DetectStats,
+    /// Op totals the detection booked (bit-identical to the serial run).
+    pub detect_ops: OpCounter,
+}
+
+impl Default for ShardedCycleStats {
+    fn default() -> Self {
+        ShardedCycleStats {
+            track: TrackStats::default(),
+            detect: DetectStats::default(),
+            detect_ops: OpCounter::new(),
+        }
+    }
+}
+
+/// The sharded airfield layer: one master [`Airfield`] (a single RNG
+/// stream, so radar pictures and fleets are bit-identical to the unsharded
+/// pipeline at any shard count) driven through Tasks 1–3 with the per-shard
+/// parallel paths of this module.
+pub struct ShardedAirfield {
+    field: Airfield,
+    workers: usize,
+}
+
+impl ShardedAirfield {
+    /// A fresh field of `n` aircraft under `cfg` (which fixes the shard
+    /// grid via [`AtmConfig::shards`]), run with `workers` host threads.
+    pub fn new(n: usize, cfg: AtmConfig, workers: usize) -> ShardedAirfield {
+        ShardedAirfield::from_airfield(Airfield::new(n, cfg), workers)
+    }
+
+    /// Wrap an existing airfield.
+    pub fn from_airfield(field: Airfield, workers: usize) -> ShardedAirfield {
+        ShardedAirfield {
+            field,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The wrapped airfield.
+    pub fn field(&self) -> &Airfield {
+        &self.field
+    }
+
+    /// Unwrap the airfield.
+    pub fn into_field(self) -> Airfield {
+        self.field
+    }
+
+    /// Host worker threads the parallel paths fan across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Shards in the grid (`cfg.shards²`).
+    pub fn shard_count(&self) -> usize {
+        let s = self.field.config().shards;
+        s * s
+    }
+
+    /// Run one full major cycle (the functional pipeline the backends
+    /// execute under their cost models): every period generates radar and
+    /// runs Task 1; the final period runs Tasks 2+3; each period ends with
+    /// the kinematic update. Bit-identical to the serial reference pipeline
+    /// at any `shards` / `workers` combination.
+    pub fn run_major_cycle(&mut self) -> ShardedCycleStats {
+        let cfg = self.field.config().clone();
+        let mut out = ShardedCycleStats::default();
+        for period in 0..cfg.periods_per_major {
+            let mut radars = self.field.generate_radar();
+            let t =
+                track_correlate_sharded(&mut self.field.aircraft, &mut radars, &cfg, self.workers);
+            out.track.matched += t.matched;
+            out.track.dropped_aircraft += t.dropped_aircraft;
+            out.track.discarded_radars += t.discarded_radars;
+            out.track.unmatched_radars += t.unmatched_radars;
+            out.track.box_tests += t.box_tests;
+            out.track.passes_run += t.passes_run;
+            if period == cfg.periods_per_major - 1 {
+                let (d, ops) =
+                    detect_resolve_parallel(&mut self.field.aircraft, &cfg, self.workers);
+                out.detect = d;
+                out.detect_ops = ops;
+            }
+            self.field.end_period();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::track_correlate;
+
+    fn cfg() -> AtmConfig {
+        AtmConfig::default()
+    }
+
+    /// A deterministic mid-size fleet with plenty of conflicts across
+    /// shard borders (ring spanning all four quadrants, shared bands).
+    fn crossing_fleet(n: u32) -> Vec<Aircraft> {
+        (0..n)
+            .map(|k| {
+                let ang = k as f32 * 0.37;
+                let r = 15.0 + (k % 11) as f32 * 10.0;
+                Aircraft::at(r * ang.cos(), r * ang.sin())
+                    .with_velocity(-0.06 * ang.cos(), -0.06 * ang.sin())
+                    .with_altitude(5_000.0 + (k % 6) as f32 * 800.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ownership_is_total_and_unique() {
+        let map = ShardMap::new(4, 128.0);
+        assert_eq!(map.shard_count(), 16);
+        // Corners, center, exact borders, and the far edge all resolve.
+        for (x, y) in [
+            (-128.0, -128.0),
+            (128.0, 128.0),
+            (0.0, 0.0),
+            (-64.0, 64.0),
+            (63.999, -0.001),
+        ] {
+            assert!(map.shard_of(x, y) < 16);
+        }
+        // The exact field edge clamps into the last cell.
+        assert_eq!(map.shard_of(128.0, 128.0), 15);
+        // Non-finite positions fall into shard 0.
+        assert_eq!(map.shard_of(f32::NAN, 0.0), map.shard_of(f32::NAN, 0.0));
+    }
+
+    #[test]
+    fn halo_covers_every_gate_passer() {
+        let ac = crossing_fleet(80);
+        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+            for shards in [2usize, 3, 4] {
+                let c = AtmConfig {
+                    shards,
+                    scan,
+                    ..cfg()
+                };
+                let idx = ShardedIndex::build(&ac, &c);
+                let reach = c.critical_reach_nm();
+                for i in 0..ac.len() {
+                    let cands: Vec<usize> = idx.candidates_for(i, &ac[i]).collect();
+                    for p in 0..ac.len() {
+                        let gates = (ac[i].alt - ac[p].alt).abs() < c.alt_separation_ft
+                            && (ac[i].x - ac[p].x).abs() <= reach
+                            && (ac[i].y - ac[p].y).abs() <= reach;
+                        if p != i && gates {
+                            assert!(
+                                cands.contains(&p),
+                                "{scan:?} shards={shards}: gate pair ({i},{p}) missed"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_index_has_halos_on_a_crossing_fleet() {
+        let ac = crossing_fleet(120);
+        let c = AtmConfig { shards: 2, ..cfg() };
+        let idx = ShardedIndex::build(&ac, &c);
+        let total_halo: usize = (0..idx.shard_count()).map(|s| idx.halo_len(s)).sum();
+        assert!(total_halo > 0, "border-straddling fleet must export halos");
+        // Every aircraft has exactly one owner.
+        let owned: usize = (0..idx.shard_count())
+            .map(|s| {
+                idx.members(s)
+                    .iter()
+                    .filter(|&&j| idx.owner_of(j as usize) == s)
+                    .count()
+            })
+            .sum();
+        assert_eq!(owned, ac.len());
+    }
+
+    #[test]
+    fn degenerate_positions_fall_back_to_full_membership() {
+        let mut ac = crossing_fleet(20);
+        ac[7].x = f32::NAN;
+        let c = AtmConfig { shards: 4, ..cfg() };
+        let idx = ShardedIndex::build(&ac, &c);
+        for s in 0..idx.shard_count() {
+            assert_eq!(idx.members(s).len(), ac.len());
+        }
+    }
+
+    #[test]
+    fn parallel_detect_is_bit_identical_to_serial() {
+        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+            for shards in [2usize, 4] {
+                let c = AtmConfig {
+                    shards,
+                    scan,
+                    ..cfg()
+                };
+                let mut serial = crossing_fleet(150);
+                let mut counter = OpCounter::new();
+                let s_stats = detect_resolve_all(&mut serial, &c, &mut counter);
+
+                for workers in [2usize, 4] {
+                    let mut par = crossing_fleet(150);
+                    let (p_stats, p_ops) = detect_resolve_parallel(&mut par, &c, workers);
+                    assert_eq!(serial, par, "{scan:?} shards={shards} workers={workers}");
+                    assert_eq!(s_stats, p_stats, "{scan:?} shards={shards}");
+                    assert_eq!(counter, p_ops, "{scan:?} shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_detect_handles_unresolvable_crowds() {
+        // The converging ring from the detect tests: unresolved outcomes,
+        // partner marks and exhausted rotation sequences all cross the
+        // record/replay path.
+        let n = 24;
+        let ring: Vec<Aircraft> = (0..n)
+            .map(|k| {
+                let ang = k as f32 * std::f32::consts::TAU / n as f32;
+                Aircraft::at(5.0 * ang.cos(), 5.0 * ang.sin())
+                    .with_velocity(-0.05 * ang.cos(), -0.05 * ang.sin())
+                    .with_altitude(10_000.0)
+            })
+            .collect();
+        let c = AtmConfig { shards: 4, ..cfg() };
+        let mut serial = ring.clone();
+        let mut counter = OpCounter::new();
+        let s_stats = detect_resolve_all(&mut serial, &c, &mut counter);
+        let mut par = ring;
+        let (p_stats, p_ops) = detect_resolve_parallel(&mut par, &c, 4);
+        assert_eq!(serial, par);
+        assert_eq!(s_stats, p_stats);
+        assert_eq!(counter, p_ops);
+        assert!(s_stats.critical_conflicts > 0);
+    }
+
+    #[test]
+    fn sharded_track_matches_serial_track() {
+        let mut field = Airfield::with_seed(500, 77);
+        let radars = field.generate_radar();
+        let c = field.config().clone();
+
+        let mut serial_ac = field.aircraft.clone();
+        let mut serial_rd = radars.clone();
+        let s = track_correlate(&mut serial_ac, &mut serial_rd, &c, &mut NullSink);
+
+        let mut par_ac = field.aircraft.clone();
+        let mut par_rd = radars;
+        let p = track_correlate_sharded(&mut par_ac, &mut par_rd, &c, 4);
+
+        assert_eq!(serial_ac, par_ac);
+        assert_eq!(serial_rd, par_rd);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn sharded_major_cycle_is_bit_identical_to_the_reference_pipeline() {
+        let seed = 4242;
+        let n = 400;
+
+        // Serial reference: the exact sequence the sequential backend runs.
+        let ref_cfg = AtmConfig::with_seed(seed);
+        let mut ref_field = Airfield::new(n, ref_cfg.clone());
+        let mut ref_detect = DetectStats::default();
+        let mut ref_ops = OpCounter::new();
+        for period in 0..ref_cfg.periods_per_major {
+            let mut radars = ref_field.generate_radar();
+            track_correlate(
+                &mut ref_field.aircraft,
+                &mut radars,
+                &ref_cfg,
+                &mut NullSink,
+            );
+            if period == ref_cfg.periods_per_major - 1 {
+                ref_detect = detect_resolve_all(&mut ref_field.aircraft, &ref_cfg, &mut ref_ops);
+            }
+            ref_field.end_period();
+        }
+
+        for (shards, workers) in [(1usize, 1usize), (2, 4), (4, 4)] {
+            let c = AtmConfig {
+                shards,
+                ..AtmConfig::with_seed(seed)
+            };
+            let mut sharded = ShardedAirfield::new(n, c, workers);
+            let out = sharded.run_major_cycle();
+            assert_eq!(
+                ref_field.aircraft,
+                sharded.field().aircraft,
+                "shards={shards} workers={workers}"
+            );
+            assert_eq!(ref_detect, out.detect, "shards={shards}");
+            assert_eq!(ref_ops, out.detect_ops, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_parallel_results() {
+        let c = AtmConfig { shards: 4, ..cfg() };
+        let run = |workers| {
+            let mut ac = crossing_fleet(200);
+            let (stats, ops) = detect_resolve_parallel(&mut ac, &c, workers);
+            (ac, stats, ops)
+        };
+        let one = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(one, run(workers), "workers={workers}");
+        }
+    }
+}

@@ -53,7 +53,8 @@ pub mod prelude {
         RosterEntry, SequentialBackend, TimingKind, XeonModelBackend,
     };
     pub use atm_core::{
-        Aircraft, Airfield, AltitudeBands, AtmConfig, AtmSimulation, RadarReport, ScanMode,
+        detect_resolve_parallel, Aircraft, Airfield, AltitudeBands, AtmConfig, AtmSimulation,
+        RadarReport, ScanMode, ShardMap, ShardedAirfield, ShardedCycleStats, ShardedIndex,
         SimOutcome, TerrainGrid, TerrainSchedule, TerrainTaskConfig,
     };
     pub use curvefit::{classify_curve, fit_poly, CurveClass};

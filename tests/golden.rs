@@ -45,11 +45,17 @@ fn assert_matches_golden(name: &str, actual: &str) {
 /// The tiny fixed sweep all figure goldens use: small enough to run in a
 /// unit-test budget, wide enough to exercise every paper platform.
 fn golden_sweep(scan: ScanMode) -> SweepConfig {
+    golden_sweep_sharded(scan, 1)
+}
+
+/// [`golden_sweep`] with an explicit shard grid side.
+fn golden_sweep_sharded(scan: ScanMode, shards: usize) -> SweepConfig {
     SweepConfig {
         ns: vec![200, 400],
         seed: 2018,
         reps: 1,
         scan,
+        shards,
     }
 }
 
@@ -79,16 +85,49 @@ fn telemetry_metrics_match_golden() {
     assert_matches_golden("telemetry_metrics.json", &recorder.metrics_json());
 }
 
+/// The sharded counterpart of [`telemetry_metrics_match_golden`]: the same
+/// capture with a 4×4 shard grid. Pinned by its own fixture so shard
+/// accounting regressions are byte-caught — and since sharding is a
+/// wall-clock knob only, the snapshot must also be byte-identical to the
+/// unsharded fixture.
+#[test]
+fn sharded_telemetry_metrics_match_golden() {
+    let recorder = Recorder::enabled();
+    for entry in Roster::paper().entries() {
+        let cfg = AtmConfig {
+            shards: 4,
+            ..AtmConfig::with_seed(2018)
+        };
+        let mut sim = AtmSimulation::new(Airfield::new(200, cfg), entry.instantiate());
+        sim.set_recorder(recorder.clone());
+        sim.run(1);
+    }
+    let actual = recorder.metrics_json();
+    assert_matches_golden("telemetry_metrics_sharded.json", &actual);
+    let unsharded = std::fs::read_to_string(fixture_dir().join("telemetry_metrics.json"))
+        .expect("unsharded metrics fixture present");
+    assert_eq!(
+        unsharded, actual,
+        "sharding must not change a byte of the metrics snapshot"
+    );
+}
+
 #[test]
 fn golden_artifacts_are_scan_and_harness_invariant() {
     // The determinism contract, end to end on the golden artifacts
-    // themselves: neither the scan mode nor the worker count may change
-    // a byte of what the fixtures pin down.
+    // themselves: neither the scan mode, the worker count nor the shard
+    // grid may change a byte of what the fixtures pin down.
     let reference = fig6(&golden_sweep(ScanMode::Grid), &Harness::serial()).to_json();
     for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
         for jobs in [1, 4] {
-            let other = fig6(&golden_sweep(scan), &Harness::new(jobs)).to_json();
-            assert_eq!(reference, other, "scan={scan:?} jobs={jobs}");
+            for shards in [1, 4] {
+                let other =
+                    fig6(&golden_sweep_sharded(scan, shards), &Harness::new(jobs)).to_json();
+                assert_eq!(
+                    reference, other,
+                    "scan={scan:?} jobs={jobs} shards={shards}"
+                );
+            }
         }
     }
 }

@@ -343,8 +343,13 @@ fn arb_fleet(rng: &mut SimRng, n: usize) -> Vec<Aircraft> {
 }
 
 fn scan_cfg(seed: u64, scan: ScanMode) -> AtmConfig {
+    sharded_cfg(seed, scan, 1)
+}
+
+fn sharded_cfg(seed: u64, scan: ScanMode, shards: usize) -> AtmConfig {
     AtmConfig {
         scan,
+        shards,
         ..AtmConfig::with_seed(seed)
     }
 }
@@ -366,27 +371,45 @@ fn full_detect(
     (aircraft, stats, ops)
 }
 
-/// Assert the three-way conformance contract on one fleet/config: banded
-/// and grid must match naive in mutated fleet, stats, and booked costs.
+/// Assert the conformance contract on one fleet/config: every fast path —
+/// banded, grid, and every (shard grid × scan mode) combination — must
+/// match the unsharded naive scan in mutated fleet, stats, and booked
+/// costs, bit for bit.
 fn assert_scans_agree(fleet: &[Aircraft], base: &AtmConfig, label: &str) {
     let naive = full_detect(
         fleet,
         &AtmConfig {
             scan: ScanMode::Naive,
+            shards: 1,
             ..base.clone()
         },
     );
-    for scan in [ScanMode::Banded, ScanMode::Grid] {
-        let fast = full_detect(
-            fleet,
-            &AtmConfig {
-                scan,
-                ..base.clone()
-            },
-        );
-        assert_eq!(naive.0, fast.0, "{label}: fleets diverged under {scan:?}");
-        assert_eq!(naive.1, fast.1, "{label}: stats diverged under {scan:?}");
-        assert_eq!(naive.2, fast.2, "{label}: costs diverged under {scan:?}");
+    for shards in [1usize, 2, 3, 4] {
+        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+            if shards == 1 && scan == ScanMode::Naive {
+                continue;
+            }
+            let fast = full_detect(
+                fleet,
+                &AtmConfig {
+                    scan,
+                    shards,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(
+                naive.0, fast.0,
+                "{label}: fleets diverged under {scan:?} shards={shards}"
+            );
+            assert_eq!(
+                naive.1, fast.1,
+                "{label}: stats diverged under {scan:?} shards={shards}"
+            );
+            assert_eq!(
+                naive.2, fast.2,
+                "{label}: costs diverged under {scan:?} shards={shards}"
+            );
+        }
     }
 }
 
@@ -521,6 +544,100 @@ fn fast_scans_equal_naive_on_zero_velocity_clusters() {
     assert_scans_agree(&fleet, &base, "zero-velocity crosses");
 }
 
+// ---------- Sharded scan vs. naive scan (adversarial layouts) ----------
+
+#[test]
+fn sharded_scans_equal_naive_on_aircraft_exactly_on_shard_borders() {
+    // Shard borders sit at multiples of 2·half_width/S. Pin aircraft
+    // *exactly* on those lines (and a partner a hair across each line, in
+    // the same band): the clamped floor-cell ownership rule must assign
+    // each to exactly one shard, and the halo must still export every
+    // cross-border gate passer.
+    let base = AtmConfig::with_seed(6);
+    let mut rng = SimRng::seed_from_u64(0xB5);
+    for shards in [2i64, 3, 4] {
+        let cell = 2.0 * base.half_width / shards as f32;
+        let mut fleet = Vec::new();
+        for k in 1..shards {
+            let line = -base.half_width + k as f32 * cell;
+            for j in 0..6 {
+                let along = rng.range_f32_inclusive(-120.0, 120.0);
+                let mut a = arb_aircraft(&mut rng);
+                a.x = line; // exactly on a vertical border
+                a.y = along;
+                a.alt = 10_000.0 + (j % 3) as f32 * 900.0;
+                fleet.push(a);
+                let mut b = arb_aircraft(&mut rng);
+                b.x = line - 0.5; // a hair into the neighboring shard
+                b.y = along + 0.5;
+                b.alt = a.alt + 100.0;
+                fleet.push(b);
+                let mut c = arb_aircraft(&mut rng);
+                c.x = along; // and the same on a horizontal border
+                c.y = line;
+                c.alt = a.alt;
+                fleet.push(c);
+            }
+        }
+        assert_scans_agree(&fleet, &base, &format!("border lines S={shards}"));
+    }
+}
+
+#[test]
+fn sharded_scans_equal_naive_on_a_four_shard_corner_cluster() {
+    // A tight cluster straddling the point where four shards meet (the
+    // field center for any even S): every pair in the cluster is a
+    // cross-shard pair, many spanning diagonal shards, which only the halo
+    // export can see.
+    let mut rng = SimRng::seed_from_u64(0xB6);
+    let mut fleet = Vec::new();
+    for k in 0..40 {
+        let mut a = arb_aircraft(&mut rng);
+        a.x = rng.range_f32_inclusive(-6.0, 6.0);
+        a.y = rng.range_f32_inclusive(-6.0, 6.0);
+        a.alt = 12_000.0 + (k % 4) as f32 * 800.0;
+        fleet.push(a);
+    }
+    assert_scans_agree(
+        &fleet,
+        &AtmConfig::with_seed(7),
+        "four-shard corner cluster",
+    );
+}
+
+#[test]
+fn sharded_scans_equal_naive_when_the_whole_fleet_is_in_one_shard() {
+    // Degenerate partition: every aircraft inside a single shard cell, so
+    // all other shards own nothing (empty bounding boxes, no members) and
+    // the one populated shard must behave exactly like the unsharded scan.
+    let mut rng = SimRng::seed_from_u64(0xB7);
+    let mut fleet = Vec::new();
+    for k in 0..50 {
+        let mut a = arb_aircraft(&mut rng);
+        // For S ∈ {2,3,4} over ±128 nm, [70, 120]² lies strictly inside
+        // the top-right shard cell of every grid.
+        a.x = rng.range_f32_inclusive(70.0, 120.0);
+        a.y = rng.range_f32_inclusive(70.0, 120.0);
+        a.alt = 8_000.0 + (k % 5) as f32 * 900.0;
+        fleet.push(a);
+    }
+    assert_scans_agree(&fleet, &AtmConfig::with_seed(8), "one-shard fleet");
+}
+
+#[test]
+fn sharded_scans_equal_naive_on_random_fleets() {
+    let mut rng = SimRng::seed_from_u64(0xB8);
+    for case in 0..12 {
+        let n = 2 + (rng.next_u64() % 100) as usize;
+        let fleet = arb_fleet(&mut rng, n);
+        assert_scans_agree(
+            &fleet,
+            &AtmConfig::with_seed(9),
+            &format!("sharded random case {case} (n={n})"),
+        );
+    }
+}
+
 #[test]
 fn gpu_modeled_time_is_bit_identical_across_scan_modes() {
     let mut rng = SimRng::seed_from_u64(0xB1);
@@ -533,15 +650,23 @@ fn gpu_modeled_time_is_bit_identical_across_scan_modes() {
         let mut gpu1 = GpuBackend::titan_x_pascal();
         let t_naive = gpu1.detect_resolve(&mut naive, &scan_cfg(seed, ScanMode::Naive));
 
-        for scan in [ScanMode::Banded, ScanMode::Grid] {
+        for (scan, shards) in [
+            (ScanMode::Banded, 1),
+            (ScanMode::Grid, 1),
+            (ScanMode::Grid, 4),
+            (ScanMode::Naive, 2),
+        ] {
             let mut fast = fleet.clone();
             let mut gpu2 = GpuBackend::titan_x_pascal();
-            let t_fast = gpu2.detect_resolve(&mut fast, &scan_cfg(seed, scan));
+            let t_fast = gpu2.detect_resolve(&mut fast, &sharded_cfg(seed, scan, shards));
 
-            assert_eq!(naive, fast, "n={n} seed={seed} scan={scan:?}");
+            assert_eq!(
+                naive, fast,
+                "n={n} seed={seed} scan={scan:?} shards={shards}"
+            );
             assert_eq!(
                 t_naive, t_fast,
-                "modeled GPU time diverged (n={n} seed={seed} scan={scan:?})"
+                "modeled GPU time diverged (n={n} seed={seed} scan={scan:?} shards={shards})"
             );
         }
     }
@@ -555,15 +680,20 @@ fn xeon_modeled_time_is_identical_across_scan_modes() {
     let mut x1 = XeonModelBackend::new();
     let t_naive = x1.detect_resolve(&mut naive, &scan_cfg(77, ScanMode::Naive));
 
-    for scan in [ScanMode::Banded, ScanMode::Grid] {
+    for (scan, shards) in [
+        (ScanMode::Banded, 1),
+        (ScanMode::Grid, 1),
+        (ScanMode::Grid, 4),
+        (ScanMode::Naive, 4),
+    ] {
         let mut fast = fleet.clone();
         let mut x2 = XeonModelBackend::new();
-        let t_fast = x2.detect_resolve(&mut fast, &scan_cfg(77, scan));
+        let t_fast = x2.detect_resolve(&mut fast, &sharded_cfg(77, scan, shards));
 
-        assert_eq!(naive, fast, "scan={scan:?}");
+        assert_eq!(naive, fast, "scan={scan:?} shards={shards}");
         assert_eq!(
             t_naive, t_fast,
-            "Xeon weighted-op pricing diverged under {scan:?}"
+            "Xeon weighted-op pricing diverged under {scan:?} shards={shards}"
         );
     }
 }
@@ -580,6 +710,7 @@ fn parallel_and_serial_sweeps_produce_identical_series() {
         seed: 21,
         reps: 2,
         scan: ScanMode::default(),
+        shards: 1,
     };
     for task in [Task::Track, Task::DetectResolve] {
         let serial = sweep_roster(&Roster::paper(), task, &cfg);
