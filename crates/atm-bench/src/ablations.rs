@@ -23,7 +23,8 @@ use atm_core::{Airfield, AtmConfig};
 use gpu_sim::DeviceSpec;
 use multicore::{WorkEstimate, XeonModel};
 use sim_clock::OpCounter;
-use telemetry::JsonValue;
+use std::path::Path;
+use telemetry::{parse_json, JsonValue};
 
 /// One ablation contrast: the paper's choice vs. the alternative.
 #[derive(Clone, Debug)]
@@ -290,11 +291,85 @@ const ABLATION_COST_ESTIMATES: [f64; 6] = [
     60.0, // shared-memory-tiling: two detect_resolve walks, tiled variant
 ];
 
+/// Which measured stage class dominates each ablation's host cost:
+/// `true` for the detect-resolve walks (fused-kernel, block-size,
+/// shared-memory-tiling), `false` for the track-correlate/sweep-shaped
+/// work (expanding-box, pe-virtualization, locking).
+const DETECT_DOMINATED: [bool; 6] = [true, true, false, false, false, true];
+
+/// The cost estimates driving the ablation claim order: measured from a
+/// previous `BENCH_sweep.json` when one parses at `bench_json`, the static
+/// [`ABLATION_COST_ESTIMATES`] otherwise. Purely a wall-clock knob — the
+/// estimates pick the claim order, never the output (see [`all_on`]).
+pub fn cost_estimates(bench_json: &Path) -> [f64; 6] {
+    measured_cost_estimates(bench_json).unwrap_or(ABLATION_COST_ESTIMATES)
+}
+
+/// Rebalance the static estimates by measured stage wall times.
+///
+/// A prior bench run measured, on *this* host, what the two kinds of work
+/// the ablations re-run actually cost: `sharded-detect-1` is pure Tasks
+/// 2+3 executions (what the detect-dominated ablations spend their time
+/// in), `serial-grid` the full sweep (the track-shaped remainder's best
+/// proxy). Each family splits its measured wall across its members in the
+/// static table's proportions, so measurement decides *between* the
+/// families — e.g. a host where the grid scan makes detect walks cheap
+/// lets the track family claim earlier — while the static shape still
+/// orders members *within* a family, which no bench stage resolves finer.
+/// `None` (→ static fallback) when the file is absent, unparseable, or
+/// missing positive finite walls for either stage.
+fn measured_cost_estimates(path: &Path) -> Option<[f64; 6]> {
+    let doc = parse_json(&std::fs::read_to_string(path).ok()?).ok()?;
+    let stages = doc.get("stages")?.as_arr()?;
+    let wall = |id: &str| {
+        stages
+            .iter()
+            .find(|s| s.get("id").and_then(JsonValue::as_str) == Some(id))
+            .and_then(|s| s.get("wall_ms"))
+            .and_then(JsonValue::as_f64)
+    };
+    let detect_wall = wall("sharded-detect-1")?;
+    let sweep_wall = wall("serial-grid")?;
+    if !(detect_wall.is_finite() && sweep_wall.is_finite() && detect_wall > 0.0 && sweep_wall > 0.0)
+    {
+        return None;
+    }
+    let family_sum = |detect: bool| -> f64 {
+        ABLATION_COST_ESTIMATES
+            .iter()
+            .zip(DETECT_DOMINATED)
+            .filter(|&(_, d)| d == detect)
+            .map(|(&c, _)| c)
+            .sum()
+    };
+    let mut estimates = [0.0; 6];
+    for (i, est) in estimates.iter_mut().enumerate() {
+        let (fam_wall, fam_sum) = if DETECT_DOMINATED[i] {
+            (detect_wall, family_sum(true))
+        } else {
+            (sweep_wall, family_sum(false))
+        };
+        *est = ABLATION_COST_ESTIMATES[i] / fam_sum * fam_wall;
+    }
+    Some(estimates)
+}
+
 /// [`all`], fanning the six independent ablations across the harness's
 /// workers, claimed heaviest-first per [`ABLATION_COST_ESTIMATES`]. Output
 /// order is fixed regardless of the job count or claim order.
 pub fn all_on(n: usize, seed: u64, harness: &Harness) -> Vec<Ablation> {
-    let order = crate::harness::descending_cost_order(&ABLATION_COST_ESTIMATES);
+    run_all(n, seed, harness, &ABLATION_COST_ESTIMATES)
+}
+
+/// [`all_on`], claiming by measured per-stage wall times from a previous
+/// `BENCH_sweep.json` when `bench_json` parses (see [`cost_estimates`];
+/// static fallback otherwise). Same fixed output, possibly better packing.
+pub fn all_measured(n: usize, seed: u64, harness: &Harness, bench_json: &Path) -> Vec<Ablation> {
+    run_all(n, seed, harness, &cost_estimates(bench_json))
+}
+
+fn run_all(n: usize, seed: u64, harness: &Harness, estimates: &[f64; 6]) -> Vec<Ablation> {
+    let order = crate::harness::descending_cost_order(estimates);
     harness.run_ordered(6, &order, |i| match i {
         0 => fused_kernel(n, seed),
         1 => block_size(n, seed, 256, DeviceSpec::titan_x_pascal()),
@@ -357,6 +432,100 @@ mod tests {
         let ids: Vec<&str> = list.iter().map(|a| a.id.as_str()).collect();
         assert!(ids.contains(&"fused-kernel"));
         assert!(ids.contains(&"locking"));
+    }
+
+    /// A minimal bench artifact with the two stage walls the estimator
+    /// reads, written to a unique temp path.
+    fn bench_artifact(name: &str, detect_wall: f64, sweep_wall: f64) -> std::path::PathBuf {
+        let json = JsonValue::obj().set(
+            "stages",
+            JsonValue::Arr(vec![
+                JsonValue::obj()
+                    .set("id", "serial-grid")
+                    .set("wall_ms", sweep_wall),
+                JsonValue::obj()
+                    .set("id", "sharded-detect-1")
+                    .set("wall_ms", detect_wall),
+            ]),
+        );
+        let path = std::env::temp_dir().join(format!("atm-ablation-test-{name}.json"));
+        std::fs::write(&path, json.to_pretty()).expect("temp write");
+        path
+    }
+
+    #[test]
+    fn measured_walls_decide_between_the_ablation_families() {
+        use crate::harness::descending_cost_order;
+
+        // Detect-heavy host: the three detect-dominated ablations must
+        // claim before any track-shaped one.
+        let path = bench_artifact("detect-heavy", 10_000.0, 1.0);
+        let order = descending_cost_order(&cost_estimates(&path));
+        assert!(order[..3].iter().all(|&i| DETECT_DOMINATED[i]), "{order:?}");
+        // Within the family the static shape still rules: tiling (60)
+        // before fused (40) before block (30).
+        assert_eq!(order[..3], [5, 0, 1]);
+        std::fs::remove_file(&path).ok();
+
+        // Sweep-heavy host: the track family overtakes.
+        let path = bench_artifact("sweep-heavy", 1.0, 10_000.0);
+        let order = descending_cost_order(&cost_estimates(&path));
+        assert!(
+            order[..3].iter().all(|&i| !DETECT_DOMINATED[i]),
+            "{order:?}"
+        );
+        assert_eq!(order[..3], [2, 3, 4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn estimates_fall_back_to_the_static_table() {
+        // No file.
+        let missing = std::env::temp_dir().join("atm-ablation-test-does-not-exist.json");
+        assert_eq!(cost_estimates(&missing), ABLATION_COST_ESTIMATES);
+
+        // Unparseable file.
+        let path = std::env::temp_dir().join("atm-ablation-test-corrupt.json");
+        std::fs::write(&path, "not json {").expect("temp write");
+        assert_eq!(cost_estimates(&path), ABLATION_COST_ESTIMATES);
+        std::fs::remove_file(&path).ok();
+
+        // Parseable but missing the needed stage.
+        let path = std::env::temp_dir().join("atm-ablation-test-no-stage.json");
+        std::fs::write(
+            &path,
+            JsonValue::obj()
+                .set(
+                    "stages",
+                    JsonValue::Arr(vec![JsonValue::obj()
+                        .set("id", "serial-grid")
+                        .set("wall_ms", 5.0)]),
+                )
+                .to_pretty(),
+        )
+        .expect("temp write");
+        assert_eq!(cost_estimates(&path), ABLATION_COST_ESTIMATES);
+        std::fs::remove_file(&path).ok();
+
+        // Degenerate walls (zero) are rejected too.
+        let path = bench_artifact("zero-wall", 0.0, 5.0);
+        assert_eq!(cost_estimates(&path), ABLATION_COST_ESTIMATES);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn measured_claim_order_does_not_change_the_ablation_output() {
+        let baseline = all(400, 9);
+        let path = bench_artifact("order-neutral", 10_000.0, 1.0);
+        let measured = all_measured(400, 9, &Harness::new(3), &path);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(baseline.len(), measured.len());
+        for (s, p) in baseline.iter().zip(&measured) {
+            assert_eq!(s.id, p.id);
+            assert_eq!(s.paper_ms, p.paper_ms);
+            assert_eq!(s.alternative_ms, p.alternative_ms);
+            assert_eq!(s.notes, p.notes);
+        }
     }
 
     #[test]

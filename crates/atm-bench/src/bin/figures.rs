@@ -17,6 +17,11 @@
 //! modeled costs — only wall-clock time differs. CI diffs the artifacts
 //! across the knob matrix.
 //!
+//! `--stream` emits Figures 4–9 incrementally: table rows print and JSON
+//! series land on disk as their sweep points complete, instead of after
+//! the whole sweep. Another pure plumbing knob — the bytes written are
+//! identical to the materialized path's, and CI diffs that too.
+//!
 //! `--trace PATH` and `--metrics PATH` additionally run one major cycle of
 //! the full timed simulation on every paper platform with the telemetry
 //! recorder attached, then write a Chrome `trace_event` file (load it at
@@ -26,7 +31,7 @@
 
 use atm_bench::ablations;
 use atm_bench::experiments::{deadlines, determinism, throughput_normalized};
-use atm_bench::figures::{fig4, fig5, fig6, fig7, fig8, fig9};
+use atm_bench::figures::{figure, figure_streamed};
 use atm_bench::harness::Harness;
 use atm_bench::series::FigureData;
 use atm_bench::sweep::SweepConfig;
@@ -40,6 +45,7 @@ struct Options {
     exps: Vec<String>,
     out: PathBuf,
     quick: bool,
+    stream: bool,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     jobs: Option<usize>,
@@ -61,6 +67,7 @@ fn parse_args() -> Options {
         exps: Vec::new(),
         out: PathBuf::from("results"),
         quick: false,
+        stream: false,
         trace: None,
         metrics: None,
         jobs: None,
@@ -101,6 +108,7 @@ fn parse_args() -> Options {
                 opts.metrics = Some(PathBuf::from(value_of(&mut args, "--metrics", "a path")));
             }
             "--quick" => opts.quick = true,
+            "--stream" => opts.stream = true,
             "--jobs" => {
                 let v = value_of(&mut args, "--jobs", "a worker count (>= 1)");
                 opts.jobs = Some(v.parse().ok().filter(|&j| j >= 1).unwrap_or_else(|| {
@@ -134,8 +142,8 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--all] [--fig N]... [--exp deadlines|determinism]... \
-                     [--quick] [--jobs N] [--scan naive|banded|grid] [--shards N] [--out DIR] \
-                     [--trace PATH] [--metrics PATH]"
+                     [--quick] [--stream] [--jobs N] [--scan naive|banded|grid] [--shards N] \
+                     [--out DIR] [--trace PATH] [--metrics PATH]"
                 );
                 std::process::exit(0);
             }
@@ -163,6 +171,42 @@ fn write_or_die(path: &std::path::Path, content: &str) {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     });
+}
+
+/// Stream one figure: table rows go to stdout and JSON series to
+/// `OUT/figN.json` the moment their sweep points complete. Stdout and the
+/// JSON file end up byte-identical to the materialized [`emit`] path.
+fn stream_figure(f: u32, sweep: &SweepConfig, harness: &Harness, out: &PathBuf) {
+    if !(4..=9).contains(&f) {
+        eprintln!("no figure {f} in the paper (4..=9)");
+        return;
+    }
+    std::fs::create_dir_all(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    let path = out.join(format!("fig{f}.json"));
+    let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let result = figure_streamed(
+        f,
+        sweep,
+        harness,
+        std::io::stdout(),
+        std::io::BufWriter::new(file),
+    );
+    match result {
+        Ok(_) => {
+            println!();
+            println!("  (series written to {})\n", path.display());
+        }
+        Err(e) => {
+            eprintln!("cannot stream figure {f}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn emit(fig: &FigureData, out: &PathBuf) {
@@ -202,19 +246,14 @@ fn main() {
     );
 
     for &f in &opts.figs {
-        let fig = match f {
-            4 => fig4(&sweep, &harness),
-            5 => fig5(&sweep, &harness),
-            6 => fig6(&sweep, &harness),
-            7 => fig7(&sweep, &harness),
-            8 => fig8(&sweep, &harness),
-            9 => fig9(&sweep, &harness),
-            other => {
-                eprintln!("no figure {other} in the paper (4..=9)");
-                continue;
-            }
-        };
-        emit(&fig, &opts.out);
+        if opts.stream {
+            stream_figure(f, &sweep, &harness, &opts.out);
+            continue;
+        }
+        match figure(f, &sweep, &harness) {
+            Some(fig) => emit(&fig, &opts.out),
+            None => eprintln!("no figure {f} in the paper (4..=9)"),
+        }
     }
 
     for exp in &opts.exps {
@@ -289,7 +328,11 @@ fn main() {
             }
             "ablations" => {
                 let n = if opts.quick { 400 } else { 2_000 };
-                let list = ablations::all_on(n, 2018, &harness);
+                // Claim by measured stage walls when a previous bench run
+                // left its artifact next to the figures (static estimates
+                // otherwise); either way the output is identical.
+                let bench_json = opts.out.join("BENCH_sweep.json");
+                let list = ablations::all_measured(n, 2018, &harness, &bench_json);
                 println!("== ablations (modeled, n={n}) ==\n");
                 println!(
                     "{:<18} {:>12} {:>14} {:>9}",

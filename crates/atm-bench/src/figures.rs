@@ -4,79 +4,187 @@
 //! harness's workers; the harness's index-slotted results keep each figure
 //! byte-identical to a serial run (pass [`Harness::serial`] to force the
 //! seed code path).
+//!
+//! Each figure is described once by a [`FigSpec`] — id, title, roster,
+//! task, annotation style — and produced through one of two drivers over
+//! that spec: [`figure`] materializes the whole [`FigureData`] before
+//! anything is rendered, [`figure_streamed`] pushes every sweep point into
+//! a [`FigureStream`] the moment it is measured, so table rows and JSON
+//! series leave while the sweep is still running. Both drivers share the
+//! sweep and the annotators, and the stream writer reproduces the
+//! materialized renderers byte for byte, so the two paths cannot diverge.
 
 use crate::harness::Harness;
-use crate::series::{FigureData, Series};
-use crate::sweep::{sweep_roster_on, SweepConfig, Task};
+use crate::series::FigureData;
+use crate::stream::{FigureSkeleton, FigureStream};
+use crate::sweep::{sweep_roster_on, sweep_roster_streamed, SweepConfig, Task};
 use atm_core::backends::{PlatformId, Roster};
 use curvefit::{classify_curve, fit_exponential, fit_poly, CurveClass};
+use std::io::{self, Write};
+
+/// How a figure's notes are derived from its finished series.
+enum Style {
+    /// Final-point ordering, optionally with the Xeon growth-law contrast.
+    Ordering { xeon: bool },
+    /// MATLAB-style linear/quadratic fits (Figs. 8 and 9).
+    Fit,
+}
+
+/// One figure of the paper: everything needed to run and annotate it.
+struct FigSpec {
+    id: &'static str,
+    title: &'static str,
+    roster: Roster,
+    task: Task,
+    style: Style,
+}
+
+/// The spec for paper figure `n`, or `None` outside 4..=9.
+fn spec(n: u32) -> Option<FigSpec> {
+    Some(match n {
+        4 => FigSpec {
+            id: "fig4",
+            title: "Comparing Task 1 timings in all platforms",
+            roster: Roster::paper(),
+            task: Task::Track,
+            style: Style::Ordering { xeon: true },
+        },
+        5 => FigSpec {
+            id: "fig5",
+            title: "Comparing Task 1 timings in all NVIDIA cards",
+            roster: Roster::nvidia(),
+            task: Task::Track,
+            style: Style::Ordering { xeon: false },
+        },
+        6 => FigSpec {
+            id: "fig6",
+            title: "Comparing Tasks 2 and 3 timings in all platforms",
+            roster: Roster::paper(),
+            task: Task::DetectResolve,
+            style: Style::Ordering { xeon: true },
+        },
+        7 => FigSpec {
+            id: "fig7",
+            title: "Comparing Tasks 2 and 3 timings in all NVIDIA cards",
+            roster: Roster::nvidia(),
+            task: Task::DetectResolve,
+            style: Style::Ordering { xeon: false },
+        },
+        8 => FigSpec {
+            id: "fig8",
+            title: "Near linear curve for Task 1 timings on the GTX 880M card",
+            roster: Roster::select([PlatformId::Gtx880m]),
+            task: Task::Track,
+            style: Style::Fit,
+        },
+        9 => FigSpec {
+            id: "fig9",
+            title: "Quadratic (low coefficient) curve for Tasks 2 and 3 timings on GT9800",
+            roster: Roster::select([PlatformId::Geforce9800Gt]),
+            task: Task::DetectResolve,
+            style: Style::Fit,
+        },
+        _ => return None,
+    })
+}
+
+/// Apply a spec's annotation style to a figure whose series are complete.
+fn annotate(style: &Style, fig: &mut FigureData) {
+    match style {
+        Style::Ordering { xeon } => {
+            annotate_ordering(fig);
+            if *xeon {
+                annotate_xeon_growth(fig);
+            }
+        }
+        Style::Fit => annotate_fits(fig),
+    }
+}
+
+/// Produce paper figure `n` (4..=9), materialized: the sweep runs to
+/// completion, then the series are annotated. `None` outside 4..=9.
+pub fn figure(n: u32, cfg: &SweepConfig, harness: &Harness) -> Option<FigureData> {
+    let spec = spec(n)?;
+    let mut fig = FigureData::new(spec.id, spec.title);
+    fig.series = sweep_roster_on(&spec.roster, spec.task, cfg, harness);
+    annotate(&spec.style, &mut fig);
+    Some(fig)
+}
+
+/// Produce paper figure `n` (4..=9), streaming: every sweep point is
+/// pushed into a [`FigureStream`] over `table`/`json` the moment it is
+/// measured, so partial output exists while later points are still being
+/// computed; notes flush at the end (they are functions of the finished
+/// series). The bytes written are identical to rendering [`figure`]'s
+/// result with `Display` / [`FigureData::to_json`], and the returned
+/// figure is identical to [`figure`]'s. `Ok(None)` outside 4..=9.
+pub fn figure_streamed<T: Write + Send, J: Write + Send>(
+    n: u32,
+    cfg: &SweepConfig,
+    harness: &Harness,
+    table: T,
+    json: J,
+) -> io::Result<Option<FigureData>> {
+    let Some(spec) = spec(n) else { return Ok(None) };
+    let mut fig = FigureData::new(spec.id, spec.title);
+    let labels: Vec<String> = spec
+        .roster
+        .entries()
+        .iter()
+        .map(|e| e.label.to_owned())
+        .collect();
+    let xs: Vec<f64> = cfg.ns.iter().map(|&n| n as f64).collect();
+    let mut stream = FigureStream::begin(FigureSkeleton::of(&fig, labels, xs), table, json)?;
+    let mut write_error = None;
+    fig.series = sweep_roster_streamed(&spec.roster, spec.task, cfg, harness, |entry, point, y| {
+        if write_error.is_none() {
+            write_error = stream.point(entry, point, y).err();
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+    annotate(&spec.style, &mut fig);
+    stream.finish(&fig.notes)?;
+    Ok(Some(fig))
+}
 
 /// Fig. 4 — "Comparing Task 1 timings in all platforms".
 pub fn fig4(cfg: &SweepConfig, harness: &Harness) -> FigureData {
-    let mut fig = FigureData::new("fig4", "Comparing Task 1 timings in all platforms");
-    fig.series = sweep_roster_on(&Roster::paper(), Task::Track, cfg, harness);
-    annotate_ordering(&mut fig);
-    annotate_xeon_growth(&mut fig);
-    fig
+    figure(4, cfg, harness).expect("figure 4 is in the paper")
 }
 
 /// Fig. 5 — "Comparing Task 1 timings in all NVIDIA cards".
 pub fn fig5(cfg: &SweepConfig, harness: &Harness) -> FigureData {
-    let mut fig = FigureData::new("fig5", "Comparing Task 1 timings in all NVIDIA cards");
-    fig.series = sweep_roster_on(&Roster::nvidia(), Task::Track, cfg, harness);
-    annotate_ordering(&mut fig);
-    fig
+    figure(5, cfg, harness).expect("figure 5 is in the paper")
 }
 
 /// Fig. 6 — "Comparing Tasks 2 and 3 timings in all platforms".
 pub fn fig6(cfg: &SweepConfig, harness: &Harness) -> FigureData {
-    let mut fig = FigureData::new("fig6", "Comparing Tasks 2 and 3 timings in all platforms");
-    fig.series = sweep_roster_on(&Roster::paper(), Task::DetectResolve, cfg, harness);
-    annotate_ordering(&mut fig);
-    annotate_xeon_growth(&mut fig);
-    fig
+    figure(6, cfg, harness).expect("figure 6 is in the paper")
 }
 
 /// Fig. 7 — "Comparing Tasks 2 and 3 timings in all NVIDIA cards".
 pub fn fig7(cfg: &SweepConfig, harness: &Harness) -> FigureData {
-    let mut fig = FigureData::new(
-        "fig7",
-        "Comparing Tasks 2 and 3 timings in all NVIDIA cards",
-    );
-    fig.series = sweep_roster_on(&Roster::nvidia(), Task::DetectResolve, cfg, harness);
-    annotate_ordering(&mut fig);
-    fig
+    figure(7, cfg, harness).expect("figure 7 is in the paper")
 }
 
 /// Fig. 8 — "Near linear curve for Task 1 timings on the GTX 880M card":
 /// the Task 1 series on the 880M plus MATLAB-style linear/quadratic fits
 /// and goodness-of-fit numbers.
 pub fn fig8(cfg: &SweepConfig, harness: &Harness) -> FigureData {
-    let roster = Roster::select([PlatformId::Gtx880m]);
-    let series = sweep_roster_on(&roster, Task::Track, cfg, harness);
-    fit_figure(
-        "fig8",
-        "Near linear curve for Task 1 timings on the GTX 880M card",
-        series,
-    )
+    figure(8, cfg, harness).expect("figure 8 is in the paper")
 }
 
 /// Fig. 9 — "Quadratic (low coefficient) curve for Tasks 2 and 3 timings
 /// on the GeForce 9800 GT card".
 pub fn fig9(cfg: &SweepConfig, harness: &Harness) -> FigureData {
-    let roster = Roster::select([PlatformId::Geforce9800Gt]);
-    let series = sweep_roster_on(&roster, Task::DetectResolve, cfg, harness);
-    fit_figure(
-        "fig9",
-        "Quadratic (low coefficient) curve for Tasks 2 and 3 timings on GT9800",
-        series,
-    )
+    figure(9, cfg, harness).expect("figure 9 is in the paper")
 }
 
 /// Shared fit machinery for Figs. 8 and 9.
-fn fit_figure(id: &str, title: &str, series: Vec<Series>) -> FigureData {
-    let mut fig = FigureData::new(id, title);
-    for s in &series {
+fn annotate_fits(fig: &mut FigureData) {
+    for s in &fig.series {
         match classify_curve(&s.x, &s.y_ms) {
             Ok((class, linear, quad)) => {
                 fig.notes.push(format!("{}: classified {}", s.label, class));
@@ -106,8 +214,6 @@ fn fit_figure(id: &str, title: &str, series: Vec<Series>) -> FigureData {
             }
         }
     }
-    fig.series = series;
-    fig
 }
 
 /// The paper calls the multi-core curve "essentially certain to be an
@@ -197,6 +303,45 @@ mod tests {
         for (s, p) in serial.series.iter().zip(&parallel.series) {
             assert_eq!(s.label, p.label);
             assert_eq!(s.y_ms, p.y_ms);
+        }
+    }
+
+    #[test]
+    fn there_is_no_figure_outside_the_papers_range() {
+        assert!(figure(3, &tiny(), &Harness::serial()).is_none());
+        assert!(figure(10, &tiny(), &Harness::serial()).is_none());
+        let streamed = figure_streamed(10, &tiny(), &Harness::serial(), Vec::new(), Vec::new())
+            .expect("no I/O performed");
+        assert!(streamed.is_none());
+    }
+
+    #[test]
+    fn streamed_figures_write_the_materialized_bytes() {
+        // Every paper figure, both annotation styles, serial and parallel:
+        // the streamed table/JSON bytes must equal the materialized
+        // renderings and the returned figure must match `figure`'s.
+        let cfg = tiny();
+        for n in [4, 8] {
+            let baseline = figure(n, &cfg, &Harness::serial()).unwrap();
+            for jobs in [1, 4] {
+                let mut table = Vec::new();
+                let mut json = Vec::new();
+                let fig = figure_streamed(n, &cfg, &Harness::new(jobs), &mut table, &mut json)
+                    .expect("in-memory writers cannot fail")
+                    .expect("paper figure");
+                assert_eq!(fig.notes, baseline.notes, "fig{n} jobs={jobs}");
+                assert_eq!(fig.series, baseline.series, "fig{n} jobs={jobs}");
+                assert_eq!(
+                    String::from_utf8(table).unwrap(),
+                    format!("{baseline}"),
+                    "fig{n} jobs={jobs} table bytes"
+                );
+                assert_eq!(
+                    String::from_utf8(json).unwrap(),
+                    baseline.to_json(),
+                    "fig{n} jobs={jobs} json bytes"
+                );
+            }
         }
     }
 

@@ -87,6 +87,36 @@ impl Harness {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_ordered_observed(count, order, f, |_, _| {})
+    }
+
+    /// [`Harness::run_ordered`] with a completion observer: `observe(i, &v)`
+    /// fires once per index, as soon as `f(i)` has produced `v`, before the
+    /// full result `Vec` exists. This is the seam the streaming figure
+    /// writers hang off: a sweep can emit each point the moment it is
+    /// measured instead of waiting for the whole run to join.
+    ///
+    /// Observations arrive in *completion* order — the claim permutation
+    /// serially, an interleaving of it under parallel workers — so the
+    /// observer must slot by index if it needs a deterministic view. Calls
+    /// are serialized (behind a mutex in the parallel path): the observer
+    /// never runs concurrently with itself, and may therefore hold plain
+    /// mutable state. The returned `Vec` is in index order and
+    /// byte-identical to [`Harness::run_ordered`]'s for any job count.
+    ///
+    /// Panics if `order` is not a permutation of `0..count`.
+    pub fn run_ordered_observed<T, F, O>(
+        &self,
+        count: usize,
+        order: &[usize],
+        f: F,
+        mut observe: O,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        O: FnMut(usize, &T) + Send,
+    {
         assert_eq!(order.len(), count, "order must cover every index once");
         let mut seen = vec![false; count];
         for &i in order {
@@ -100,7 +130,9 @@ impl Harness {
             // observe the same sequence), but return in index order.
             let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
             for &i in order {
-                slots[i] = Some(f(i));
+                let value = f(i);
+                observe(i, &value);
+                slots[i] = Some(value);
             }
             return slots
                 .into_iter()
@@ -109,9 +141,11 @@ impl Harness {
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let observe = Mutex::new(observe);
         let f = &f;
         let next = &next;
         let slots = &slots;
+        let observe = &observe;
         std::thread::scope(|scope| {
             for _ in 0..self.jobs.min(count) {
                 scope.spawn(move || loop {
@@ -121,6 +155,7 @@ impl Harness {
                     }
                     let i = order[k];
                     let value = f(i);
+                    observe.lock().expect("observer lock poisoned")(i, &value);
                     *slots[i].lock().expect("slot lock poisoned") = Some(value);
                 });
             }
@@ -247,6 +282,34 @@ mod tests {
         let mut got = claimed.into_inner().unwrap();
         got.sort_unstable();
         assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observer_sees_every_completion_exactly_once_with_its_value() {
+        let order: Vec<usize> = (0..30).rev().collect();
+        for jobs in [1, 4] {
+            let mut seen: Vec<(usize, usize)> = Vec::new();
+            let out = Harness::new(jobs).run_ordered_observed(
+                30,
+                &order,
+                |i| i * 3,
+                |i, &v| seen.push((i, v)),
+            );
+            assert_eq!(out, (0..30).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(seen.len(), 30, "jobs={jobs}");
+            assert!(seen.iter().all(|&(i, v)| v == i * 3));
+            let mut indices: Vec<usize> = seen.iter().map(|&(i, _)| i).collect();
+            indices.sort_unstable();
+            assert_eq!(indices, (0..30).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_observer_fires_in_claim_order_before_the_run_returns() {
+        let order = vec![2usize, 0, 1];
+        let mut seen = Vec::new();
+        Harness::serial().run_ordered_observed(3, &order, |i| i, |i, _| seen.push(i));
+        assert_eq!(seen, order);
     }
 
     #[test]

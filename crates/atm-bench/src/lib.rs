@@ -22,8 +22,12 @@ pub mod experiments;
 pub mod figures;
 pub mod harness;
 pub mod series;
+pub mod stream;
 pub mod sweep;
 
 pub use harness::Harness;
 pub use series::{FigureData, Series};
-pub use sweep::{measure_point, sweep_roster, sweep_roster_on, SweepConfig, Task};
+pub use stream::{FigureSkeleton, FigureStream};
+pub use sweep::{
+    measure_point, sweep_roster, sweep_roster_on, sweep_roster_streamed, SweepConfig, Task,
+};

@@ -127,7 +127,9 @@ impl fmt::Display for FigureData {
     }
 }
 
-fn truncate(s: &str, n: usize) -> String {
+/// Truncate a label to `n` chars for the fixed-width table columns (shared
+/// with the streaming writer so both render identical headers).
+pub(crate) fn truncate(s: &str, n: usize) -> String {
     if s.chars().count() <= n {
         s.to_owned()
     } else {

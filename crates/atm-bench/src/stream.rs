@@ -1,0 +1,376 @@
+//! Incremental figure writers: emit table rows and JSON series as sweep
+//! points complete, instead of materializing whole [`Series`] first.
+//!
+//! The shape of a figure is known before any point is measured — the
+//! roster fixes the series labels, the sweep config fixes the x domain —
+//! so a [`FigureStream`] is constructed from that [`FigureSkeleton`] up
+//! front and fed `(series, point, y)` triples in *completion* order (see
+//! [`crate::sweep::sweep_roster_streamed`]). It buffers only what
+//! byte-identical output forces it to buffer:
+//!
+//! * a table row waits for every series' value at that x (a row spans all
+//!   columns), and rows must leave in x order;
+//! * a JSON series waits for all of its points, and series must leave in
+//!   roster order.
+//!
+//! Everything that *can* leave early does: the table header and the JSON
+//! prelude are written at construction, each row the moment its last cell
+//! lands, each series object the moment its last point lands. Notes are
+//! computed from the finished series by the annotators, so they flush in
+//! [`FigureStream::finish`].
+//!
+//! The output is guaranteed byte-identical to the materialized renderers —
+//! `format!("{fig}")` for the table, [`FigureData::to_json`] for the JSON —
+//! which is what lets CI diff a streamed run against the serial baseline.
+
+use crate::series::{truncate, FigureData, Series};
+use std::io::{self, Write};
+use telemetry::JsonValue;
+
+/// The part of a figure that is known before any point is measured.
+#[derive(Clone, Debug)]
+pub struct FigureSkeleton {
+    /// Identifier ("fig4" … "fig9").
+    pub id: String,
+    /// Title echoing the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Series labels in roster order (the table columns).
+    pub labels: Vec<String>,
+    /// The shared x domain (the table rows).
+    pub xs: Vec<f64>,
+}
+
+impl FigureSkeleton {
+    /// The skeleton of `fig` (id, title, axis labels) over the given
+    /// series labels and x domain.
+    pub fn of(fig: &FigureData, labels: Vec<String>, xs: Vec<f64>) -> FigureSkeleton {
+        FigureSkeleton {
+            id: fig.id.clone(),
+            title: fig.title.clone(),
+            x_label: fig.x_label.clone(),
+            y_label: fig.y_label.clone(),
+            labels,
+            xs,
+        }
+    }
+}
+
+/// Re-indent a pretty-printed JSON fragment rendered at depth 0 so it can
+/// be embedded at a deeper nesting level. Safe byte-wise because
+/// [`JsonValue`] escapes every control character — a rendered fragment
+/// contains raw newlines only where the pretty-printer put them, and
+/// pretty indentation is linear in depth.
+fn reindent(fragment: &str, pad: &str) -> String {
+    fragment.replace('\n', &format!("\n{pad}"))
+}
+
+/// A streaming figure writer (see module docs).
+///
+/// `table` receives exactly the bytes of the figure's `Display` rendering;
+/// `json` exactly the bytes of [`FigureData::to_json`].
+pub struct FigureStream<T: Write, J: Write> {
+    skel: FigureSkeleton,
+    table: T,
+    json: J,
+    /// `cells[series][point]`, filled as measurements arrive.
+    cells: Vec<Vec<Option<f64>>>,
+    /// Table rows already written.
+    rows_out: usize,
+    /// JSON series objects already written.
+    series_out: usize,
+}
+
+impl<T: Write, J: Write> FigureStream<T, J> {
+    /// Open the stream: writes the table header and the JSON prelude
+    /// (everything up to the contents of the `series` array) immediately.
+    pub fn begin(skel: FigureSkeleton, mut table: T, mut json: J) -> io::Result<Self> {
+        writeln!(table, "== {} — {} ==", skel.id, skel.title)?;
+        if skel.labels.is_empty() {
+            writeln!(table, "(no data)")?;
+        } else {
+            write!(table, "{:>10}", skel.x_label)?;
+            for label in &skel.labels {
+                write!(table, " {:>22}", truncate(label, 22))?;
+            }
+            writeln!(table)?;
+        }
+
+        let head = JsonValue::obj()
+            .set("id", skel.id.as_str())
+            .set("title", skel.title.as_str())
+            .set("x_label", skel.x_label.as_str())
+            .set("y_label", skel.y_label.as_str())
+            .to_pretty();
+        let head = head
+            .strip_suffix("\n}")
+            .expect("a non-empty pretty object ends with a bare closing brace");
+        write!(json, "{head},\n  \"series\": ")?;
+        write!(json, "{}", if skel.labels.is_empty() { "[]" } else { "[" })?;
+
+        let cells = skel
+            .labels
+            .iter()
+            .map(|_| vec![None; skel.xs.len()])
+            .collect();
+        let mut stream = FigureStream {
+            skel,
+            table,
+            json,
+            cells,
+            rows_out: 0,
+            series_out: 0,
+        };
+        // Zero-point series (empty x domain) are complete from the start.
+        stream.flush_ready()?;
+        Ok(stream)
+    }
+
+    /// Record the measurement for `(series, point)` and flush whatever it
+    /// completes: the table row at `point` once every series has it, the
+    /// JSON object for `series` once all its points are in (each only when
+    /// its predecessors have left). Panics on out-of-range indices or a
+    /// duplicate point.
+    pub fn point(&mut self, series: usize, point: usize, y_ms: f64) -> io::Result<()> {
+        let cell = &mut self.cells[series][point];
+        assert!(
+            cell.replace(y_ms).is_none(),
+            "duplicate sweep point ({series}, {point})"
+        );
+        self.flush_ready()
+    }
+
+    fn flush_ready(&mut self) -> io::Result<()> {
+        while self.rows_out < self.skel.xs.len()
+            && self.cells.iter().all(|c| c[self.rows_out].is_some())
+        {
+            let row = self.rows_out;
+            write!(self.table, "{:>10.0}", self.skel.xs[row])?;
+            for cell in &self.cells {
+                let y = cell[row].expect("checked above");
+                write!(self.table, " {y:>22.4}")?;
+            }
+            writeln!(self.table)?;
+            self.rows_out += 1;
+        }
+        while self.series_out < self.skel.labels.len()
+            && self.cells[self.series_out].iter().all(Option::is_some)
+        {
+            let k = self.series_out;
+            let series = Series {
+                label: self.skel.labels[k].clone(),
+                x: self.skel.xs.clone(),
+                y_ms: self.cells[k].iter().map(|y| y.expect("checked")).collect(),
+            };
+            let body = reindent(&series.to_json_value().to_pretty(), "    ");
+            if k > 0 {
+                write!(self.json, ",")?;
+            }
+            write!(self.json, "\n    {body}")?;
+            self.series_out += 1;
+        }
+        Ok(())
+    }
+
+    /// Close the stream: writes the notes (computed by the caller from the
+    /// finished series) and the JSON epilogue, then flushes both writers.
+    /// Panics if any point is still missing.
+    pub fn finish(mut self, notes: &[String]) -> io::Result<()> {
+        self.flush_ready()?;
+        assert!(
+            self.series_out == self.skel.labels.len() && self.rows_out == self.skel.xs.len(),
+            "finish() before every sweep point arrived"
+        );
+        // The Display renderer prints notes only below a non-empty table.
+        if !self.skel.labels.is_empty() {
+            for note in notes {
+                writeln!(self.table, "  note: {note}")?;
+            }
+        }
+        if !self.skel.labels.is_empty() {
+            write!(self.json, "\n  ]")?;
+        }
+        let notes_arr = JsonValue::Arr(notes.iter().map(|n| JsonValue::Str(n.clone())).collect());
+        let notes_body = reindent(&notes_arr.to_pretty(), "  ");
+        write!(self.json, ",\n  \"notes\": {notes_body}\n}}")?;
+        self.table.flush()?;
+        self.json.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The materialized figure the streamed bytes must reproduce.
+    fn materialize(skel: &FigureSkeleton, cells: &[Vec<f64>], notes: &[String]) -> FigureData {
+        let mut fig = FigureData::new(&skel.id, &skel.title);
+        fig.x_label = skel.x_label.clone();
+        fig.y_label = skel.y_label.clone();
+        fig.series = skel
+            .labels
+            .iter()
+            .zip(cells)
+            .map(|(label, y)| Series {
+                label: label.clone(),
+                x: skel.xs.clone(),
+                y_ms: y.clone(),
+            })
+            .collect();
+        fig.notes = notes.to_vec();
+        fig
+    }
+
+    fn skel() -> FigureSkeleton {
+        FigureSkeleton {
+            id: "fig4".into(),
+            title: "Comparing Task 1 timings in all platforms".into(),
+            x_label: "aircraft".into(),
+            y_label: "mean task time (ms)".into(),
+            labels: vec![
+                "STARAN AP".into(),
+                "a label far too long for one column".into(),
+            ],
+            xs: vec![500.0, 1000.0, 2000.0],
+        }
+    }
+
+    fn stream_all(
+        skel: &FigureSkeleton,
+        cells: &[Vec<f64>],
+        notes: &[String],
+        arrival: &[(usize, usize)],
+    ) -> (String, String) {
+        let mut table = Vec::new();
+        let mut json = Vec::new();
+        let mut s = FigureStream::begin(skel.clone(), &mut table, &mut json).unwrap();
+        for &(series, point) in arrival {
+            s.point(series, point, cells[series][point]).unwrap();
+        }
+        s.finish(notes).unwrap();
+        (
+            String::from_utf8(table).unwrap(),
+            String::from_utf8(json).unwrap(),
+        )
+    }
+
+    #[test]
+    fn streamed_bytes_match_the_materialized_renderers() {
+        let skel = skel();
+        let cells = vec![vec![10.0, 20.5, 41.0], vec![0.5, 1.0, 2.25]];
+        let notes = vec![
+            "at the largest sweep point: ...".to_owned(),
+            "two".to_owned(),
+        ];
+        // Completion order scrambled the way a parallel sweep would.
+        let arrival = [(1, 2), (0, 0), (1, 0), (0, 2), (0, 1), (1, 1)];
+        let (table, json) = stream_all(&skel, &cells, &notes, &arrival);
+        let fig = materialize(&skel, &cells, &notes);
+        assert_eq!(table, format!("{fig}"));
+        assert_eq!(json, fig.to_json());
+    }
+
+    #[test]
+    fn streamed_bytes_match_with_no_notes_and_one_series() {
+        let skel = FigureSkeleton {
+            labels: vec!["GTX 880M".into()],
+            ..skel()
+        };
+        let cells = vec![vec![1.0, 2.0, 3.0]];
+        let (table, json) = stream_all(&skel, &cells, &[], &[(0, 1), (0, 0), (0, 2)]);
+        let fig = materialize(&skel, &cells, &[]);
+        assert_eq!(table, format!("{fig}"));
+        assert_eq!(json, fig.to_json());
+    }
+
+    #[test]
+    fn empty_skeleton_renders_the_no_data_figure() {
+        let skel = FigureSkeleton {
+            labels: vec![],
+            xs: vec![],
+            ..skel()
+        };
+        let notes = vec!["orphan note".to_owned()];
+        let (table, json) = stream_all(&skel, &[], &notes, &[]);
+        let fig = materialize(&skel, &[], &notes);
+        assert_eq!(table, format!("{fig}"));
+        assert_eq!(json, fig.to_json());
+    }
+
+    /// A clonable byte sink so the test can inspect a stream's output
+    /// while the stream still owns its writer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn string(&self) -> String {
+            String::from_utf8(self.0.borrow().clone()).unwrap()
+        }
+        fn len(&self) -> usize {
+            self.0.borrow().len()
+        }
+    }
+
+    #[test]
+    fn rows_and_series_flush_as_soon_as_their_last_cell_lands() {
+        let skel = skel();
+        let table = SharedBuf::default();
+        let json = SharedBuf::default();
+        let mut s = FigureStream::begin(skel.clone(), table.clone(), json.clone()).unwrap();
+
+        // Header (title line + column line) is out before any point.
+        assert_eq!(table.string().lines().count(), 2);
+        let header_len = table.len();
+
+        s.point(0, 0, 10.0).unwrap();
+        assert_eq!(table.len(), header_len, "row 0 must wait for series 1");
+        s.point(1, 0, 0.5).unwrap();
+        assert!(table.len() > header_len, "row 0 complete, must flush");
+        assert!(table.string().contains("500"));
+        assert!(!table.string().contains("1000"));
+
+        // Series 0 completes: its JSON object flushes before series 1 has
+        // a single remaining point measured.
+        let json_before = json.len();
+        s.point(0, 1, 20.5).unwrap();
+        s.point(0, 2, 41.0).unwrap();
+        assert!(json.len() > json_before, "series 0 complete, must flush");
+        assert!(json.string().contains("\"STARAN AP\""));
+        assert!(!json.string().contains("too long"));
+
+        s.point(1, 1, 1.0).unwrap();
+        s.point(1, 2, 2.25).unwrap();
+        s.finish(&[]).unwrap();
+        let fig = materialize(&skel, &[vec![10.0, 20.5, 41.0], vec![0.5, 1.0, 2.25]], &[]);
+        assert_eq!(table.string(), format!("{fig}"));
+        assert_eq!(json.string(), fig.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep point")]
+    fn duplicate_points_are_rejected() {
+        let mut s = FigureStream::begin(skel(), Vec::new(), Vec::new()).unwrap();
+        s.point(0, 0, 1.0).unwrap();
+        s.point(0, 0, 1.0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "before every sweep point")]
+    fn finishing_early_is_rejected() {
+        let s = FigureStream::begin(skel(), Vec::new(), Vec::new()).unwrap();
+        s.finish(&[]).unwrap();
+    }
+}

@@ -169,14 +169,39 @@ pub fn sweep_roster_on(
     cfg: &SweepConfig,
     harness: &Harness,
 ) -> Vec<Series> {
+    sweep_roster_streamed(roster, task, cfg, harness, |_, _, _| {})
+}
+
+/// [`sweep_roster_on`] with a point observer: `on_point(entry, point, y_ms)`
+/// fires the moment each `(platform, n)` measurement completes — entry is
+/// the roster index, point the position in `cfg.ns` — so a streaming writer
+/// can emit partial tables/JSON while the sweep is still running.
+///
+/// Points arrive in completion order (the largest-`n`-first claim order
+/// serially, an interleaving of it in parallel); the observer is never
+/// called concurrently with itself. The returned series are identical to
+/// [`sweep_roster_on`]'s — streaming is output plumbing, not a result
+/// change.
+pub fn sweep_roster_streamed(
+    roster: &Roster,
+    task: Task,
+    cfg: &SweepConfig,
+    harness: &Harness,
+    mut on_point: impl FnMut(usize, usize, f64) + Send,
+) -> Vec<Series> {
     let entries = roster.entries();
     let per_entry = cfg.ns.len();
     let order = claim_order(entries.len(), &cfg.ns);
-    let y = harness.run_ordered(entries.len() * per_entry, &order, |k| {
-        let entry = &entries[k / per_entry];
-        let n = cfg.ns[k % per_entry];
-        measure_point_sharded(entry, task, n, cfg.seed, cfg.reps, cfg.scan, cfg.shards)
-    });
+    let y = harness.run_ordered_observed(
+        entries.len() * per_entry,
+        &order,
+        |k| {
+            let entry = &entries[k / per_entry];
+            let n = cfg.ns[k % per_entry];
+            measure_point_sharded(entry, task, n, cfg.seed, cfg.reps, cfg.scan, cfg.shards)
+        },
+        |k, &y_ms| on_point(k / per_entry, k % per_entry, y_ms),
+    );
     entries
         .iter()
         .enumerate()
@@ -284,6 +309,37 @@ mod tests {
                     measure_point_sharded(&titan, task, 500, 7, 2, ScanMode::default(), shards);
                 assert_eq!(one, sharded, "task {task:?}, shards {shards}");
             }
+        }
+    }
+
+    #[test]
+    fn streamed_sweep_reports_every_point_and_matches_materialized() {
+        let cfg = SweepConfig {
+            ns: vec![200, 400],
+            seed: 3,
+            reps: 1,
+            scan: ScanMode::default(),
+            shards: 1,
+        };
+        let baseline = sweep_roster(&Roster::nvidia(), Task::DetectResolve, &cfg);
+        for jobs in [1, 4] {
+            let mut points: Vec<(usize, usize, f64)> = Vec::new();
+            let series = sweep_roster_streamed(
+                &Roster::nvidia(),
+                Task::DetectResolve,
+                &cfg,
+                &Harness::new(jobs),
+                |entry, point, y| points.push((entry, point, y)),
+            );
+            assert_eq!(series, baseline, "jobs={jobs}");
+            for &(e, p, y) in &points {
+                assert_eq!(y, baseline[e].y_ms[p], "jobs={jobs}");
+            }
+            let mut keys: Vec<(usize, usize)> = points.iter().map(|&(e, p, _)| (e, p)).collect();
+            keys.sort_unstable();
+            let expected: Vec<(usize, usize)> =
+                (0..3).flat_map(|e| (0..2).map(move |p| (e, p))).collect();
+            assert_eq!(keys, expected, "jobs={jobs}");
         }
     }
 

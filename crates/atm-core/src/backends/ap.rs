@@ -261,31 +261,7 @@ impl AtmBackend for ApBackend {
             // The candidate mask depends only on positions and altitudes,
             // which never change during Tasks 2+3 — build it once per
             // track.
-            let scan_mask: Option<ResponderSet> = match &index {
-                ScanIndex::Naive => None,
-                ScanIndex::Banded(b) => {
-                    let mut mask = ResponderSet::new(n);
-                    for p in b.candidates(m.records()[i].a.alt) {
-                        mask.set(p);
-                    }
-                    Some(mask)
-                }
-                ScanIndex::Grid(g) => {
-                    let mut mask = ResponderSet::new(n);
-                    for p in g.candidates(&m.records()[i].a) {
-                        mask.set(p);
-                    }
-                    Some(mask)
-                }
-                ScanIndex::Sharded(s) => {
-                    let track = m.records()[i].a;
-                    let mut mask = ResponderSet::new(n);
-                    for p in s.candidates_for(i, &track) {
-                        mask.set(p);
-                    }
-                    Some(mask)
-                }
-            };
+            let scan_mask: Option<ResponderSet> = index.responder_mask(i, &m.records()[i].a, n);
 
             loop {
                 // Broadcast the track and compute every PE's window start

@@ -98,6 +98,16 @@ impl GpuBackend {
         LaunchConfig::cover(items.max(1), self.block_size)
     }
 
+    /// The one candidate index a detect entry point builds per rescan and
+    /// passes through every launch it performs: positions and altitudes are
+    /// static for the whole rescan (even across the split variant's
+    /// detect→resolve round trip, which only changes velocities and flags),
+    /// and the index is host-side pruning only — modeled time is
+    /// unaffected.
+    fn scan_index(aircraft: &[Aircraft], cfg: &AtmConfig) -> ScanIndex {
+        ScanIndex::for_config(aircraft, cfg)
+    }
+
     /// Tasks 2+3 with **shared-memory tiling** (the optimization the paper
     /// deliberately forgoes to stay compatible with compute capability 1.x
     /// global-memory-only code, §5): each block cooperatively stages a tile
@@ -115,9 +125,7 @@ impl GpuBackend {
         let n = aircraft.len();
         let lc = self.launch_config(n);
         let block = self.block_size as usize;
-        // Host-side scan pruning; positions and altitudes are stable for
-        // the whole launch.
-        let index = ScanIndex::for_config(aircraft, cfg);
+        let index = Self::scan_index(aircraft, cfg);
         let mut stats = DetectStats::default();
         self.device
             .launch("CheckCollisionPath.tiled", lc, |ctx, tr| {
@@ -155,9 +163,7 @@ impl GpuBackend {
         let t0 = self.device.elapsed();
         let n = aircraft.len();
         let lc = self.launch_config(n);
-        // Valid across both launches: the resolve kernel only changes
-        // velocities and flags, never positions or altitudes.
-        let index = ScanIndex::for_config(aircraft, cfg);
+        let index = Self::scan_index(aircraft, cfg);
 
         let mut stats = DetectStats::default();
         self.device.launch("DetectOnly", lc, |ctx, tr| {
@@ -290,10 +296,7 @@ impl AtmBackend for GpuBackend {
         let t0 = self.device.elapsed();
         let n = aircraft.len();
         let lc = self.launch_config(n);
-        // One index serves every thread of the launch (positions and
-        // altitudes do not change during Tasks 2+3); modeled time is
-        // unaffected.
-        let index = ScanIndex::for_config(aircraft, cfg);
+        let index = Self::scan_index(aircraft, cfg);
         let mut stats = DetectStats::default();
         self.device.launch("CheckCollisionPath", lc, |ctx, tr| {
             if ctx.in_range(n) {

@@ -30,7 +30,7 @@ use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
 #[cfg(test)]
 use crate::batcher::conflict_window;
 use crate::config::AtmConfig;
-use crate::detect::{rotate_velocity, scan_for_conflicts_with, ScanIndex};
+use crate::detect::{rotate_velocity, scan_pairs, ScanIndex};
 use crate::terrain::{check_terrain, TerrainGrid, TerrainTaskConfig};
 use crate::track::any_unmatched;
 use crate::types::{
@@ -225,7 +225,7 @@ impl AtmBackend for MimdBackend {
                 let mut next_rotation = 0usize;
                 let mut chk = 0u32;
                 loop {
-                    let scan = scan_for_conflicts_with(snapshot, index, i, vel, cfg, &mut NullSink);
+                    let scan = scan_pairs(snapshot, index, i, vel, cfg, &mut NullSink);
                     let Some((partner, tmin)) = scan.critical else {
                         break;
                     };

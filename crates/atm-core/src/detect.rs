@@ -23,1335 +23,24 @@
 //! round-trips; [`check_collision_path`] is that fused per-aircraft
 //! routine, reused verbatim by every backend. The split-kernel variant the
 //! fusion ablation compares against lives in [`detect_only`].
+//!
+//! The module is organized as a **CandidateSource pipeline** (DESIGN.md
+//! §10): [`index`] owns *which* pairs a scan visits (the [`ScanIndex`]
+//! enumerators — naive, banded, grid, sharded), [`kernel`] owns *what
+//! happens* to every visited pair (the single [`scan_pairs`] kernel: gate
+//! checks, cost booking, earliest-conflict selection), and [`stats`] owns
+//! the outcome counters. Enumeration is a wall-clock choice only — every
+//! source produces bit-identical results, stats and booked cost totals.
 
-use crate::batcher::{conflict_window, same_altitude_band, within_critical_reach};
-use crate::config::{AtmConfig, ScanMode};
-use crate::shard::ShardedIndex;
-use crate::types::{Aircraft, NO_COLLISION};
-use sim_clock::{CostSink, NullSink};
-
-/// Largest bucket index magnitude the banded index will use. Beyond this
-/// the f64 rounding slack in `alt / width` is no longer provably below the
-/// half-ulp margin of the f32 altitude gate, so [`AltitudeBands::build`]
-/// falls back to a single catch-all bucket (still correct, no pruning).
-/// Real configurations sit around |bucket| ≤ 40.
-const MAX_BUCKET_MAGNITUDE: f64 = (1u64 << 24) as f64;
-
-/// An altitude-band bucketed index over a fleet snapshot.
-///
-/// Bucket `b` holds the aircraft with `floor(alt / width) == b`, where
-/// `width` is the vertical-separation threshold. Any pair passing the f32
-/// altitude gate `|a.alt − b.alt| < width` is at most one bucket apart
-/// (`|Δalt| < width` bounds the exact quotients within 1.0 of each other,
-/// and the f64 division error is ≪ the gate's own f32 half-ulp margin under
-/// [`MAX_BUCKET_MAGNITUDE`]), so a scan that visits buckets `b−1..=b+1` sees
-/// every candidate the naive O(n²) scan would accept. Altitudes never change
-/// during Tasks 2+3 — only velocities and collision flags do — so an index
-/// built once per detect execution stays valid through every rotation
-/// rescan of every aircraft.
-///
-/// This is purely a host-side wall-clock structure: callers book the skipped
-/// pairs' operation mix in aggregate (see [`scan_for_conflicts_banded`]), so
-/// every [`CostSink`] tallies exactly what the naive scan books.
-#[derive(Clone, Debug)]
-pub struct AltitudeBands {
-    /// Band width in feet as f64 (0.0 marks the degenerate single-bucket
-    /// fallback).
-    width: f64,
-    /// Bucket index of `buckets[0]`.
-    min_bucket: i64,
-    /// Aircraft indices grouped by altitude bucket, ascending bucket order.
-    buckets: Vec<Vec<u32>>,
-}
-
-impl AltitudeBands {
-    /// Bucket index of one altitude, or `None` when the assignment is not
-    /// provably gate-consistent (non-finite altitude or huge quotient).
-    fn bucket_for(alt: f32, width: f64) -> Option<i64> {
-        let q = (alt as f64 / width).floor();
-        if q.is_finite() && q.abs() <= MAX_BUCKET_MAGNITUDE {
-            Some(q as i64)
-        } else {
-            None
-        }
-    }
-
-    /// Build the index for a fleet under vertical separation
-    /// `alt_separation_ft`. Degenerate parameters (non-positive or
-    /// non-finite width, unbucketable altitudes, or a bucket span so wide
-    /// the index would waste memory) yield a single catch-all bucket, which
-    /// keeps every scan correct at naive cost.
-    pub fn build(aircraft: &[Aircraft], alt_separation_ft: f32) -> AltitudeBands {
-        let n = aircraft.len();
-        let width = alt_separation_ft as f64;
-        let fallback = || AltitudeBands {
-            width: 0.0,
-            min_bucket: 0,
-            buckets: vec![(0..n as u32).collect()],
-        };
-        if n == 0 || !width.is_finite() || width <= 0.0 {
-            return fallback();
-        }
-        let mut min_b = i64::MAX;
-        let mut max_b = i64::MIN;
-        for a in aircraft {
-            match Self::bucket_for(a.alt, width) {
-                Some(b) => {
-                    min_b = min_b.min(b);
-                    max_b = max_b.max(b);
-                }
-                None => return fallback(),
-            }
-        }
-        let span = (max_b as i128 - min_b as i128) + 1;
-        if span > (4 * n as i128).max(4_096) {
-            return fallback();
-        }
-        let mut buckets = vec![Vec::new(); span as usize];
-        for (idx, a) in aircraft.iter().enumerate() {
-            let b = Self::bucket_for(a.alt, width).expect("bucketed above");
-            buckets[(b - min_b) as usize].push(idx as u32);
-        }
-        AltitudeBands {
-            width,
-            min_bucket: min_b,
-            buckets,
-        }
-    }
-
-    /// Half-open range into `buckets` covering `bucket(alt) ± 1`.
-    fn candidate_range(&self, alt: f32) -> (usize, usize) {
-        if self.width <= 0.0 {
-            return (0, self.buckets.len());
-        }
-        let len = self.buckets.len() as i64;
-        let Some(b) = Self::bucket_for(alt, self.width) else {
-            // Unbucketable query altitude: scan everything (correctness
-            // over pruning; cannot happen for altitudes the index was
-            // built from).
-            return (0, self.buckets.len());
-        };
-        let lo = (b - 1 - self.min_bucket).clamp(0, len);
-        let hi = (b + 2 - self.min_bucket).clamp(0, len);
-        (lo as usize, hi.max(lo) as usize)
-    }
-
-    /// Aircraft indices that could pass the altitude gate against an
-    /// aircraft at `alt` (a superset: callers re-check the real gate).
-    pub fn candidates(&self, alt: f32) -> impl Iterator<Item = usize> + '_ {
-        let (lo, hi) = self.candidate_range(alt);
-        self.buckets[lo..hi]
-            .iter()
-            .flat_map(|b| b.iter().map(|&i| i as usize))
-    }
-
-    /// Number of buckets (1 for the degenerate fallback).
-    pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
-    }
-
-    /// Whether the index is the single catch-all bucket (no pruning).
-    pub fn is_degenerate(&self) -> bool {
-        self.width <= 0.0
-    }
-
-    /// Bucket index of one altitude under this index's width, or `None`
-    /// when the index is degenerate or the altitude is unbucketable.
-    pub fn bucket_of(&self, alt: f32) -> Option<i64> {
-        if self.is_degenerate() {
-            None
-        } else {
-            Self::bucket_for(alt, self.width)
-        }
-    }
-}
-
-/// A coarse uniform x/y grid over the airfield, composed with the altitude
-/// bands: the [`ScanMode::Grid`] index.
-///
-/// Cell width is the critical-reach envelope
-/// ([`AtmConfig::critical_reach_nm`]) padded by a relative 1e-6 — strictly
-/// wider than any separation the range gate's inclusive `<=` compare can
-/// accept, so a pair passing the gate sits at most one cell apart per axis
-/// (the f64 floor-division error is ≪ the pad under
-/// [`MAX_BUCKET_MAGNITUDE`], the same argument as [`AltitudeBands`]). A
-/// scan that visits the track's cell ±1 on both axes therefore sees every
-/// pair the naive scan's two gates could accept. An explicit
-/// `cfg.grid_cell_nm` only ever *coarsens* the cells.
-///
-/// Positions, like altitudes, never change during Tasks 2+3, so one index
-/// per detect execution stays valid through every rotation rescan. Purely a
-/// host-side wall-clock structure: callers book skipped pairs in aggregate
-/// (see [`scan_for_conflicts_grid`]).
-///
-/// Storage is CSR over `(spatial cell, altitude bucket)` slots with the
-/// bucket dimension fastest-varying: the ±1-bucket range of one spatial
-/// cell is a single contiguous `idx` slice found by two O(1) offset loads,
-/// so a scan touches exactly the intersection of both dimensions with no
-/// per-candidate filtering and no per-cell searching.
-#[derive(Clone, Debug)]
-pub struct ConflictGrid {
-    /// The altitude dimension (candidates slice on bucket ±1).
-    bands: AltitudeBands,
-    /// Cell width in nm as f64 (0.0 marks the degenerate single cell).
-    cell_nm: f64,
-    /// Cell-coordinate origin of the first slot's spatial cell.
-    min_cx: i64,
-    min_cy: i64,
-    /// Grid extent in spatial cells.
-    cols: usize,
-    rows: usize,
-    /// Altitude-bucket span composed into the slots (1 when `bands` is
-    /// degenerate) and the bucket index of slot offset 0.
-    nb: usize,
-    min_b: i64,
-    /// CSR offsets: slot `(cy·cols + cx)·nb + b` holds aircraft of spatial
-    /// cell `(cx, cy)` and altitude bucket `min_b + b`; len `slots + 1`.
-    offsets: Vec<u32>,
-    /// Aircraft indices grouped by slot, ascending index within a slot.
-    idx: Vec<u32>,
-}
-
-impl ConflictGrid {
-    /// Build the index for one detect execution. Degenerate inputs (empty
-    /// fleet, non-finite reach or positions, a cell span so wide the grid
-    /// would waste memory) fall back to one catch-all cell — correct at
-    /// banded cost.
-    pub fn build(aircraft: &[Aircraft], cfg: &AtmConfig) -> ConflictGrid {
-        let bands = AltitudeBands::build(aircraft, cfg.alt_separation_ft);
-        let n = aircraft.len();
-        let (nb, min_b) = if bands.is_degenerate() {
-            (1usize, 0i64)
-        } else {
-            (bands.bucket_count(), bands.min_bucket)
-        };
-        // The pad restores a strict inequality margin over the gate's
-        // inclusive `<=` compare (and dwarfs the f64 division error).
-        let cell = (cfg.critical_reach_nm() as f64 * 1.000_001).max(cfg.grid_cell_nm as f64);
-
-        // Pick the spatial extent, or fall back to a single catch-all cell
-        // (degenerate inputs, unbucketable positions, or a slot table so
-        // large it would waste memory) — correct at banded cost either way,
-        // since the bucket dimension survives the fallback.
-        let mut spatial = None;
-        if n > 0 && cell.is_finite() && cell > 0.0 {
-            let (mut min_cx, mut max_cx) = (i64::MAX, i64::MIN);
-            let (mut min_cy, mut max_cy) = (i64::MAX, i64::MIN);
-            let mut bucketable = true;
-            for a in aircraft {
-                match (
-                    AltitudeBands::bucket_for(a.x, cell),
-                    AltitudeBands::bucket_for(a.y, cell),
-                ) {
-                    (Some(cx), Some(cy)) => {
-                        min_cx = min_cx.min(cx);
-                        max_cx = max_cx.max(cx);
-                        min_cy = min_cy.min(cy);
-                        max_cy = max_cy.max(cy);
-                    }
-                    _ => {
-                        bucketable = false;
-                        break;
-                    }
-                }
-            }
-            if bucketable {
-                let cols = (max_cx as i128 - min_cx as i128) + 1;
-                let rows = (max_cy as i128 - min_cy as i128) + 1;
-                let cap = (4 * n as i128).max(4_096);
-                if cols * rows <= cap && cols * rows * nb as i128 <= 2 * cap {
-                    spatial = Some((cell, min_cx, min_cy, cols as usize, rows as usize));
-                }
-            }
-        }
-        let (cell_nm, min_cx, min_cy, cols, rows) = spatial.unwrap_or((0.0, 0, 0, 1, 1));
-
-        // Counting-sort into (cell, bucket) slots, bucket fastest-varying;
-        // iteration order keeps indices ascending within each slot.
-        let slots = cols * rows * nb;
-        let slot_of = |a: &Aircraft| -> usize {
-            let spatial = if cell_nm > 0.0 {
-                let cx = AltitudeBands::bucket_for(a.x, cell_nm).expect("bucketed above");
-                let cy = AltitudeBands::bucket_for(a.y, cell_nm).expect("bucketed above");
-                (cy - min_cy) as usize * cols + (cx - min_cx) as usize
-            } else {
-                0
-            };
-            let b = match bands.bucket_of(a.alt) {
-                Some(b) => (b - min_b) as usize,
-                None => 0, // degenerate bands: everyone shares slot 0
-            };
-            spatial * nb + b
-        };
-        let mut offsets = vec![0u32; slots + 1];
-        for a in aircraft {
-            offsets[slot_of(a) + 1] += 1;
-        }
-        for k in 1..=slots {
-            offsets[k] += offsets[k - 1];
-        }
-        let mut cursor = offsets.clone();
-        let mut idx = vec![0u32; n];
-        for (i, a) in aircraft.iter().enumerate() {
-            let s = slot_of(a);
-            idx[cursor[s] as usize] = i as u32;
-            cursor[s] += 1;
-        }
-        ConflictGrid {
-            bands,
-            cell_nm,
-            min_cx,
-            min_cy,
-            cols,
-            rows,
-            nb,
-            min_b,
-            offsets,
-            idx,
-        }
-    }
-
-    /// Half-open cell-coordinate ranges covering `cell(v) ± 1` per axis.
-    fn cell_ranges(&self, x: f32, y: f32) -> (usize, usize, usize, usize) {
-        if self.cell_nm <= 0.0 {
-            return (0, self.cols, 0, self.rows);
-        }
-        let clamp_axis = |c: Option<i64>, min: i64, len: usize| match c {
-            Some(c) => {
-                let lo = (c - 1 - min).clamp(0, len as i64);
-                let hi = (c + 2 - min).clamp(0, len as i64);
-                (lo as usize, hi.max(lo) as usize)
-            }
-            // Unbucketable query position: scan everything (cannot happen
-            // for positions the grid was built from).
-            None => (0, len),
-        };
-        let (x_lo, x_hi) = clamp_axis(
-            AltitudeBands::bucket_for(x, self.cell_nm),
-            self.min_cx,
-            self.cols,
-        );
-        let (y_lo, y_hi) = clamp_axis(
-            AltitudeBands::bucket_for(y, self.cell_nm),
-            self.min_cy,
-            self.rows,
-        );
-        (x_lo, x_hi, y_lo, y_hi)
-    }
-
-    /// Aircraft indices that could pass *both* scan gates against `track`:
-    /// the 3×3 cell neighborhood intersected with altitude bucket ±1 (a
-    /// superset — callers re-check the real f32 gates). Slots are CSR with
-    /// the bucket dimension fastest-varying, so each spatial cell's
-    /// ±1-bucket range is one contiguous `idx` slice found by two offset
-    /// loads — the iteration count is the intersection's size, never the
-    /// looser of the two dimensions alone.
-    pub fn candidates<'g>(&'g self, track: &Aircraft) -> impl Iterator<Item = usize> + 'g {
-        let (x_lo, x_hi, y_lo, y_hi) = self.cell_ranges(track.x, track.y);
-        let (b_lo, b_hi) = match self.bands.bucket_of(track.alt) {
-            Some(tb) => {
-                let lo = (tb - 1 - self.min_b).clamp(0, self.nb as i64) as usize;
-                let hi = (tb + 2 - self.min_b).clamp(0, self.nb as i64) as usize;
-                (lo, hi.max(lo))
-            }
-            // Degenerate bands or unbucketable query altitude: all buckets.
-            None => (0, self.nb),
-        };
-        (y_lo..y_hi)
-            .flat_map(move |cy| (x_lo..x_hi).map(move |cx| cy * self.cols + cx))
-            .flat_map(move |cell| {
-                let base = cell * self.nb;
-                let lo = self.offsets[base + b_lo] as usize;
-                let hi = self.offsets[base + b_hi] as usize;
-                self.idx[lo..hi].iter().map(|&i| i as usize)
-            })
-    }
-
-    /// Number of spatial cells (1 for the degenerate fallback).
-    pub fn cell_count(&self) -> usize {
-        self.cols * self.rows
-    }
-
-    /// The composed altitude-band index.
-    pub fn bands(&self) -> &AltitudeBands {
-        &self.bands
-    }
-}
-
-/// The per-execution candidate index selected by [`AtmConfig::scan`].
-///
-/// Backends build one with [`ScanIndex::for_config`] at the top of a detect
-/// execution and thread it through [`check_collision_path_with`] /
-/// [`detect_only_with`]; positions and altitudes never change during Tasks
-/// 2+3, so the index stays valid across every rotation rescan of every
-/// aircraft.
-#[derive(Clone, Debug)]
-pub enum ScanIndex {
-    /// No index: the naive O(n²) scan (the seed path).
-    Naive,
-    /// Altitude-band index ([`ScanMode::Banded`]).
-    Banded(AltitudeBands),
-    /// Spatial grid composed with altitude bands ([`ScanMode::Grid`]).
-    Grid(ConflictGrid),
-    /// Geographic shards with boundary halos ([`AtmConfig::shards`] > 1);
-    /// composes the shard partition with `cfg.scan` per shard.
-    Sharded(ShardedIndex),
-}
-
-impl ScanIndex {
-    /// Build the index `cfg.scan` selects for one detect execution. A shard
-    /// grid ([`AtmConfig::shards`] > 1) wraps the selected scan mode in the
-    /// sharded index, which builds the mode's inner index per shard.
-    pub fn for_config(aircraft: &[Aircraft], cfg: &AtmConfig) -> ScanIndex {
-        if cfg.shards > 1 {
-            return ScanIndex::Sharded(ShardedIndex::build(aircraft, cfg));
-        }
-        match cfg.scan {
-            ScanMode::Naive => ScanIndex::Naive,
-            ScanMode::Banded => {
-                ScanIndex::Banded(AltitudeBands::build(aircraft, cfg.alt_separation_ft))
-            }
-            ScanMode::Grid => ScanIndex::Grid(ConflictGrid::build(aircraft, cfg)),
-        }
-    }
-}
-
-/// Outcome counters of one Tasks 2+3 execution.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DetectStats {
-    /// Pair windows evaluated (Batcher computations).
-    pub pair_checks: u64,
-    /// Critical conflicts encountered (before resolution).
-    pub critical_conflicts: u64,
-    /// Path rotations attempted.
-    pub rotations: u64,
-    /// Aircraft whose path was changed to a conflict-free trial.
-    pub resolved: u64,
-    /// Aircraft left with an unresolvable critical conflict.
-    pub unresolved: u64,
-}
-
-impl DetectStats {
-    /// Fold another aircraft's stats into this total.
-    pub fn absorb(&mut self, s: &DetectStats) {
-        self.pair_checks += s.pair_checks;
-        self.critical_conflicts += s.critical_conflicts;
-        self.rotations += s.rotations;
-        self.resolved += s.resolved;
-        self.unresolved += s.unresolved;
-    }
-}
-
-/// Result of scanning one track aircraft against the fleet.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct ScanResult {
-    /// Earliest critical conflict: (partner index, window start).
-    pub critical: Option<(usize, f32)>,
-    /// Pairs examined.
-    pub checks: u64,
-}
-
-/// One full scan of aircraft `i` (with trial velocity `vel`) against all
-/// others: the Task 2 half. Each non-self pair passes through two
-/// data-independent gates — altitude band and critical reach — and only
-/// pairs passing both count as a check and evaluate their conflict window.
-/// Read-only; backends that cannot mutate shared state mid-scan (the
-/// threaded MIMD implementation) drive the rotation loop themselves around
-/// this function.
-pub fn scan_for_conflicts(
-    aircraft: &[Aircraft],
-    i: usize,
-    vel: (f32, f32),
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> ScanResult {
-    let track = &aircraft[i];
-    let reach = cfg.critical_reach_nm();
-    let mut earliest: Option<(usize, f32)> = None;
-    let mut checks = 0u64;
-    for (p, trial) in aircraft.iter().enumerate() {
-        sink.ialu(1);
-        sink.branch(false);
-        if p == i {
-            continue;
-        }
-        // Every track thread walks the same shared aircraft array.
-        sink.load_shared(Aircraft::RECORD_BYTES);
-        // Both gates evaluate unconditionally (predicated, lockstep-style —
-        // the SIMD substrates execute both sides of a divergence anyway),
-        // so every skipped pair books the same fixed mix regardless of
-        // *which* gate rejected it; the fast paths rely on that to book
-        // their skipped pairs in aggregate.
-        let same_band = same_altitude_band(track, trial, cfg.alt_separation_ft, sink);
-        let in_reach = within_critical_reach(track, trial, reach, sink);
-        if !(same_band && in_reach) {
-            continue;
-        }
-        checks += 1;
-        if let Some((tmin, _tmax)) = conflict_window(
-            track,
-            vel,
-            trial,
-            cfg.separation_nm,
-            cfg.horizon_periods,
-            sink,
-        ) {
-            sink.branch(true);
-            if tmin < cfg.critical_periods {
-                match earliest {
-                    Some((_, best)) if best <= tmin => {}
-                    _ => earliest = Some((p, tmin)),
-                }
-            }
-        }
-    }
-    ScanResult {
-        critical: earliest,
-        checks,
-    }
-}
-
-/// Book the aggregate operation mix the naive scan accrues unconditionally
-/// over a fleet of `n`: n iterations of `ialu(1); branch(false)` plus, for
-/// the n−1 non-self pairs, one shared record read, the altitude gate's
-/// `fadd(2); branch(false)` and the range gate's `fadd(4); branch(false)`.
-/// All three sinks are purely accumulative, so totals — not call sequences
-/// — determine modeled time (DESIGN.md §8).
-fn book_unconditional_mix(n: u64, sink: &mut impl CostSink) {
-    sink.ialu(n);
-    sink.branches(3 * n - 2, false);
-    sink.loads_shared(n - 1, Aircraft::RECORD_BYTES);
-    sink.fadd(6 * (n - 1));
-}
-
-/// The banded fast path of [`scan_for_conflicts`]: visit only the aircraft
-/// within ±1 altitude band of the track, which is every pair the naive scan
-/// could accept (see [`AltitudeBands`]). The operation mix the naive scan
-/// books for *every* pair — loop index work, the self check, the shared
-/// record read and both gate compares — is booked up front in aggregate, so
-/// the sink's totals (and therefore every backend's modeled time) are
-/// bit-identical to the naive scan; only candidates that pass the real
-/// gates book their conflict windows individually, exactly as the naive
-/// scan does. Returns the same result and the same check count.
-pub fn scan_for_conflicts_banded(
-    aircraft: &[Aircraft],
-    bands: &AltitudeBands,
-    i: usize,
-    vel: (f32, f32),
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> ScanResult {
-    let track = &aircraft[i];
-    let reach = cfg.critical_reach_nm();
-    book_unconditional_mix(aircraft.len() as u64, sink);
-
-    let mut earliest: Option<(usize, f32)> = None;
-    let mut checks = 0u64;
-    for p in bands.candidates(track.alt) {
-        if p == i {
-            continue;
-        }
-        let trial = &aircraft[p];
-        // Re-check the real f32 gates (candidates are a superset); their
-        // cost is already in the aggregate above, so book to a null sink.
-        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
-            || !within_critical_reach(track, trial, reach, &mut NullSink)
-        {
-            continue;
-        }
-        checks += 1;
-        if let Some((tmin, _tmax)) = conflict_window(
-            track,
-            vel,
-            trial,
-            cfg.separation_nm,
-            cfg.horizon_periods,
-            sink,
-        ) {
-            sink.branch(true);
-            if tmin < cfg.critical_periods {
-                // Bucket order is not index order, so pick the lexicographic
-                // minimum over (tmin, p) explicitly — the same pair the
-                // naive ascending-index scan settles on.
-                match earliest {
-                    Some((bp, bt)) if bt < tmin || (bt == tmin && bp < p) => {}
-                    _ => earliest = Some((p, tmin)),
-                }
-            }
-        }
-    }
-    ScanResult {
-        critical: earliest,
-        checks,
-    }
-}
-
-/// The grid fast path of [`scan_for_conflicts`]: visit only the aircraft in
-/// the track's 3×3 cell neighborhood and ±1 altitude band, which is every
-/// pair the naive scan's two gates could accept (see [`ConflictGrid`]).
-/// Same aggregate-booking contract as [`scan_for_conflicts_banded`]: the
-/// sink's totals, the result and the check count are bit-identical to the
-/// naive scan's.
-pub fn scan_for_conflicts_grid(
-    aircraft: &[Aircraft],
-    grid: &ConflictGrid,
-    i: usize,
-    vel: (f32, f32),
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> ScanResult {
-    let track = &aircraft[i];
-    let reach = cfg.critical_reach_nm();
-    book_unconditional_mix(aircraft.len() as u64, sink);
-
-    let mut earliest: Option<(usize, f32)> = None;
-    let mut checks = 0u64;
-    for p in grid.candidates(track) {
-        if p == i {
-            continue;
-        }
-        let trial = &aircraft[p];
-        // Re-check the real f32 gates (candidates are a superset); their
-        // cost is already in the aggregate above, so book to a null sink.
-        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
-            || !within_critical_reach(track, trial, reach, &mut NullSink)
-        {
-            continue;
-        }
-        checks += 1;
-        if let Some((tmin, _tmax)) = conflict_window(
-            track,
-            vel,
-            trial,
-            cfg.separation_nm,
-            cfg.horizon_periods,
-            sink,
-        ) {
-            sink.branch(true);
-            if tmin < cfg.critical_periods {
-                // Cell order is not index order, so pick the lexicographic
-                // minimum over (tmin, p) explicitly — the same pair the
-                // naive ascending-index scan settles on.
-                match earliest {
-                    Some((bp, bt)) if bt < tmin || (bt == tmin && bp < p) => {}
-                    _ => earliest = Some((p, tmin)),
-                }
-            }
-        }
-    }
-    ScanResult {
-        critical: earliest,
-        checks,
-    }
-}
-
-/// The sharded fast path of [`scan_for_conflicts`]: visit only the member
-/// set of the track's owner shard (its owned aircraft plus the boundary
-/// halo), pruned further by the shard's inner banded/grid index — a
-/// superset of every pair the naive scan's gates could accept (see
-/// [`ShardedIndex`]). Same aggregate-booking contract as
-/// [`scan_for_conflicts_banded`]: the sink's totals, the result and the
-/// check count are bit-identical to the naive scan's.
-pub fn scan_for_conflicts_sharded(
-    aircraft: &[Aircraft],
-    sharded: &ShardedIndex,
-    i: usize,
-    vel: (f32, f32),
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> ScanResult {
-    let track = &aircraft[i];
-    let reach = cfg.critical_reach_nm();
-    book_unconditional_mix(aircraft.len() as u64, sink);
-
-    let mut earliest: Option<(usize, f32)> = None;
-    let mut checks = 0u64;
-    for p in sharded.candidates_for(i, track) {
-        if p == i {
-            continue;
-        }
-        let trial = &aircraft[p];
-        // Re-check the real f32 gates (candidates are a superset); their
-        // cost is already in the aggregate above, so book to a null sink.
-        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
-            || !within_critical_reach(track, trial, reach, &mut NullSink)
-        {
-            continue;
-        }
-        checks += 1;
-        if let Some((tmin, _tmax)) = conflict_window(
-            track,
-            vel,
-            trial,
-            cfg.separation_nm,
-            cfg.horizon_periods,
-            sink,
-        ) {
-            sink.branch(true);
-            if tmin < cfg.critical_periods {
-                // Member order is not index order under the inner grid, so
-                // pick the lexicographic minimum over (tmin, p) explicitly —
-                // the same pair the naive ascending-index scan settles on.
-                match earliest {
-                    Some((bp, bt)) if bt < tmin || (bt == tmin && bp < p) => {}
-                    _ => earliest = Some((p, tmin)),
-                }
-            }
-        }
-    }
-    ScanResult {
-        critical: earliest,
-        checks,
-    }
-}
-
-/// Dispatch between the naive scan and the fast paths. Backends hold a
-/// [`ScanIndex`] per detect execution and call this from their
-/// per-aircraft loops.
-#[inline]
-pub fn scan_for_conflicts_with(
-    aircraft: &[Aircraft],
-    index: &ScanIndex,
-    i: usize,
-    vel: (f32, f32),
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> ScanResult {
-    match index {
-        ScanIndex::Naive => scan_for_conflicts(aircraft, i, vel, cfg, sink),
-        ScanIndex::Banded(b) => scan_for_conflicts_banded(aircraft, b, i, vel, cfg, sink),
-        ScanIndex::Grid(g) => scan_for_conflicts_grid(aircraft, g, i, vel, cfg, sink),
-        ScanIndex::Sharded(s) => scan_for_conflicts_sharded(aircraft, s, i, vel, cfg, sink),
-    }
-}
-
-/// Rotate a velocity vector by `angle` radians (the Task 3 course change).
-pub fn rotate_velocity(vel: (f32, f32), angle: f32, sink: &mut impl CostSink) -> (f32, f32) {
-    sink.sfu(2); // sin + cos
-    sink.fmul(4);
-    sink.fadd(2);
-    let (s, c) = angle.sin_cos();
-    (vel.0 * c - vel.1 * s, vel.0 * s + vel.1 * c)
-}
-
-/// The fused Tasks 2+3 routine for track aircraft `i` (the paper's
-/// `CheckCollisionPath` kernel body). Mutates `aircraft[i]` (trial path,
-/// committed path, collision bookkeeping) and the collision flags of the
-/// partner aircraft it conflicts with, exactly as Algorithm 2 describes.
-pub fn check_collision_path(
-    aircraft: &mut [Aircraft],
-    i: usize,
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> DetectStats {
-    check_collision_path_with(aircraft, &ScanIndex::Naive, i, cfg, sink)
-}
-
-/// [`check_collision_path`] over a prebuilt [`ScanIndex`]: identical
-/// mutations, stats and booked cost totals, fewer candidate visits. The
-/// index stays valid across the internal rotation rescans (positions and
-/// altitudes do not change) and across all aircraft of one detect
-/// execution.
-pub fn check_collision_path_with(
-    aircraft: &mut [Aircraft],
-    index: &ScanIndex,
-    i: usize,
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> DetectStats {
-    let mut stats = DetectStats::default();
-
-    // Reset this aircraft's horizon bookkeeping (Algorithm 2 init).
-    aircraft[i].time_till = cfg.critical_periods;
-    aircraft[i].batx = aircraft[i].dx;
-    aircraft[i].baty = aircraft[i].dy;
-    sink.store(12);
-
-    let rotations = cfg.rotation_sequence();
-    let mut next_rotation = 0usize;
-    let mut vel = (aircraft[i].dx, aircraft[i].dy);
-    let mut chk = 0u32; // course corrections attempted (paper's `chk`)
-
-    loop {
-        let scan = scan_for_conflicts_with(aircraft, index, i, vel, cfg, sink);
-        stats.pair_checks += scan.checks;
-
-        let Some((partner, tmin)) = scan.critical else {
-            break; // current (trial) path is clear of critical conflicts
-        };
-        stats.critical_conflicts += 1;
-
-        // Mark both aircraft (Algorithm 2 line 9).
-        aircraft[i].col = true;
-        aircraft[i].col_with = partner as i32;
-        aircraft[i].time_till = tmin;
-        aircraft[partner].col = true;
-        aircraft[partner].col_with = i as i32;
-        aircraft[partner].time_till = aircraft[partner].time_till.min(tmin);
-        sink.store(24);
-
-        sink.branch(false);
-        if next_rotation >= rotations.len() {
-            // Angle sequence exhausted: keep the original path, leave the
-            // conflict flagged for altitude-based resolution.
-            stats.unresolved += 1;
-            aircraft[i].batx = aircraft[i].dx;
-            aircraft[i].baty = aircraft[i].dy;
-            sink.store(8);
-            return stats;
-        }
-
-        // Task 3: rotate the *original* path by the next angle in the
-        // sequence and rescan from the top (the paper's loop reset).
-        let base = (aircraft[i].dx, aircraft[i].dy);
-        vel = rotate_velocity(base, rotations[next_rotation], sink);
-        next_rotation += 1;
-        chk += 1;
-        stats.rotations += 1;
-        aircraft[i].batx = vel.0;
-        aircraft[i].baty = vel.1;
-        sink.store(8);
-    }
-
-    sink.branch(false);
-    if chk > 0 {
-        // Commit the collision-free trial path and clear the flags
-        // (Algorithm 2 line 12).
-        aircraft[i].dx = vel.0;
-        aircraft[i].dy = vel.1;
-        aircraft[i].col = false;
-        aircraft[i].col_with = NO_COLLISION;
-        aircraft[i].time_till = cfg.critical_periods;
-        sink.store(20);
-        stats.resolved += 1;
-    }
-    stats
-}
-
-/// Detection without resolution (the split-kernel ablation's Task 2): one
-/// scan with the committed velocity, flag critical conflicts, change
-/// nothing else. Returns the stats of the scan.
-pub fn detect_only(
-    aircraft: &mut [Aircraft],
-    i: usize,
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> DetectStats {
-    detect_only_with(aircraft, &ScanIndex::Naive, i, cfg, sink)
-}
-
-/// [`detect_only`] over a prebuilt [`ScanIndex`] (same contract as
-/// [`check_collision_path_with`]).
-pub fn detect_only_with(
-    aircraft: &mut [Aircraft],
-    index: &ScanIndex,
-    i: usize,
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> DetectStats {
-    let mut stats = DetectStats::default();
-    aircraft[i].time_till = cfg.critical_periods;
-    sink.store(4);
-    let vel = (aircraft[i].dx, aircraft[i].dy);
-    let scan = scan_for_conflicts_with(aircraft, index, i, vel, cfg, sink);
-    stats.pair_checks = scan.checks;
-    if let Some((partner, tmin)) = scan.critical {
-        stats.critical_conflicts = 1;
-        aircraft[i].col = true;
-        aircraft[i].col_with = partner as i32;
-        aircraft[i].time_till = tmin;
-        sink.store(12);
-    }
-    stats
-}
-
-/// Sequential reference driver: run the fused routine for every aircraft in
-/// index order and fold the stats. Honors [`AtmConfig::scan`]: one
-/// [`ScanIndex`] is built up front and reused for every aircraft (positions
-/// and altitudes never change during Tasks 2+3).
-pub fn detect_resolve_all(
-    aircraft: &mut [Aircraft],
-    cfg: &AtmConfig,
-    sink: &mut impl CostSink,
-) -> DetectStats {
-    let index = ScanIndex::for_config(aircraft, cfg);
-    let mut total = DetectStats::default();
-    for i in 0..aircraft.len() {
-        total.absorb(&check_collision_path_with(aircraft, &index, i, cfg, sink));
-    }
-    total
-}
-
+mod index;
+mod kernel;
+mod stats;
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use sim_clock::NullSink;
+mod tests;
 
-    fn cfg() -> AtmConfig {
-        AtmConfig::default()
-    }
-
-    /// Two aircraft, head-on at the same altitude, colliding within the
-    /// critical window (gap 28 nm, closing 0.1 nm/period → conflict from
-    /// t = 250 < 300, and far enough out that a ≤30° turn can clear it).
-    fn head_on_pair() -> Vec<Aircraft> {
-        vec![
-            Aircraft::at(0.0, 0.0)
-                .with_velocity(0.05, 0.0)
-                .with_altitude(10_000.0),
-            Aircraft::at(28.0, 0.0)
-                .with_velocity(-0.05, 0.0)
-                .with_altitude(10_000.0),
-        ]
-    }
-
-    #[test]
-    fn head_on_pair_is_detected_and_resolved() {
-        let mut ac = head_on_pair();
-        let s = check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        assert!(s.critical_conflicts >= 1);
-        assert!(s.rotations >= 1);
-        assert_eq!(s.resolved, 1);
-        assert!(!ac[0].col, "flags cleared after committing a clear path");
-        // The committed path really is conflict-free.
-        let s2 = detect_only(&mut ac.clone(), 0, &cfg(), &mut NullSink);
-        assert_eq!(s2.critical_conflicts, 0);
-    }
-
-    #[test]
-    fn resolution_preserves_speed() {
-        let mut ac = head_on_pair();
-        let speed_before = ac[0].speed();
-        check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        assert!(
-            (ac[0].speed() - speed_before).abs() < 1e-6,
-            "rotation must not change speed"
-        );
-    }
-
-    #[test]
-    fn distant_pair_is_left_alone() {
-        let mut ac = vec![
-            Aircraft::at(-100.0, -100.0).with_velocity(0.01, 0.0),
-            Aircraft::at(100.0, 100.0).with_velocity(-0.01, 0.0),
-        ];
-        let before = ac.clone();
-        let s = check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        assert_eq!(s.critical_conflicts, 0);
-        assert_eq!(s.rotations, 0);
-        assert_eq!(ac[0].dx, before[0].dx);
-        assert!(!ac[0].col);
-    }
-
-    #[test]
-    fn altitude_separated_pair_is_not_a_conflict() {
-        let mut ac = head_on_pair();
-        ac[1].alt = ac[0].alt + 2_000.0;
-        let s = check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        assert_eq!(s.pair_checks, 0, "altitude gate must skip the pair");
-        assert_eq!(s.critical_conflicts, 0);
-    }
-
-    #[test]
-    fn non_critical_far_future_conflict_is_not_resolved() {
-        // Conflict at t ≈ 1000 periods: inside the horizon, outside the
-        // 300-period critical window (and outside critical reach, so the
-        // range gate already excludes it) → the pair is left to resolve
-        // naturally.
-        let mut ac = vec![
-            Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0),
-            Aircraft::at(100.0, 0.0).with_velocity(-0.05, 0.0),
-        ];
-        let s = check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        assert_eq!(s.critical_conflicts, 0);
-        assert_eq!(s.rotations, 0);
-    }
-
-    #[test]
-    fn partner_is_flagged_during_detection() {
-        let mut ac = head_on_pair();
-        // Use detect_only so the flags survive (the fused routine clears
-        // its own after resolving).
-        detect_only(&mut ac, 0, &cfg(), &mut NullSink);
-        assert!(ac[0].col);
-        assert_eq!(ac[0].col_with, 1);
-        assert!(ac[0].time_till < cfg().critical_periods);
-    }
-
-    #[test]
-    fn fused_routine_flags_partner_while_resolving() {
-        let mut ac = head_on_pair();
-        check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        // Aircraft 0 resolved itself; the partner keeps the conflict mark
-        // until its own turn (matching the kernel's behaviour).
-        assert!(ac[1].col);
-        assert_eq!(ac[1].col_with, 0);
-    }
-
-    #[test]
-    fn dense_crowd_can_be_unresolvable() {
-        // Ring of aircraft all converging on the origin at the same
-        // altitude: no 30° rotation escapes.
-        let n = 24;
-        let mut ac: Vec<Aircraft> = (0..n)
-            .map(|k| {
-                let ang = k as f32 * std::f32::consts::TAU / n as f32;
-                let r = 5.0;
-                Aircraft::at(r * ang.cos(), r * ang.sin())
-                    .with_velocity(-0.05 * ang.cos(), -0.05 * ang.sin())
-                    .with_altitude(10_000.0)
-            })
-            .collect();
-        let s = check_collision_path(&mut ac, 0, &cfg(), &mut NullSink);
-        assert!(s.unresolved == 1 || s.resolved == 1);
-        if s.unresolved == 1 {
-            // Original path kept, conflict flagged.
-            assert!(ac[0].col);
-            assert!((ac[0].dx + 0.05).abs() < 1e-6);
-        }
-    }
-
-    #[test]
-    fn rotations_escalate_through_the_sequence() {
-        let mut ac = head_on_pair();
-        let mut counter = sim_clock::OpCounter::new();
-        let s = check_collision_path(&mut ac, 0, &cfg(), &mut counter);
-        // Each rotation costs two SFU ops (sin+cos).
-        assert_eq!(counter.count(sim_clock::OpClass::Sfu), 2 * s.rotations);
-        assert!(s.rotations <= 12, "sequence is bounded at ±30°");
-    }
-
-    #[test]
-    fn rotate_velocity_is_a_rotation() {
-        let v = rotate_velocity((1.0, 0.0), std::f32::consts::FRAC_PI_2, &mut NullSink);
-        assert!(v.0.abs() < 1e-6);
-        assert!((v.1 - 1.0).abs() < 1e-6);
-        let mag = (v.0 * v.0 + v.1 * v.1).sqrt();
-        assert!((mag - 1.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn detect_resolve_all_folds_stats() {
-        let mut ac = head_on_pair();
-        let s = detect_resolve_all(&mut ac, &cfg(), &mut NullSink);
-        assert!(s.pair_checks >= 2);
-        // At least one of the pair had to act.
-        assert!(s.rotations >= 1);
-    }
-
-    #[test]
-    fn single_aircraft_has_nothing_to_check() {
-        let mut ac = vec![Aircraft::at(0.0, 0.0).with_velocity(0.05, 0.0)];
-        let s = detect_resolve_all(&mut ac, &cfg(), &mut NullSink);
-        assert_eq!(s.pair_checks, 0);
-        assert_eq!(s.critical_conflicts, 0);
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let mk = || {
-            let mut ac = head_on_pair();
-            let s = detect_resolve_all(&mut ac, &cfg(), &mut NullSink);
-            (s, ac)
-        };
-        assert_eq!(mk(), mk());
-    }
-
-    /// A small deterministic fleet spread over several altitude bands with
-    /// real conflicts in it.
-    fn banded_fleet() -> Vec<Aircraft> {
-        let mut ac = Vec::new();
-        for k in 0..40u32 {
-            let ang = k as f32 * 0.7;
-            let alt = 5_000.0 + (k % 7) as f32 * 900.0; // straddles bands
-            ac.push(
-                Aircraft::at(30.0 * ang.cos(), 30.0 * ang.sin())
-                    .with_velocity(-0.05 * ang.cos(), -0.05 * ang.sin())
-                    .with_altitude(alt),
-            );
-        }
-        ac
-    }
-
-    #[test]
-    fn banded_scan_matches_naive_scan_exactly() {
-        let ac = banded_fleet();
-        let bands = AltitudeBands::build(&ac, cfg().alt_separation_ft);
-        for i in 0..ac.len() {
-            let vel = (ac[i].dx, ac[i].dy);
-            let mut cn = sim_clock::OpCounter::new();
-            let mut cb = sim_clock::OpCounter::new();
-            let rn = scan_for_conflicts(&ac, i, vel, &cfg(), &mut cn);
-            let rb = scan_for_conflicts_banded(&ac, &bands, i, vel, &cfg(), &mut cb);
-            assert_eq!(rn, rb, "scan result must match for aircraft {i}");
-            assert_eq!(cn, cb, "booked cost totals must match for aircraft {i}");
-        }
-    }
-
-    #[test]
-    fn grid_scan_matches_naive_scan_exactly() {
-        let ac = banded_fleet();
-        let grid = ConflictGrid::build(&ac, &cfg());
-        for i in 0..ac.len() {
-            let vel = (ac[i].dx, ac[i].dy);
-            let mut cn = sim_clock::OpCounter::new();
-            let mut cg = sim_clock::OpCounter::new();
-            let rn = scan_for_conflicts(&ac, i, vel, &cfg(), &mut cn);
-            let rg = scan_for_conflicts_grid(&ac, &grid, i, vel, &cfg(), &mut cg);
-            assert_eq!(rn, rg, "scan result must match for aircraft {i}");
-            assert_eq!(cn, cg, "booked cost totals must match for aircraft {i}");
-        }
-    }
-
-    #[test]
-    fn fast_path_detect_resolve_matches_naive_end_to_end() {
-        let run = |mode: ScanMode| {
-            let mut ac = banded_fleet();
-            let mut ops = sim_clock::OpCounter::new();
-            let c = AtmConfig {
-                scan: mode,
-                ..cfg()
-            };
-            let s = detect_resolve_all(&mut ac, &c, &mut ops);
-            (ac, s, ops)
-        };
-        let naive = run(ScanMode::Naive);
-        for mode in [ScanMode::Banded, ScanMode::Grid] {
-            let fast = run(mode);
-            assert_eq!(
-                naive.0, fast.0,
-                "{mode:?}: mutated fleets must be identical"
-            );
-            assert_eq!(naive.1, fast.1, "{mode:?}: DetectStats must be identical");
-            assert_eq!(naive.2, fast.2, "{mode:?}: cost totals must be identical");
-        }
-        assert!(
-            naive.1.critical_conflicts > 0,
-            "fleet should have conflicts"
-        );
-    }
-
-    #[test]
-    fn bands_prune_candidates_but_cover_all_gate_passers() {
-        let ac = banded_fleet();
-        let sep = cfg().alt_separation_ft;
-        let bands = AltitudeBands::build(&ac, sep);
-        assert!(bands.bucket_count() > 1, "fleet spans several bands");
-        for i in 0..ac.len() {
-            let cands: Vec<usize> = bands.candidates(ac[i].alt).collect();
-            assert!(cands.len() < ac.len(), "banding should prune aircraft {i}");
-            for p in 0..ac.len() {
-                if p != i && (ac[i].alt - ac[p].alt).abs() < sep {
-                    assert!(cands.contains(&p), "gate-passing pair ({i},{p}) missed");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn degenerate_band_width_falls_back_to_one_bucket() {
-        let ac = banded_fleet();
-        for width in [0.0_f32, -5.0, f32::NAN, f32::INFINITY] {
-            let bands = AltitudeBands::build(&ac, width);
-            assert_eq!(bands.bucket_count(), 1);
-            assert_eq!(bands.candidates(ac[0].alt).count(), ac.len());
-        }
-        assert_eq!(AltitudeBands::build(&[], 1_000.0).bucket_count(), 1);
-    }
-
-    #[test]
-    fn detect_only_fast_paths_match_naive() {
-        let base = banded_fleet();
-        let indices = [
-            ScanIndex::Banded(AltitudeBands::build(&base, cfg().alt_separation_ft)),
-            ScanIndex::Grid(ConflictGrid::build(&base, &cfg())),
-        ];
-        for index in &indices {
-            for i in 0..base.len() {
-                let mut an = base.clone();
-                let mut af = base.clone();
-                let mut cn = sim_clock::OpCounter::new();
-                let mut cf = sim_clock::OpCounter::new();
-                let sn = detect_only(&mut an, i, &cfg(), &mut cn);
-                let sf = detect_only_with(&mut af, index, i, &cfg(), &mut cf);
-                assert_eq!(sn, sf);
-                assert_eq!(an, af);
-                assert_eq!(cn, cf);
-            }
-        }
-    }
-
-    /// A fleet wide enough to span several grid cells (the banded fleet
-    /// sits at radius 30 nm, inside one ~56 nm cell of its neighbors).
-    fn spread_fleet() -> Vec<Aircraft> {
-        let mut ac = Vec::new();
-        for k in 0..60u32 {
-            let ang = k as f32 * 0.47;
-            let r = 20.0 + (k % 9) as f32 * 12.0; // radii 20..116 nm
-            let alt = 5_000.0 + (k % 5) as f32 * 700.0;
-            ac.push(
-                Aircraft::at(r * ang.cos(), r * ang.sin())
-                    .with_velocity(-0.05 * ang.cos(), -0.05 * ang.sin())
-                    .with_altitude(alt),
-            );
-        }
-        ac
-    }
-
-    #[test]
-    fn grid_prunes_candidates_but_covers_all_gate_passers() {
-        let ac = spread_fleet();
-        let c = cfg();
-        let grid = ConflictGrid::build(&ac, &c);
-        assert!(grid.cell_count() > 1, "fleet spans several cells");
-        let reach = c.critical_reach_nm();
-        let mut pruned_somewhere = false;
-        for i in 0..ac.len() {
-            let cands: Vec<usize> = grid.candidates(&ac[i]).collect();
-            pruned_somewhere |= cands.len() < ac.len();
-            for p in 0..ac.len() {
-                let both_gates = (ac[i].alt - ac[p].alt).abs() < c.alt_separation_ft
-                    && (ac[i].x - ac[p].x).abs() <= reach
-                    && (ac[i].y - ac[p].y).abs() <= reach;
-                if p != i && both_gates {
-                    assert!(cands.contains(&p), "gate-passing pair ({i},{p}) missed");
-                }
-            }
-        }
-        assert!(pruned_somewhere, "grid should prune at least one scan");
-    }
-
-    #[test]
-    fn grid_detect_resolve_matches_naive_on_a_spread_fleet() {
-        let run = |mode: ScanMode| {
-            let mut ac = spread_fleet();
-            let mut ops = sim_clock::OpCounter::new();
-            let c = AtmConfig {
-                scan: mode,
-                ..cfg()
-            };
-            let s = detect_resolve_all(&mut ac, &c, &mut ops);
-            (ac, s, ops)
-        };
-        let naive = run(ScanMode::Naive);
-        let grid = run(ScanMode::Grid);
-        assert_eq!(naive, grid);
-    }
-
-    #[test]
-    fn degenerate_grid_falls_back_to_one_cell() {
-        let ac = spread_fleet();
-        // Non-finite reach (degenerate separation) → one catch-all cell.
-        let c = AtmConfig {
-            separation_nm: f32::NAN,
-            ..cfg()
-        };
-        let grid = ConflictGrid::build(&ac, &c);
-        assert_eq!(grid.cell_count(), 1);
-        // Candidates still altitude-filtered through the composed bands.
-        assert!(grid.candidates(&ac[0]).count() <= ac.len());
-        // Non-finite positions → unbucketable → one catch-all cell.
-        let mut bad = ac.clone();
-        bad[3].x = f32::NAN;
-        let grid = ConflictGrid::build(&bad, &cfg());
-        assert_eq!(grid.cell_count(), 1);
-        assert_eq!(ConflictGrid::build(&[], &cfg()).cell_count(), 1);
-    }
-
-    #[test]
-    fn explicit_cell_size_only_coarsens_the_grid() {
-        let ac = spread_fleet();
-        let auto = ConflictGrid::build(&ac, &cfg());
-        // A finer request than the envelope is clamped up to it.
-        let fine = ConflictGrid::build(
-            &ac,
-            &AtmConfig {
-                grid_cell_nm: 1.0,
-                ..cfg()
-            },
-        );
-        assert_eq!(fine.cell_count(), auto.cell_count());
-        // A coarser request is honored and still covers every pair.
-        let coarse_cfg = AtmConfig {
-            grid_cell_nm: 200.0,
-            scan: ScanMode::Grid,
-            ..cfg()
-        };
-        let coarse = ConflictGrid::build(&ac, &coarse_cfg);
-        assert!(coarse.cell_count() <= auto.cell_count());
-        let mut a1 = ac.clone();
-        let mut a2 = ac.clone();
-        let s1 = detect_resolve_all(&mut a1, &cfg(), &mut NullSink);
-        let s2 = detect_resolve_all(&mut a2, &coarse_cfg, &mut NullSink);
-        assert_eq!(s1, s2);
-        assert_eq!(a1, a2);
-    }
-
-    #[test]
-    fn scan_index_follows_the_config() {
-        let ac = banded_fleet();
-        let for_mode = |m| ScanIndex::for_config(&ac, &AtmConfig { scan: m, ..cfg() });
-        assert!(matches!(for_mode(ScanMode::Naive), ScanIndex::Naive));
-        assert!(matches!(for_mode(ScanMode::Banded), ScanIndex::Banded(_)));
-        assert!(matches!(for_mode(ScanMode::Grid), ScanIndex::Grid(_)));
-        let sharded = ScanIndex::for_config(&ac, &AtmConfig { shards: 4, ..cfg() });
-        assert!(matches!(sharded, ScanIndex::Sharded(_)));
-    }
-
-    #[test]
-    fn sharded_scan_matches_naive_scan_exactly() {
-        for fleet in [banded_fleet(), spread_fleet()] {
-            for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
-                let c = AtmConfig {
-                    shards: 4,
-                    scan,
-                    ..cfg()
-                };
-                let sharded = crate::shard::ShardedIndex::build(&fleet, &c);
-                for i in 0..fleet.len() {
-                    let vel = (fleet[i].dx, fleet[i].dy);
-                    let mut cn = sim_clock::OpCounter::new();
-                    let mut cs = sim_clock::OpCounter::new();
-                    let rn = scan_for_conflicts(&fleet, i, vel, &c, &mut cn);
-                    let rs = scan_for_conflicts_sharded(&fleet, &sharded, i, vel, &c, &mut cs);
-                    assert_eq!(rn, rs, "{scan:?}: scan result must match for aircraft {i}");
-                    assert_eq!(cn, cs, "{scan:?}: cost totals must match for aircraft {i}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn sharded_detect_resolve_matches_naive_end_to_end() {
-        let run = |shards: usize, mode: ScanMode| {
-            let mut ac = banded_fleet();
-            let mut ops = sim_clock::OpCounter::new();
-            let c = AtmConfig {
-                shards,
-                scan: mode,
-                ..cfg()
-            };
-            let s = detect_resolve_all(&mut ac, &c, &mut ops);
-            (ac, s, ops)
-        };
-        let naive = run(1, ScanMode::Naive);
-        for shards in [2usize, 4] {
-            for mode in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
-                let sharded = run(shards, mode);
-                assert_eq!(
-                    naive.0, sharded.0,
-                    "shards={shards} {mode:?}: mutated fleets must be identical"
-                );
-                assert_eq!(
-                    naive.1, sharded.1,
-                    "shards={shards} {mode:?}: DetectStats must be identical"
-                );
-                assert_eq!(
-                    naive.2, sharded.2,
-                    "shards={shards} {mode:?}: cost totals must be identical"
-                );
-            }
-        }
-        assert!(naive.1.critical_conflicts > 0);
-    }
-}
+pub use index::{AltitudeBands, ConflictGrid, ScanIndex};
+pub use kernel::{
+    check_collision_path, check_collision_path_with, detect_only, detect_only_with,
+    detect_resolve_all, rotate_velocity, scan_pairs,
+};
+pub use stats::{DetectStats, ScanResult};

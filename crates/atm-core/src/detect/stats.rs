@@ -1,0 +1,36 @@
+//! Outcome counters and scan results shared by every detect entry point.
+
+/// Outcome counters of one Tasks 2+3 execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Pair windows evaluated (Batcher computations).
+    pub pair_checks: u64,
+    /// Critical conflicts encountered (before resolution).
+    pub critical_conflicts: u64,
+    /// Path rotations attempted.
+    pub rotations: u64,
+    /// Aircraft whose path was changed to a conflict-free trial.
+    pub resolved: u64,
+    /// Aircraft left with an unresolvable critical conflict.
+    pub unresolved: u64,
+}
+
+impl DetectStats {
+    /// Fold another aircraft's stats into this total.
+    pub fn absorb(&mut self, s: &DetectStats) {
+        self.pair_checks += s.pair_checks;
+        self.critical_conflicts += s.critical_conflicts;
+        self.rotations += s.rotations;
+        self.resolved += s.resolved;
+        self.unresolved += s.unresolved;
+    }
+}
+
+/// Result of scanning one track aircraft against the fleet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScanResult {
+    /// Earliest critical conflict: (partner index, window start).
+    pub critical: Option<(usize, f32)>,
+    /// Pairs examined.
+    pub checks: u64,
+}

@@ -39,8 +39,8 @@ use crate::airfield::Airfield;
 use crate::batcher::{same_altitude_band, within_critical_reach};
 use crate::config::{AtmConfig, ScanMode};
 use crate::detect::{
-    detect_resolve_all, rotate_velocity, scan_for_conflicts_with, AltitudeBands, ConflictGrid,
-    DetectStats, ScanIndex,
+    detect_resolve_all, rotate_velocity, scan_pairs, AltitudeBands, ConflictGrid, DetectStats,
+    ScanIndex,
 };
 use crate::track::{
     adopt_expected_phase, any_unmatched, apply_radar_phase, correlate_radar_pass,
@@ -275,22 +275,6 @@ impl ShardedIndex {
     }
 }
 
-/// Global candidate ids for aircraft `i` under any [`ScanIndex`] (a
-/// superset of its gate passers).
-fn candidate_iter<'a>(
-    index: &'a ScanIndex,
-    i: usize,
-    track: &'a Aircraft,
-    n: usize,
-) -> Box<dyn Iterator<Item = usize> + 'a> {
-    match index {
-        ScanIndex::Naive => Box::new(0..n),
-        ScanIndex::Banded(b) => Box::new(b.candidates(track.alt)),
-        ScanIndex::Grid(g) => Box::new(g.candidates(track)),
-        ScanIndex::Sharded(s) => s.candidates_for(i, track),
-    }
-}
-
 /// How one aircraft's fused Tasks 2+3 turn ended.
 #[derive(Clone, Copy, Debug)]
 enum TurnOutcome {
@@ -341,7 +325,7 @@ fn simulate_turn(fleet: &[Aircraft], index: &ScanIndex, i: usize, cfg: &AtmConfi
     let mut chk = 0u32;
 
     loop {
-        let scan = scan_for_conflicts_with(fleet, index, i, vel, cfg, &mut ops);
+        let scan = scan_pairs(fleet, index, i, vel, cfg, &mut ops);
         stats.pair_checks += scan.checks;
 
         let Some((partner, tmin)) = scan.critical else {
@@ -426,7 +410,7 @@ pub fn detect_resolve_parallel(
     for i in 0..n {
         let track = aircraft[i];
         let mut lv = 0u32;
-        for p in candidate_iter(&index, i, &track, n) {
+        for p in index.candidates(i, &track, n) {
             if p >= i || level[p] < lv {
                 continue;
             }
@@ -442,15 +426,12 @@ pub fn detect_resolve_parallel(
     }
 
     // Group each wave's members by owner shard: the unit a worker claims.
-    let (shard_count, owner_of): (usize, Box<dyn Fn(usize) -> usize>) = match &index {
-        ScanIndex::Sharded(s) => (s.shard_count(), Box::new(|i| s.owner_of(i))),
-        _ => (1, Box::new(|_| 0)),
-    };
-    let mut waves: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); shard_count]; max_level as usize + 1];
+    // Unsharded sources collapse to a single group (shard_count() == 1).
+    let mut waves: Vec<Vec<Vec<u32>>> =
+        vec![vec![Vec::new(); index.shard_count()]; max_level as usize + 1];
     for i in 0..n {
-        waves[level[i] as usize][owner_of(i)].push(i as u32);
+        waves[level[i] as usize][index.owner_of(i)].push(i as u32);
     }
-    drop(owner_of);
     for wave in &mut waves {
         wave.retain(|g| !g.is_empty());
     }

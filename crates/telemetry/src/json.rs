@@ -43,6 +43,41 @@ impl JsonValue {
         self
     }
 
+    /// The value at `key`, if this is an object containing it (first
+    /// occurrence wins, matching how the writer never duplicates keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number (`U64` widens losslessly
+    /// for the magnitudes the exporters emit).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::F64(v) => Some(*v),
+            JsonValue::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Compact rendering (no whitespace).
     pub fn to_compact(&self) -> String {
         let mut out = String::new();
@@ -201,6 +236,25 @@ mod tests {
         );
         let pretty = v.to_pretty();
         assert!(pretty.contains("\n  \"id\": \"fig4\""));
+    }
+
+    #[test]
+    fn read_accessors_navigate_objects_arrays_and_scalars() {
+        let v = JsonValue::obj()
+            .set("name", "bench")
+            .set("wall_ms", 12.5)
+            .set("count", 3u64)
+            .set("stages", vec![1.0, 2.0]);
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("bench"));
+        assert_eq!(v.get("wall_ms").and_then(JsonValue::as_f64), Some(12.5));
+        assert_eq!(v.get("count").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(
+            v.get("stages").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("x"), None);
+        assert_eq!(JsonValue::Bool(true).as_f64(), None);
     }
 
     #[test]

@@ -23,11 +23,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod parse;
 mod recorder;
 mod trace;
 
 pub use json::JsonValue;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use parse::parse_json;
 pub use recorder::{ArgValue, Recorder, TrackId};
 
 #[cfg(test)]

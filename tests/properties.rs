@@ -720,3 +720,75 @@ fn parallel_and_serial_sweeps_produce_identical_series() {
         }
     }
 }
+
+// ---------- CandidateSource enumerators (unified kernel pipeline) ----------
+
+/// The conformance contract of the `CandidateSource` seam, stated directly
+/// on the enumerators instead of through a full detect run: for random
+/// fleets, every enumerator must (a) yield a candidate superset of the
+/// true gate-passing partner set for every track, and (b) drive the shared
+/// kernel to the naive scan's exact result and booked costs — across all
+/// four source kinds (naive, banded, grid, sharded) at shard grid sides 1
+/// and 4.
+#[test]
+fn every_candidate_source_covers_the_gate_set_and_matches_the_naive_kernel() {
+    use atm_core::batcher::{same_altitude_band, within_critical_reach};
+    use atm_core::detect::scan_pairs;
+    use atm_core::ScanIndex;
+    use sim_clock::OpCounter;
+    use std::collections::HashSet;
+
+    let mut rng = SimRng::seed_from_u64(0xC5);
+    for case in 0..8 {
+        let n = 2 + (rng.next_u64() % 80) as usize;
+        let fleet = arb_fleet(&mut rng, n);
+        let base = scan_cfg(5, ScanMode::Naive);
+        let reach = base.critical_reach_nm();
+        let naive_index = ScanIndex::for_config(&fleet, &base);
+
+        for shards in [1usize, 4] {
+            for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+                let cfg = sharded_cfg(5, scan, shards);
+                let index = ScanIndex::for_config(&fleet, &cfg);
+                let label = format!("case {case} (n={n}) scan={scan:?} shards={shards}");
+
+                for (i, track) in fleet.iter().enumerate() {
+                    // (a) Superset: every partner that passes both real
+                    // gates must be enumerated (self is the only allowed
+                    // omission).
+                    let cands: HashSet<usize> = index.candidates(i, track, n).collect();
+                    for (p, trial) in fleet.iter().enumerate() {
+                        if p == i {
+                            continue;
+                        }
+                        let passes =
+                            same_altitude_band(track, trial, base.alt_separation_ft, &mut NullSink)
+                                && within_critical_reach(track, trial, reach, &mut NullSink);
+                        if passes {
+                            assert!(
+                                cands.contains(&p),
+                                "{label}: enumerator dropped gate-passing pair ({i}, {p})"
+                            );
+                        }
+                    }
+
+                    // (b) Kernel equivalence: result and booked costs must
+                    // match the naive scan bit for bit.
+                    let vel = (track.dx, track.dy);
+                    let mut ops_naive = OpCounter::new();
+                    let mut ops_fast = OpCounter::new();
+                    let r_naive = scan_pairs(&fleet, &naive_index, i, vel, &base, &mut ops_naive);
+                    let r_fast = scan_pairs(&fleet, &index, i, vel, &cfg, &mut ops_fast);
+                    assert_eq!(
+                        r_naive, r_fast,
+                        "{label}: scan result diverged at track {i}"
+                    );
+                    assert_eq!(
+                        ops_naive, ops_fast,
+                        "{label}: booked costs diverged at track {i}"
+                    );
+                }
+            }
+        }
+    }
+}
