@@ -30,11 +30,21 @@
 //! (shards=1 is the exact sequential code path), verifying that fleets,
 //! stats and booked op totals are bit-identical across shard counts and
 //! reporting the per-point wall-clock win.
+//!
+//! A third section times the **measured substrates** (`measured-*-detect`
+//! stages): the deterministic [`TimingKind::Measured`] roster entries —
+//! sequential reference, thread-pool multicore, SoA gate kernel — each run
+//! one Tasks 2+3 execution per sweep point under their own stopwatch, and
+//! their resolved fleets must be byte-identical. Every stage in the output
+//! carries a `timing` tag ("measured" or "modeled") so the CI regression
+//! gate can hold measured stages to the wall-clock budget while treating
+//! the modeled sweep stages (whose wall time is simulator overhead, not a
+//! guarded hot path) as report-only.
 
 use atm_bench::harness::Harness;
 use atm_bench::series::Series;
 use atm_bench::sweep::{sweep_roster_on, SweepConfig, Task};
-use atm_core::backends::Roster;
+use atm_core::backends::{PlatformId, Roster, RosterEntry, TimingKind};
 use atm_core::detect::DetectStats;
 use atm_core::types::Aircraft;
 use atm_core::{detect_resolve_parallel, Airfield, AtmConfig, ScanMode};
@@ -125,6 +135,28 @@ fn run_sharded_stage(
     (per_point_ms, outputs)
 }
 
+/// One timed pass of a measured substrate's detect: a fresh backend and
+/// seeded fleet per sweep point, with the backend's own
+/// [`TimingKind::Measured`] stopwatch as the per-point time. Returns the
+/// per-point wall times and the resolved fleets for the cross-substrate
+/// identity check.
+fn run_measured_stage(base: &SweepConfig, entry: &RosterEntry) -> (Vec<f64>, Vec<Vec<Aircraft>>) {
+    let mut per_point_ms = Vec::new();
+    let mut fleets = Vec::new();
+    for &n in &base.ns {
+        let cfg = AtmConfig {
+            scan: base.scan,
+            ..AtmConfig::with_seed(base.seed)
+        };
+        let mut field = Airfield::new(n, cfg.clone());
+        let mut backend = entry.instantiate();
+        let d = backend.detect_resolve(&mut field.aircraft, &cfg);
+        per_point_ms.push(d.as_millis_f64());
+        fleets.push(field.aircraft);
+    }
+    (per_point_ms, fleets)
+}
+
 fn main() {
     let opts = parse_args();
     let harness = match opts.jobs {
@@ -202,9 +234,42 @@ fn main() {
         base.ns.last().copied().unwrap_or(0)
     );
 
+    // Measured substrates: the deterministic TimingKind::Measured roster
+    // entries run the real detect kernel per sweep point, each under its
+    // own stopwatch. The MIMD host backend is deliberately absent (its
+    // radar races are honest non-determinism); these three must produce
+    // byte-identical fleets, differing only in wall-clock.
+    let measured_roster = Roster::select([
+        PlatformId::SequentialHost,
+        PlatformId::MulticoreHost,
+        PlatformId::SimdSoaHost,
+    ]);
+    println!("  measured substrates (one detect per sweep point):");
+    let mut measured_ids = Vec::new();
+    let mut measured_ms: Vec<Vec<f64>> = Vec::new();
+    let mut measured_fleets = Vec::new();
+    for entry in measured_roster.entries() {
+        assert_eq!(entry.timing, TimingKind::Measured);
+        let (per_point, fleets) = run_measured_stage(&base, entry);
+        let total: f64 = per_point.iter().sum();
+        let id = format!("measured-{}-detect", entry.slug);
+        println!("  {id:<32} {total:>10.1} ms");
+        measured_ids.push(id);
+        measured_ms.push(per_point);
+        measured_fleets.push(fleets);
+    }
+    let measured_identical = measured_fleets.iter().all(|f| *f == measured_fleets[0]);
+    if !measured_identical {
+        eprintln!("RESULT MISMATCH: a measured substrate diverged from the sequential reference");
+    }
+    let seq_total: f64 = measured_ms[0].iter().sum();
+    let multicore_speedup = seq_total / measured_ms[1].iter().sum::<f64>().max(1e-9);
+    println!("  multicore speedup over sequential-host: {multicore_speedup:.2}x");
+
     // Determinism contract: every stage's series must be element-identical
     // to the baseline's.
-    let identical = results.iter().all(|r| *r == results[0]) && sharded_identical;
+    let identical =
+        results.iter().all(|r| *r == results[0]) && sharded_identical && measured_identical;
     if !identical {
         eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
     }
@@ -222,6 +287,7 @@ fn main() {
         .map(|((id, scan, h), &ms)| {
             JsonValue::obj()
                 .set("id", *id)
+                .set("timing", "modeled")
                 .set("scan", format!("{scan:?}").to_lowercase())
                 .set("jobs", h.jobs())
                 .set("wall_ms", ms)
@@ -233,6 +299,7 @@ fn main() {
         stage_json.push(
             JsonValue::obj()
                 .set("id", format!("sharded-detect-{shards}"))
+                .set("timing", "measured")
                 .set("scan", format!("{:?}", base.scan).to_lowercase())
                 .set("shards", shards)
                 .set("jobs", if shards > 1 { harness.jobs() } else { 1 })
@@ -242,6 +309,18 @@ fn main() {
                     "speedup_vs_shards1",
                     sharded_ms[0].iter().sum::<f64>() / total.max(1e-9),
                 ),
+        );
+    }
+    for (i, id) in measured_ids.iter().enumerate() {
+        let total: f64 = measured_ms[i].iter().sum();
+        stage_json.push(
+            JsonValue::obj()
+                .set("id", id.as_str())
+                .set("timing", "measured")
+                .set("scan", format!("{:?}", base.scan).to_lowercase())
+                .set("wall_ms", total)
+                .set("point_wall_ms", measured_ms[i].clone())
+                .set("speedup_vs_sequential_host", seq_total / total.max(1e-9)),
         );
     }
     let json = JsonValue::obj()
@@ -257,7 +336,8 @@ fn main() {
         .set("identical_results", identical)
         .set("speedup_parallel_grid_vs_serial_naive", headline)
         .set("speedup_parallel_grid_vs_parallel_banded", grid_vs_banded)
-        .set("speedup_shards4_vs_shards1_largest_n", largest_speedup);
+        .set("speedup_shards4_vs_shards1_largest_n", largest_speedup)
+        .set("speedup_multicore_vs_sequential_host", multicore_speedup);
 
     if let Some(dir) = opts.out.parent() {
         if !dir.as_os_str().is_empty() {

@@ -9,6 +9,12 @@
 //! Tables print to stdout; JSON series land in `results/` (override with
 //! `--out DIR`). `--quick` shrinks the sweep for smoke runs.
 //!
+//! `--exp measured` renders the measured-vs-modeled side-by-side: the
+//! deterministic `TimingKind::Measured` substrates under real host
+//! wall-clock next to two modeled references. Because its y-values vary
+//! run to run, it is *not* included in `--all` — every `--all` artifact
+//! is byte-diffed across the CI knob matrix.
+//!
 //! `--jobs N` fans the independent sweep/experiment points across N worker
 //! threads (default: the host's available parallelism; `--jobs 1` forces
 //! the serial code path). `--scan naive|banded|grid` selects the
@@ -30,7 +36,7 @@
 //! seed produces byte-identical trace and metrics files on every run.
 
 use atm_bench::ablations;
-use atm_bench::experiments::{deadlines, determinism, throughput_normalized};
+use atm_bench::experiments::{deadlines, determinism, measured_vs_modeled, throughput_normalized};
 use atm_bench::figures::{figure, figure_streamed};
 use atm_bench::harness::Harness;
 use atm_bench::series::FigureData;
@@ -141,9 +147,11 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: figures [--all] [--fig N]... [--exp deadlines|determinism]... \
+                    "usage: figures [--all] [--fig N]... \
+                     [--exp deadlines|determinism|ablations|normalized|measured]... \
                      [--quick] [--stream] [--jobs N] [--scan naive|banded|grid] [--shards N] \
-                     [--out DIR] [--trace PATH] [--metrics PATH]"
+                     [--out DIR] [--trace PATH] [--metrics PATH]\n\
+                     (--exp measured emits host wall-clock and is not part of --all)"
                 );
                 std::process::exit(0);
             }
@@ -326,6 +334,13 @@ fn main() {
                 let fig = throughput_normalized(&sweep, &harness);
                 emit(&fig, &opts.out);
             }
+            "measured" => {
+                // Real host wall-clock next to the modeled references.
+                // Deliberately NOT part of --all: measured series vary run
+                // to run, and --all's artifacts are byte-diffed in CI.
+                let fig = measured_vs_modeled(&sweep, &harness);
+                emit(&fig, &opts.out);
+            }
             "ablations" => {
                 let n = if opts.quick { 400 } else { 2_000 };
                 // Claim by measured stage walls when a previous bench run
@@ -360,7 +375,8 @@ fn main() {
                 println!("\n  (written to {})\n", path.display());
             }
             other => eprintln!(
-                "unknown experiment '{other}' (deadlines | determinism | ablations | normalized)"
+                "unknown experiment '{other}' \
+                 (deadlines | determinism | ablations | normalized | measured)"
             ),
         }
     }

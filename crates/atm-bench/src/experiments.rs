@@ -3,7 +3,9 @@
 use crate::harness::Harness;
 use crate::series::{FigureData, Series};
 use crate::sweep::SweepConfig;
-use atm_core::backends::{AtmBackend, GpuBackend, Roster};
+use atm_core::backends::{
+    AtmBackend, GpuBackend, MulticoreBackend, PlatformId, Roster, TimingKind,
+};
 use atm_core::{Airfield, AtmConfig, AtmSimulation, ScanMode};
 
 /// Deadline-miss counts for one platform across the sweep.
@@ -334,6 +336,112 @@ pub fn throughput_normalized(cfg: &SweepConfig, harness: &Harness) -> FigureData
             .to_owned(),
     );
     fig
+}
+
+/// E10 — the measured-vs-modeled side-by-side: the real host substrates
+/// (sequential reference, thread-pool multicore, SoA gate kernel — every
+/// deterministic [`TimingKind::Measured`] entry) sweep Tasks 2+3 under
+/// wall-clock next to two modeled references (the 16-core Xeon model and
+/// the Titan X). One figure, five series, keyed by the entries' stable
+/// slugs with their timing kind in brackets.
+///
+/// The measured series are *wall-clock* and therefore host-dependent:
+/// this figure is deliberately excluded from the byte-diffed `--all`
+/// artifact set (CI smokes it separately). The measured points run
+/// serially on the calling thread — fanning wall-clock measurements
+/// across harness workers would make them contend with each other and
+/// with the multicore backend's own pool, poisoning the very numbers the
+/// figure exists to show. Only the modeled references use the harness.
+pub fn measured_vs_modeled(cfg: &SweepConfig, harness: &Harness) -> FigureData {
+    use crate::sweep::{sweep_roster, sweep_roster_on, Task};
+    let mut fig = FigureData::new(
+        "exp-measured",
+        "Measured substrates vs modeled references (Tasks 2+3)",
+    );
+    fig.y_label = "task time (ms; measured series are host wall-clock)".to_owned();
+
+    let measured = Roster::select([
+        PlatformId::SequentialHost,
+        PlatformId::MulticoreHost,
+        PlatformId::SimdSoaHost,
+    ]);
+    let modeled = Roster::select([PlatformId::XeonMulticore, PlatformId::TitanXPascal]);
+
+    let timing_tag = |t: TimingKind| match t {
+        TimingKind::Measured => "measured",
+        TimingKind::Modeled => "modeled",
+    };
+    for (roster, series) in [
+        (&measured, sweep_roster(&measured, Task::DetectResolve, cfg)),
+        (
+            &modeled,
+            sweep_roster_on(&modeled, Task::DetectResolve, cfg, harness),
+        ),
+    ] {
+        for (s, entry) in series.into_iter().zip(roster.entries()) {
+            fig.series.push(Series {
+                label: format!("{} [{}]", entry.slug, timing_tag(entry.timing)),
+                x: s.x,
+                y_ms: s.y_ms,
+            });
+        }
+    }
+
+    let threads = MulticoreBackend::host_sized().threads();
+    fig.notes.push(format!(
+        "measured substrates ran on the host at {threads} pool thread(s) \
+         (pin with ATM_MEASURE_THREADS)"
+    ));
+    let final_of = |slug: &str| {
+        fig.series
+            .iter()
+            .find(|s| s.label.starts_with(slug))
+            .and_then(|s| s.y_ms.last().copied())
+    };
+    if let (Some(seq), Some(pool)) = (final_of("sequential-host"), final_of("multicore")) {
+        fig.notes.push(format!(
+            "multicore speedup over sequential-host at n={}: {:.2}x",
+            cfg.ns.last().copied().unwrap_or(0),
+            seq / pool.max(1e-9)
+        ));
+    }
+    fig.notes.push(
+        "measured series are wall-clock and vary run to run; modeled series are \
+         deterministic — this figure is excluded from the byte-diffed artifact set"
+            .to_owned(),
+    );
+    fig
+}
+
+#[cfg(test)]
+mod measured_tests {
+    use super::*;
+
+    #[test]
+    fn measured_experiment_renders_all_five_series() {
+        let cfg = SweepConfig {
+            ns: vec![200, 400],
+            seed: 8,
+            reps: 1,
+            scan: ScanMode::default(),
+            shards: 1,
+        };
+        let fig = measured_vs_modeled(&cfg, &Harness::serial());
+        assert_eq!(fig.series.len(), 5);
+        let labels: Vec<&str> = fig.series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "sequential-host [measured]",
+                "multicore [measured]",
+                "simd-soa [measured]",
+                "xeon-multicore [modeled]",
+                "titan-x-pascal [modeled]",
+            ]
+        );
+        assert!(fig.series.iter().all(|s| s.y_ms.iter().all(|&y| y > 0.0)));
+        assert!(fig.notes.iter().any(|n| n.contains("ATM_MEASURE_THREADS")));
+    }
 }
 
 #[cfg(test)]

@@ -10,22 +10,29 @@
 //!
 //! Platform enumeration goes through [`Roster`]: `Roster::paper()` is the
 //! six-platform comparison of Figs. 4 and 6 in the paper's order,
-//! `Roster::nvidia()` the three-card subset of Figs. 5 and 7, and
-//! `Roster::select` any ad-hoc subset by [`PlatformId`]. Each
-//! [`RosterEntry`] carries the legend label and the peak-throughput proxy
-//! used by the normalization experiment, and builds a *fresh* backend per
-//! call so device clocks never leak between measurement points.
+//! `Roster::nvidia()` the three-card subset of Figs. 5 and 7,
+//! `Roster::measured()` / `Roster::modeled()` the timing-kind groupings,
+//! and `Roster::select` any ad-hoc subset by [`PlatformId`] (duplicates
+//! and unknown ids are hard errors; see `Roster::try_select`). Each
+//! [`RosterEntry`] carries the legend label, a stable machine-readable
+//! slug, its timing kind and the peak-throughput proxy used by the
+//! normalization experiment, and builds a *fresh* backend per call so
+//! device clocks never leak between measurement points.
 
 mod ap;
 mod gpu;
+mod mcore;
 mod mimd;
 mod seq;
+mod soa;
 mod xeon;
 
 pub use ap::ApBackend;
 pub use gpu::GpuBackend;
+pub use mcore::MulticoreBackend;
 pub use mimd::MimdBackend;
 pub use seq::SequentialBackend;
+pub use soa::SimdSoaBackend;
 pub use xeon::XeonModelBackend;
 
 use crate::config::AtmConfig;
@@ -48,8 +55,8 @@ pub enum TimingKind {
 /// Stable identity of an execution platform.
 ///
 /// The first six variants are the paper's comparison roster in figure
-/// order; the two host variants cover the measured reference backends,
-/// which have no analogue in the paper's figures.
+/// order; the remaining host variants cover the measured backends, which
+/// have no analogue in the paper's figures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PlatformId {
     /// Goodyear STARAN associative processor.
@@ -66,8 +73,12 @@ pub enum PlatformId {
     TitanXPascal,
     /// Single-threaded host reference (measured).
     SequentialHost,
-    /// Real-thread MIMD host pool (measured).
+    /// Real-thread MIMD host pool (measured, honestly non-deterministic).
     MimdHost,
+    /// Deterministic chunked thread pool (measured).
+    MulticoreHost,
+    /// Structure-of-arrays gate kernel on the host (measured).
+    SimdSoaHost,
 }
 
 impl PlatformId {
@@ -84,9 +95,12 @@ impl PlatformId {
     }
 }
 
-impl fmt::Display for PlatformId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl PlatformId {
+    /// The stable machine-readable slug of this platform: the key used in
+    /// figure legends' series identities, JSON series objects and bench
+    /// stage names. Also the [`fmt::Display`] form.
+    pub fn slug(&self) -> &'static str {
+        match self {
             PlatformId::StaranAp => "staran-ap",
             PlatformId::ClearSpeedCsx600 => "clearspeed-csx600",
             PlatformId::XeonMulticore => "xeon-multicore",
@@ -95,8 +109,15 @@ impl fmt::Display for PlatformId {
             PlatformId::TitanXPascal => "titan-x-pascal",
             PlatformId::SequentialHost => "sequential-host",
             PlatformId::MimdHost => "mimd-host",
-        };
-        f.write_str(s)
+            PlatformId::MulticoreHost => "multicore",
+            PlatformId::SimdSoaHost => "simd-soa",
+        }
+    }
+}
+
+impl fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
     }
 }
 
@@ -117,13 +138,10 @@ pub struct BackendInfo<'a> {
 /// A platform that can execute the ATM tasks.
 pub trait AtmBackend {
     /// Identity, timing discipline and device summary of this backend.
+    /// `info().timing` is the one source of truth for whether reported
+    /// durations are modeled or measured (there is deliberately no separate
+    /// `timing_kind` accessor to fall out of sync with it).
     fn info(&self) -> BackendInfo<'_>;
-
-    /// Whether durations are modeled or measured (shorthand for
-    /// `self.info().timing`).
-    fn timing_kind(&self) -> TimingKind {
-        self.info().timing
-    }
 
     /// Attach a telemetry recorder. Backends that model their substrate
     /// emit spans for kernel launches, associative passes, barrier phases
@@ -160,7 +178,7 @@ pub trait AtmBackend {
     ) -> SimDuration;
 }
 
-/// One platform in a [`Roster`]: identity, legend label, the
+/// One platform in a [`Roster`]: identity, legend label, timing kind, the
 /// peak-throughput proxy used by the §7.2 normalization experiment, and a
 /// constructor producing a fresh backend (device clocks and jitter
 /// sequences must not leak between measurement points).
@@ -168,8 +186,16 @@ pub trait AtmBackend {
 pub struct RosterEntry {
     /// Stable platform identity.
     pub platform: PlatformId,
+    /// Stable machine-readable key ([`PlatformId::slug`]): the identity
+    /// artifacts use in JSON series objects and bench stage names, so the
+    /// human-facing `label` can evolve without perturbing artifact bytes.
+    pub slug: &'static str,
     /// Legend label (matches `info().name` of the built backend).
     pub label: &'static str,
+    /// Whether the built backend reports modeled or measured durations
+    /// (matches `info().timing`; pinned by test so the catalog can be
+    /// grouped without instantiating backends).
+    pub timing: TimingKind,
     /// Peak arithmetic throughput proxy in GFLOP/s (lanes × clock × 2).
     pub peak_gflops: f64,
     make: fn() -> Box<dyn AtmBackend>,
@@ -186,69 +212,105 @@ impl fmt::Debug for RosterEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RosterEntry")
             .field("platform", &self.platform)
+            .field("slug", &self.slug)
             .field("label", &self.label)
+            .field("timing", &self.timing)
             .field("peak_gflops", &self.peak_gflops)
             .finish_non_exhaustive()
     }
 }
 
-/// The full catalog, in the paper's figure order followed by the two
-/// host-measured reference platforms.
-fn catalog() -> [RosterEntry; 8] {
+/// The full catalog, in the paper's figure order followed by the
+/// host-measured platforms.
+fn catalog() -> [RosterEntry; 10] {
     [
         // STARAN: 8192 bit-serial PEs at ~7 MHz ≈ 8192×7e6/32 word ops/s.
         RosterEntry {
             platform: PlatformId::StaranAp,
+            slug: PlatformId::StaranAp.slug(),
             label: "STARAN AP",
+            timing: TimingKind::Modeled,
             peak_gflops: 8_192.0 * 7.0e6 / 32.0 / 1.0e9,
             make: || Box::new(ApBackend::staran()),
         },
         // CSX600: 2 × 96 PEs × 250 MHz, ~1 FLOP/cycle/PE.
         RosterEntry {
             platform: PlatformId::ClearSpeedCsx600,
+            slug: PlatformId::ClearSpeedCsx600.slug(),
             label: "ClearSpeed CSX600",
+            timing: TimingKind::Modeled,
             peak_gflops: 192.0 * 0.25,
             make: || Box::new(ApBackend::clearspeed()),
         },
         // Xeon: 16 cores × 3 GHz × 8-wide SIMD FMA ≈ 768 GFLOP/s.
         RosterEntry {
             platform: PlatformId::XeonMulticore,
+            slug: PlatformId::XeonMulticore.slug(),
             label: "Intel Xeon 16-core",
+            timing: TimingKind::Modeled,
             peak_gflops: 768.0,
             make: || Box::new(XeonModelBackend::new()),
         },
         // GPUs: cores × clock × 2 (FMA).
         RosterEntry {
             platform: PlatformId::Geforce9800Gt,
+            slug: PlatformId::Geforce9800Gt.slug(),
             label: "GeForce 9800 GT",
+            timing: TimingKind::Modeled,
             peak_gflops: 112.0 * 1.5 * 2.0,
             make: || Box::new(GpuBackend::geforce_9800_gt()),
         },
         RosterEntry {
             platform: PlatformId::Gtx880m,
+            slug: PlatformId::Gtx880m.slug(),
             label: "GTX 880M",
+            timing: TimingKind::Modeled,
             peak_gflops: 1_536.0 * 0.954 * 2.0,
             make: || Box::new(GpuBackend::gtx_880m()),
         },
         RosterEntry {
             platform: PlatformId::TitanXPascal,
+            slug: PlatformId::TitanXPascal.slug(),
             label: "Titan X (Pascal)",
+            timing: TimingKind::Modeled,
             peak_gflops: 3_584.0 * 1.417 * 2.0,
             make: || Box::new(GpuBackend::titan_x_pascal()),
         },
-        // Host references (measured; peak proxies are rough host figures
+        // Host platforms (measured; peak proxies are rough host figures
         // and take no part in the paper's normalization).
         RosterEntry {
             platform: PlatformId::SequentialHost,
+            slug: PlatformId::SequentialHost.slug(),
             label: "Sequential (host)",
+            timing: TimingKind::Measured,
             peak_gflops: 6.0,
             make: || Box::new(SequentialBackend::new()),
         },
         RosterEntry {
             platform: PlatformId::MimdHost,
+            slug: PlatformId::MimdHost.slug(),
             label: "MIMD host",
+            timing: TimingKind::Measured,
             peak_gflops: 48.0,
             make: || Box::new(MimdBackend::host_sized()),
+        },
+        RosterEntry {
+            platform: PlatformId::MulticoreHost,
+            slug: PlatformId::MulticoreHost.slug(),
+            label: "Multicore (thread pool)",
+            timing: TimingKind::Measured,
+            peak_gflops: 48.0,
+            make: || Box::new(MulticoreBackend::host_sized()),
+        },
+        RosterEntry {
+            platform: PlatformId::SimdSoaHost,
+            slug: PlatformId::SimdSoaHost.slug(),
+            label: "SIMD SoA (host)",
+            timing: TimingKind::Measured,
+            // Single thread × 4-wide autovectorized lanes over the scalar
+            // host proxy.
+            peak_gflops: 24.0,
+            make: || Box::new(SimdSoaBackend::new()),
         },
     ]
 }
@@ -283,20 +345,57 @@ impl Roster {
         ])
     }
 
-    /// An arbitrary selection, in the given order. Duplicates are kept
-    /// (a sweep may legitimately measure one platform twice).
+    /// Every catalog platform whose backend reports durations of `kind`,
+    /// in catalog order.
+    pub fn filter(kind: TimingKind) -> Roster {
+        Roster {
+            entries: catalog()
+                .iter()
+                .copied()
+                .filter(|e| e.timing == kind)
+                .collect(),
+        }
+    }
+
+    /// The measured host platforms ([`Roster::filter`] on
+    /// [`TimingKind::Measured`]). Note the MIMD host is honestly
+    /// non-deterministic in *outputs*; the deterministic measured subset is
+    /// sequential-host, multicore and simd-soa.
+    pub fn measured() -> Roster {
+        Roster::filter(TimingKind::Measured)
+    }
+
+    /// The deterministically modeled platforms ([`Roster::filter`] on
+    /// [`TimingKind::Modeled`]).
+    pub fn modeled() -> Roster {
+        Roster::filter(TimingKind::Modeled)
+    }
+
+    /// An arbitrary selection, in the given order. A duplicate or unknown
+    /// [`PlatformId`] is a caller bug — a sweep that silently measured one
+    /// platform twice (or skipped one) would mislabel its series — so it
+    /// panics; use [`Roster::try_select`] to surface the error instead.
     pub fn select(platforms: impl IntoIterator<Item = PlatformId>) -> Roster {
+        Roster::try_select(platforms).unwrap_or_else(|e| panic!("Roster::select: {e}"))
+    }
+
+    /// [`Roster::select`] returning the error: `Err` names the first
+    /// duplicate (or catalog-less) platform instead of producing a roster
+    /// whose series would be mislabeled.
+    pub fn try_select(platforms: impl IntoIterator<Item = PlatformId>) -> Result<Roster, String> {
         let catalog = catalog();
-        let entries = platforms
-            .into_iter()
-            .map(|p| {
-                *catalog
-                    .iter()
-                    .find(|e| e.platform == p)
-                    .expect("every PlatformId has a catalog entry")
-            })
-            .collect();
-        Roster { entries }
+        let mut entries: Vec<RosterEntry> = Vec::new();
+        for p in platforms {
+            if entries.iter().any(|e| e.platform == p) {
+                return Err(format!("duplicate platform `{p}` in selection"));
+            }
+            let entry = catalog
+                .iter()
+                .find(|e| e.platform == p)
+                .ok_or_else(|| format!("platform `{p}` has no catalog entry"))?;
+            entries.push(*entry);
+        }
+        Ok(Roster { entries })
     }
 
     /// The selected entries, in order.
@@ -394,31 +493,120 @@ mod tests {
     }
 
     #[test]
-    fn select_preserves_order_and_duplicates() {
-        let r = Roster::select([
-            PlatformId::TitanXPascal,
-            PlatformId::StaranAp,
-            PlatformId::TitanXPascal,
-        ]);
+    fn select_preserves_order_and_rejects_duplicates() {
+        let r = Roster::select([PlatformId::TitanXPascal, PlatformId::StaranAp]);
         assert_eq!(
             r.entries().iter().map(|e| e.platform).collect::<Vec<_>>(),
-            vec![
-                PlatformId::TitanXPascal,
-                PlatformId::StaranAp,
-                PlatformId::TitanXPascal
-            ]
+            vec![PlatformId::TitanXPascal, PlatformId::StaranAp]
         );
         assert!(r.get(PlatformId::StaranAp).is_some());
         assert!(r.get(PlatformId::MimdHost).is_none());
+
+        let err = Roster::try_select([
+            PlatformId::TitanXPascal,
+            PlatformId::StaranAp,
+            PlatformId::TitanXPascal,
+        ])
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("titan-x-pascal"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate platform")]
+    fn select_panics_on_duplicates() {
+        Roster::select([PlatformId::StaranAp, PlatformId::StaranAp]);
     }
 
     #[test]
     fn host_platforms_are_selectable_and_measured() {
-        let r = Roster::select([PlatformId::SequentialHost, PlatformId::MimdHost]);
+        let r = Roster::select([
+            PlatformId::SequentialHost,
+            PlatformId::MimdHost,
+            PlatformId::MulticoreHost,
+            PlatformId::SimdSoaHost,
+        ]);
         for entry in &r {
             let backend = entry.instantiate();
             assert_eq!(backend.info().timing, TimingKind::Measured);
         }
+    }
+
+    #[test]
+    fn every_catalog_entry_timing_matches_its_backend_and_roster_grouping() {
+        // The satellite invariant: entry.timing is pinned to the built
+        // backend's info().timing, and the measured()/modeled() groupings
+        // partition the catalog exactly.
+        for entry in Roster::measured().entries() {
+            assert_eq!(entry.timing, TimingKind::Measured, "{}", entry.slug);
+            assert_eq!(
+                entry.instantiate().info().timing,
+                TimingKind::Measured,
+                "{}",
+                entry.slug
+            );
+        }
+        for entry in Roster::modeled().entries() {
+            assert_eq!(entry.timing, TimingKind::Modeled, "{}", entry.slug);
+            assert_eq!(
+                entry.instantiate().info().timing,
+                TimingKind::Modeled,
+                "{}",
+                entry.slug
+            );
+        }
+        assert_eq!(
+            Roster::measured().len() + Roster::modeled().len(),
+            catalog().len()
+        );
+        assert_eq!(
+            Roster::modeled()
+                .entries()
+                .iter()
+                .map(|e| e.platform)
+                .collect::<Vec<_>>(),
+            Roster::paper()
+                .entries()
+                .iter()
+                .map(|e| e.platform)
+                .collect::<Vec<_>>(),
+            "the modeled platforms are exactly the paper's six"
+        );
+    }
+
+    #[test]
+    fn slugs_are_stable_unique_and_match_platform_ids() {
+        let entries = catalog();
+        for entry in &entries {
+            assert_eq!(
+                entry.slug,
+                entry.platform.to_string(),
+                "{:?}",
+                entry.platform
+            );
+            assert_eq!(entry.slug, entry.platform.slug());
+            assert!(
+                entry
+                    .slug
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "slug `{}` is not kebab-case",
+                entry.slug
+            );
+        }
+        let mut slugs: Vec<&str> = entries.iter().map(|e| e.slug).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), entries.len(), "slugs must be unique");
+    }
+
+    #[test]
+    fn new_measured_entries_build_their_backends() {
+        let mc = Roster::measured();
+        let entry = mc.get(PlatformId::MulticoreHost).unwrap();
+        assert_eq!(entry.instantiate().info().name, entry.label);
+        let entry = mc.get(PlatformId::SimdSoaHost).unwrap();
+        assert_eq!(entry.instantiate().info().name, entry.label);
     }
 
     #[test]

@@ -98,6 +98,6 @@ mod tests {
     #[test]
     fn timing_is_measured() {
         let backend = SequentialBackend::new();
-        assert_eq!(backend.timing_kind(), TimingKind::Measured);
+        assert_eq!(backend.info().timing, TimingKind::Measured);
     }
 }

@@ -78,12 +78,27 @@ pub fn conflict_window(
     horizon: f32,
     sink: &mut impl CostSink,
 ) -> Option<(f32, f32)> {
-    sink.fadd(4); // relative position/velocity per axis
     let rel_x = trial.x - track.x;
     let rel_y = trial.y - track.y;
     let rel_vx = trial.dx - track_vel.0;
     let rel_vy = trial.dy - track_vel.1;
+    conflict_window_raw(rel_x, rel_y, rel_vx, rel_vy, sep, horizon, sink)
+}
 
+/// [`conflict_window`] on pre-computed relative kinematics (trial − track,
+/// per axis). The structure-of-arrays scan computes the relative components
+/// straight from its split coordinate arrays, so it enters here; the booked
+/// mix includes the four relative subtractions the caller performed.
+pub fn conflict_window_raw(
+    rel_x: f32,
+    rel_y: f32,
+    rel_vx: f32,
+    rel_vy: f32,
+    sep: f32,
+    horizon: f32,
+    sink: &mut impl CostSink,
+) -> Option<(f32, f32)> {
+    sink.fadd(4); // relative position/velocity per axis
     let (x_lo, x_hi) = axis_window(rel_x, rel_vx, sep, horizon, sink)?;
     let (y_lo, y_hi) = axis_window(rel_y, rel_vy, sep, horizon, sink)?;
 

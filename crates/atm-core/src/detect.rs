@@ -34,13 +34,16 @@
 
 mod index;
 mod kernel;
+mod soa;
 mod stats;
 #[cfg(test)]
 mod tests;
 
 pub use index::{AltitudeBands, ConflictGrid, ScanIndex};
 pub use kernel::{
-    check_collision_path, check_collision_path_with, detect_only, detect_only_with,
-    detect_resolve_all, rotate_velocity, scan_pairs,
+    check_collision_path, check_collision_path_scanned, check_collision_path_with, detect_only,
+    detect_only_with, detect_resolve_all, rotate_velocity, scan_candidate_list, scan_pair_range,
+    scan_pairs,
 };
+pub use soa::SoaFleet;
 pub use stats::{DetectStats, ScanResult};

@@ -139,6 +139,77 @@ pub fn scan_pairs(
     }
 }
 
+/// The shared gate-and-fold body of the partial-scan primitives: visit the
+/// given candidates, apply both pair gates, fold survivors into the running
+/// earliest-critical selection. No cost booking — the partial scans exist
+/// for *measured* backends, whose cost is real wall time; modeled paths go
+/// through [`scan_pairs`].
+fn scan_candidates_unbooked(
+    aircraft: &[Aircraft],
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    candidates: impl Iterator<Item = usize>,
+) -> ScanResult {
+    let track = &aircraft[i];
+    let reach = cfg.critical_reach_nm();
+    let mut earliest: Option<(usize, f32)> = None;
+    let mut checks = 0u64;
+    for p in candidates {
+        if p == i {
+            continue;
+        }
+        let trial = &aircraft[p];
+        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
+            || !within_critical_reach(track, trial, reach, &mut NullSink)
+        {
+            continue;
+        }
+        checks += 1;
+        fold_window(track, vel, trial, p, cfg, &mut NullSink, &mut earliest);
+    }
+    ScanResult {
+        critical: earliest,
+        checks,
+    }
+}
+
+/// Partial naive scan over one contiguous index subrange: the same gates,
+/// fold rule and check counting as [`scan_pairs`] over `ScanIndex::Naive`,
+/// restricted to `range`. Merging the per-range results of a disjoint cover
+/// of `0..n` via [`ScanResult::merge`] reproduces the full scan exactly —
+/// the chunk primitive of the measured thread-pool backend.
+pub fn scan_pair_range(
+    aircraft: &[Aircraft],
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    range: std::ops::Range<usize>,
+) -> ScanResult {
+    scan_candidates_unbooked(aircraft, i, vel, cfg, range)
+}
+
+/// Partial pruned scan over an explicit candidate slice (as produced by
+/// [`ScanIndex::candidates`], in any order): the pruning-source half of
+/// [`scan_pairs`] without the aggregate cost booking. Splitting one
+/// enumeration across slices and merging via [`ScanResult::merge`]
+/// reproduces the full scan exactly.
+pub fn scan_candidate_list(
+    aircraft: &[Aircraft],
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    candidates: &[u32],
+) -> ScanResult {
+    scan_candidates_unbooked(
+        aircraft,
+        i,
+        vel,
+        cfg,
+        candidates.iter().map(|&p| p as usize),
+    )
+}
+
 /// Rotate a velocity vector by `angle` radians (the Task 3 course change).
 pub fn rotate_velocity(vel: (f32, f32), angle: f32, sink: &mut impl CostSink) -> (f32, f32) {
     sink.sfu(2); // sin + cos
@@ -173,6 +244,31 @@ pub fn check_collision_path_with(
     cfg: &AtmConfig,
     sink: &mut impl CostSink,
 ) -> DetectStats {
+    check_collision_path_scanned(aircraft, i, cfg, sink, |ac, i, vel, sink| {
+        scan_pairs(ac, index, i, vel, cfg, sink)
+    })
+}
+
+/// The fused-routine driver over a caller-supplied *scanner*: the exact
+/// mutation cascade of [`check_collision_path_with`] (reset, mark, rotate,
+/// commit — every store in the same order) with the Task 2 scan abstracted
+/// out. `scan` must return what [`scan_pairs`] would for the same
+/// `(aircraft, i, vel)` — the measured backends substitute a thread-pool
+/// chunked scan or a structure-of-arrays scan here, which is what makes
+/// their outputs byte-identical to the sequential reference by
+/// construction: the cascade is shared code, and the scanners are proven
+/// result-identical separately.
+pub fn check_collision_path_scanned<S, F>(
+    aircraft: &mut [Aircraft],
+    i: usize,
+    cfg: &AtmConfig,
+    sink: &mut S,
+    mut scan: F,
+) -> DetectStats
+where
+    S: CostSink,
+    F: FnMut(&[Aircraft], usize, (f32, f32), &mut S) -> ScanResult,
+{
     let mut stats = DetectStats::default();
 
     // Reset this aircraft's horizon bookkeeping (Algorithm 2 init).
@@ -187,7 +283,7 @@ pub fn check_collision_path_with(
     let mut chk = 0u32; // course corrections attempted (paper's `chk`)
 
     loop {
-        let scan = scan_pairs(aircraft, index, i, vel, cfg, sink);
+        let scan = scan(aircraft, i, vel, sink);
         stats.pair_checks += scan.checks;
 
         let Some((partner, tmin)) = scan.critical else {

@@ -34,3 +34,35 @@ pub struct ScanResult {
     /// Pairs examined.
     pub checks: u64,
 }
+
+impl ScanResult {
+    /// The empty scan: no conflict, no pairs examined. Identity of
+    /// [`ScanResult::merge`].
+    pub const CLEAR: ScanResult = ScanResult {
+        critical: None,
+        checks: 0,
+    };
+
+    /// Fold a partial scan into this one. Selection is the lexicographic
+    /// minimum over `(tmin, partner)` — the same tie rule the scan kernel's
+    /// running fold uses — so merging per-chunk partial scans in any order
+    /// yields exactly the full scan's result (min over a set is associative
+    /// and commutative), which is what lets measured backends split one
+    /// scan across worker threads without perturbing a single output bit.
+    pub fn merge(self, other: ScanResult) -> ScanResult {
+        let critical = match (self.critical, other.critical) {
+            (Some((ap, at)), Some((bp, bt))) => {
+                if bt < at || (bt == at && bp < ap) {
+                    Some((bp, bt))
+                } else {
+                    Some((ap, at))
+                }
+            }
+            (a, b) => a.or(b),
+        };
+        ScanResult {
+            critical,
+            checks: self.checks + other.checks,
+        }
+    }
+}

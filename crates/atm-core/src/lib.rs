@@ -10,14 +10,16 @@
 //!   ([`detect`]), with Task 2,
 //!
 //! running inside a simulated airfield ([`airfield`]) under a hard-real-time
-//! cyclic executive, on six execution platforms ([`backends`]):
+//! cyclic executive, on the backend roster ([`backends`]):
 //!
 //! | Backend | Substrate | Timing |
 //! |---|---|---|
 //! | [`backends::SequentialBackend`] | host CPU, single thread | measured |
 //! | [`backends::GpuBackend`] | [`gpu_sim`] SIMT simulator (9800 GT / 880M / Titan X) | modeled |
 //! | [`backends::ApBackend`] | [`ap_sim`] associative processor (STARAN / ClearSpeed) | modeled |
-//! | [`backends::MimdBackend`] | real threads ([`multicore::MimdPool`]) | measured |
+//! | [`backends::MimdBackend`] | real threads ([`multicore::MimdPool`]), racing radar claims | measured |
+//! | [`backends::MulticoreBackend`] | thread-pool chunked scan, deterministic outputs | measured |
+//! | [`backends::SimdSoaBackend`] | structure-of-arrays branch-free gate kernel | measured |
 //! | [`backends::XeonModelBackend`] | analytic 16-core Xeon ([`multicore::XeonModel`]) | modeled |
 //!
 //! The task algorithms are written once as per-item routines reporting their

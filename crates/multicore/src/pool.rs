@@ -34,12 +34,28 @@ impl MimdPool {
         }
     }
 
-    /// A pool sized to the host's available parallelism.
+    /// A pool sized for measured host backends: honors the
+    /// [`MimdPool::measure_threads`] pin, falling back to available
+    /// parallelism.
     pub fn host_sized() -> Self {
-        let threads = std::thread::available_parallelism()
+        MimdPool::new(Self::measure_threads())
+    }
+
+    /// Thread count for measured host backends: the `ATM_MEASURE_THREADS`
+    /// environment variable when set to a positive integer (the CI pin that
+    /// makes measured runs reproducible on small containers), otherwise the
+    /// host's available parallelism, otherwise 4.
+    pub fn measure_threads() -> usize {
+        if let Ok(v) = std::env::var("ATM_MEASURE_THREADS") {
+            if let Ok(t) = v.trim().parse::<usize>() {
+                if t >= 1 {
+                    return t;
+                }
+            }
+        }
+        std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4);
-        MimdPool::new(threads)
+            .unwrap_or(4)
     }
 
     /// Worker count.
@@ -221,6 +237,49 @@ impl MimdPool {
         sw.elapsed()
     }
 
+    /// One barrier phase that *returns* per-chunk results: the index space
+    /// `0..n` splits into at most `threads` contiguous chunks (the same
+    /// `div_ceil` partition as [`MimdPool::parallel_for`]), each worker maps
+    /// its chunk through `f(chunk_index, range)`, and the results come back
+    /// in chunk order — deterministic regardless of which worker finishes
+    /// first, which is what lets callers fold order-sensitive reductions
+    /// without perturbing results. A single-thread pool (and `n == 0`) runs
+    /// inline.
+    ///
+    /// Unlike the `parallel_for` family this phase is *not* booked to the
+    /// telemetry recorder: it is the inner-scan primitive of the measured
+    /// backends, called once per rotation rescan of every aircraft — far
+    /// too fine-grained for per-phase spans.
+    pub fn map_chunks<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 {
+            return vec![f(0, 0..n)];
+        }
+        let chunk = n.div_ceil(self.threads);
+        let chunks = n.div_ceil(chunk);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(chunks);
+        out.resize_with(chunks, || None);
+        std::thread::scope(|s| {
+            for (t, slot) in out.iter_mut().enumerate() {
+                let start = t * chunk;
+                let end = (start + chunk).min(n);
+                let f = &f;
+                s.spawn(move || {
+                    *slot = Some(f(t, start..end));
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every chunk completes under the scope barrier"))
+            .collect()
+    }
+
     /// Run several named phases back to back with a barrier between each;
     /// returns the measured duration of each phase.
     pub fn run_phases<'a, F>(
@@ -321,6 +380,46 @@ mod tests {
     #[test]
     fn host_sized_pool_has_positive_threads() {
         assert!(MimdPool::host_sized().threads() >= 1);
+        assert!(MimdPool::measure_threads() >= 1);
+    }
+
+    #[test]
+    fn map_chunks_covers_the_range_in_chunk_order() {
+        for threads in [1, 3, 8, 16] {
+            let pool = MimdPool::new(threads);
+            let n = 1001;
+            let parts = pool.map_chunks(n, |t, range| (t, range));
+            assert!(parts.len() <= threads);
+            // Chunks are contiguous, ordered, and cover 0..n exactly.
+            let mut next = 0usize;
+            for (k, (t, range)) in parts.iter().enumerate() {
+                assert_eq!(*t, k);
+                assert_eq!(range.start, next);
+                next = range.end;
+            }
+            assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn map_chunks_reduction_is_thread_count_invariant() {
+        let n = 10_000usize;
+        let sum_with = |threads: usize| -> u64 {
+            MimdPool::new(threads)
+                .map_chunks(n, |_, range| range.map(|i| i as u64).sum::<u64>())
+                .into_iter()
+                .sum()
+        };
+        let expected = (n as u64 - 1) * n as u64 / 2;
+        for threads in [1, 2, 5, 13] {
+            assert_eq!(sum_with(threads), expected);
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_range_spawns_nothing() {
+        let parts = MimdPool::new(4).map_chunks(0, |_, _| panic!("must not run"));
+        assert!(parts.is_empty());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!
 //! * [`atm_core`] — the ATM tasks (tracking & correlation, Batcher
 //!   collision detection, path-rotation resolution), the simulated
-//!   airfield, and the six execution backends;
+//!   airfield, and the ten-entry backend roster (modeled simulators plus
+//!   measured host substrates);
 //! * [`gpu_sim`] — the deterministic SIMT device simulator with the
 //!   GeForce 9800 GT / GTX 880M / Titan X (Pascal) catalog;
 //! * [`ap_sim`] — the STARAN associative processor emulator and its
@@ -49,8 +50,8 @@ pub use telemetry;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use atm_core::backends::{
-        ApBackend, AtmBackend, BackendInfo, GpuBackend, MimdBackend, PlatformId, Roster,
-        RosterEntry, SequentialBackend, TimingKind, XeonModelBackend,
+        ApBackend, AtmBackend, BackendInfo, GpuBackend, MimdBackend, MulticoreBackend, PlatformId,
+        Roster, RosterEntry, SequentialBackend, SimdSoaBackend, TimingKind, XeonModelBackend,
     };
     pub use atm_core::{
         detect_resolve_parallel, Aircraft, Airfield, AltitudeBands, AtmConfig, AtmSimulation,

@@ -166,14 +166,18 @@ fn modeled_times_rank_platforms_like_the_paper() {
 
 #[test]
 fn timing_kinds_are_declared_correctly() {
+    // info().timing is the single source of truth (the old trait-level
+    // timing_kind() shorthand is gone).
     assert_eq!(
-        GpuBackend::titan_x_pascal().timing_kind(),
+        GpuBackend::titan_x_pascal().info().timing,
         TimingKind::Modeled
     );
-    assert_eq!(ApBackend::staran().timing_kind(), TimingKind::Modeled);
-    assert_eq!(XeonModelBackend::new().timing_kind(), TimingKind::Modeled);
-    assert_eq!(SequentialBackend::new().timing_kind(), TimingKind::Measured);
-    assert_eq!(MimdBackend::new(2).timing_kind(), TimingKind::Measured);
+    assert_eq!(ApBackend::staran().info().timing, TimingKind::Modeled);
+    assert_eq!(XeonModelBackend::new().info().timing, TimingKind::Modeled);
+    assert_eq!(SequentialBackend::new().info().timing, TimingKind::Measured);
+    assert_eq!(MimdBackend::new(2).info().timing, TimingKind::Measured);
+    assert_eq!(MulticoreBackend::new(2).info().timing, TimingKind::Measured);
+    assert_eq!(SimdSoaBackend::new().info().timing, TimingKind::Measured);
 }
 
 #[test]
