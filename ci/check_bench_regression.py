@@ -13,7 +13,8 @@ the current side:
 
 * ``"measured"`` — the stage times a real host hot path (the thread-pool
   multicore scan, the SoA gate kernel, the sharded detect, the sequential
-  reference). These are gated: a slowdown beyond the threshold fails.
+  reference, and the ``incremental-detect-muP`` rescan stages). These are
+  gated: a slowdown beyond the threshold fails.
 * ``"modeled"`` — the stage's wall time is simulator overhead (host time
   spent *producing* modeled results). Reported for visibility, never gated:
   its noise would otherwise drown the measured signal this gate protects.

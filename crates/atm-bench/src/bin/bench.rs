@@ -40,15 +40,25 @@
 //! gate can hold measured stages to the wall-clock budget while treating
 //! the modeled sweep stages (whose wall time is simulator overhead, not a
 //! guarded hot path) as report-only.
+//!
+//! A fourth section times the **incremental rescan engine**
+//! (`incremental-detect-muP` stages, one per move rate): consecutive
+//! rescans of one fleet in which a fraction μ of the aircraft drift
+//! between cycles, run side by side through a per-cycle full-rebuild
+//! serial-grid detect and a persistent [`IncrementalEngine`]. The two
+//! paths must stay byte-identical every cycle; each stage reports both
+//! wall-clocks, the speedup over the full rebuild, and the engine's
+//! dirty-cell hit-rate counters (`cells_dirty`, `pairs_rescanned`,
+//! `pairs_replayed`).
 
 use atm_bench::harness::Harness;
 use atm_bench::series::Series;
 use atm_bench::sweep::{sweep_roster_on, SweepConfig, Task};
 use atm_core::backends::{PlatformId, Roster, RosterEntry, TimingKind};
-use atm_core::detect::DetectStats;
+use atm_core::detect::{detect_resolve_all, DetectStats, IncrementalEngine, ScanActivity};
 use atm_core::types::Aircraft;
 use atm_core::{detect_resolve_parallel, Airfield, AtmConfig, ScanMode};
-use sim_clock::OpCounter;
+use sim_clock::{NullSink, OpCounter, SimRng};
 use std::path::PathBuf;
 use std::time::Instant;
 use telemetry::JsonValue;
@@ -155,6 +165,78 @@ fn run_measured_stage(base: &SweepConfig, entry: &RosterEntry) -> (Vec<f64>, Vec
         fleets.push(field.aircraft);
     }
     (per_point_ms, fleets)
+}
+
+/// Outcome of one incremental-vs-full-rebuild stage at one move rate.
+struct IncrementalStage {
+    /// Total wall-clock of the per-cycle full-rebuild serial-grid detects.
+    serial_ms: f64,
+    /// Total wall-clock of the persistent incremental engine's rescans.
+    inc_ms: f64,
+    /// Engine counters accumulated over every cycle.
+    activity: ScanActivity,
+    /// Whether both paths stayed byte-identical (fleet and stats) on
+    /// every cycle.
+    identical: bool,
+}
+
+/// One timed pass of the incremental rescan engine at move rate `mu`:
+/// `cycles` consecutive rescans of one fleet, with `mu * n` randomly
+/// chosen aircraft drifting between cycles (the same displacements
+/// applied to both copies), comparing a per-cycle full-rebuild
+/// serial-grid detect against one persistent [`IncrementalEngine`].
+///
+/// Runs at the sweep's *midpoint* n, not its largest: the engine's win
+/// comes from replaying clear first scans, and at the densest sweep
+/// point nearly the whole fleet is in active conflict (flagged aircraft
+/// always rescan live, and their velocity commits keep dirtying cells),
+/// so the densest point measures the floor, not the mechanism.
+fn run_incremental_stage(base: &SweepConfig, n: usize, mu: f64, cycles: usize) -> IncrementalStage {
+    let grid_cfg = AtmConfig {
+        scan: ScanMode::Grid,
+        ..AtmConfig::with_seed(base.seed)
+    };
+    let inc_cfg = AtmConfig {
+        scan: ScanMode::Incremental,
+        ..grid_cfg.clone()
+    };
+    let field = Airfield::new(n, grid_cfg.clone());
+    let mut fleet_full = field.aircraft.clone();
+    let mut fleet_inc = field.aircraft;
+    let mut engine = IncrementalEngine::new();
+    let mut rng = SimRng::seed_from_u64(base.seed ^ 0x5EED);
+    let moved_per_cycle = (mu * n as f64).round() as usize;
+
+    let mut out = IncrementalStage {
+        serial_ms: 0.0,
+        inc_ms: 0.0,
+        activity: ScanActivity::default(),
+        identical: true,
+    };
+    for _ in 0..cycles {
+        let start = Instant::now();
+        let full_stats = detect_resolve_all(&mut fleet_full, &grid_cfg, &mut NullSink);
+        out.serial_ms += start.elapsed().as_secs_f64() * 1_000.0;
+
+        let start = Instant::now();
+        let inc_stats = engine.detect_resolve(&mut fleet_inc, &inc_cfg, &mut NullSink);
+        out.inc_ms += start.elapsed().as_secs_f64() * 1_000.0;
+
+        out.identical &= fleet_full == fleet_inc && full_stats == inc_stats;
+
+        // Drift: identical displacements applied to both copies.
+        for _ in 0..moved_per_cycle {
+            let j = (rng.next_u64() % n as u64) as usize;
+            let dx = rng.range_f32_inclusive(-8.0, 8.0);
+            let dy = rng.range_f32_inclusive(-8.0, 8.0);
+            fleet_full[j].x += dx;
+            fleet_full[j].y += dy;
+            fleet_inc[j].x += dx;
+            fleet_inc[j].y += dy;
+        }
+    }
+    out.activity = *engine.total_activity();
+    out
 }
 
 fn main() {
@@ -266,10 +348,45 @@ fn main() {
     let multicore_speedup = seq_total / measured_ms[1].iter().sum::<f64>().max(1e-9);
     println!("  multicore speedup over sequential-host: {multicore_speedup:.2}x");
 
+    // Incremental rescan engine: consecutive rescans at a range of
+    // per-cycle move rates, persistent engine vs per-cycle full rebuild.
+    let move_rates = [0.0, 0.01, 0.05, 0.20, 1.0];
+    let inc_cycles = if opts.quick { 8 } else { 16 };
+    let inc_n = base.ns.get(base.ns.len() / 2).copied().unwrap_or(1_000);
+    println!("  incremental rescans ({inc_cycles} cycles at n={inc_n}, vs serial-grid rebuild):");
+    let mut incremental_stages = Vec::new();
+    let mut incremental_identical = true;
+    let mut low_move_speedup = 0.0_f64;
+    for &mu in &move_rates {
+        let stage = run_incremental_stage(&base, inc_n, mu, inc_cycles);
+        let speedup = stage.serial_ms / stage.inc_ms.max(1e-9);
+        let replayed_share = stage.activity.pairs_replayed as f64
+            / (stage.activity.pairs_replayed + stage.activity.pairs_rescanned).max(1) as f64;
+        println!(
+            "  incremental-detect-mu{:<4} {:>10.1} ms vs {:>10.1} ms serial-grid \
+             ({speedup:.2}x, {:.0}% of pairs replayed)",
+            (mu * 100.0).round() as u64,
+            stage.inc_ms,
+            stage.serial_ms,
+            replayed_share * 100.0
+        );
+        incremental_identical &= stage.identical;
+        if mu <= 0.05 {
+            low_move_speedup = low_move_speedup.max(speedup);
+        }
+        incremental_stages.push((mu, stage, speedup));
+    }
+    if !incremental_identical {
+        eprintln!("RESULT MISMATCH: the incremental engine diverged from the grid full rebuild");
+    }
+    println!("  best incremental speedup at move rate <= 5%: {low_move_speedup:.2}x");
+
     // Determinism contract: every stage's series must be element-identical
     // to the baseline's.
-    let identical =
-        results.iter().all(|r| *r == results[0]) && sharded_identical && measured_identical;
+    let identical = results.iter().all(|r| *r == results[0])
+        && sharded_identical
+        && measured_identical
+        && incremental_identical;
     if !identical {
         eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
     }
@@ -323,6 +440,28 @@ fn main() {
                 .set("speedup_vs_sequential_host", seq_total / total.max(1e-9)),
         );
     }
+    for (mu, stage, speedup) in &incremental_stages {
+        stage_json.push(
+            JsonValue::obj()
+                .set(
+                    "id",
+                    format!("incremental-detect-mu{}", (mu * 100.0).round() as u64),
+                )
+                .set("timing", "measured")
+                .set("scan", "incremental")
+                .set("move_rate", *mu)
+                .set("cycles", inc_cycles)
+                .set("n", inc_n)
+                .set("wall_ms", stage.inc_ms)
+                .set("serial_grid_wall_ms", stage.serial_ms)
+                .set("speedup_vs_serial_grid", *speedup)
+                .set("cells_dirty", stage.activity.cells_dirty)
+                .set("pairs_rescanned", stage.activity.pairs_rescanned)
+                .set("pairs_replayed", stage.activity.pairs_replayed)
+                .set("scans_live", stage.activity.scans_live)
+                .set("scans_replayed", stage.activity.scans_replayed),
+        );
+    }
     let json = JsonValue::obj()
         .set(
             "sweep",
@@ -337,7 +476,11 @@ fn main() {
         .set("speedup_parallel_grid_vs_serial_naive", headline)
         .set("speedup_parallel_grid_vs_parallel_banded", grid_vs_banded)
         .set("speedup_shards4_vs_shards1_largest_n", largest_speedup)
-        .set("speedup_multicore_vs_sequential_host", multicore_speedup);
+        .set("speedup_multicore_vs_sequential_host", multicore_speedup)
+        .set(
+            "speedup_incremental_low_move_vs_serial_grid",
+            low_move_speedup,
+        );
 
     if let Some(dir) = opts.out.parent() {
         if !dir.as_os_str().is_empty() {

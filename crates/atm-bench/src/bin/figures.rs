@@ -17,8 +17,8 @@
 //!
 //! `--jobs N` fans the independent sweep/experiment points across N worker
 //! threads (default: the host's available parallelism; `--jobs 1` forces
-//! the serial code path). `--scan naive|banded|grid` selects the
-//! conflict-scan implementation. Neither knob changes any output byte:
+//! the serial code path). `--scan naive|banded|grid|incremental` selects
+//! the conflict-scan implementation. Neither knob changes any output byte:
 //! results are slotted in serial order and every scan books identical
 //! modeled costs — only wall-clock time differs. CI diffs the artifacts
 //! across the knob matrix.
@@ -123,13 +123,20 @@ fn parse_args() -> Options {
                 }));
             }
             "--scan" => {
-                let v = value_of(&mut args, "--scan", "'naive', 'banded' or 'grid'");
+                let v = value_of(
+                    &mut args,
+                    "--scan",
+                    "'naive', 'banded', 'grid' or 'incremental'",
+                );
                 opts.scan = match v.as_str() {
                     "naive" => ScanMode::Naive,
                     "banded" => ScanMode::Banded,
                     "grid" => ScanMode::Grid,
+                    "incremental" => ScanMode::Incremental,
                     other => {
-                        eprintln!("--scan needs 'naive', 'banded' or 'grid', got '{other}'");
+                        eprintln!(
+                            "--scan needs 'naive', 'banded', 'grid' or 'incremental', got '{other}'"
+                        );
                         std::process::exit(2);
                     }
                 };
@@ -149,7 +156,8 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: figures [--all] [--fig N]... \
                      [--exp deadlines|determinism|ablations|normalized|measured]... \
-                     [--quick] [--stream] [--jobs N] [--scan naive|banded|grid] [--shards N] \
+                     [--quick] [--stream] [--jobs N] [--scan naive|banded|grid|incremental] \
+                     [--shards N] \
                      [--out DIR] [--trace PATH] [--metrics PATH]\n\
                      (--exp measured emits host wall-clock and is not part of --all)"
                 );

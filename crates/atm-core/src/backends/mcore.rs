@@ -27,11 +27,12 @@
 //!   its serial work.
 //! * **Terrain** — embarrassingly parallel, chunked per aircraft.
 
+use crate::backends::seq::record_activity;
 use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
-use crate::config::AtmConfig;
+use crate::config::{AtmConfig, ScanMode};
 use crate::detect::{
-    check_collision_path_scanned, scan_candidate_list, scan_pair_range, DetectStats, ScanIndex,
-    ScanResult,
+    check_collision_path_scanned, scan_candidate_list, scan_pair_range, DetectStats,
+    IncrementalEngine, ScanIndex, ScanResult,
 };
 use crate::terrain::{check_terrain, TerrainGrid, TerrainTaskConfig};
 use crate::track::{any_unmatched, TrackStats};
@@ -48,8 +49,17 @@ use telemetry::Recorder;
 const PAR_CUTOFF: usize = 1024;
 
 /// ATM on a deterministic chunked thread pool (measured timing).
+///
+/// Under [`ScanMode::Incremental`] a persistent [`IncrementalEngine`]
+/// carries the dirty-cell grid and replay cache across `detect_resolve`
+/// calls; live scans still fan over the pool in deterministic chunks.
 pub struct MulticoreBackend {
     pool: MimdPool,
+    engine: IncrementalEngine,
+    /// Scan index kept across calls and refreshed in place
+    /// ([`ScanIndex::refresh`]), reusing its bucket/offset allocations.
+    index: Option<ScanIndex>,
+    recorder: Option<Recorder>,
     device: String,
     last_track: Option<TrackStats>,
     last_detect: Option<DetectStats>,
@@ -74,6 +84,9 @@ impl MulticoreBackend {
         );
         MulticoreBackend {
             pool,
+            engine: IncrementalEngine::new(),
+            index: None,
+            recorder: None,
             device,
             last_track: None,
             last_detect: None,
@@ -142,6 +155,7 @@ impl AtmBackend for MulticoreBackend {
     }
 
     fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder.clone());
         self.pool.set_recorder(recorder);
     }
 
@@ -270,7 +284,26 @@ impl AtmBackend for MulticoreBackend {
 
     fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration {
         let sw = Stopwatch::start();
-        let index = ScanIndex::for_config(aircraft, cfg);
+        if cfg.scan == ScanMode::Incremental {
+            // The engine enumerates candidates and replays cached clean
+            // scans; live scans still chunk over the pool.
+            let mut engine = std::mem::take(&mut self.engine);
+            let total = engine.detect_resolve_unbooked(
+                aircraft,
+                cfg,
+                |ac, i, vel, cands| self.pooled_scan(ac, false, cands, i, vel, cfg),
+                |_, _| {},
+            );
+            record_activity(&self.recorder, engine.activity());
+            self.engine = engine;
+            self.last_detect = Some(total);
+            return sw.elapsed();
+        }
+        match &mut self.index {
+            Some(ix) => ix.refresh(aircraft, cfg),
+            none => *none = Some(ScanIndex::for_config(aircraft, cfg)),
+        }
+        let index = self.index.as_ref().expect("index populated above");
         let naive = matches!(index, ScanIndex::Naive);
         let mut cands: Vec<u32> = Vec::new();
         let mut total = DetectStats::default();

@@ -1,19 +1,39 @@
 //! The single-threaded host reference backend.
 
 use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
-use crate::config::AtmConfig;
-use crate::detect::{detect_resolve_all, DetectStats};
+use crate::config::{AtmConfig, ScanMode};
+use crate::detect::{detect_resolve_all, DetectStats, IncrementalEngine, ScanActivity};
 use crate::terrain::{terrain_avoidance_all, TerrainGrid, TerrainTaskConfig};
 use crate::track::{track_correlate, TrackStats};
 use crate::types::{Aircraft, RadarReport};
 use sim_clock::{NullSink, SimDuration, Stopwatch};
+use telemetry::Recorder;
+
+/// Emit one rescan's dirty-cell hit-rate counters ([`ScanActivity`]) into
+/// a telemetry recorder. Counters only fire on incremental runs, so
+/// default-config artifact bytes are untouched.
+pub(crate) fn record_activity(recorder: &Option<Recorder>, act: &ScanActivity) {
+    let Some(rec) = recorder else {
+        return;
+    };
+    rec.counter_add("incremental.cells_dirty", act.cells_dirty);
+    rec.counter_add("incremental.pairs_rescanned", act.pairs_rescanned);
+    rec.counter_add("incremental.pairs_replayed", act.pairs_replayed);
+}
 
 /// The sequential reference implementation: the task algorithms run
 /// directly on the host, timing is measured wall-clock, and the results
 /// define the expected output the deterministic simulated backends must
 /// reproduce bit-for-bit.
+///
+/// Under [`ScanMode::Incremental`] the backend holds a persistent
+/// [`IncrementalEngine`] across `detect_resolve` calls, so consecutive
+/// rescans of a mostly-still fleet replay cached clean scans instead of
+/// re-deriving them — with outputs bit-identical to the full-rebuild path.
 #[derive(Debug, Default)]
 pub struct SequentialBackend {
+    engine: IncrementalEngine,
+    recorder: Option<Recorder>,
     last_track: Option<TrackStats>,
     last_detect: Option<DetectStats>,
 }
@@ -56,9 +76,20 @@ impl AtmBackend for SequentialBackend {
         sw.elapsed()
     }
 
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
     fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration {
         let sw = Stopwatch::start();
-        self.last_detect = Some(detect_resolve_all(aircraft, cfg, &mut NullSink));
+        let stats = if cfg.scan == ScanMode::Incremental {
+            let stats = self.engine.detect_resolve(aircraft, cfg, &mut NullSink);
+            record_activity(&self.recorder, self.engine.activity());
+            stats
+        } else {
+            detect_resolve_all(aircraft, cfg, &mut NullSink)
+        };
+        self.last_detect = Some(stats);
         sw.elapsed()
     }
 

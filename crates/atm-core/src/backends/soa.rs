@@ -11,17 +11,32 @@
 //! therefore by construction, with the SoA scan proven result-identical to
 //! the reference scan separately ([`crate::detect::SoaFleet`] tests).
 
+use crate::backends::seq::record_activity;
 use crate::backends::{AtmBackend, BackendInfo, PlatformId, TimingKind};
-use crate::config::AtmConfig;
-use crate::detect::{check_collision_path_scanned, DetectStats, ScanIndex, SoaFleet};
+use crate::config::{AtmConfig, ScanMode};
+use crate::detect::{
+    check_collision_path_scanned, DetectStats, IncrementalEngine, ScanIndex, SoaFleet,
+};
 use crate::terrain::{terrain_avoidance_all, TerrainGrid, TerrainTaskConfig};
 use crate::track::{track_correlate, TrackStats};
 use crate::types::{Aircraft, RadarReport};
 use sim_clock::{NullSink, SimDuration, Stopwatch};
+use std::cell::RefCell;
+use telemetry::Recorder;
 
 /// ATM with the detect scan on structure-of-arrays data (measured timing).
+///
+/// Under [`ScanMode::Incremental`] a persistent [`IncrementalEngine`]
+/// carries the dirty-cell grid and replay cache across `detect_resolve`
+/// calls; live scans run the SoA gate kernel over the engine's candidate
+/// frontier.
 #[derive(Debug, Default)]
 pub struct SimdSoaBackend {
+    engine: IncrementalEngine,
+    /// Scan index kept across calls and refreshed in place
+    /// ([`ScanIndex::refresh`]), reusing its bucket/offset allocations.
+    index: Option<ScanIndex>,
+    recorder: Option<Recorder>,
     last_track: Option<TrackStats>,
     last_detect: Option<DetectStats>,
 }
@@ -64,10 +79,37 @@ impl AtmBackend for SimdSoaBackend {
         sw.elapsed()
     }
 
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
     fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration {
         let sw = Stopwatch::start();
+        if cfg.scan == ScanMode::Incremental {
+            // Scan and commit-mirror closures interleave but never run at
+            // once, so the SoA mirror sits in a RefCell they share.
+            let fleet = RefCell::new(SoaFleet::from_aircraft(aircraft));
+            let scratch = RefCell::new(Vec::new());
+            let total = self.engine.detect_resolve_unbooked(
+                aircraft,
+                cfg,
+                |_ac, i, vel, cands| {
+                    fleet
+                        .borrow()
+                        .scan_candidates(i, vel, cfg, cands, &mut scratch.borrow_mut())
+                },
+                |ac, i| fleet.borrow_mut().set_velocity(i, (ac[i].dx, ac[i].dy)),
+            );
+            record_activity(&self.recorder, self.engine.activity());
+            self.last_detect = Some(total);
+            return sw.elapsed();
+        }
         let n = aircraft.len();
-        let index = ScanIndex::for_config(aircraft, cfg);
+        match &mut self.index {
+            Some(ix) => ix.refresh(aircraft, cfg),
+            none => *none = Some(ScanIndex::for_config(aircraft, cfg)),
+        }
+        let index = self.index.as_ref().expect("index populated above");
         let naive = matches!(index, ScanIndex::Naive);
         // Positions and altitudes are frozen during Tasks 2+3; committed
         // velocity changes are mirrored into the arrays after each aircraft
@@ -124,7 +166,12 @@ mod tests {
 
     #[test]
     fn detect_is_byte_identical_to_sequential_across_scan_modes() {
-        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+        for scan in [
+            ScanMode::Naive,
+            ScanMode::Banded,
+            ScanMode::Grid,
+            ScanMode::Incremental,
+        ] {
             let field = Airfield::with_seed(600, 13);
             let mut cfg = field.config().clone();
             cfg.scan = scan;

@@ -24,6 +24,13 @@ pub enum ScanMode {
     /// time match `Naive` exactly).
     #[default]
     Grid,
+    /// `Grid` with the index kept *alive across rescans*: cells sized from
+    /// the measured per-rescan fleet envelope, slot membership moved
+    /// incrementally, dirty-cell tracking, and — in the persistent backend
+    /// engines — replay of cached clear scans whose cell neighborhood is
+    /// provably unchanged (see [`crate::detect::IncrementalEngine`]).
+    /// Results and modeled time match `Naive` exactly.
+    Incremental,
 }
 
 /// All tunable parameters of the airfield and the three tasks.

@@ -32,6 +32,7 @@
 //! the outcome counters. Enumeration is a wall-clock choice only — every
 //! source produces bit-identical results, stats and booked cost totals.
 
+mod incremental;
 mod index;
 mod kernel;
 mod soa;
@@ -39,11 +40,12 @@ mod stats;
 #[cfg(test)]
 mod tests;
 
+pub use incremental::{IncrementalEngine, IncrementalGrid, ScanOps, TeeSink};
 pub use index::{AltitudeBands, ConflictGrid, ScanIndex};
 pub use kernel::{
     check_collision_path, check_collision_path_scanned, check_collision_path_with, detect_only,
-    detect_only_with, detect_resolve_all, rotate_velocity, scan_candidate_list, scan_pair_range,
-    scan_pairs,
+    detect_only_with, detect_resolve_all, detect_resolve_indexed, rotate_velocity,
+    scan_candidate_list, scan_candidate_list_booked, scan_pair_range, scan_pairs,
 };
 pub use soa::SoaFleet;
-pub use stats::{DetectStats, ScanResult};
+pub use stats::{DetectStats, ScanActivity, ScanResult};

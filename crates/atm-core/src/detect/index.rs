@@ -9,6 +9,7 @@
 //! a wall-clock choice that can never change a result.
 
 use crate::config::{AtmConfig, ScanMode};
+use crate::detect::incremental::IncrementalGrid;
 use crate::shard::ShardedIndex;
 use crate::types::Aircraft;
 use ap_sim::ResponderSet;
@@ -37,7 +38,7 @@ const MAX_BUCKET_MAGNITUDE: f64 = (1u64 << 24) as f64;
 /// the skipped pairs' operation mix in aggregate (see
 /// [`crate::detect::scan_pairs`]), so every [`sim_clock::CostSink`] tallies
 /// exactly what the naive scan books.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AltitudeBands {
     /// Band width in feet as f64 (0.0 marks the degenerate single-bucket
     /// fallback).
@@ -51,7 +52,9 @@ pub struct AltitudeBands {
 impl AltitudeBands {
     /// Bucket index of one altitude, or `None` when the assignment is not
     /// provably gate-consistent (non-finite altitude or huge quotient).
-    fn bucket_for(alt: f32, width: f64) -> Option<i64> {
+    /// Crate-visible: the incremental grid reuses the exact same quantizer
+    /// so its cell assignments agree with the full-rebuild grid's.
+    pub(crate) fn bucket_for(alt: f32, width: f64) -> Option<i64> {
         let q = (alt as f64 / width).floor();
         if q.is_finite() && q.abs() <= MAX_BUCKET_MAGNITUDE {
             Some(q as i64)
@@ -66,40 +69,68 @@ impl AltitudeBands {
     /// the index would waste memory) yield a single catch-all bucket, which
     /// keeps every scan correct at naive cost.
     pub fn build(aircraft: &[Aircraft], alt_separation_ft: f32) -> AltitudeBands {
-        let n = aircraft.len();
-        let width = alt_separation_ft as f64;
-        let fallback = || AltitudeBands {
+        let mut bands = AltitudeBands {
             width: 0.0,
             min_bucket: 0,
-            buckets: vec![(0..n as u32).collect()],
+            buckets: Vec::new(),
         };
-        if n == 0 || !width.is_finite() || width <= 0.0 {
-            return fallback();
+        bands.rebuild(aircraft, alt_separation_ft);
+        bands
+    }
+
+    /// [`AltitudeBands::build`] in place: recompute the bucketing for a new
+    /// fleet snapshot while reusing the bucket allocations — the state after
+    /// a rebuild is indistinguishable from a fresh build. Kills the
+    /// per-rescan allocation churn for backends that keep an index alive
+    /// across executions ([`ScanIndex::refresh`]).
+    pub fn rebuild(&mut self, aircraft: &[Aircraft], alt_separation_ft: f32) {
+        let n = aircraft.len();
+        let width = alt_separation_ft as f64;
+        for b in &mut self.buckets {
+            b.clear();
         }
-        let mut min_b = i64::MAX;
-        let mut max_b = i64::MIN;
-        for a in aircraft {
-            match Self::bucket_for(a.alt, width) {
-                Some(b) => {
-                    min_b = min_b.min(b);
-                    max_b = max_b.max(b);
+        // Decide the bucket layout (or the degenerate single-bucket
+        // fallback) before touching the storage.
+        let mut layout = None;
+        if n > 0 && width.is_finite() && width > 0.0 {
+            let mut min_b = i64::MAX;
+            let mut max_b = i64::MIN;
+            let mut ok = true;
+            for a in aircraft {
+                match Self::bucket_for(a.alt, width) {
+                    Some(b) => {
+                        min_b = min_b.min(b);
+                        max_b = max_b.max(b);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
                 }
-                None => return fallback(),
+            }
+            if ok {
+                let span = (max_b as i128 - min_b as i128) + 1;
+                if span <= (4 * n as i128).max(4_096) {
+                    layout = Some((min_b, span as usize));
+                }
             }
         }
-        let span = (max_b as i128 - min_b as i128) + 1;
-        if span > (4 * n as i128).max(4_096) {
-            return fallback();
-        }
-        let mut buckets = vec![Vec::new(); span as usize];
-        for (idx, a) in aircraft.iter().enumerate() {
-            let b = Self::bucket_for(a.alt, width).expect("bucketed above");
-            buckets[(b - min_b) as usize].push(idx as u32);
-        }
-        AltitudeBands {
-            width,
-            min_bucket: min_b,
-            buckets,
+        match layout {
+            Some((min_b, span)) => {
+                self.width = width;
+                self.min_bucket = min_b;
+                self.buckets.resize_with(span, Vec::new);
+                for (idx, a) in aircraft.iter().enumerate() {
+                    let b = Self::bucket_for(a.alt, width).expect("bucketed above");
+                    self.buckets[(b - min_b) as usize].push(idx as u32);
+                }
+            }
+            None => {
+                self.width = 0.0;
+                self.min_bucket = 0;
+                self.buckets.resize_with(1, Vec::new);
+                self.buckets[0].extend(0..n as u32);
+            }
         }
     }
 
@@ -173,7 +204,7 @@ impl AltitudeBands {
 /// cell is a single contiguous `idx` slice found by two O(1) offset loads,
 /// so a scan touches exactly the intersection of both dimensions with no
 /// per-candidate filtering and no per-cell searching.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConflictGrid {
     /// The altitude dimension (candidates slice on bucket ±1).
     bands: AltitudeBands,
@@ -202,12 +233,37 @@ impl ConflictGrid {
     /// would waste memory) fall back to one catch-all cell — correct at
     /// banded cost.
     pub fn build(aircraft: &[Aircraft], cfg: &AtmConfig) -> ConflictGrid {
-        let bands = AltitudeBands::build(aircraft, cfg.alt_separation_ft);
+        let mut grid = ConflictGrid {
+            bands: AltitudeBands {
+                width: 0.0,
+                min_bucket: 0,
+                buckets: Vec::new(),
+            },
+            cell_nm: 0.0,
+            min_cx: 0,
+            min_cy: 0,
+            cols: 1,
+            rows: 1,
+            nb: 1,
+            min_b: 0,
+            offsets: Vec::new(),
+            idx: Vec::new(),
+        };
+        grid.rebuild(aircraft, cfg);
+        grid
+    }
+
+    /// [`ConflictGrid::build`] in place: recompute geometry and the CSR
+    /// slot table for a new fleet snapshot while reusing the `offsets` /
+    /// `idx` / bucket allocations — the state after a rebuild is
+    /// indistinguishable from a fresh build ([`ScanIndex::refresh`]).
+    pub fn rebuild(&mut self, aircraft: &[Aircraft], cfg: &AtmConfig) {
+        self.bands.rebuild(aircraft, cfg.alt_separation_ft);
         let n = aircraft.len();
-        let (nb, min_b) = if bands.is_degenerate() {
+        let (nb, min_b) = if self.bands.is_degenerate() {
             (1usize, 0i64)
         } else {
-            (bands.bucket_count(), bands.min_bucket)
+            (self.bands.bucket_count(), self.bands.min_bucket)
         };
         // The pad restores a strict inequality margin over the gate's
         // inclusive `<=` compare (and dwarfs the f64 division error).
@@ -249,10 +305,18 @@ impl ConflictGrid {
             }
         }
         let (cell_nm, min_cx, min_cy, cols, rows) = spatial.unwrap_or((0.0, 0, 0, 1, 1));
+        self.cell_nm = cell_nm;
+        self.min_cx = min_cx;
+        self.min_cy = min_cy;
+        self.cols = cols;
+        self.rows = rows;
+        self.nb = nb;
+        self.min_b = min_b;
 
         // Counting-sort into (cell, bucket) slots, bucket fastest-varying;
         // iteration order keeps indices ascending within each slot.
         let slots = cols * rows * nb;
+        let bands = &self.bands;
         let slot_of = |a: &Aircraft| -> usize {
             let spatial = if cell_nm > 0.0 {
                 let cx = AltitudeBands::bucket_for(a.x, cell_nm).expect("bucketed above");
@@ -267,32 +331,27 @@ impl ConflictGrid {
             };
             spatial * nb + b
         };
-        let mut offsets = vec![0u32; slots + 1];
+        self.offsets.clear();
+        self.offsets.resize(slots + 1, 0);
         for a in aircraft {
-            offsets[slot_of(a) + 1] += 1;
+            self.offsets[slot_of(a) + 1] += 1;
         }
         for k in 1..=slots {
-            offsets[k] += offsets[k - 1];
+            self.offsets[k] += self.offsets[k - 1];
         }
-        let mut cursor = offsets.clone();
-        let mut idx = vec![0u32; n];
+        // Place with `offsets[s]` itself as the running cursor, then undo
+        // the advancement by shifting right — no scratch cursor allocation.
+        self.idx.clear();
+        self.idx.resize(n, 0);
         for (i, a) in aircraft.iter().enumerate() {
             let s = slot_of(a);
-            idx[cursor[s] as usize] = i as u32;
-            cursor[s] += 1;
+            self.idx[self.offsets[s] as usize] = i as u32;
+            self.offsets[s] += 1;
         }
-        ConflictGrid {
-            bands,
-            cell_nm,
-            min_cx,
-            min_cy,
-            cols,
-            rows,
-            nb,
-            min_b,
-            offsets,
-            idx,
+        for s in (1..=slots).rev() {
+            self.offsets[s] = self.offsets[s - 1];
         }
+        self.offsets[0] = 0;
     }
 
     /// Half-open cell-coordinate ranges covering `cell(v) ± 1` per axis.
@@ -381,6 +440,13 @@ pub enum ScanIndex {
     Banded(AltitudeBands),
     /// Spatial grid composed with altitude bands ([`ScanMode::Grid`]).
     Grid(ConflictGrid),
+    /// Dirty-cell grid sized from the measured fleet envelope
+    /// ([`ScanMode::Incremental`]). As a stateless per-execution index this
+    /// is a fresh all-dirty build, enumeration-equivalent to `Grid`; the
+    /// cross-rescan persistence and replay cache live in
+    /// [`crate::detect::IncrementalEngine`], which the persistent backends
+    /// own directly.
+    Incremental(IncrementalGrid),
     /// Geographic shards with boundary halos ([`AtmConfig::shards`] > 1);
     /// composes the shard partition with `cfg.scan` per shard.
     Sharded(ShardedIndex),
@@ -400,6 +466,30 @@ impl ScanIndex {
                 ScanIndex::Banded(AltitudeBands::build(aircraft, cfg.alt_separation_ft))
             }
             ScanMode::Grid => ScanIndex::Grid(ConflictGrid::build(aircraft, cfg)),
+            ScanMode::Incremental => ScanIndex::Incremental(IncrementalGrid::build(aircraft, cfg)),
+        }
+    }
+
+    /// Bring an existing index up to date for a new fleet snapshot,
+    /// rebuilding in place (reusing allocations) when the variant already
+    /// matches what `cfg` selects, and falling back to a fresh
+    /// [`ScanIndex::for_config`] on any variant change. The refreshed index
+    /// is indistinguishable from a freshly built one.
+    pub fn refresh(&mut self, aircraft: &[Aircraft], cfg: &AtmConfig) {
+        if cfg.shards > 1 {
+            // The sharded composite rebuilds wholesale: its nested
+            // per-shard indexes are rebuilt by `ShardedIndex::build`.
+            *self = ScanIndex::Sharded(ShardedIndex::build(aircraft, cfg));
+            return;
+        }
+        match (&mut *self, cfg.scan) {
+            (ScanIndex::Naive, ScanMode::Naive) => {}
+            (ScanIndex::Banded(b), ScanMode::Banded) => b.rebuild(aircraft, cfg.alt_separation_ft),
+            (ScanIndex::Grid(g), ScanMode::Grid) => g.rebuild(aircraft, cfg),
+            (ScanIndex::Incremental(g), ScanMode::Incremental) => {
+                g.update(aircraft, cfg);
+            }
+            _ => *self = ScanIndex::for_config(aircraft, cfg),
         }
     }
 
@@ -418,6 +508,7 @@ impl ScanIndex {
             ScanIndex::Naive => Box::new(0..n),
             ScanIndex::Banded(b) => Box::new(b.candidates(track.alt)),
             ScanIndex::Grid(g) => Box::new(g.candidates(track)),
+            ScanIndex::Incremental(g) => Box::new(g.candidates(track)),
             ScanIndex::Sharded(s) => s.candidates_for(i, track),
         }
     }

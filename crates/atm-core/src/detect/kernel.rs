@@ -116,27 +116,83 @@ pub fn scan_pairs(
             fold_window(track, vel, trial, p, cfg, sink, &mut earliest);
         }
     } else {
-        book_unconditional_mix(aircraft.len() as u64, sink);
-        for p in index.candidates(i, track, aircraft.len()) {
-            if p == i {
-                continue;
-            }
-            let trial = &aircraft[p];
-            // Re-check the real f32 gates (candidates are a superset); their
-            // cost is already in the aggregate above, so book to a null sink.
-            if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
-                || !within_critical_reach(track, trial, reach, &mut NullSink)
-            {
-                continue;
-            }
-            checks += 1;
-            fold_window(track, vel, trial, p, cfg, sink, &mut earliest);
-        }
+        return scan_candidates_booked_inner(
+            aircraft,
+            i,
+            vel,
+            cfg,
+            index.candidates(i, track, aircraft.len()),
+            sink,
+        );
     }
     ScanResult {
         critical: earliest,
         checks,
     }
+}
+
+/// The pruning-source half of [`scan_pairs`]: book the full unconditional
+/// mix in aggregate, then visit only the given candidate superset,
+/// re-checking the real f32 gates against a null sink (their cost is
+/// already in the aggregate). Shared by every pruning enumerator —
+/// including the incremental dirty-cell source, whose live rescans must
+/// book exactly what a full-rebuild grid scan would.
+fn scan_candidates_booked_inner(
+    aircraft: &[Aircraft],
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    candidates: impl Iterator<Item = usize>,
+    sink: &mut impl CostSink,
+) -> ScanResult {
+    let track = &aircraft[i];
+    let reach = cfg.critical_reach_nm();
+    let mut earliest: Option<(usize, f32)> = None;
+    let mut checks = 0u64;
+    book_unconditional_mix(aircraft.len() as u64, sink);
+    for p in candidates {
+        if p == i {
+            continue;
+        }
+        let trial = &aircraft[p];
+        // Re-check the real f32 gates (candidates are a superset); their
+        // cost is already in the aggregate above, so book to a null sink.
+        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
+            || !within_critical_reach(track, trial, reach, &mut NullSink)
+        {
+            continue;
+        }
+        checks += 1;
+        fold_window(track, vel, trial, p, cfg, sink, &mut earliest);
+    }
+    ScanResult {
+        critical: earliest,
+        checks,
+    }
+}
+
+/// [`scan_pairs`]' pruning-source scan over an explicit candidate slice:
+/// the *booked* sibling of [`scan_candidate_list`]. Identical result,
+/// check count and sink totals to running [`scan_pairs`] over any pruning
+/// [`ScanIndex`] that enumerates a candidate superset with the same
+/// gate-passer set — the primitive the incremental engine's live rescans
+/// are built on.
+pub fn scan_candidate_list_booked(
+    aircraft: &[Aircraft],
+    i: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    candidates: &[u32],
+    sink: &mut impl CostSink,
+) -> ScanResult {
+    scan_candidates_booked_inner(
+        aircraft,
+        i,
+        vel,
+        cfg,
+        candidates.iter().map(|&p| p as usize),
+        sink,
+    )
 }
 
 /// The shared gate-and-fold body of the partial-scan primitives: visit the
@@ -385,9 +441,23 @@ pub fn detect_resolve_all(
     sink: &mut impl CostSink,
 ) -> DetectStats {
     let index = ScanIndex::for_config(aircraft, cfg);
+    detect_resolve_indexed(aircraft, &index, cfg, sink)
+}
+
+/// [`detect_resolve_all`] over a caller-owned [`ScanIndex`]: the driver
+/// loop without the index build, so backends that keep an index alive
+/// across rescans ([`ScanIndex::refresh`]) skip the per-rescan allocation
+/// churn. The index must describe the current fleet (same positions,
+/// altitudes and length).
+pub fn detect_resolve_indexed(
+    aircraft: &mut [Aircraft],
+    index: &ScanIndex,
+    cfg: &AtmConfig,
+    sink: &mut impl CostSink,
+) -> DetectStats {
     let mut total = DetectStats::default();
     for i in 0..aircraft.len() {
-        total.absorb(&check_collision_path_with(aircraft, &index, i, cfg, sink));
+        total.absorb(&check_collision_path_with(aircraft, index, i, cfg, sink));
     }
     total
 }

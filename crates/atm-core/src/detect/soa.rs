@@ -251,6 +251,7 @@ mod tests {
         for scan in [
             crate::config::ScanMode::Banded,
             crate::config::ScanMode::Grid,
+            crate::config::ScanMode::Incremental,
         ] {
             cfg.scan = scan;
             let index = ScanIndex::for_config(&ac, &cfg);

@@ -26,6 +26,38 @@ impl DetectStats {
     }
 }
 
+/// Dirty-cell hit-rate counters of one incremental rescan: how much of
+/// the fleet's scan work was actually redone versus replayed from the
+/// clean-pair cache. Purely observational — the counters never feed back
+/// into scan results or cost bookings, so surfacing them cannot perturb
+/// artifact bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanActivity {
+    /// Grid slots marked dirty during the update pass (each slot counted
+    /// once per rescan, however many aircraft touched it).
+    pub cells_dirty: u64,
+    /// Pair windows evaluated by live scans this rescan.
+    pub pairs_rescanned: u64,
+    /// Pair windows replayed from the clean-pair cache (booked, not
+    /// re-evaluated).
+    pub pairs_replayed: u64,
+    /// Aircraft whose first scan ran live this rescan.
+    pub scans_live: u64,
+    /// Aircraft whose first scan was replayed from cache this rescan.
+    pub scans_replayed: u64,
+}
+
+impl ScanActivity {
+    /// Fold another rescan's counters into this total.
+    pub fn absorb(&mut self, s: &ScanActivity) {
+        self.cells_dirty += s.cells_dirty;
+        self.pairs_rescanned += s.pairs_rescanned;
+        self.pairs_replayed += s.pairs_replayed;
+        self.scans_live += s.scans_live;
+        self.scans_replayed += s.scans_replayed;
+    }
+}
+
 /// Result of scanning one track aircraft against the fleet.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScanResult {

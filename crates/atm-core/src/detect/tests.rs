@@ -234,7 +234,7 @@ fn fast_path_detect_resolve_matches_naive_end_to_end() {
         (ac, s, ops)
     };
     let naive = run(ScanMode::Naive);
-    for mode in [ScanMode::Banded, ScanMode::Grid] {
+    for mode in [ScanMode::Banded, ScanMode::Grid, ScanMode::Incremental] {
         let fast = run(mode);
         assert_eq!(
             naive.0, fast.0,
@@ -419,7 +419,12 @@ fn scan_index_follows_the_config() {
 #[test]
 fn sharded_scan_matches_naive_scan_exactly() {
     for fleet in [banded_fleet(), spread_fleet()] {
-        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+        for scan in [
+            ScanMode::Naive,
+            ScanMode::Banded,
+            ScanMode::Grid,
+            ScanMode::Incremental,
+        ] {
             let c = AtmConfig {
                 shards: 4,
                 scan,
@@ -446,7 +451,12 @@ fn sharded_detect_resolve_matches_naive_end_to_end() {
     };
     let naive = run(1, ScanMode::Naive);
     for shards in [2usize, 4] {
-        for mode in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+        for mode in [
+            ScanMode::Naive,
+            ScanMode::Banded,
+            ScanMode::Grid,
+            ScanMode::Incremental,
+        ] {
             let sharded = run(shards, mode);
             assert_eq!(
                 naive.0, sharded.0,

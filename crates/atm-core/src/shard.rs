@@ -40,7 +40,7 @@ use crate::batcher::{same_altitude_band, within_critical_reach};
 use crate::config::{AtmConfig, ScanMode};
 use crate::detect::{
     detect_resolve_all, rotate_velocity, scan_pairs, AltitudeBands, ConflictGrid, DetectStats,
-    ScanIndex,
+    IncrementalGrid, ScanIndex,
 };
 use crate::track::{
     adopt_expected_phase, any_unmatched, apply_radar_phase, correlate_radar_pass,
@@ -119,6 +119,12 @@ enum InnerIndex {
     Banded(AltitudeBands),
     /// [`ScanMode::Grid`]: spatial grid × altitude bands over the members.
     Grid(ConflictGrid),
+    /// [`ScanMode::Incremental`] under the stateless per-execution build: a
+    /// fresh all-dirty incremental grid over the members,
+    /// enumeration-equivalent to [`ScanMode::Grid`]. Cross-rescan
+    /// persistence lives in [`crate::detect::IncrementalEngine`] /
+    /// [`ShardedIncremental`], not here.
+    Incremental(IncrementalGrid),
 }
 
 /// One shard's slice of the fleet: owned aircraft plus the boundary halo.
@@ -212,6 +218,9 @@ impl ShardedIndex {
                         InnerIndex::Banded(AltitudeBands::build(&recs, cfg.alt_separation_ft))
                     }
                     ScanMode::Grid => InnerIndex::Grid(ConflictGrid::build(&recs, cfg)),
+                    ScanMode::Incremental => {
+                        InnerIndex::Incremental(IncrementalGrid::build(&recs, cfg))
+                    }
                 };
                 ShardCell {
                     members: mem,
@@ -262,6 +271,9 @@ impl ShardedIndex {
             InnerIndex::Grid(g) => {
                 Box::new(g.candidates(track).map(move |l| cell.members[l] as usize))
             }
+            InnerIndex::Incremental(g) => {
+                Box::new(g.candidates(track).map(move |l| cell.members[l] as usize))
+            }
         }
     }
 
@@ -272,6 +284,173 @@ impl ShardedIndex {
             .iter()
             .filter(|&&j| self.owner[j as usize] as usize != shard)
             .count()
+    }
+}
+
+/// One shard's persistent slice under [`ShardedIncremental`]: the member
+/// list, the gathered member records of the current rescan, and an inner
+/// [`IncrementalGrid`] kept alive over those records.
+#[derive(Debug, Default)]
+struct IncShardCell {
+    /// Global aircraft ids, ascending (owned + halo).
+    members: Vec<u32>,
+    /// Member records regathered each rescan (altitude and velocity bits
+    /// can change without the position moving).
+    recs: Vec<Aircraft>,
+    /// Incremental grid over `recs`; candidate ids are *local* (positions
+    /// in `members`).
+    inner: IncrementalGrid,
+}
+
+/// The halo-export contract of [`ShardedIndex`] kept alive across rescans,
+/// for [`crate::detect::IncrementalEngine`] under `cfg.shards > 1`.
+///
+/// Ownership and the measured per-shard bounding boxes are refreshed every
+/// rescan (a departing aircraft can shrink a box, so there is no cheaper
+/// exact maintenance), but a shard's **membership** is recomputed from
+/// scratch only when its bounding-box *bits* move; while a box holds still,
+/// only aircraft whose position bits changed are re-tested against the
+/// padded box and spliced in or out. Inside each shard an
+/// [`IncrementalGrid`] moves members between cells incrementally.
+///
+/// Membership is thereby maintained as the exact pure function of the
+/// current boxes and positions that [`ShardedIndex::build`] computes, so
+/// the superset argument — and with it bit-identity of every scan output —
+/// carries over verbatim.
+#[derive(Debug, Default)]
+pub struct ShardedIncremental {
+    map: Option<ShardMap>,
+    /// Owner shard per aircraft.
+    owner: Vec<u32>,
+    /// Position bits per aircraft at last sighting.
+    pos: Vec<[u32; 2]>,
+    /// Measured bounding box per shard (`[lo_x, hi_x, lo_y, hi_y]`; `None`
+    /// for shards that own nothing, which never scan).
+    boxes: Vec<Option<[f32; 4]>>,
+    cells: Vec<IncShardCell>,
+    /// Degenerate geometry (non-finite reach or position): every shard
+    /// holds the whole fleet, the same fallback posture as
+    /// [`ShardedIndex::build`].
+    degenerate: bool,
+}
+
+impl ShardedIncremental {
+    /// An empty enumerator; the first [`ShardedIncremental::update`]
+    /// populates it.
+    pub fn new() -> ShardedIncremental {
+        ShardedIncremental::default()
+    }
+
+    /// Bring ownership, boxes, membership and the per-shard inner grids up
+    /// to date for this rescan's fleet snapshot.
+    pub fn update(&mut self, aircraft: &[Aircraft], cfg: &AtmConfig) {
+        let n = aircraft.len();
+        let map = ShardMap::new(cfg.shards, cfg.half_width);
+        let shard_count = map.shard_count();
+        let fresh = self.owner.len() != n
+            || self.map.is_none_or(|m| {
+                m.side() != map.side() || m.cell_nm().to_bits() != map.cell_nm().to_bits()
+            });
+        self.map = Some(map);
+
+        // Owners: recomputed only for aircraft whose position bits moved.
+        let mut moved: Vec<u32> = Vec::new();
+        if fresh {
+            self.owner.clear();
+            self.owner
+                .extend(aircraft.iter().map(|a| map.shard_of(a.x, a.y) as u32));
+            self.pos.clear();
+            self.pos
+                .extend(aircraft.iter().map(|a| [a.x.to_bits(), a.y.to_bits()]));
+        } else {
+            for (i, a) in aircraft.iter().enumerate() {
+                let p = [a.x.to_bits(), a.y.to_bits()];
+                if p != self.pos[i] {
+                    self.pos[i] = p;
+                    self.owner[i] = map.shard_of(a.x, a.y) as u32;
+                    moved.push(i as u32);
+                }
+            }
+        }
+
+        let reach = cfg.critical_reach_nm();
+        let finite =
+            reach.is_finite() && aircraft.iter().all(|a| a.x.is_finite() && a.y.is_finite());
+        let mut boxes: Vec<Option<[f32; 4]>> = vec![None; shard_count];
+        if finite {
+            for (i, a) in aircraft.iter().enumerate() {
+                let b = boxes[self.owner[i] as usize].get_or_insert([a.x, a.x, a.y, a.y]);
+                b[0] = b[0].min(a.x);
+                b[1] = b[1].max(a.x);
+                b[2] = b[2].min(a.y);
+                b[3] = b[3].max(a.y);
+            }
+        }
+        let was_degenerate = std::mem::replace(&mut self.degenerate, !finite);
+        let boxes_were = std::mem::replace(&mut self.boxes, boxes);
+        self.cells.truncate(shard_count);
+        self.cells.resize_with(shard_count, IncShardCell::default);
+
+        let pad = reach * 1.000_001 + 1.0;
+        let box_bits = |b: &Option<[f32; 4]>| b.map(|b| b.map(f32::to_bits));
+        for t in 0..shard_count {
+            let cell = &mut self.cells[t];
+            let box_moved =
+                box_bits(boxes_were.get(t).unwrap_or(&None)) != box_bits(&self.boxes[t]);
+            let re_export = fresh || was_degenerate != self.degenerate || box_moved;
+            if !finite {
+                if re_export {
+                    cell.members.clear();
+                    cell.members.extend(0..n as u32);
+                }
+            } else if re_export {
+                // Full halo re-export against the moved box.
+                cell.members.clear();
+                if let Some(b) = self.boxes[t] {
+                    for (j, a) in aircraft.iter().enumerate() {
+                        let ex = (b[0] - a.x).max(a.x - b[1]).max(0.0);
+                        let ey = (b[2] - a.y).max(a.y - b[3]).max(0.0);
+                        if ex <= pad && ey <= pad {
+                            cell.members.push(j as u32);
+                        }
+                    }
+                }
+            } else if let Some(b) = self.boxes[t] {
+                // Box bits unchanged: only moved aircraft can cross the
+                // membership predicate.
+                for &j in &moved {
+                    let a = &aircraft[j as usize];
+                    let ex = (b[0] - a.x).max(a.x - b[1]).max(0.0);
+                    let ey = (b[2] - a.y).max(a.y - b[3]).max(0.0);
+                    let inside = ex <= pad && ey <= pad;
+                    match (cell.members.binary_search(&j), inside) {
+                        (Ok(_), true) | (Err(_), false) => {}
+                        (Ok(at), false) => {
+                            cell.members.remove(at);
+                        }
+                        (Err(at), true) => {
+                            cell.members.insert(at, j);
+                        }
+                    }
+                }
+            }
+
+            cell.recs.clear();
+            cell.recs
+                .extend(cell.members.iter().map(|&j| aircraft[j as usize]));
+            cell.inner.update(&cell.recs, cfg);
+        }
+    }
+
+    /// Global candidate ids for track aircraft `i` (scanned by its owner
+    /// shard) gathered into a reusable buffer: the same gate-passer
+    /// superset [`ShardedIndex::candidates_for`] enumerates.
+    pub fn candidates_into(&self, i: usize, track: &Aircraft, out: &mut Vec<u32>) {
+        out.clear();
+        let cell = &self.cells[self.owner[i] as usize];
+        for l in cell.inner.candidates(track) {
+            out.push(cell.members[l]);
+        }
     }
 }
 
@@ -760,7 +939,12 @@ mod tests {
     #[test]
     fn halo_covers_every_gate_passer() {
         let ac = crossing_fleet(80);
-        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+        for scan in [
+            ScanMode::Naive,
+            ScanMode::Banded,
+            ScanMode::Grid,
+            ScanMode::Incremental,
+        ] {
             for shards in [2usize, 3, 4] {
                 let c = AtmConfig {
                     shards,
@@ -819,7 +1003,12 @@ mod tests {
 
     #[test]
     fn parallel_detect_is_bit_identical_to_serial() {
-        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+        for scan in [
+            ScanMode::Naive,
+            ScanMode::Banded,
+            ScanMode::Grid,
+            ScanMode::Incremental,
+        ] {
             for shards in [2usize, 4] {
                 let c = AtmConfig {
                     shards,
@@ -924,6 +1113,40 @@ mod tests {
             );
             assert_eq!(ref_detect, out.detect, "shards={shards}");
             assert_eq!(ref_ops, out.detect_ops, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_incremental_matches_a_fresh_build_across_rescans() {
+        let mut ac = crossing_fleet(120);
+        let c = AtmConfig {
+            shards: 3,
+            scan: ScanMode::Incremental,
+            ..cfg()
+        };
+        let mut inc = ShardedIncremental::new();
+        let mut seed = 0xabcd_1234_u64;
+        let mut buf = Vec::new();
+        for cycle in 0..6 {
+            inc.update(&ac, &c);
+            let full = ShardedIndex::build(&ac, &c);
+            for (i, track) in ac.iter().enumerate() {
+                let mut a: Vec<usize> = full.candidates_for(i, track).collect();
+                inc.candidates_into(i, track, &mut buf);
+                let mut b: Vec<usize> = buf.iter().map(|&p| p as usize).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "cycle {cycle} track {i}");
+            }
+            // Drift a tenth of the fleet, including across shard borders.
+            for _ in 0..ac.len() / 10 {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let i = (seed % ac.len() as u64) as usize;
+                ac[i].x += ((seed >> 8) % 100) as f32 - 50.0;
+                ac[i].y += ((seed >> 16) % 100) as f32 - 50.0;
+            }
         }
     }
 

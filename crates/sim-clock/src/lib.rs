@@ -19,7 +19,7 @@ pub mod rng;
 pub mod stopwatch;
 pub mod timeline;
 
-pub use cost::{CostSink, NullSink, OpClass, OpCounter, OP_CLASS_COUNT};
+pub use cost::{CostSink, NullSink, OpClass, OpCounter, ALL_OP_CLASSES, OP_CLASS_COUNT};
 pub use duration::{SimDuration, SimInstant};
 pub use rng::SimRng;
 pub use stopwatch::Stopwatch;

@@ -118,7 +118,12 @@ fn golden_artifacts_are_scan_and_harness_invariant() {
     // themselves: neither the scan mode, the worker count nor the shard
     // grid may change a byte of what the fixtures pin down.
     let reference = fig6(&golden_sweep(ScanMode::Grid), &Harness::serial()).to_json();
-    for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+    for scan in [
+        ScanMode::Naive,
+        ScanMode::Banded,
+        ScanMode::Grid,
+        ScanMode::Incremental,
+    ] {
         for jobs in [1, 4] {
             for shards in [1, 4] {
                 let other =

@@ -40,7 +40,12 @@ fn measured_backends() -> Vec<(&'static str, Box<dyn AtmBackend>)> {
 fn measured_detect_matches_seq_across_scan_modes_and_shards() {
     // The satellite property: {naive, banded, grid} × shards {1, 4},
     // byte-compared against the sequential reference.
-    for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+    for scan in [
+        ScanMode::Naive,
+        ScanMode::Banded,
+        ScanMode::Grid,
+        ScanMode::Incremental,
+    ] {
         for shards in [1usize, 4] {
             let (mut ref_ac, _, cfg) = fresh(500, 99, scan, shards);
             SequentialBackend::new().detect_resolve(&mut ref_ac, &cfg);

@@ -385,7 +385,12 @@ fn assert_scans_agree(fleet: &[Aircraft], base: &AtmConfig, label: &str) {
         },
     );
     for shards in [1usize, 2, 3, 4] {
-        for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+        for scan in [
+            ScanMode::Naive,
+            ScanMode::Banded,
+            ScanMode::Grid,
+            ScanMode::Incremental,
+        ] {
             if shards == 1 && scan == ScanMode::Naive {
                 continue;
             }
@@ -747,7 +752,12 @@ fn every_candidate_source_covers_the_gate_set_and_matches_the_naive_kernel() {
         let naive_index = ScanIndex::for_config(&fleet, &base);
 
         for shards in [1usize, 4] {
-            for scan in [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid] {
+            for scan in [
+                ScanMode::Naive,
+                ScanMode::Banded,
+                ScanMode::Grid,
+                ScanMode::Incremental,
+            ] {
                 let cfg = sharded_cfg(5, scan, shards);
                 let index = ScanIndex::for_config(&fleet, &cfg);
                 let label = format!("case {case} (n={n}) scan={scan:?} shards={shards}");
@@ -791,4 +801,149 @@ fn every_candidate_source_covers_the_gate_set_and_matches_the_naive_kernel() {
             }
         }
     }
+}
+
+// ---------- Incremental rescans (dirty-cell persistence) ----------
+
+/// How a fleet mutates between two rescans of an incremental-engine run.
+type Perturb = fn(&mut [Aircraft], usize, &mut SimRng);
+
+/// Drive one persistent backend in [`ScanMode::Incremental`] through
+/// `cycles` rescans of a fleet mutated by `perturb` between cycles,
+/// checking every rescan byte-for-byte (mutated fleet and stats) against a
+/// fresh full-rebuild Grid detect of the same pre-scan fleet.
+fn drive_incremental<B: AtmBackend>(
+    mut backend: B,
+    stats: impl Fn(&B) -> atm_core::detect::DetectStats,
+    fleet0: &[Aircraft],
+    shards: usize,
+    cycles: usize,
+    perturb: Perturb,
+    label: &str,
+) {
+    use atm_core::detect::detect_resolve_all;
+    let inc = sharded_cfg(7, ScanMode::Incremental, shards);
+    let grid = sharded_cfg(7, ScanMode::Grid, shards);
+    let mut fleet = fleet0.to_vec();
+    let mut rng = SimRng::seed_from_u64(0xD1);
+    for cycle in 0..cycles {
+        let mut reference = fleet.clone();
+        let ref_stats = detect_resolve_all(&mut reference, &grid, &mut NullSink);
+        backend.detect_resolve(&mut fleet, &inc);
+        assert_eq!(fleet, reference, "{label}: fleet diverged at cycle {cycle}");
+        assert_eq!(
+            stats(&backend),
+            ref_stats,
+            "{label}: stats diverged at cycle {cycle}"
+        );
+        perturb(&mut fleet, cycle, &mut rng);
+    }
+}
+
+/// [`drive_incremental`] across shard grids {1, 4} and every measured
+/// catalog backend (sequential, multicore, simd-soa), each holding its
+/// engine alive for the whole move sequence.
+fn assert_incremental_tracks_full_rebuild(
+    fleet0: &[Aircraft],
+    cycles: usize,
+    perturb: Perturb,
+    what: &str,
+) {
+    for shards in [1usize, 4] {
+        let label = |b: &str| format!("{what}: backend={b} shards={shards}");
+        drive_incremental(
+            SequentialBackend::new(),
+            |b| b.last_detect_stats().unwrap(),
+            fleet0,
+            shards,
+            cycles,
+            perturb,
+            &label("seq"),
+        );
+        drive_incremental(
+            MulticoreBackend::new(3),
+            |b| b.last_detect_stats().unwrap(),
+            fleet0,
+            shards,
+            cycles,
+            perturb,
+            &label("multicore-3"),
+        );
+        drive_incremental(
+            SimdSoaBackend::new(),
+            |b| b.last_detect_stats().unwrap(),
+            fleet0,
+            shards,
+            cycles,
+            perturb,
+            &label("simd-soa"),
+        );
+    }
+}
+
+#[test]
+fn incremental_matches_full_rebuild_over_random_move_sequences() {
+    // Per cycle roughly 15% of the fleet drifts; a few of those also hop an
+    // altitude bucket or commit a new velocity, so dirty propagation covers
+    // position, bucket and velocity key changes at once.
+    fn drift(fleet: &mut [Aircraft], _cycle: usize, rng: &mut SimRng) {
+        let n = fleet.len();
+        for _ in 0..n.div_ceil(7) {
+            let j = (rng.next_u64() % n as u64) as usize;
+            fleet[j].x += rng.range_f32_inclusive(-8.0, 8.0);
+            fleet[j].y += rng.range_f32_inclusive(-8.0, 8.0);
+            match rng.next_u64() % 4 {
+                0 => fleet[j].alt += rng.range_f32_inclusive(-1_500.0, 1_500.0),
+                1 => {
+                    fleet[j].dx = rng.range_f32_inclusive(-0.1, 0.1);
+                    fleet[j].dy = rng.range_f32_inclusive(-0.1, 0.1);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut rng = SimRng::seed_from_u64(0xE7);
+    for case in 0..3 {
+        let n = 40 + (rng.next_u64() % 50) as usize;
+        let fleet = arb_fleet(&mut rng, n);
+        assert_incremental_tracks_full_rebuild(
+            &fleet,
+            6,
+            drift,
+            &format!("random moves case {case} (n={n})"),
+        );
+    }
+}
+
+#[test]
+fn incremental_matches_full_rebuild_under_oscillating_cell_boundaries() {
+    // Adversarial: half the fleet slams back and forth across cell-scale
+    // distances (cells are ~56 nm) while toggling altitude across a bucket
+    // edge, so the same aircraft enter and leave cells every single cycle
+    // and no cached scan should survive near them.
+    fn oscillate(fleet: &mut [Aircraft], cycle: usize, _rng: &mut SimRng) {
+        let sign = if cycle.is_multiple_of(2) { 1.0 } else { -1.0 };
+        for a in fleet.iter_mut().step_by(2) {
+            a.x += sign * 35.0;
+            a.alt += sign * 600.0;
+        }
+    }
+    let mut rng = SimRng::seed_from_u64(0xE8);
+    let fleet = arb_fleet(&mut rng, 72);
+    assert_incremental_tracks_full_rebuild(&fleet, 8, oscillate, "oscillating boundary");
+}
+
+#[test]
+fn incremental_matches_full_rebuild_under_envelope_collapse() {
+    // Adversarial: one outlier teleports between the cluster and a point
+    // ~40x outside it, so the measured fleet envelope (and with it the
+    // whole grid geometry) collapses and re-expands on alternate cycles.
+    fn teleport(fleet: &mut [Aircraft], cycle: usize, _rng: &mut SimRng) {
+        let far = cycle.is_multiple_of(2);
+        fleet[0].x = if far { 5_000.0 } else { 10.0 };
+        fleet[0].y = if far { -4_200.0 } else { -10.0 };
+    }
+    let mut rng = SimRng::seed_from_u64(0xE9);
+    let fleet = arb_fleet(&mut rng, 64);
+    assert_incremental_tracks_full_rebuild(&fleet, 8, teleport, "envelope collapse");
 }

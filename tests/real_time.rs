@@ -6,7 +6,12 @@ use atm::prelude::*;
 /// The three host-side conflict-scan implementations. Deadline behaviour
 /// is simulated time, so every paper claim must hold — with identical miss
 /// counts — under each of them.
-const SCAN_MODES: [ScanMode; 3] = [ScanMode::Naive, ScanMode::Banded, ScanMode::Grid];
+const SCAN_MODES: [ScanMode; 4] = [
+    ScanMode::Naive,
+    ScanMode::Banded,
+    ScanMode::Grid,
+    ScanMode::Incremental,
+];
 
 /// A simulation over the standard field with an explicit scan mode.
 fn sim_with_scan(
