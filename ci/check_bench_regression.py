@@ -21,6 +21,13 @@ the current side:
 * absent — legacy stages from before the tag existed; gated, preserving
   the old behaviour against untagged baselines.
 
+A stage may also carry an explicit ``"gate"`` boolean which overrides the
+timing heuristic in either direction. The ``scenario-<slug>-detect``
+corpus stages set ``"gate": true``: they time a real host hot path (the
+grid scan over each generated traffic shape), so they are gated even
+though the heuristic alone would already include them — the explicit flag
+keeps them gated if their timing tag ever changes.
+
 Stages present on only one side (a newly added or retired bench stage) are
 reported but never fail the gate. A missing or unreadable baseline file is
 a graceful skip (exit 0): the first run on a fresh repository has nothing
@@ -40,7 +47,7 @@ def load_stages(path):
     with open(path) as f:
         doc = json.load(f)
     return {
-        s["id"]: (float(s["wall_ms"]), s.get("timing"))
+        s["id"]: (float(s["wall_ms"]), s.get("timing"), s.get("gate"))
         for s in doc.get("stages", [])
     }
 
@@ -66,19 +73,21 @@ def main(argv):
     failed = []
     for stage_id in sorted(set(baseline) | set(current)):
         if stage_id not in baseline:
-            ms, _ = current[stage_id]
+            ms, _, _ = current[stage_id]
             print(f"  {stage_id:<32} new stage ({ms:.1f} ms), no baseline")
             continue
         if stage_id not in current:
-            ms, _ = baseline[stage_id]
+            ms, _, _ = baseline[stage_id]
             print(f"  {stage_id:<32} retired stage (was {ms:.1f} ms)")
             continue
-        old, _ = baseline[stage_id]
-        new, timing = current[stage_id]
-        gated = timing != "modeled"
+        old, _, _ = baseline[stage_id]
+        new, timing, gate = current[stage_id]
+        # An explicit per-stage "gate" boolean wins; otherwise fall back to
+        # the timing heuristic (everything but "modeled" is gated).
+        gated = gate if isinstance(gate, bool) else timing != "modeled"
         ratio = new / old if old > 0 else float("inf")
         if not gated:
-            verdict = "modeled (report-only)"
+            verdict = "not gated (report-only)"
         elif ratio > threshold:
             verdict = "REGRESSED"
         else:

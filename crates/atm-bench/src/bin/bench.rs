@@ -50,6 +50,15 @@
 //! wall-clocks, the speedup over the full rebuild, and the engine's
 //! dirty-cell hit-rate counters (`cells_dirty`, `pairs_rescanned`,
 //! `pairs_replayed`).
+//!
+//! A fifth section times the **scenario corpus** (`scenario-<slug>-detect`
+//! stages, one per catalog traffic shape — see `atm_core::scenario`): each
+//! scenario's fleet runs one Tasks 2+3 execution through the naive scan
+//! and the grid fast path under wall-clock, with fleets, stats and booked
+//! op totals byte-compared. These stages carry `"gate": true` — shaped
+//! traffic (holding stacks, hotspot cells) is exactly where the fast-path
+//! wall-clock could regress, so the CI regression gate holds them to the
+//! budget explicitly.
 
 use atm_bench::harness::Harness;
 use atm_bench::series::Series;
@@ -57,7 +66,7 @@ use atm_bench::sweep::{sweep_roster_on, SweepConfig, Task};
 use atm_core::backends::{PlatformId, Roster, RosterEntry, TimingKind};
 use atm_core::detect::{detect_resolve_all, DetectStats, IncrementalEngine, ScanActivity};
 use atm_core::types::Aircraft;
-use atm_core::{detect_resolve_parallel, Airfield, AtmConfig, ScanMode};
+use atm_core::{detect_resolve_parallel, Airfield, AtmConfig, ScanMode, Scenario};
 use sim_clock::{NullSink, OpCounter, SimRng};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -381,12 +390,63 @@ fn main() {
     }
     println!("  best incremental speedup at move rate <= 5%: {low_move_speedup:.2}x");
 
+    // Scenario corpus: every catalog traffic shape at one fleet size, the
+    // naive scan vs the grid fast path under wall-clock, with fleets,
+    // stats and booked op totals byte-compared. Shaped traffic is where
+    // the fast paths could plausibly diverge (dense stacks, hotspot
+    // cells), so each scenario is its own gated stage.
+    let scn_n = if opts.quick { 500 } else { 1_200 };
+    println!("  scenario corpus (grid vs naive detect at n={scn_n}):");
+    let mut scenario_stages = Vec::new();
+    let mut scenarios_identical = true;
+    for scn in Scenario::catalog() {
+        let naive_cfg = scn.apply(AtmConfig {
+            scan: ScanMode::Naive,
+            ..AtmConfig::with_seed(base.seed)
+        });
+        let grid_cfg = AtmConfig {
+            scan: ScanMode::Grid,
+            ..naive_cfg.clone()
+        };
+        let fleet0 = scn.fleet(scn_n, base.seed);
+
+        let mut naive_fleet = fleet0.clone();
+        let mut naive_ops = OpCounter::new();
+        let start = Instant::now();
+        let naive_stats = detect_resolve_all(&mut naive_fleet, &naive_cfg, &mut naive_ops);
+        let naive_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+        let mut grid_fleet = fleet0;
+        let mut grid_ops = OpCounter::new();
+        let start = Instant::now();
+        let grid_stats = detect_resolve_all(&mut grid_fleet, &grid_cfg, &mut grid_ops);
+        let grid_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+        let same = naive_fleet == grid_fleet && naive_stats == grid_stats && naive_ops == grid_ops;
+        if !same {
+            eprintln!(
+                "RESULT MISMATCH: scenario '{}' grid scan diverged from naive",
+                scn.slug()
+            );
+        }
+        scenarios_identical &= same;
+        let speedup = naive_ms / grid_ms.max(1e-9);
+        println!(
+            "  scenario-{:<22} {grid_ms:>10.1} ms grid vs {naive_ms:>10.1} ms naive \
+             ({speedup:.2}x, {} critical)",
+            format!("{}-detect", scn.slug()),
+            grid_stats.critical_conflicts
+        );
+        scenario_stages.push((scn, grid_ms, naive_ms, speedup, grid_stats));
+    }
+
     // Determinism contract: every stage's series must be element-identical
     // to the baseline's.
     let identical = results.iter().all(|r| *r == results[0])
         && sharded_identical
         && measured_identical
-        && incremental_identical;
+        && incremental_identical
+        && scenarios_identical;
     if !identical {
         eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
     }
@@ -460,6 +520,20 @@ fn main() {
                 .set("pairs_replayed", stage.activity.pairs_replayed)
                 .set("scans_live", stage.activity.scans_live)
                 .set("scans_replayed", stage.activity.scans_replayed),
+        );
+    }
+    for (scn, grid_ms, naive_ms, speedup, stats) in &scenario_stages {
+        stage_json.push(
+            JsonValue::obj()
+                .set("id", format!("scenario-{}-detect", scn.slug()))
+                .set("timing", "measured")
+                .set("gate", true)
+                .set("scan", "grid")
+                .set("n", scn_n)
+                .set("wall_ms", *grid_ms)
+                .set("naive_wall_ms", *naive_ms)
+                .set("speedup_grid_vs_naive", *speedup)
+                .set("critical_conflicts", stats.critical_conflicts),
         );
     }
     let json = JsonValue::obj()

@@ -28,6 +28,15 @@
 //! the whole sweep. Another pure plumbing knob — the bytes written are
 //! identical to the materialized path's, and CI diffs that too.
 //!
+//! `--scenario SLUG` (repeatable; `all` for the whole catalog) sweeps a
+//! scenario-corpus traffic shape — crossing flows, holding stacks, shard
+//! hotspots, … (see `atm_core::scenario`) — across the paper roster with
+//! every point verified bit-identical over the scan-mode × shard matrix,
+//! plus deadline-miss ladders, writing `scn-<slug>.json` and
+//! `scn-<slug>-metrics.json`. The matrix is iterated internally, so
+//! `--scan`/`--shards` do not apply; `--quick` and `--jobs` do, and the
+//! artifacts are byte-identical at any job count.
+//!
 //! `--trace PATH` and `--metrics PATH` additionally run one major cycle of
 //! the full timed simulation on every paper platform with the telemetry
 //! recorder attached, then write a Chrome `trace_event` file (load it at
@@ -49,6 +58,7 @@ use telemetry::{JsonValue, Recorder};
 struct Options {
     figs: Vec<u32>,
     exps: Vec<String>,
+    scenarios: Vec<String>,
     out: PathBuf,
     quick: bool,
     stream: bool,
@@ -71,6 +81,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         figs: Vec::new(),
         exps: Vec::new(),
+        scenarios: Vec::new(),
         out: PathBuf::from("results"),
         quick: false,
         stream: false,
@@ -94,6 +105,11 @@ fn parse_args() -> Options {
             }
             "--exp" => {
                 opts.exps.push(value_of(&mut args, "--exp", "a name"));
+                any = true;
+            }
+            "--scenario" => {
+                opts.scenarios
+                    .push(value_of(&mut args, "--scenario", "a catalog slug or 'all'"));
                 any = true;
             }
             "--all" => {
@@ -156,10 +172,18 @@ fn parse_args() -> Options {
                 eprintln!(
                     "usage: figures [--all] [--fig N]... \
                      [--exp deadlines|determinism|ablations|normalized|measured]... \
+                     [--scenario SLUG|all]... \
                      [--quick] [--stream] [--jobs N] [--scan naive|banded|grid|incremental] \
                      [--shards N] \
                      [--out DIR] [--trace PATH] [--metrics PATH]\n\
-                     (--exp measured emits host wall-clock and is not part of --all)"
+                     (--exp measured emits host wall-clock and is not part of --all;\n\
+                      --scenario sweeps the scan x shard matrix internally, so --scan and\n\
+                      --shards do not apply to it — slugs: {})",
+                    atm_core::Scenario::catalog()
+                        .iter()
+                        .map(atm_core::Scenario::slug)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 std::process::exit(0);
             }
@@ -389,8 +413,63 @@ fn main() {
         }
     }
 
+    if !opts.scenarios.is_empty() {
+        run_scenarios(&opts, &harness);
+    }
+
     if opts.trace.is_some() || opts.metrics.is_some() {
         capture_telemetry(&opts, sweep.seed);
+    }
+}
+
+/// Sweep the requested catalog scenarios: each emits `scn-<slug>.json`
+/// (platform series over the verified scan × shard matrix, deadline-miss
+/// ladders, conflict notes) and `scn-<slug>-metrics.json` (one recorded
+/// major cycle). Everything is deterministically modeled — artifacts are
+/// byte-identical run to run and across `--jobs`.
+fn run_scenarios(opts: &Options, harness: &Harness) {
+    use atm_bench::scenarios::{scenario_figure, scenario_metrics, ScenarioSweepConfig};
+    use atm_core::Scenario;
+
+    let sw = if opts.quick {
+        ScenarioSweepConfig::quick()
+    } else {
+        ScenarioSweepConfig::standard()
+    };
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for req in &opts.scenarios {
+        if req == "all" {
+            scenarios.extend(Scenario::catalog());
+        } else {
+            match Scenario::by_slug(req) {
+                Some(s) => scenarios.push(s),
+                None => {
+                    eprintln!(
+                        "unknown scenario '{req}' (slugs: {}, or 'all')",
+                        Scenario::catalog()
+                            .iter()
+                            .map(Scenario::slug)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    scenarios.dedup_by_key(|s| s.slug());
+
+    println!(
+        "scenario sweep: n = {:?}, deadline ladder = {:?}, seed = {}, shards = {:?}\n",
+        sw.ns, sw.deadline_ns, sw.seed, sw.shard_grids
+    );
+    for scn in &scenarios {
+        let fig = scenario_figure(scn, &sw, harness);
+        emit(&fig, &opts.out);
+        let metrics = scenario_metrics(scn, sw.metrics_n, sw.seed);
+        let path = opts.out.join(format!("scn-{}-metrics.json", scn.slug()));
+        write_or_die(&path, &metrics);
+        println!("  (metrics written to {})\n", path.display());
     }
 }
 

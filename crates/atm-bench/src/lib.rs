@@ -21,11 +21,13 @@ pub mod ablations;
 pub mod experiments;
 pub mod figures;
 pub mod harness;
+pub mod scenarios;
 pub mod series;
 pub mod stream;
 pub mod sweep;
 
 pub use harness::Harness;
+pub use scenarios::{scenario_figure, scenario_metrics, ScenarioSweepConfig};
 pub use series::{FigureData, Series};
 pub use stream::{FigureSkeleton, FigureStream};
 pub use sweep::{

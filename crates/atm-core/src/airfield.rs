@@ -48,6 +48,21 @@ impl Airfield {
         Airfield::new(n, AtmConfig::with_seed(seed))
     }
 
+    /// Wrap an externally generated fleet (e.g. a [`crate::scenario`]
+    /// catalog entry) in a fresh airfield: the radar RNG is seeded from
+    /// `cfg.seed` exactly as [`Airfield::new`] seeds it, but no setup draws
+    /// are consumed — the fleet arrives ready-made.
+    pub fn from_aircraft(aircraft: Vec<Aircraft>, cfg: AtmConfig) -> Airfield {
+        cfg.validate();
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        Airfield {
+            aircraft,
+            cfg,
+            rng,
+            periods_elapsed: 0,
+        }
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &AtmConfig {
         &self.cfg

@@ -33,6 +33,7 @@ pub mod backends;
 pub mod batcher;
 pub mod config;
 pub mod detect;
+pub mod scenario;
 pub mod shard;
 pub mod sim;
 pub mod terrain;
@@ -43,6 +44,7 @@ pub use airfield::Airfield;
 pub use backends::AtmBackend;
 pub use config::{AtmConfig, ScanMode};
 pub use detect::{AltitudeBands, ConflictGrid, ScanIndex};
+pub use scenario::{fleet_hash, Scenario, ScenarioKind, ScenarioParams};
 pub use shard::{
     detect_resolve_parallel, ShardMap, ShardedAirfield, ShardedCycleStats, ShardedIndex,
 };

@@ -112,6 +112,43 @@ fn sharded_telemetry_metrics_match_golden() {
     );
 }
 
+// ---------- Scenario-corpus goldens ----------
+
+/// The three representative catalog scenarios whose figure artifacts are
+/// pinned byte-for-byte: a structured crossing pattern, the dense
+/// vertical-stack stress case, and the shard-hotspot worst case.
+const GOLDEN_SCENARIOS: [&str; 3] = ["crossing", "holding-stack", "hotspot"];
+
+#[test]
+fn scenario_figures_match_golden() {
+    use atm_bench::scenarios::{scenario_figure, ScenarioSweepConfig};
+    let sw = ScenarioSweepConfig::golden();
+    for slug in GOLDEN_SCENARIOS {
+        let scn = Scenario::by_slug(slug).expect("golden slug in catalog");
+        let fig = scenario_figure(&scn, &sw, &Harness::serial());
+        let fixture = format!("scn_{}.json", slug.replace('-', "_"));
+        assert_matches_golden(&fixture, &fig.to_json());
+        // Fanning the points across workers must not change a byte.
+        let parallel = scenario_figure(&scn, &sw, &Harness::new(4));
+        assert_eq!(
+            fig.to_json(),
+            parallel.to_json(),
+            "scenario {slug}: --jobs changed the artifact"
+        );
+    }
+}
+
+#[test]
+fn scenario_metrics_match_golden() {
+    use atm_bench::scenarios::{scenario_metrics, ScenarioSweepConfig};
+    let sw = ScenarioSweepConfig::golden();
+    let scn = Scenario::by_slug("hotspot").expect("hotspot in catalog");
+    assert_matches_golden(
+        "scn_hotspot_metrics.json",
+        &scenario_metrics(&scn, sw.metrics_n, sw.seed),
+    );
+}
+
 #[test]
 fn golden_artifacts_are_scan_and_harness_invariant() {
     // The determinism contract, end to end on the golden artifacts

@@ -933,6 +933,51 @@ fn incremental_matches_full_rebuild_under_oscillating_cell_boundaries() {
     assert_incremental_tracks_full_rebuild(&fleet, 8, oscillate, "oscillating boundary");
 }
 
+// ---------- Scenario corpus (shaped traffic) ----------
+
+#[test]
+fn catalog_scenarios_agree_across_all_scan_modes_and_shards() {
+    // The whole catalog — crossing flows, merges, stacks, corridors,
+    // swarms, dropout traffic, hotspot surges — through the full
+    // conformance matrix: every scan mode × shard grid must match the
+    // unsharded naive scan bit for bit on every traffic shape, not just
+    // on uniform random fleets.
+    for scn in Scenario::catalog() {
+        let fleet = scn.fleet(72, 31);
+        let base = scn.config(31);
+        assert_scans_agree(&fleet, &base, &format!("scenario {}", scn.slug()));
+    }
+}
+
+#[test]
+fn incremental_matches_full_rebuild_on_holding_stack_and_hotspot_scenarios() {
+    // The two scenarios built to stress the dirty-cell path: holding
+    // stacks pile many aircraft per (cell, band) slot, and the hotspot
+    // surge crowds one shard corner — then a drifting subset keeps
+    // dirtying exactly those crowded cells every cycle.
+    fn drift(fleet: &mut [Aircraft], _cycle: usize, rng: &mut SimRng) {
+        let n = fleet.len();
+        for _ in 0..n.div_ceil(6) {
+            let j = (rng.next_u64() % n as u64) as usize;
+            fleet[j].x += rng.range_f32_inclusive(-10.0, 10.0);
+            fleet[j].y += rng.range_f32_inclusive(-10.0, 10.0);
+            if rng.next_u64().is_multiple_of(3) {
+                fleet[j].alt += rng.range_f32_inclusive(-1_200.0, 1_200.0);
+            }
+        }
+    }
+    for kind in [ScenarioKind::HoldingStacks, ScenarioKind::HotspotSurge] {
+        let scn = Scenario::new(kind);
+        let fleet = scn.fleet(64, 13);
+        assert_incremental_tracks_full_rebuild(
+            &fleet,
+            6,
+            drift,
+            &format!("scenario {}", scn.slug()),
+        );
+    }
+}
+
 #[test]
 fn incremental_matches_full_rebuild_under_envelope_collapse() {
     // Adversarial: one outlier teleports between the cluster and a point

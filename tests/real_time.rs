@@ -104,6 +104,72 @@ fn deadline_misses_grow_with_load_on_the_xeon() {
     );
 }
 
+/// Deadline misses for one Xeon major cycle over a scenario airfield.
+fn scenario_misses(scn: &Scenario, n: usize, scan: ScanMode) -> u64 {
+    let cfg = AtmConfig {
+        scan,
+        ..AtmConfig::with_seed(2018)
+    };
+    let field = scn.airfield_with(n, &cfg);
+    let mut sim = AtmSimulation::new(field, Box::new(XeonModelBackend::new()));
+    sim.run(1).report.total_misses()
+}
+
+#[test]
+fn scenario_misses_are_scan_mode_invariant() {
+    // The scenario corpus feeds the same schedule contract as the uniform
+    // field: per scenario, the Xeon's miss count is one number no matter
+    // which host-side scan produced the conflicts. n sits just past the
+    // miss onset of the densest shapes so the invariant is checked on a
+    // nonzero count for most of the catalog.
+    for scn in Scenario::catalog() {
+        let misses: Vec<u64> = SCAN_MODES
+            .iter()
+            .map(|&scan| scenario_misses(&scn, 1_600, scan))
+            .collect();
+        assert!(
+            misses.windows(2).all(|w| w[0] == w[1]),
+            "{}: miss counts diverged across scan modes: {misses:?}",
+            scn.slug()
+        );
+    }
+}
+
+#[test]
+fn hotspot_surge_misses_deadlines_first_as_the_fleet_grows() {
+    // The shard-hotspot surge packs most of the fleet into one dense
+    // corner, so its conflict workload — and with it the Xeon's modeled
+    // Tasks 2+3 time — outruns every other traffic shape: on this ladder
+    // it must be the first scenario (jointly or alone) to miss a
+    // deadline. The lossy radar-dropout shape sits at the other extreme
+    // and must not have missed yet when the hotspot starts missing.
+    const LADDER: [usize; 4] = [1_000, 1_200, 1_600, 2_000];
+    let onset = |scn: &Scenario| {
+        LADDER
+            .iter()
+            .position(|&n| scenario_misses(scn, n, ScanMode::Grid) > 0)
+            .unwrap_or(LADDER.len())
+    };
+    let hotspot = Scenario::by_slug("hotspot").expect("hotspot in catalog");
+    let hotspot_onset = onset(&hotspot);
+    assert!(
+        hotspot_onset < LADDER.len(),
+        "the hotspot surge must miss somewhere on the ladder {LADDER:?}"
+    );
+    for scn in Scenario::catalog() {
+        assert!(
+            hotspot_onset <= onset(&scn),
+            "{} started missing deadlines before the hotspot surge",
+            scn.slug()
+        );
+    }
+    let dropout = Scenario::by_slug("radar-dropout").expect("radar-dropout in catalog");
+    assert!(
+        onset(&dropout) > hotspot_onset,
+        "the sparse radar-dropout shape should outlast the hotspot surge"
+    );
+}
+
 #[test]
 fn periods_never_start_early() {
     // §4.2: leftover slack is waited out. Simulated time after k major

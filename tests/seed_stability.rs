@@ -1,0 +1,93 @@
+//! Seed stability: the exact fleets every generator produces for a fixed
+//! `(n, seed)` are pinned by content hash in a committed fixture.
+//!
+//! The scenario catalog and the paper's uniform airfield are the repo's
+//! entire input surface — benchmarks, goldens, and the differential suite
+//! all assume a given `(generator, n, seed)` triple names one bit-exact
+//! fleet forever. [`fleet_hash`] folds every field of every aircraft into
+//! an FNV-1a digest, so any change to an RNG draw order, a parameter
+//! default, or a geometry constant shows up here as a hash diff before it
+//! silently invalidates downstream artifacts.
+
+use atm::prelude::*;
+use std::path::{Path, PathBuf};
+use telemetry::JsonValue;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/seed_hashes.json")
+}
+
+/// The `(n, seed)` pairs the fixture pins for every generator.
+const PINNED: [(usize, u64); 2] = [(96, 7), (160, 2018)];
+
+/// Hash table for every generator — the uniform paper airfield plus the
+/// whole scenario catalog — at every pinned `(n, seed)` pair.
+fn hash_table() -> JsonValue {
+    let mut rows = Vec::new();
+    for (n, seed) in PINNED {
+        let uniform = Airfield::with_seed(n, seed);
+        rows.push(
+            JsonValue::obj()
+                .set("generator", "uniform")
+                .set("n", n as u64)
+                .set("seed", seed)
+                .set("hash", format!("{:016x}", fleet_hash(&uniform.aircraft))),
+        );
+        for scn in Scenario::catalog() {
+            rows.push(
+                JsonValue::obj()
+                    .set("generator", scn.slug())
+                    .set("n", n as u64)
+                    .set("seed", seed)
+                    .set("hash", format!("{:016x}", fleet_hash(&scn.fleet(n, seed)))),
+            );
+        }
+    }
+    JsonValue::Arr(rows)
+}
+
+#[test]
+fn generator_hashes_match_golden() {
+    let actual = hash_table().to_pretty();
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write seed_hashes.json");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); generate it with `UPDATE_GOLDEN=1 cargo test \
+             --test seed_stability` and commit it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "a generator's fleet content changed for a pinned (n, seed); if \
+         intentional, regenerate the fixture with `UPDATE_GOLDEN=1 cargo \
+         test --test seed_stability` and expect downstream goldens to move"
+    );
+}
+
+#[test]
+fn generators_are_repeatable_within_a_process() {
+    assert_eq!(hash_table(), hash_table());
+}
+
+#[test]
+fn every_generator_responds_to_the_seed() {
+    // A generator that ignores `seed` would still pass the pinned-hash
+    // test; require that changing the seed changes the fleet.
+    for scn in Scenario::catalog() {
+        assert_ne!(
+            fleet_hash(&scn.fleet(96, 7)),
+            fleet_hash(&scn.fleet(96, 8)),
+            "{}: fleet did not change with the seed",
+            scn.slug()
+        );
+    }
+    assert_ne!(
+        fleet_hash(&Airfield::with_seed(96, 7).aircraft),
+        fleet_hash(&Airfield::with_seed(96, 8).aircraft),
+    );
+}
