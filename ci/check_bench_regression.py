@@ -26,7 +26,11 @@ timing heuristic in either direction. The ``scenario-<slug>-detect``
 corpus stages set ``"gate": true``: they time a real host hot path (the
 grid scan over each generated traffic shape), so they are gated even
 though the heuristic alone would already include them — the explicit flag
-keeps them gated if their timing tag ever changes.
+keeps them gated if their timing tag ever changes. The service-layer
+stages do the same: ``engine-step-muP`` (resumable ``AtmEngine`` major
+cycles with live ingest between them — the atm-server cycle loop without
+the socket) and ``server-ingest`` (parse + decode + apply of a JSON
+ingest batch, the per-verb hot path) both carry ``"gate": true``.
 
 Stages present on only one side (a newly added or retired bench stage) are
 reported but never fail the gate. A missing or unreadable baseline file is

@@ -59,6 +59,20 @@
 //! traffic (holding stacks, hotspot cells) is exactly where the fast-path
 //! wall-clock could regress, so the CI regression gate holds them to the
 //! budget explicitly.
+//!
+//! A sixth section times the **resumable engine** (`engine-step-muP`
+//! stages): full major cycles through [`atm_core::AtmEngine`] on the
+//! measured sequential host, with a fraction μ of the fleet re-positioned
+//! between cycles through [`Airfield::apply_updates`] — the live-server
+//! hot loop. Each stage steps an incremental-scan engine and a grid-scan
+//! engine on the same ingest batches and requires identical fleet hashes,
+//! conflict and resolution counts every cycle (the dirty-cell ingest
+//! contract). Gated: this is the path the `atm-server` cycle loop runs.
+//!
+//! A seventh section times the **server ingest path** (`server-ingest`):
+//! the in-process verb hot path — parse a line-delimited JSON ingest
+//! batch, decode the updates, apply them to the airfield, produce a
+//! receipt — without the socket. Gated likewise.
 
 use atm_bench::harness::Harness;
 use atm_bench::series::Series;
@@ -66,11 +80,14 @@ use atm_bench::sweep::{sweep_roster_on, SweepConfig, Task};
 use atm_core::backends::{PlatformId, Roster, RosterEntry, TimingKind};
 use atm_core::detect::{detect_resolve_all, DetectStats, IncrementalEngine, ScanActivity};
 use atm_core::types::Aircraft;
-use atm_core::{detect_resolve_parallel, Airfield, AtmConfig, ScanMode, Scenario};
+use atm_core::{
+    detect_resolve_parallel, AircraftUpdate, Airfield, AtmConfig, AtmEngine, ScanMode, Scenario,
+};
+use atm_server::proto::{updates_from_json, updates_to_json};
 use sim_clock::{NullSink, OpCounter, SimRng};
 use std::path::PathBuf;
 use std::time::Instant;
-use telemetry::JsonValue;
+use telemetry::{parse_json, JsonValue};
 
 struct Options {
     out: PathBuf,
@@ -246,6 +263,116 @@ fn run_incremental_stage(base: &SweepConfig, n: usize, mu: f64, cycles: usize) -
     }
     out.activity = *engine.total_activity();
     out
+}
+
+/// Outcome of one resumable-engine stepping stage at one ingest rate.
+struct EngineStepStage {
+    /// Total wall-clock of the incremental-scan engine's major cycles.
+    inc_ms: f64,
+    /// Total wall-clock of the grid-scan engine's major cycles.
+    grid_ms: f64,
+    /// Conflicts observed over the run (from the incremental engine).
+    conflicts: u64,
+    /// Whether both engines agreed on fleet hash, conflicts and
+    /// resolutions every cycle.
+    identical: bool,
+}
+
+/// One timed pass of the resumable engine at ingest rate `mu`: `cycles`
+/// major cycles through two [`AtmEngine`]s on the measured sequential
+/// host — one incremental scan, one grid scan — with `mu * n` aircraft
+/// re-positioned via [`Airfield::apply_updates`] before every cycle (the
+/// same batches fed to both). External ingest mutates aircraft behind the
+/// incremental engine's back, so cross-checking against the full grid
+/// rebuild exercises exactly the dirty-cell bookkeeping the live server
+/// relies on.
+fn run_engine_step_stage(seed: u64, n: usize, mu: f64, cycles: usize) -> EngineStepStage {
+    let mk = |scan: ScanMode| {
+        let cfg = AtmConfig {
+            scan,
+            ..AtmConfig::with_seed(seed)
+        };
+        let entry = Roster::select([PlatformId::SequentialHost]);
+        let mut engine = AtmEngine::new(Airfield::new(n, cfg), entry.entries()[0].instantiate());
+        engine.begin_run();
+        engine
+    };
+    let mut inc = mk(ScanMode::Incremental);
+    let mut grid = mk(ScanMode::Grid);
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x16E57);
+    let moved = (mu * n as f64).round() as usize;
+
+    let mut out = EngineStepStage {
+        inc_ms: 0.0,
+        grid_ms: 0.0,
+        conflicts: 0,
+        identical: true,
+    };
+    for _ in 0..cycles {
+        let updates: Vec<AircraftUpdate> = (0..moved)
+            .map(|_| {
+                let j = (rng.next_u64() % n as u64) as usize;
+                let a = &grid.aircraft()[j];
+                AircraftUpdate {
+                    id: j as u32,
+                    x: a.x + rng.range_f32_inclusive(-8.0, 8.0),
+                    y: a.y + rng.range_f32_inclusive(-8.0, 8.0),
+                    alt: a.alt + rng.range_f32_inclusive(-500.0, 500.0),
+                    dx: rng.range_f32_inclusive(-0.05, 0.05),
+                    dy: rng.range_f32_inclusive(-0.05, 0.05),
+                }
+            })
+            .collect();
+        inc.apply_updates(&updates);
+        grid.apply_updates(&updates);
+
+        let start = Instant::now();
+        let ri = inc.step_major_cycle();
+        out.inc_ms += start.elapsed().as_secs_f64() * 1_000.0;
+
+        let start = Instant::now();
+        let rg = grid.step_major_cycle();
+        out.grid_ms += start.elapsed().as_secs_f64() * 1_000.0;
+
+        out.conflicts += ri.conflicts;
+        out.identical &= ri.fleet_hash == rg.fleet_hash
+            && ri.conflicts == rg.conflicts
+            && ri.resolutions == rg.resolutions;
+    }
+    out
+}
+
+/// One timed pass of the server ingest hot path: `batches` pre-rendered
+/// line-delimited JSON ingest batches of `batch` updates each are parsed,
+/// decoded and applied to one airfield — the per-verb work `atm-server`
+/// does between socket reads. Returns (wall ms, updates applied).
+fn run_server_ingest_stage(seed: u64, n: usize, batch: usize, batches: usize) -> (f64, u64) {
+    let mut field = Airfield::new(n, AtmConfig::with_seed(seed));
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x53_7265);
+    let lines: Vec<String> = (0..batches)
+        .map(|_| {
+            let updates: Vec<AircraftUpdate> = (0..batch)
+                .map(|_| AircraftUpdate {
+                    id: (rng.next_u64() % n as u64) as u32,
+                    x: rng.range_f32_inclusive(-400.0, 400.0),
+                    y: rng.range_f32_inclusive(-400.0, 400.0),
+                    alt: rng.range_f32_inclusive(5_000.0, 35_000.0),
+                    dx: rng.range_f32_inclusive(-0.05, 0.05),
+                    dy: rng.range_f32_inclusive(-0.05, 0.05),
+                })
+                .collect();
+            updates_to_json(&updates).to_compact()
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut applied = 0u64;
+    for line in &lines {
+        let v = parse_json(line).expect("bench-rendered batch parses");
+        let updates = updates_from_json(&v).expect("bench-rendered batch decodes");
+        applied += u64::from(field.apply_updates(&updates).applied);
+    }
+    (start.elapsed().as_secs_f64() * 1_000.0, applied)
 }
 
 fn main() {
@@ -440,13 +567,53 @@ fn main() {
         scenario_stages.push((scn, grid_ms, naive_ms, speedup, grid_stats));
     }
 
+    // Resumable engine: full major cycles with live ingest between them —
+    // the atm-server cycle loop without the socket. Incremental and grid
+    // scans must agree on every cycle's fleet hash and conflict counts.
+    let engine_rates = [0.01, 0.20];
+    let engine_n = if opts.quick { 400 } else { 800 };
+    let engine_cycles = if opts.quick { 2 } else { 4 };
+    println!(
+        "  resumable engine ({engine_cycles} major cycles at n={engine_n}, incremental vs grid):"
+    );
+    let mut engine_stages = Vec::new();
+    let mut engine_identical = true;
+    for &mu in &engine_rates {
+        let stage = run_engine_step_stage(base.seed, engine_n, mu, engine_cycles);
+        let speedup = stage.grid_ms / stage.inc_ms.max(1e-9);
+        println!(
+            "  engine-step-mu{:<4} {:>10.1} ms vs {:>10.1} ms grid-scan engine \
+             ({speedup:.2}x, {} conflicts)",
+            (mu * 100.0).round() as u64,
+            stage.inc_ms,
+            stage.grid_ms,
+            stage.conflicts
+        );
+        engine_identical &= stage.identical;
+        engine_stages.push((mu, stage, speedup));
+    }
+    if !engine_identical {
+        eprintln!("RESULT MISMATCH: ingest-fed incremental engine diverged from the grid engine");
+    }
+
+    // Server ingest path: parse + decode + apply, no socket.
+    let (ingest_batch, ingest_batches) = if opts.quick { (64, 200) } else { (64, 1_000) };
+    let (ingest_ms, ingest_applied) =
+        run_server_ingest_stage(base.seed, engine_n, ingest_batch, ingest_batches);
+    let ingest_rate = ingest_applied as f64 / (ingest_ms / 1_000.0).max(1e-9);
+    println!(
+        "  server-ingest      {ingest_ms:>10.1} ms  ({ingest_applied} updates, {:.0}k updates/s)",
+        ingest_rate / 1_000.0
+    );
+
     // Determinism contract: every stage's series must be element-identical
     // to the baseline's.
     let identical = results.iter().all(|r| *r == results[0])
         && sharded_identical
         && measured_identical
         && incremental_identical
-        && scenarios_identical;
+        && scenarios_identical
+        && engine_identical;
     if !identical {
         eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
     }
@@ -536,6 +703,37 @@ fn main() {
                 .set("critical_conflicts", stats.critical_conflicts),
         );
     }
+    for (mu, stage, speedup) in &engine_stages {
+        stage_json.push(
+            JsonValue::obj()
+                .set(
+                    "id",
+                    format!("engine-step-mu{}", (mu * 100.0).round() as u64),
+                )
+                .set("timing", "measured")
+                .set("gate", true)
+                .set("scan", "incremental")
+                .set("ingest_rate", *mu)
+                .set("cycles", engine_cycles)
+                .set("n", engine_n)
+                .set("wall_ms", stage.inc_ms)
+                .set("grid_engine_wall_ms", stage.grid_ms)
+                .set("speedup_vs_grid_engine", *speedup)
+                .set("conflicts", stage.conflicts),
+        );
+    }
+    stage_json.push(
+        JsonValue::obj()
+            .set("id", "server-ingest")
+            .set("timing", "measured")
+            .set("gate", true)
+            .set("n", engine_n)
+            .set("batch", ingest_batch)
+            .set("batches", ingest_batches)
+            .set("wall_ms", ingest_ms)
+            .set("updates_applied", ingest_applied)
+            .set("updates_per_sec", ingest_rate),
+    );
     let json = JsonValue::obj()
         .set(
             "sweep",

@@ -18,6 +18,37 @@ use crate::config::AtmConfig;
 use crate::types::{Aircraft, RadarReport, NO_COLLISION};
 use sim_clock::SimRng;
 
+/// One externally ingested state update for aircraft `id`: the service
+/// layer's surveillance truth — position, altitude and velocity — replacing
+/// the simulated track.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AircraftUpdate {
+    /// Index of the aircraft in the fleet.
+    pub id: u32,
+    /// New x position (nm).
+    pub x: f32,
+    /// New y position (nm).
+    pub y: f32,
+    /// New altitude (ft).
+    pub alt: f32,
+    /// New x velocity (nm per period).
+    pub dx: f32,
+    /// New y velocity (nm per period).
+    pub dy: f32,
+}
+
+/// Receipt for one [`Airfield::apply_updates`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The airfield's ingest sequence number after this batch (batches are
+    /// numbered 1, 2, 3, … in application order).
+    pub seq: u64,
+    /// Updates applied to known aircraft.
+    pub applied: u32,
+    /// Updates dropped because `id` was out of range.
+    pub unknown: u32,
+}
+
 /// The airfield: aircraft state plus the seeded RNG that drives setup and
 /// radar noise.
 #[derive(Clone, Debug)]
@@ -27,6 +58,7 @@ pub struct Airfield {
     cfg: AtmConfig,
     rng: SimRng,
     periods_elapsed: u64,
+    ingest_seq: u64,
 }
 
 impl Airfield {
@@ -40,6 +72,7 @@ impl Airfield {
             cfg,
             rng,
             periods_elapsed: 0,
+            ingest_seq: 0,
         }
     }
 
@@ -60,6 +93,7 @@ impl Airfield {
             cfg,
             rng,
             periods_elapsed: 0,
+            ingest_seq: 0,
         }
     }
 
@@ -124,6 +158,65 @@ impl Airfield {
     /// Replace the flight set (used by scenario examples and tests).
     pub fn set_aircraft(&mut self, aircraft: Vec<Aircraft>) {
         self.aircraft = aircraft;
+    }
+
+    /// Ingest batches applied so far (the next receipt carries this + 1).
+    pub fn ingest_seq(&self) -> u64 {
+        self.ingest_seq
+    }
+
+    /// Apply one batch of external updates in place, atomically with the
+    /// ingest bookkeeping the service layer needs: every applied update
+    /// rewrites the aircraft's kinematic state (position, altitude,
+    /// velocity and the derived `batx`/`baty`/expected-position mirrors),
+    /// re-applies the boundary re-entry rule, and bumps the single batch
+    /// sequence number — one call, one receipt.
+    ///
+    /// Unlike [`Airfield::set_aircraft`] (a wholesale fleet swap with no
+    /// bookkeeping), this is the mutation path the persistent
+    /// [`IncrementalEngine`] is guaranteed to observe correctly: every
+    /// changed field is part of the engine's per-aircraft scan key, so its
+    /// next update pass diffs the key bits and bumps the dirty-cell clocks
+    /// of exactly the slots each updated aircraft left and entered.
+    /// (`IncrementalGrid::note_commit` must *not* be used here — it
+    /// refreshes the key mirror without moving slot membership, which is
+    /// only sound for in-place velocity commits, never for cell-crossing
+    /// position ingests.)
+    ///
+    /// [`IncrementalEngine`]: crate::detect::IncrementalEngine
+    /// [`IncrementalGrid::note_commit`]: crate::detect::IncrementalGrid::note_commit
+    pub fn apply_updates(&mut self, updates: &[AircraftUpdate]) -> IngestReceipt {
+        let hw = self.cfg.half_width;
+        let mut applied = 0u32;
+        let mut unknown = 0u32;
+        for u in updates {
+            let Some(a) = self.aircraft.get_mut(u.id as usize) else {
+                unknown += 1;
+                continue;
+            };
+            a.x = u.x;
+            a.y = u.y;
+            a.alt = u.alt;
+            a.dx = u.dx;
+            a.dy = u.dy;
+            a.batx = u.dx;
+            a.baty = u.dy;
+            if a.x.abs() > hw || a.y.abs() > hw {
+                // Same re-entry rule as `end_period`: an update placing the
+                // aircraft outside the grid mirrors it back in.
+                a.x = -a.x.clamp(-hw, hw);
+                a.y = -a.y.clamp(-hw, hw);
+            }
+            a.expected_x = a.x;
+            a.expected_y = a.y;
+            applied += 1;
+        }
+        self.ingest_seq += 1;
+        IngestReceipt {
+            seq: self.ingest_seq,
+            applied,
+            unknown,
+        }
     }
 }
 

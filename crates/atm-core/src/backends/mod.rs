@@ -136,7 +136,10 @@ pub struct BackendInfo<'a> {
 }
 
 /// A platform that can execute the ATM tasks.
-pub trait AtmBackend {
+///
+/// `Send` is a supertrait so an [`crate::AtmEngine`] holding a boxed
+/// backend can live behind a `Mutex` shared across server threads.
+pub trait AtmBackend: Send {
     /// Identity, timing discipline and device summary of this backend.
     /// `info().timing` is the one source of truth for whether reported
     /// durations are modeled or measured (there is deliberately no separate

@@ -33,6 +33,7 @@ pub mod backends;
 pub mod batcher;
 pub mod config;
 pub mod detect;
+pub mod engine;
 pub mod scenario;
 pub mod shard;
 pub mod sim;
@@ -40,10 +41,11 @@ pub mod terrain;
 pub mod track;
 pub mod types;
 
-pub use airfield::Airfield;
+pub use airfield::{AircraftUpdate, Airfield, IngestReceipt};
 pub use backends::AtmBackend;
 pub use config::{AtmConfig, ScanMode};
 pub use detect::{AltitudeBands, ConflictGrid, ScanIndex};
+pub use engine::{AtmEngine, CycleReport};
 pub use scenario::{fleet_hash, Scenario, ScenarioKind, ScenarioParams};
 pub use shard::{
     detect_resolve_parallel, ShardMap, ShardedAirfield, ShardedCycleStats, ShardedIndex,

@@ -10,9 +10,10 @@
 
 use crate::airfield::Airfield;
 use crate::backends::AtmBackend;
+use crate::engine::AtmEngine;
 use crate::terrain::{TerrainGrid, TerrainTaskConfig};
 use crate::types::Aircraft;
-use rt_sched::{CyclicExecutive, ExecutiveReport, MajorCycleSpec, TaskExecution};
+use rt_sched::ExecutiveReport;
 use sim_clock::SimDuration;
 use telemetry::Recorder;
 
@@ -71,22 +72,18 @@ impl TerrainSchedule {
     }
 }
 
-/// A ready-to-run ATM simulation.
+/// A ready-to-run ATM simulation: the trivial batch wrapper over the
+/// resumable [`AtmEngine`] — `run(n)` is `begin_run()` followed by `n`
+/// stepped major cycles, nothing more.
 pub struct AtmSimulation {
-    field: Airfield,
-    backend: Box<dyn AtmBackend>,
-    terrain: Option<TerrainSchedule>,
-    recorder: Recorder,
+    engine: AtmEngine,
 }
 
 impl AtmSimulation {
     /// Wire an airfield to a backend.
     pub fn new(field: Airfield, backend: Box<dyn AtmBackend>) -> Self {
         AtmSimulation {
-            field,
-            backend,
-            terrain: None,
-            recorder: Recorder::disabled(),
+            engine: AtmEngine::new(field, backend),
         }
     }
 
@@ -94,18 +91,13 @@ impl AtmSimulation {
     /// task spans, and the backend's substrate (GPU device, AP machine,
     /// MIMD pool) emits its own spans onto the same recorder.
     pub fn set_recorder(&mut self, recorder: Recorder) {
-        self.backend.set_recorder(recorder.clone());
-        self.recorder = recorder;
+        self.engine.set_recorder(recorder);
     }
 
     /// Enable the Task 4 terrain-avoidance schedule (the future-work
     /// extension; see [`crate::terrain`]).
     pub fn with_terrain(mut self, schedule: TerrainSchedule) -> Self {
-        assert!(
-            schedule.every > 0,
-            "terrain schedule period must be positive"
-        );
-        self.terrain = Some(schedule);
+        self.engine = self.engine.with_terrain(schedule);
         self
     }
 
@@ -117,55 +109,27 @@ impl AtmSimulation {
 
     /// The airfield (inspect aircraft state between runs).
     pub fn field(&self) -> &Airfield {
-        &self.field
+        self.engine.field()
+    }
+
+    /// The underlying resumable engine (ingest updates, step single
+    /// cycles).
+    pub fn engine_mut(&mut self) -> &mut AtmEngine {
+        &mut self.engine
     }
 
     /// Run `major_cycles` full 8-second major cycles.
     pub fn run(&mut self, major_cycles: usize) -> SimOutcome {
-        let cfg = self.field.config().clone();
-        let setup_time = self.backend.on_setup(&self.field.aircraft);
-        let spec = MajorCycleSpec {
-            period: cfg.period,
-            periods_per_major: cfg.periods_per_major,
-        };
-        let mut exec = CyclicExecutive::new(spec);
-        exec.set_recorder(self.recorder.clone());
-
-        let field = &mut self.field;
-        let backend = &mut self.backend;
-        let terrain = &self.terrain;
-        let mut workload = |_cycle: usize, period: usize| {
-            // Radar generation precedes the period's tasks and is not an
-            // ATM task (paper §4.2) — it is not booked against the deadline.
-            let mut radars = field.generate_radar();
-            let t1 = backend.track_correlate(&mut field.aircraft, &mut radars, &cfg);
-            let mut tasks = vec![TaskExecution::new("Task1", t1)];
-            if let Some(sched) = terrain {
-                if period % sched.every == sched.phase % sched.every {
-                    let t4 =
-                        backend.terrain_avoidance(&mut field.aircraft, &sched.grid, &sched.tcfg);
-                    tasks.push(TaskExecution::new("Terrain", t4));
-                }
-            }
-            if period == cfg.periods_per_major - 1 {
-                let t23 = backend.detect_resolve(&mut field.aircraft, &cfg);
-                tasks.push(TaskExecution::new("Task2+3", t23));
-            }
-            field.end_period();
-            tasks
-        };
-        let report = exec.run(&mut workload, major_cycles);
-
-        SimOutcome {
-            backend_name: self.backend.info().name.to_owned(),
-            setup_time,
-            report,
+        self.engine.begin_run();
+        for _ in 0..major_cycles {
+            self.engine.step_major_cycle();
         }
+        self.engine.outcome()
     }
 
     /// Direct access to the aircraft after a run.
     pub fn aircraft(&self) -> &[Aircraft] {
-        &self.field.aircraft
+        self.engine.aircraft()
     }
 }
 

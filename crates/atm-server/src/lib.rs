@@ -1,0 +1,33 @@
+//! The always-on ATM service layer: a std-only blocking TCP server over
+//! the resumable [`atm_core::AtmEngine`].
+//!
+//! The batch pipeline answers "what happened over N major cycles"; this
+//! crate keeps a session *alive*: clients ingest external position
+//! updates, subscribe to per-cycle conflict events, and read status and
+//! fleet snapshots, while a background loop (or explicit `step` verbs)
+//! drives the cyclic executive — the service shape the ROADMAP's
+//! "serve heavy traffic" north star calls for.
+//!
+//! Three layers:
+//!
+//! * [`proto`] — line-delimited JSON wire format and the append-only
+//!   ingest log (byte-stable via [`telemetry::JsonValue`]);
+//! * [`server`] — the blocking TCP server: per-connection reader threads,
+//!   bounded drop-oldest event queues per subscriber, graceful shutdown
+//!   flushing the final metrics snapshot;
+//! * [`replay`] — the determinism contract: a recorded ingest log re-fed
+//!   through the batch engine reproduces the live session's
+//!   `CycleReport`s, fleet hashes and telemetry metrics byte for byte
+//!   (modeled platforms).
+//!
+//! The full protocol is specified in DESIGN.md §14.
+
+pub mod proto;
+pub mod replay;
+pub mod server;
+pub mod spec;
+
+pub use proto::{parse_log, write_log, LogEntry};
+pub use replay::{replay_log, ReplayOutcome};
+pub use server::{AtmServer, EventQueue};
+pub use spec::ServerSpec;

@@ -1,0 +1,186 @@
+//! Wire-format helpers: requests, responses, events and the append-only
+//! ingest log, all as line-delimited JSON (DESIGN.md §14).
+//!
+//! Every document is written with the byte-stable [`JsonValue`] writer
+//! (insertion-ordered keys, shortest-round-trip floats), so equal state
+//! always serializes to equal bytes — the property the replay-determinism
+//! contract rests on.
+
+use atm_core::AircraftUpdate;
+use telemetry::{parse_json, JsonValue};
+
+/// One recorded ingest batch: the receipt's sequence number, the number of
+/// major cycles that had *completed* when the batch was applied (so replay
+/// re-applies it at the same cycle boundary), and the updates themselves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry {
+    /// Ingest sequence number ([`atm_core::IngestReceipt::seq`]).
+    pub seq: u64,
+    /// Completed major cycles at application time: replay applies this
+    /// entry immediately before stepping cycle index `cycle`.
+    pub cycle: u64,
+    /// The batch's updates, in application order.
+    pub updates: Vec<AircraftUpdate>,
+}
+
+/// Read one numeric field as `f64`.
+fn num(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing numeric field `{key}`"))
+}
+
+/// Serialize one update with a fixed key order.
+pub fn update_to_json(u: &AircraftUpdate) -> JsonValue {
+    JsonValue::obj()
+        .set("id", u.id as u64)
+        .set("x", f64::from(u.x))
+        .set("y", f64::from(u.y))
+        .set("alt", f64::from(u.alt))
+        .set("dx", f64::from(u.dx))
+        .set("dy", f64::from(u.dy))
+}
+
+/// Parse one update. `f32` values survive the trip exactly: the writer
+/// emits the shortest round-trip `f64` form and `f32 → f64 → f32` is
+/// lossless.
+pub fn update_from_json(v: &JsonValue) -> Result<AircraftUpdate, String> {
+    Ok(AircraftUpdate {
+        id: num(v, "id")? as u32,
+        x: num(v, "x")? as f32,
+        y: num(v, "y")? as f32,
+        alt: num(v, "alt")? as f32,
+        dx: num(v, "dx")? as f32,
+        dy: num(v, "dy")? as f32,
+    })
+}
+
+/// Serialize a batch of updates.
+pub fn updates_to_json(updates: &[AircraftUpdate]) -> JsonValue {
+    JsonValue::Arr(updates.iter().map(update_to_json).collect())
+}
+
+/// Parse a batch of updates.
+pub fn updates_from_json(v: &JsonValue) -> Result<Vec<AircraftUpdate>, String> {
+    v.as_arr()
+        .ok_or_else(|| "`updates` must be an array".to_owned())?
+        .iter()
+        .map(update_from_json)
+        .collect()
+}
+
+/// Serialize one ingest-log entry (one line of the log file).
+pub fn entry_to_json(e: &LogEntry) -> JsonValue {
+    JsonValue::obj()
+        .set("seq", e.seq)
+        .set("cycle", e.cycle)
+        .set("updates", updates_to_json(&e.updates))
+}
+
+/// Parse one ingest-log entry.
+pub fn entry_from_json(v: &JsonValue) -> Result<LogEntry, String> {
+    Ok(LogEntry {
+        seq: num(v, "seq")? as u64,
+        cycle: num(v, "cycle")? as u64,
+        updates: updates_from_json(
+            v.get("updates")
+                .ok_or_else(|| "missing `updates`".to_owned())?,
+        )?,
+    })
+}
+
+/// Render a full ingest log as line-delimited JSON.
+pub fn write_log(entries: &[LogEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&entry_to_json(e).to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a line-delimited ingest log (blank lines ignored).
+pub fn parse_log(text: &str) -> Result<Vec<LogEntry>, String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| entry_from_json(&parse_json(l)?))
+        .collect()
+}
+
+/// The standard error response line body.
+pub fn error_response(msg: &str) -> JsonValue {
+    JsonValue::obj().set("ok", false).set("error", msg)
+}
+
+/// Start an `{"ok":true, ...}` response body.
+pub fn ok_response() -> JsonValue {
+    JsonValue::obj().set("ok", true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LogEntry {
+        LogEntry {
+            seq: 3,
+            cycle: 2,
+            updates: vec![
+                AircraftUpdate {
+                    id: 7,
+                    x: 1.25,
+                    y: -3.5,
+                    alt: 12_000.0,
+                    dx: 0.017,
+                    dy: -0.03,
+                },
+                AircraftUpdate {
+                    id: 11,
+                    x: 0.1,
+                    y: 0.2,
+                    alt: 9_500.0,
+                    dx: 0.0,
+                    dy: 0.05,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn log_round_trips_exactly() {
+        let entries = vec![sample()];
+        let text = write_log(&entries);
+        let back = parse_log(&text).unwrap();
+        assert_eq!(back, entries);
+        // Byte stability: re-serializing the parse yields identical text.
+        assert_eq!(write_log(&back), text);
+    }
+
+    #[test]
+    fn update_f32_bits_survive_the_wire() {
+        // Awkward f32 values (not exactly representable in decimal).
+        let u = AircraftUpdate {
+            id: 1,
+            x: 0.1f32,
+            y: 1.0 / 3.0,
+            alt: 33_333.3,
+            dx: f32::MIN_POSITIVE,
+            dy: -0.07,
+        };
+        let text = update_to_json(&u).to_compact();
+        let back = update_from_json(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(back.x.to_bits(), u.x.to_bits());
+        assert_eq!(back.y.to_bits(), u.y.to_bits());
+        assert_eq!(back.alt.to_bits(), u.alt.to_bits());
+        assert_eq!(back.dx.to_bits(), u.dx.to_bits());
+        assert_eq!(back.dy.to_bits(), u.dy.to_bits());
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        assert!(parse_log("{\"seq\":1}\n").is_err());
+        assert!(update_from_json(&parse_json("{\"id\":0,\"x\":1.0}").unwrap()).is_err());
+        assert!(updates_from_json(&JsonValue::obj()).is_err());
+    }
+}

@@ -1,0 +1,610 @@
+//! The blocking TCP server: one reader thread per connection, per-client
+//! event subscriptions with bounded drop-oldest queues, an optional
+//! background cycle loop, and a graceful shutdown path that flushes the
+//! telemetry metrics snapshot and the append-only ingest log.
+//!
+//! Framing and verbs are specified in DESIGN.md §14. In short: every
+//! request is one line of JSON carrying a `verb`; every request gets
+//! exactly one `{"ok":...}` response line; subscribed clients additionally
+//! receive asynchronous `{"event":...}` lines. Lines are written whole
+//! under a per-connection lock, so responses and events never interleave
+//! mid-line.
+
+use crate::proto::{
+    error_response, ok_response, updates_from_json, updates_to_json, write_log, LogEntry,
+};
+use crate::spec::ServerSpec;
+use atm_core::engine::CycleReport;
+use atm_core::AtmEngine;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+use telemetry::{parse_json, JsonValue, Recorder};
+
+/// A bounded drop-oldest event queue feeding one subscriber's writer
+/// thread: the backpressure contract. When a slow client lets `cap`
+/// events pile up, each new event evicts the oldest queued one and the
+/// drop counter advances — ingest and the cycle loop never block on a
+/// subscriber.
+pub struct EventQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueInner {
+    items: VecDeque<String>,
+    dropped: u64,
+    closed: bool,
+}
+
+impl EventQueue {
+    /// A queue holding at most `cap` pending events.
+    pub fn new(cap: usize) -> EventQueue {
+        EventQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                dropped: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue one event line, evicting the oldest when full. Returns the
+    /// number of events dropped so far.
+    pub fn push(&self, line: &str) -> u64 {
+        let mut q = self.inner.lock().expect("event queue poisoned");
+        if q.closed {
+            return q.dropped;
+        }
+        if q.items.len() >= self.cap {
+            q.items.pop_front();
+            q.dropped += 1;
+        }
+        q.items.push_back(line.to_owned());
+        self.ready.notify_one();
+        q.dropped
+    }
+
+    /// Block until an event is available (`Some`) or the queue is closed
+    /// and drained (`None`).
+    pub fn pop(&self) -> Option<String> {
+        let mut q = self.inner.lock().expect("event queue poisoned");
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).expect("event queue poisoned");
+        }
+    }
+
+    /// Close the queue: `pop` drains what is left, then returns `None`.
+    pub fn close(&self) {
+        let mut q = self.inner.lock().expect("event queue poisoned");
+        q.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("event queue poisoned").dropped
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event queue poisoned").items.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// State behind the big lock: the engine, the ingest log and the
+/// subscriber roster.
+struct Shared {
+    engine: AtmEngine,
+    log: Vec<LogEntry>,
+    subs: Vec<Arc<EventQueue>>,
+}
+
+struct ServerState {
+    shared: Mutex<Shared>,
+    spec: ServerSpec,
+    recorder: Recorder,
+    stop: AtomicBool,
+    events_dropped: AtomicU64,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    /// Step one major cycle under the lock and fan its events out to every
+    /// subscriber: one `cycle` event, then one `conflict` event per
+    /// aircraft left in conflict.
+    fn step_one(&self, shared: &mut Shared) -> CycleReport {
+        let report = shared.engine.step_major_cycle();
+        if !shared.subs.is_empty() {
+            let mut lines = Vec::new();
+            lines.push(
+                JsonValue::obj()
+                    .set("event", "cycle")
+                    .set("report", report.to_json())
+                    .to_compact(),
+            );
+            for (id, a) in shared.engine.aircraft().iter().enumerate() {
+                if a.col {
+                    lines.push(
+                        JsonValue::obj()
+                            .set("event", "conflict")
+                            .set("cycle", report.cycle)
+                            .set("id", id)
+                            // Always a real partner index here (`a.col` is
+                            // set), so it serializes as an integer.
+                            .set("col_with", a.col_with as u64)
+                            .to_compact(),
+                    );
+                }
+            }
+            let mut dropped = 0;
+            for sub in &shared.subs {
+                for line in &lines {
+                    dropped = dropped.max(sub.push(line));
+                }
+            }
+            self.events_dropped.fetch_max(dropped, Ordering::Relaxed);
+        }
+        report
+    }
+
+    /// Flush the shutdown artifacts: the final metrics snapshot and the
+    /// ingest log, at the paths the spec configured.
+    fn flush_artifacts(&self, shared: &Shared) -> std::io::Result<()> {
+        if let Some(path) = &self.spec.metrics_path {
+            std::fs::write(path, self.recorder.metrics_json())?;
+        }
+        if let Some(path) = &self.spec.log_path {
+            std::fs::write(path, write_log(&shared.log))?;
+        }
+        Ok(())
+    }
+}
+
+/// The server: bind, then [`AtmServer::run`] the accept loop.
+pub struct AtmServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl AtmServer {
+    /// Build the spec's engine (telemetry enabled) and bind `addr`
+    /// (`127.0.0.1:0` picks a free port; read it back with
+    /// [`AtmServer::local_addr`]).
+    pub fn bind(spec: ServerSpec, addr: &str) -> Result<AtmServer, String> {
+        let mut engine = spec.build_engine()?;
+        let recorder = Recorder::enabled();
+        engine.set_recorder(recorder.clone());
+        engine.begin_run();
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        Ok(AtmServer {
+            listener,
+            state: Arc::new(ServerState {
+                shared: Mutex::new(Shared {
+                    engine,
+                    log: Vec::new(),
+                    subs: Vec::new(),
+                }),
+                spec,
+                recorder,
+                stop: AtomicBool::new(false),
+                events_dropped: AtomicU64::new(0),
+                addr: local,
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Run the accept loop until a `shutdown` verb arrives. Each
+    /// connection gets a reader thread; the optional background cycle loop
+    /// steps the engine every `spec.autostep_ms`.
+    pub fn run(self) {
+        let state = self.state;
+        let stepper = state.spec.autostep_ms.map(|interval| {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                while !state.stop.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(interval));
+                    if state.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let mut shared = state.shared.lock().expect("server state poisoned");
+                    state.step_one(&mut shared);
+                }
+            })
+        });
+
+        for conn in self.listener.incoming() {
+            if state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&state);
+            thread::spawn(move || handle_client(stream, state));
+        }
+        if let Some(h) = stepper {
+            let _ = h.join();
+        }
+    }
+
+    /// Run on a background thread (tests, examples).
+    pub fn spawn(self) -> thread::JoinHandle<()> {
+        thread::spawn(move || self.run())
+    }
+}
+
+/// Write one whole line under the connection's write lock.
+fn write_line(writer: &Mutex<TcpStream>, line: &str) -> std::io::Result<()> {
+    let mut w = writer.lock().expect("connection writer poisoned");
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn handle_client(stream: TcpStream, state: Arc<ServerState>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut subscription: Option<Arc<EventQueue>> = None;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let response = dispatch(text, &state, &writer, &mut subscription);
+        let stop_after = state.stop.load(Ordering::SeqCst);
+        if write_line(&writer, &response.to_compact()).is_err() {
+            break;
+        }
+        if stop_after {
+            break;
+        }
+    }
+    // Reader gone: tear down this client's subscription so its writer
+    // thread exits.
+    if let Some(sub) = subscription {
+        sub.close();
+        let mut shared = state.shared.lock().expect("server state poisoned");
+        shared.subs.retain(|s| !Arc::ptr_eq(s, &sub));
+    }
+}
+
+/// Parse and execute one request line; returns the response body.
+fn dispatch(
+    text: &str,
+    state: &Arc<ServerState>,
+    writer: &Arc<Mutex<TcpStream>>,
+    subscription: &mut Option<Arc<EventQueue>>,
+) -> JsonValue {
+    let request = match parse_json(text) {
+        Ok(v) => v,
+        Err(e) => return error_response(&format!("bad JSON: {e}")),
+    };
+    let verb = match request.get("verb").and_then(JsonValue::as_str) {
+        Some(v) => v,
+        None => return error_response("missing `verb`"),
+    };
+    match verb {
+        "status" => {
+            let shared = state.shared.lock().expect("server state poisoned");
+            let conflicts = shared.engine.aircraft().iter().filter(|a| a.col).count();
+            ok_response()
+                .set("backend", shared.engine.backend_name())
+                .set("spec", state.spec.to_json())
+                .set("aircraft", shared.engine.aircraft().len())
+                .set("cycles", shared.engine.cycles_stepped())
+                .set("ingest_seq", shared.engine.field().ingest_seq())
+                .set("conflicts", conflicts)
+                .set("subscribers", shared.subs.len())
+                .set(
+                    "events_dropped",
+                    state.events_dropped.load(Ordering::Relaxed),
+                )
+        }
+        "ingest" => {
+            let updates = match request.get("updates") {
+                Some(v) => match updates_from_json(v) {
+                    Ok(u) => u,
+                    Err(e) => return error_response(&e),
+                },
+                None => return error_response("missing `updates`"),
+            };
+            let mut shared = state.shared.lock().expect("server state poisoned");
+            let cycle = shared.engine.cycles_stepped() as u64;
+            let receipt = shared.engine.apply_updates(&updates);
+            shared.log.push(LogEntry {
+                seq: receipt.seq,
+                cycle,
+                updates,
+            });
+            ok_response()
+                .set("seq", receipt.seq)
+                .set("applied", u64::from(receipt.applied))
+                .set("unknown", u64::from(receipt.unknown))
+        }
+        "step" => {
+            let cycles = request
+                .get("cycles")
+                .and_then(JsonValue::as_f64)
+                .map(|c| c as u64)
+                .unwrap_or(1)
+                .clamp(1, 64);
+            let mut shared = state.shared.lock().expect("server state poisoned");
+            let reports: Vec<JsonValue> = (0..cycles)
+                .map(|_| state.step_one(&mut shared).to_json())
+                .collect();
+            ok_response().set("reports", JsonValue::Arr(reports))
+        }
+        "snapshot" => {
+            let shared = state.shared.lock().expect("server state poisoned");
+            let aircraft: Vec<JsonValue> = shared
+                .engine
+                .aircraft()
+                .iter()
+                .enumerate()
+                .map(|(id, a)| {
+                    JsonValue::obj()
+                        .set("id", id)
+                        .set("x", f64::from(a.x))
+                        .set("y", f64::from(a.y))
+                        .set("alt", f64::from(a.alt))
+                        .set("dx", f64::from(a.dx))
+                        .set("dy", f64::from(a.dy))
+                        .set("col", a.col)
+                        .set("col_with", f64::from(a.col_with))
+                })
+                .collect();
+            ok_response()
+                .set("cycles", shared.engine.cycles_stepped())
+                .set(
+                    "fleet_hash",
+                    format!("{:016x}", atm_core::fleet_hash(shared.engine.aircraft())),
+                )
+                .set("aircraft", JsonValue::Arr(aircraft))
+        }
+        "log" => {
+            let shared = state.shared.lock().expect("server state poisoned");
+            let entries: Vec<JsonValue> =
+                shared.log.iter().map(crate::proto::entry_to_json).collect();
+            ok_response().set("entries", JsonValue::Arr(entries))
+        }
+        "subscribe" => {
+            if subscription.is_some() {
+                return error_response("already subscribed");
+            }
+            let sub = Arc::new(EventQueue::new(state.spec.queue_cap));
+            {
+                let mut shared = state.shared.lock().expect("server state poisoned");
+                shared.subs.push(Arc::clone(&sub));
+            }
+            let sub_for_writer = Arc::clone(&sub);
+            let writer = Arc::clone(writer);
+            thread::spawn(move || {
+                while let Some(event) = sub_for_writer.pop() {
+                    if write_line(&writer, &event).is_err() {
+                        sub_for_writer.close();
+                        break;
+                    }
+                }
+            });
+            *subscription = Some(sub);
+            ok_response().set("subscribed", true)
+        }
+        "shutdown" => {
+            let shared = state.shared.lock().expect("server state poisoned");
+            let flushed = state.flush_artifacts(&shared);
+            for sub in &shared.subs {
+                sub.close();
+            }
+            state.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop.
+            let _ = TcpStream::connect(state.addr);
+            match flushed {
+                Ok(()) => ok_response().set("stopped", true),
+                Err(e) => error_response(&format!("artifact flush failed: {e}")),
+            }
+        }
+        // Echo back a serialized batch for symmetry with `ingest` (used by
+        // clients to validate update encoding without applying anything).
+        "echo" => match request.get("updates") {
+            Some(v) => match updates_from_json(v) {
+                Ok(u) => ok_response().set("updates", updates_to_json(&u)),
+                Err(e) => error_response(&e),
+            },
+            None => error_response("missing `updates`"),
+        },
+        other => error_response(&format!("unknown verb `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            Client {
+                reader: BufReader::new(stream),
+            }
+        }
+
+        fn send(&mut self, line: &str) -> JsonValue {
+            let mut w = self.reader.get_ref().try_clone().unwrap();
+            w.write_all(line.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+            self.recv()
+        }
+
+        fn recv(&mut self) -> JsonValue {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            parse_json(line.trim()).unwrap()
+        }
+    }
+
+    fn serve(spec: ServerSpec) -> (SocketAddr, thread::JoinHandle<()>) {
+        let server = AtmServer::bind(spec, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        (addr, server.spawn())
+    }
+
+    #[test]
+    fn ingest_step_status_round_trip() {
+        let (addr, handle) = serve(ServerSpec {
+            n: 120,
+            seed: 5,
+            ..ServerSpec::default()
+        });
+        let mut c = Client::connect(addr);
+        let st = c.send("{\"verb\":\"status\"}");
+        assert_eq!(st.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(st.get("aircraft"), Some(&JsonValue::U64(120)));
+
+        let r = c.send(
+            "{\"verb\":\"ingest\",\"updates\":[{\"id\":0,\"x\":1.0,\"y\":2.0,\"alt\":9000.0,\"dx\":0.01,\"dy\":0.0}]}",
+        );
+        assert_eq!(r.get("seq"), Some(&JsonValue::U64(1)));
+        assert_eq!(r.get("applied"), Some(&JsonValue::U64(1)));
+
+        let r = c.send("{\"verb\":\"step\",\"cycles\":2}");
+        let reports = r.get("reports").unwrap().as_arr().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(
+            reports[0].get("ingest_applied"),
+            Some(&JsonValue::U64(1)),
+            "first stepped cycle must carry the ingest"
+        );
+
+        let log = c.send("{\"verb\":\"log\"}");
+        assert_eq!(log.get("entries").unwrap().as_arr().unwrap().len(), 1);
+
+        let r = c.send("{\"verb\":\"shutdown\"}");
+        assert_eq!(r.get("stopped"), Some(&JsonValue::Bool(true)));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn subscribers_receive_cycle_events() {
+        let (addr, handle) = serve(ServerSpec {
+            n: 200,
+            seed: 8,
+            scenario: Some("crossing".to_owned()),
+            ..ServerSpec::default()
+        });
+        let mut subscriber = Client::connect(addr);
+        let r = subscriber.send("{\"verb\":\"subscribe\"}");
+        assert_eq!(r.get("subscribed"), Some(&JsonValue::Bool(true)));
+
+        let mut driver = Client::connect(addr);
+        driver.send("{\"verb\":\"step\"}");
+        let event = subscriber.recv();
+        assert_eq!(
+            event.get("event").and_then(JsonValue::as_str),
+            Some("cycle")
+        );
+        assert_eq!(
+            event.get("report").unwrap().get("cycle"),
+            Some(&JsonValue::U64(0))
+        );
+        driver.send("{\"verb\":\"shutdown\"}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_error_responses() {
+        let (addr, handle) = serve(ServerSpec {
+            n: 10,
+            ..ServerSpec::default()
+        });
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send("not json").get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(
+            c.send("{\"no\":\"verb\"}").get("ok"),
+            Some(&JsonValue::Bool(false))
+        );
+        assert_eq!(
+            c.send("{\"verb\":\"warp\"}").get("ok"),
+            Some(&JsonValue::Bool(false))
+        );
+        c.send("{\"verb\":\"shutdown\"}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn autostep_advances_cycles_without_step_verbs() {
+        let (addr, handle) = serve(ServerSpec {
+            n: 60,
+            seed: 3,
+            autostep_ms: Some(5),
+            ..ServerSpec::default()
+        });
+        let mut c = Client::connect(addr);
+        let mut cycles = 0;
+        for _ in 0..100 {
+            thread::sleep(Duration::from_millis(10));
+            let st = c.send("{\"verb\":\"status\"}");
+            if let Some(&JsonValue::U64(n)) = st.get("cycles") {
+                cycles = n;
+            }
+            if cycles >= 2 {
+                break;
+            }
+        }
+        assert!(cycles >= 2, "background loop never stepped");
+        c.send("{\"verb\":\"shutdown\"}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn event_queue_drops_oldest_beyond_capacity() {
+        let q = EventQueue::new(3);
+        for i in 0..5 {
+            q.push(&format!("e{i}"));
+        }
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().as_deref(), Some("e2"), "oldest two must be gone");
+        assert_eq!(q.pop().as_deref(), Some("e3"));
+        q.close();
+        assert_eq!(q.pop().as_deref(), Some("e4"), "close drains the tail");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push("late"), 2, "closed queue accepts nothing");
+    }
+}

@@ -108,7 +108,19 @@ impl CyclicExecutive {
         &self.spec
     }
 
-    /// Run `major_cycles` full major cycles of the workload.
+    /// A fresh, empty report shaped for this executive's period length —
+    /// the accumulator [`CyclicExecutive::book_period`] appends into.
+    pub fn new_report(&self) -> ExecutiveReport {
+        ExecutiveReport::new(self.spec.period)
+    }
+
+    /// Book one already-executed period into `report` and advance the
+    /// executive's simulated clock by exactly one period.
+    ///
+    /// This is the stepwise entry the resumable engine drives: the caller
+    /// runs the period's tasks itself (state advances when *it* decides)
+    /// and hands the per-task durations here for deadline accounting.
+    /// [`CyclicExecutive::run`] is a loop over this method.
     ///
     /// Within a period, task durations accumulate in order. A task whose
     /// completion would cross the period boundary is charged as a deadline
@@ -117,99 +129,113 @@ impl CyclicExecutive {
     /// their time does not fit; this mirrors the paper's "skip so the next
     /// period starts on time" rule while keeping the simulation state
     /// consistent). Leftover slack is waited out so no period starts early.
+    pub fn book_period(
+        &mut self,
+        report: &mut ExecutiveReport,
+        cycle: usize,
+        period: usize,
+        executions: &[TaskExecution],
+    ) {
+        let track = self.recorder.track("rt-sched");
+        let period_start = self.clock.now();
+
+        let mut used = SimDuration::ZERO;
+        let mut missed = false;
+        let mut skipped = 0u32;
+        for exec in executions {
+            if missed {
+                // Already over the boundary: this task is skipped.
+                skipped += 1;
+                report.record_skip(exec.name);
+                continue;
+            }
+            let would_use = used + exec.duration;
+            if self.recorder.is_enabled() {
+                // The span shows the task's real length, even when
+                // it overruns the boundary (that overrun *is* the
+                // deadline miss, and the trace should show it).
+                self.recorder.span_with_args(
+                    track,
+                    exec.name,
+                    "rt.task",
+                    period_start + used,
+                    exec.duration,
+                    vec![("cycle", cycle.into()), ("period", period.into())],
+                );
+            }
+            if would_use > self.spec.period {
+                missed = true;
+                report.record_miss(exec.name, cycle, period);
+                if self.recorder.is_enabled() {
+                    self.recorder.instant(
+                        track,
+                        "deadline_miss",
+                        "rt.miss",
+                        period_start + self.spec.period,
+                    );
+                    self.recorder.counter_add("rt.deadline_misses", 1);
+                }
+                // The missing task still consumed time up to (and
+                // past) the boundary; clamp the period at its edge.
+                used = self.spec.period;
+            } else {
+                used = would_use;
+            }
+            report.record_task(exec.name, exec.duration);
+        }
+
+        self.clock.skip(used);
+        let slack = self.spec.period.saturating_sub(used);
+        // Wait out the remaining slack: the next period must not
+        // start early.
+        self.clock.skip(slack);
+        if self.recorder.is_enabled() {
+            self.recorder.span_with_args(
+                track,
+                "period",
+                "rt.period",
+                period_start,
+                self.spec.period,
+                vec![
+                    ("cycle", cycle.into()),
+                    ("period", period.into()),
+                    ("used_ms", used.as_millis_f64().into()),
+                    ("slack_ms", slack.as_millis_f64().into()),
+                ],
+            );
+            self.recorder.counter_add("rt.periods", 1);
+            self.recorder.histogram_record("rt.slack_ms", slack);
+        }
+        debug_assert_eq!(
+            self.clock.now() - period_start,
+            self.spec.period,
+            "every period must take exactly one period of simulated time"
+        );
+
+        report.record_period(PeriodRecord {
+            cycle,
+            period,
+            used,
+            slack,
+            missed,
+            skipped,
+        });
+    }
+
+    /// Run `major_cycles` full major cycles of the workload: call the
+    /// workload once per period, in order, and book each period via
+    /// [`CyclicExecutive::book_period`] (whose docs spell out the miss,
+    /// skip and slack rules).
     pub fn run<W: PeriodicWorkload>(
         &mut self,
         workload: &mut W,
         major_cycles: usize,
     ) -> ExecutiveReport {
-        let mut report = ExecutiveReport::new(self.spec.period);
-        let track = self.recorder.track("rt-sched");
+        let mut report = self.new_report();
         for cycle in 0..major_cycles {
             for period in 0..self.spec.periods_per_major {
-                let period_start = self.clock.now();
                 let executions = workload.run_period(cycle, period);
-
-                let mut used = SimDuration::ZERO;
-                let mut missed = false;
-                let mut skipped = 0u32;
-                for exec in &executions {
-                    if missed {
-                        // Already over the boundary: this task is skipped.
-                        skipped += 1;
-                        report.record_skip(exec.name);
-                        continue;
-                    }
-                    let would_use = used + exec.duration;
-                    if self.recorder.is_enabled() {
-                        // The span shows the task's real length, even when
-                        // it overruns the boundary (that overrun *is* the
-                        // deadline miss, and the trace should show it).
-                        self.recorder.span_with_args(
-                            track,
-                            exec.name,
-                            "rt.task",
-                            period_start + used,
-                            exec.duration,
-                            vec![("cycle", cycle.into()), ("period", period.into())],
-                        );
-                    }
-                    if would_use > self.spec.period {
-                        missed = true;
-                        report.record_miss(exec.name, cycle, period);
-                        if self.recorder.is_enabled() {
-                            self.recorder.instant(
-                                track,
-                                "deadline_miss",
-                                "rt.miss",
-                                period_start + self.spec.period,
-                            );
-                            self.recorder.counter_add("rt.deadline_misses", 1);
-                        }
-                        // The missing task still consumed time up to (and
-                        // past) the boundary; clamp the period at its edge.
-                        used = self.spec.period;
-                    } else {
-                        used = would_use;
-                    }
-                    report.record_task(exec.name, exec.duration);
-                }
-
-                self.clock.skip(used);
-                let slack = self.spec.period.saturating_sub(used);
-                // Wait out the remaining slack: the next period must not
-                // start early.
-                self.clock.skip(slack);
-                if self.recorder.is_enabled() {
-                    self.recorder.span_with_args(
-                        track,
-                        "period",
-                        "rt.period",
-                        period_start,
-                        self.spec.period,
-                        vec![
-                            ("cycle", cycle.into()),
-                            ("period", period.into()),
-                            ("used_ms", used.as_millis_f64().into()),
-                            ("slack_ms", slack.as_millis_f64().into()),
-                        ],
-                    );
-                    self.recorder.counter_add("rt.periods", 1);
-                    self.recorder.histogram_record("rt.slack_ms", slack);
-                }
-                debug_assert_eq!(
-                    self.clock.now() - period_start,
-                    self.spec.period,
-                    "every period must take exactly one period of simulated time"
-                );
-
-                report.record_period(PeriodRecord {
-                    cycle,
-                    period,
-                    used,
-                    slack,
-                    missed,
-                    skipped,
-                });
+                self.book_period(&mut report, cycle, period, &executions);
             }
         }
         report

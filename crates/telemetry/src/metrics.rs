@@ -137,6 +137,12 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// All counters as `(name, value)` pairs, in name order. The stable
+    /// ordering makes per-cycle delta computation deterministic.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
     /// Set a gauge to an absolute value.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
         self.gauges.insert(name.to_owned(), value);

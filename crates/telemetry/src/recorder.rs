@@ -187,6 +187,13 @@ impl Recorder {
         self.with(|inner| inner.metrics.counter(name))
     }
 
+    /// Snapshot every counter as `(name, value)` pairs in name order
+    /// (empty when disabled). Two snapshots bracket a cycle to give its
+    /// telemetry deltas.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.with(|inner| inner.metrics.counters_snapshot())
+    }
+
     /// Set a named gauge.
     pub fn gauge_set(&self, name: &str, value: f64) {
         self.with(|inner| inner.metrics.gauge_set(name, value));

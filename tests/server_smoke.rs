@@ -1,0 +1,181 @@
+//! Golden smoke test for the live server: a committed ingest log driven
+//! against an in-process `atm-server` must stream byte-identical event
+//! lines every run.
+//!
+//! The same fixtures back the CI smoke job, which runs the *binary*
+//! end-to-end (`atm-server serve` + `atm-server drive`) and diffs the
+//! streamed events against `server_crossing_events.jsonl`. Regenerate
+//! both fixtures with `UPDATE_GOLDEN=1 cargo test --test server_smoke`
+//! and review the diff like any other code change.
+
+use atm_core::AircraftUpdate;
+use atm_server::proto::updates_to_json;
+use atm_server::{write_log, AtmServer, LogEntry, ServerSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use telemetry::{parse_json, JsonValue};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = fixture_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             `UPDATE_GOLDEN=1 cargo test --test server_smoke` and commit it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} diverged from the committed fixture; if intentional, \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test server_smoke` \
+         and review the diff"
+    );
+}
+
+/// The spec the smoke session runs under — mirrored by the CI job's
+/// `atm-server serve` flags.
+fn smoke_spec() -> ServerSpec {
+    ServerSpec {
+        n: 160,
+        seed: 7,
+        scenario: Some("crossing".to_owned()),
+        ..ServerSpec::default()
+    }
+}
+
+const SMOKE_CYCLES: u64 = 3;
+
+/// The committed ingest log: two crossing-stream nudges before cycle 0
+/// and a head-on teleport before cycle 1, all derived from fixed
+/// arithmetic so the fixture regenerates byte-identically.
+fn smoke_log() -> Vec<LogEntry> {
+    let nudge = |round: u64, count: u32| -> Vec<AircraftUpdate> {
+        (0..count)
+            .map(|i| {
+                let k = round * 53 + u64::from(i) * 17;
+                AircraftUpdate {
+                    id: (k % 160) as u32,
+                    x: ((k % 500) as f32) - 250.0,
+                    y: ((k % 460) as f32) - 230.0,
+                    alt: 9_000.0 + ((k % 31) as f32) * 400.0,
+                    dx: 0.02 - ((k % 7) as f32) * 0.005,
+                    dy: -0.015 + ((k % 4) as f32) * 0.01,
+                }
+            })
+            .collect()
+    };
+    vec![
+        LogEntry {
+            seq: 1,
+            cycle: 0,
+            updates: nudge(0, 16),
+        },
+        LogEntry {
+            seq: 2,
+            cycle: 0,
+            updates: nudge(1, 16),
+        },
+        LogEntry {
+            seq: 3,
+            cycle: 1,
+            updates: nudge(2, 24),
+        },
+    ]
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        Client {
+            reader: BufReader::new(TcpStream::connect(addr).unwrap()),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> JsonValue {
+        let mut w = self.reader.get_ref().try_clone().unwrap();
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        parse_json(self.recv_line().trim()).unwrap()
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        line
+    }
+}
+
+#[test]
+fn streamed_events_match_the_committed_golden() {
+    // The ingest log itself is a golden: the CI job feeds this exact file
+    // to `atm-server drive`.
+    assert_matches_golden("server_crossing_ingest.jsonl", &write_log(&smoke_log()));
+
+    let metrics_path =
+        std::env::temp_dir().join(format!("atm_smoke_metrics_{}.json", std::process::id()));
+    let spec = ServerSpec {
+        metrics_path: Some(metrics_path.to_string_lossy().into_owned()),
+        ..smoke_spec()
+    };
+    let server = AtmServer::bind(spec, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut subscriber = Client::connect(addr);
+    let r = subscriber.send("{\"verb\":\"subscribe\"}");
+    assert_eq!(r.get("subscribed"), Some(&JsonValue::Bool(true)));
+
+    let mut driver = Client::connect(addr);
+    let log = smoke_log();
+    let mut next = 0usize;
+    for cycle in 0..SMOKE_CYCLES {
+        while next < log.len() && log[next].cycle <= cycle {
+            let request = JsonValue::obj()
+                .set("verb", "ingest")
+                .set("updates", updates_to_json(&log[next].updates));
+            let r = driver.send(&request.to_compact());
+            assert_eq!(r.get("ok"), Some(&JsonValue::Bool(true)));
+            next += 1;
+        }
+        let r = driver.send("{\"verb\":\"step\"}");
+        assert_eq!(r.get("ok"), Some(&JsonValue::Bool(true)));
+    }
+
+    // Collect the subscription stream verbatim until the final cycle
+    // event — the exact lines `atm-server drive` writes to its
+    // --events-out file.
+    let mut events = String::new();
+    let mut cycles_seen = 0u64;
+    while cycles_seen < SMOKE_CYCLES {
+        let line = subscriber.recv_line();
+        let v = parse_json(line.trim()).unwrap();
+        if v.get("event").and_then(JsonValue::as_str) == Some("cycle") {
+            cycles_seen += 1;
+        }
+        events.push_str(line.trim());
+        events.push('\n');
+    }
+    assert_matches_golden("server_crossing_events.jsonl", &events);
+
+    // Graceful shutdown flushes the final telemetry metrics snapshot.
+    driver.send("{\"verb\":\"shutdown\"}");
+    handle.join().unwrap();
+    let metrics = std::fs::read_to_string(&metrics_path).expect("shutdown flushed metrics");
+    assert!(
+        metrics.contains("counters"),
+        "flushed metrics snapshot carries the counter section"
+    );
+    std::fs::remove_file(&metrics_path).ok();
+}
