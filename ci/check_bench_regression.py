@@ -30,7 +30,13 @@ keeps them gated if their timing tag ever changes. The service-layer
 stages do the same: ``engine-step-muP`` (resumable ``AtmEngine`` major
 cycles with live ingest between them — the atm-server cycle loop without
 the socket) and ``server-ingest`` (parse + decode + apply of a JSON
-ingest batch, the per-verb hot path) both carry ``"gate": true``.
+ingest batch, the per-verb hot path) both carry ``"gate": true``. So do
+the ``proc-shard-detect-S`` stages (the halo-exchange wire transport of
+``atm-server coordinator``: detect waves crossing localhost TCP through
+the frame codec to S-squared worker loops) — serialization overhead on
+that path is exactly what this gate should catch. Like any stage, they
+never fail on their first appearance (no baseline entry to compare
+against).
 
 Stages present on only one side (a newly added or retired bench stage) are
 reported but never fail the gate. A missing or unreadable baseline file is

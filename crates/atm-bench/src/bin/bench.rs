@@ -73,6 +73,16 @@
 //! the in-process verb hot path — parse a line-delimited JSON ingest
 //! batch, decode the updates, apply them to the airfield, produce a
 //! receipt — without the socket. Gated likewise.
+//!
+//! An eighth section times the **process-shard wire transport**
+//! (`proc-shard-detect-S` stages, DESIGN.md §15): the same per-point
+//! detect executions, but with halo export/import and wave hand-off
+//! crossing real localhost TCP through [`atm_core::SocketTransport`] to
+//! S² `run_shard_worker` loops — the full frame-codec round trip of
+//! `atm-server coordinator`, minus process spawn. Outputs must stay
+//! bit-identical to the in-process shards=1 run; each stage reports its
+//! wire overhead over the matching in-process sharded stage. Gated: this
+//! is the hot path of the cross-process server mode.
 
 use atm_bench::harness::Harness;
 use atm_bench::series::Series;
@@ -81,7 +91,8 @@ use atm_core::backends::{PlatformId, Roster, RosterEntry, TimingKind};
 use atm_core::detect::{detect_resolve_all, DetectStats, IncrementalEngine, ScanActivity};
 use atm_core::types::Aircraft;
 use atm_core::{
-    detect_resolve_parallel, AircraftUpdate, Airfield, AtmConfig, AtmEngine, ScanMode, Scenario,
+    detect_resolve_parallel, detect_resolve_via_transport, run_shard_worker, AircraftUpdate,
+    Airfield, AtmConfig, AtmEngine, ScanMode, Scenario, SocketTransport,
 };
 use atm_server::proto::{updates_from_json, updates_to_json};
 use sim_clock::{NullSink, OpCounter, SimRng};
@@ -167,6 +178,54 @@ fn run_sharded_stage(
         let (stats, ops) = detect_resolve_parallel(&mut field.aircraft, &cfg, workers);
         per_point_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
         outputs.push((field.aircraft, stats, ops));
+    }
+    (per_point_ms, outputs)
+}
+
+/// One timed pass of the process-shard wire transport: the same per-point
+/// executions as [`run_sharded_stage`], but with the detect waves flowing
+/// through [`SocketTransport`] to `side²` worker *threads* over real
+/// localhost TCP — the full serialize → socket → import → simulate →
+/// reply path of `atm-server coordinator`, minus process spawn. The
+/// transport (and its worker links) is reused across sweep points, as a
+/// long-lived coordinator would.
+#[allow(clippy::type_complexity)]
+fn run_proc_shard_stage(
+    base: &SweepConfig,
+    side: usize,
+) -> (Vec<f64>, Vec<(Vec<Aircraft>, DetectStats, OpCounter)>) {
+    use std::net::{TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind bench listener");
+    let addr = listener.local_addr().expect("listener addr");
+    let shard_count = side * side;
+    let workers: Vec<_> = (0..shard_count)
+        .map(|_| {
+            std::thread::spawn(move || {
+                run_shard_worker(TcpStream::connect(addr).expect("connect bench worker"))
+            })
+        })
+        .collect();
+    let mut transport =
+        SocketTransport::accept_workers(&listener, shard_count).expect("accept bench workers");
+
+    let mut per_point_ms = Vec::new();
+    let mut outputs = Vec::new();
+    for &n in &base.ns {
+        let cfg = AtmConfig {
+            shards: side,
+            scan: base.scan,
+            ..AtmConfig::with_seed(base.seed)
+        };
+        let mut field = Airfield::new(n, cfg.clone());
+        let start = Instant::now();
+        let (stats, ops) = detect_resolve_via_transport(&mut field.aircraft, &cfg, &mut transport)
+            .expect("the bench wire transport cannot fault");
+        per_point_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+        outputs.push((field.aircraft, stats, ops));
+    }
+    drop(transport); // sends Shutdown to every worker
+    for w in workers {
+        w.join().expect("join bench worker").expect("worker exit");
     }
     (per_point_ms, outputs)
 }
@@ -606,6 +665,32 @@ fn main() {
         ingest_rate / 1_000.0
     );
 
+    // Process-shard wire transport: halo waves over real localhost TCP to
+    // worker threads running the same loop as `atm-server shard-worker`.
+    // Outputs must match the in-process shards=1 run byte for byte; the
+    // interesting number is the wire overhead over the matching in-process
+    // sharded stage.
+    let proc_sides = [1usize, 2];
+    println!("  proc-shard detect (wire transport over localhost TCP):");
+    let mut proc_ms: Vec<Vec<f64>> = Vec::new();
+    let mut proc_identical = true;
+    for (i, &side) in proc_sides.iter().enumerate() {
+        let (per_point, out) = run_proc_shard_stage(&base, side);
+        let total: f64 = per_point.iter().sum();
+        let in_proc: f64 = sharded_ms[i].iter().sum();
+        println!(
+            "  proc-shard-detect-{side} {total:>10.1} ms  \
+             ({:.2}x the in-process sharded-detect-{side} time, {} workers)",
+            total / in_proc.max(1e-9),
+            side * side
+        );
+        proc_identical &= out == sharded_out[0];
+        proc_ms.push(per_point);
+    }
+    if !proc_identical {
+        eprintln!("RESULT MISMATCH: the wire transport diverged from the in-process detect");
+    }
+
     // Determinism contract: every stage's series must be element-identical
     // to the baseline's.
     let identical = results.iter().all(|r| *r == results[0])
@@ -613,7 +698,8 @@ fn main() {
         && measured_identical
         && incremental_identical
         && scenarios_identical
-        && engine_identical;
+        && engine_identical
+        && proc_identical;
     if !identical {
         eprintln!("RESULT MISMATCH: a stage diverged from the serial-naive baseline");
     }
@@ -720,6 +806,22 @@ fn main() {
                 .set("grid_engine_wall_ms", stage.grid_ms)
                 .set("speedup_vs_grid_engine", *speedup)
                 .set("conflicts", stage.conflicts),
+        );
+    }
+    for (i, &side) in proc_sides.iter().enumerate() {
+        let total: f64 = proc_ms[i].iter().sum();
+        let in_proc: f64 = sharded_ms[i].iter().sum();
+        stage_json.push(
+            JsonValue::obj()
+                .set("id", format!("proc-shard-detect-{side}"))
+                .set("timing", "measured")
+                .set("gate", true)
+                .set("scan", format!("{:?}", base.scan).to_lowercase())
+                .set("shards", side)
+                .set("workers", side * side)
+                .set("wall_ms", total)
+                .set("point_wall_ms", proc_ms[i].clone())
+                .set("overhead_vs_in_process", total / in_proc.max(1e-9)),
         );
     }
     stage_json.push(

@@ -25,6 +25,7 @@ mod mcore;
 mod mimd;
 mod seq;
 mod soa;
+mod transport;
 mod xeon;
 
 pub use ap::ApBackend;
@@ -33,6 +34,7 @@ pub use mcore::MulticoreBackend;
 pub use mimd::MimdBackend;
 pub use seq::SequentialBackend;
 pub use soa::SimdSoaBackend;
+pub use transport::{TransportDetectBackend, TransportFault};
 pub use xeon::XeonModelBackend;
 
 use crate::config::AtmConfig;
@@ -170,6 +172,25 @@ pub trait AtmBackend: Send {
 
     /// Execute Tasks 2+3 (collision detection & resolution).
     fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration;
+
+    /// Price a detect execution from its merged totals alone — fleet size,
+    /// [`DetectStats`] and booked [`sim_clock::OpCounter`] — without
+    /// executing anything, advancing internal clocks exactly as
+    /// [`AtmBackend::detect_resolve`] would. `None` (the default) means the
+    /// backend's timing is not a pure function of the totals (measured
+    /// backends, and the models that simulate their substrate internally);
+    /// such platforms cannot serve a process-per-shard coordinator, whose
+    /// detect work happens in worker processes and comes home as totals
+    /// (DESIGN.md §15). [`XeonModelBackend`] implements it.
+    fn price_detect_totals(
+        &mut self,
+        n: usize,
+        stats: &crate::detect::DetectStats,
+        ops: &sim_clock::OpCounter,
+    ) -> Option<SimDuration> {
+        let _ = (n, stats, ops);
+        None
+    }
 
     /// Execute Task 4 (terrain avoidance — the future-work extension; see
     /// [`crate::terrain`]).

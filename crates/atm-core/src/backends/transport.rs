@@ -1,0 +1,189 @@
+//! A backend adapter that runs Tasks 2+3 through a [`ShardTransport`] —
+//! the engine-level seam the process-per-shard coordinator plugs into.
+//!
+//! Wraps any totals-priced backend (one whose
+//! [`AtmBackend::price_detect_totals`] returns `Some`): Task 1 and Task 4
+//! stay with the inner backend unchanged, while `detect_resolve` drives
+//! [`detect_resolve_via_transport`] and prices the merged totals. Because
+//! the transport is bit-identical to the sequential cascade and the pricing
+//! advances the inner backend's clocks exactly as a local detect would,
+//! every `CycleReport`, metric and artifact matches the in-process pipeline
+//! byte for byte (DESIGN.md §15).
+//!
+//! [`AtmBackend::detect_resolve`] cannot return an error, so transport
+//! failures (a dead worker, a codec fault) land in an error slot the owner
+//! polls between cycles; once set, every later detect is a no-op returning
+//! [`SimDuration::ZERO`] — the coordinator aborts without flushing
+//! artifacts, so no partial output can masquerade as a finished run.
+
+use crate::backends::{AtmBackend, BackendInfo};
+use crate::config::AtmConfig;
+use crate::detect::DetectStats;
+use crate::shard::{detect_resolve_via_transport, ShardTransport};
+use crate::terrain::{TerrainGrid, TerrainTaskConfig};
+use crate::types::{Aircraft, RadarReport};
+use sim_clock::{OpCounter, SimDuration};
+use std::sync::{Arc, Mutex};
+
+/// Shared handle to the adapter's first transport failure (`None` while
+/// healthy).
+pub type TransportFault = Arc<Mutex<Option<String>>>;
+
+/// [`AtmBackend`] running detect through a [`ShardTransport`]; see the
+/// module docs.
+pub struct TransportDetectBackend {
+    inner: Box<dyn AtmBackend>,
+    transport: Box<dyn ShardTransport + Send>,
+    fault: TransportFault,
+}
+
+impl TransportDetectBackend {
+    /// Wrap `inner`, routing detect through `transport`. The caller should
+    /// verify `inner` is totals-priced first (probe
+    /// [`AtmBackend::price_detect_totals`] on a throwaway instance — probing
+    /// the real one would advance its jitter seed).
+    pub fn new(
+        inner: Box<dyn AtmBackend>,
+        transport: Box<dyn ShardTransport + Send>,
+    ) -> TransportDetectBackend {
+        TransportDetectBackend {
+            inner,
+            transport,
+            fault: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The shared fault slot; poll it after every cycle.
+    pub fn fault_handle(&self) -> TransportFault {
+        Arc::clone(&self.fault)
+    }
+
+    fn set_fault(&self, msg: String) {
+        let mut slot = self.fault.lock().expect("transport fault slot");
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+    }
+}
+
+impl AtmBackend for TransportDetectBackend {
+    fn info(&self) -> BackendInfo<'_> {
+        self.inner.info()
+    }
+
+    fn set_recorder(&mut self, recorder: telemetry::Recorder) {
+        self.inner.set_recorder(recorder);
+    }
+
+    fn on_setup(&mut self, aircraft: &[Aircraft]) -> SimDuration {
+        self.inner.on_setup(aircraft)
+    }
+
+    fn track_correlate(
+        &mut self,
+        aircraft: &mut [Aircraft],
+        radars: &mut [RadarReport],
+        cfg: &AtmConfig,
+    ) -> SimDuration {
+        self.inner.track_correlate(aircraft, radars, cfg)
+    }
+
+    fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration {
+        if self.fault.lock().expect("transport fault slot").is_some() {
+            return SimDuration::ZERO;
+        }
+        match detect_resolve_via_transport(aircraft, cfg, self.transport.as_mut()) {
+            Ok((stats, ops)) => {
+                match self.inner.price_detect_totals(aircraft.len(), &stats, &ops) {
+                    Some(d) => d,
+                    None => {
+                        self.set_fault(format!(
+                            "platform `{}` cannot price detect from totals; \
+                             a coordinator needs a totals-priced platform \
+                             (e.g. xeon-multicore)",
+                            self.inner.info().platform
+                        ));
+                        SimDuration::ZERO
+                    }
+                }
+            }
+            Err(e) => {
+                self.set_fault(e.to_string());
+                SimDuration::ZERO
+            }
+        }
+    }
+
+    fn price_detect_totals(
+        &mut self,
+        n: usize,
+        stats: &DetectStats,
+        ops: &OpCounter,
+    ) -> Option<SimDuration> {
+        self.inner.price_detect_totals(n, stats, ops)
+    }
+
+    fn terrain_avoidance(
+        &mut self,
+        aircraft: &mut [Aircraft],
+        grid: &TerrainGrid,
+        tcfg: &TerrainTaskConfig,
+    ) -> SimDuration {
+        self.inner.terrain_avoidance(aircraft, grid, tcfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airfield::Airfield;
+    use crate::backends::{GpuBackend, XeonModelBackend};
+    use crate::config::ScanMode;
+    use crate::shard::InProcessTransport;
+
+    #[test]
+    fn transport_backend_matches_a_plain_xeon_run() {
+        let cfg = AtmConfig {
+            shards: 2,
+            scan: ScanMode::Grid,
+            ..AtmConfig::with_seed(7)
+        };
+        let field = Airfield::new(250, cfg.clone());
+
+        let mut plain = XeonModelBackend::new();
+        let mut ac_plain = field.aircraft.clone();
+        let d_plain = plain.detect_resolve(&mut ac_plain, &cfg);
+
+        let mut wrapped = TransportDetectBackend::new(
+            Box::new(XeonModelBackend::new()),
+            Box::new(InProcessTransport::new(4)),
+        );
+        let mut ac_wrapped = field.aircraft.clone();
+        let d_wrapped = wrapped.detect_resolve(&mut ac_wrapped, &cfg);
+
+        assert_eq!(ac_plain, ac_wrapped);
+        assert_eq!(d_plain, d_wrapped, "pricing must advance the same seed");
+        assert!(wrapped.fault_handle().lock().unwrap().is_none());
+    }
+
+    #[test]
+    fn unpriceable_platform_faults_instead_of_guessing() {
+        let cfg = AtmConfig {
+            shards: 2,
+            ..AtmConfig::with_seed(8)
+        };
+        let field = Airfield::new(120, cfg.clone());
+        // The GPU backend simulates its substrate internally: no totals
+        // pricing.
+        let mut wrapped = TransportDetectBackend::new(
+            Box::new(GpuBackend::titan_x_pascal()),
+            Box::new(InProcessTransport::new(2)),
+        );
+        let mut ac = field.aircraft.clone();
+        let d = wrapped.detect_resolve(&mut ac, &cfg);
+        assert_eq!(d, SimDuration::ZERO);
+        let fault = wrapped.fault_handle();
+        let msg = fault.lock().unwrap().clone().expect("fault must be set");
+        assert!(msg.contains("totals"), "{msg}");
+    }
+}

@@ -96,18 +96,32 @@ impl AtmBackend for XeonModelBackend {
     fn detect_resolve(&mut self, aircraft: &mut [Aircraft], cfg: &AtmConfig) -> SimDuration {
         let mut ops = OpCounter::new();
         let stats = detect_resolve_all(aircraft, cfg, &mut ops);
+        self.price_detect_totals(aircraft.len(), &stats, &ops)
+            .expect("the Xeon model always prices detect totals")
+    }
+
+    /// The Xeon model's detect time is a pure function of the merged totals
+    /// and the per-call jitter seed, so a coordinator can price a detect it
+    /// never executed locally — bit-identically to
+    /// [`XeonModelBackend::detect_resolve`] run in-process, provided calls
+    /// arrive in the same order (the seed counter advances here exactly as
+    /// there).
+    fn price_detect_totals(
+        &mut self,
+        n: usize,
+        stats: &crate::detect::DetectStats,
+        ops: &OpCounter,
+    ) -> Option<SimDuration> {
         // Pair checks read the trial record under its lock; every conflict
         // marking locks both records.
         let work = WorkEstimate {
-            ops,
-            lock_acquisitions: stats.pair_checks
-                + 2 * stats.critical_conflicts
-                + aircraft.len() as u64,
+            ops: ops.clone(),
+            lock_acquisitions: stats.pair_checks + 2 * stats.critical_conflicts + n as u64,
             barriers: 2,
-            n: aircraft.len(),
+            n,
         };
         let seed = self.next_seed();
-        self.model.time_for(&work, seed)
+        Some(self.model.time_for(&work, seed))
     }
 
     fn terrain_avoidance(

@@ -45,7 +45,8 @@ pub use index::{AltitudeBands, ConflictGrid, ScanIndex};
 pub use kernel::{
     check_collision_path, check_collision_path_scanned, check_collision_path_with, detect_only,
     detect_only_with, detect_resolve_all, detect_resolve_indexed, rotate_velocity,
-    scan_candidate_list, scan_candidate_list_booked, scan_pair_range, scan_pairs,
+    scan_candidate_list, scan_candidate_list_booked, scan_member_list_booked, scan_pair_range,
+    scan_pairs,
 };
 pub use soa::SoaFleet;
 pub use stats::{DetectStats, ScanActivity, ScanResult};

@@ -195,6 +195,63 @@ pub fn scan_candidate_list_booked(
     )
 }
 
+/// The shard-worker sibling of [`scan_candidate_list_booked`]: scan a track
+/// held in a shard's gathered *member* records (owned + halo, as exported
+/// by `ShardedIndex` / the wire codec) against local candidate ids,
+/// reporting **global** ids and booking the aggregate mix of the global
+/// fleet size `global_n`.
+///
+/// `recs[l]` must be the record of global aircraft `members[l]` and `li`
+/// the track's local position. Because the aggregate booking depends only
+/// on the global fleet size, and the earliest-critical fold is the
+/// order-independent lexicographic minimum over global `(tmin, p)`, a
+/// worker holding only its member slice produces the exact result, check
+/// count and sink totals the in-process scan produces from the full fleet —
+/// the property that makes the process-per-shard transport byte-identical.
+#[allow(clippy::too_many_arguments)] // the in-process signature + (members, global_n)
+pub fn scan_member_list_booked(
+    recs: &[Aircraft],
+    members: &[u32],
+    li: usize,
+    global_n: usize,
+    vel: (f32, f32),
+    cfg: &AtmConfig,
+    candidates: &[u32],
+    sink: &mut impl CostSink,
+) -> ScanResult {
+    let track = &recs[li];
+    let reach = cfg.critical_reach_nm();
+    let mut earliest: Option<(usize, f32)> = None;
+    let mut checks = 0u64;
+    book_unconditional_mix(global_n as u64, sink);
+    for &lp in candidates {
+        let lp = lp as usize;
+        if lp == li {
+            continue;
+        }
+        let trial = &recs[lp];
+        if !same_altitude_band(track, trial, cfg.alt_separation_ft, &mut NullSink)
+            || !within_critical_reach(track, trial, reach, &mut NullSink)
+        {
+            continue;
+        }
+        checks += 1;
+        fold_window(
+            track,
+            vel,
+            trial,
+            members[lp] as usize,
+            cfg,
+            sink,
+            &mut earliest,
+        );
+    }
+    ScanResult {
+        critical: earliest,
+        checks,
+    }
+}
+
 /// The shared gate-and-fold body of the partial-scan primitives: visit the
 /// given candidates, apply both pair gates, fold survivors into the running
 /// earliest-critical selection. No cost booking — the partial scans exist

@@ -40,6 +40,7 @@ pub mod sim;
 pub mod terrain;
 pub mod track;
 pub mod types;
+pub mod wire;
 
 pub use airfield::{AircraftUpdate, Airfield, IngestReceipt};
 pub use backends::AtmBackend;
@@ -48,8 +49,13 @@ pub use detect::{AltitudeBands, ConflictGrid, ScanIndex};
 pub use engine::{AtmEngine, CycleReport};
 pub use scenario::{fleet_hash, Scenario, ScenarioKind, ScenarioParams};
 pub use shard::{
-    detect_resolve_parallel, ShardMap, ShardedAirfield, ShardedCycleStats, ShardedIndex,
+    detect_resolve_parallel, detect_resolve_via_transport, InProcessTransport, ShardMap,
+    ShardTransport, ShardedAirfield, ShardedCycleStats, ShardedIndex, TransportError, TurnOutcome,
+    TurnRecord, WaveGroup,
 };
 pub use sim::{AtmSimulation, SimOutcome, TerrainSchedule};
 pub use terrain::{TerrainGrid, TerrainTaskConfig};
 pub use types::{Aircraft, RadarReport};
+pub use wire::{
+    run_shard_worker, Frame, FrameStream, SocketTransport, WorkerOptions, WIRE_VERSION,
+};

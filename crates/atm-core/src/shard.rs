@@ -39,8 +39,8 @@ use crate::airfield::Airfield;
 use crate::batcher::{same_altitude_band, within_critical_reach};
 use crate::config::{AtmConfig, ScanMode};
 use crate::detect::{
-    detect_resolve_all, rotate_velocity, scan_pairs, AltitudeBands, ConflictGrid, DetectStats,
-    IncrementalGrid, ScanIndex,
+    detect_resolve_all, rotate_velocity, scan_candidate_list_booked, AltitudeBands, ConflictGrid,
+    DetectStats, IncrementalGrid, ScanResult,
 };
 use crate::track::{
     adopt_expected_phase, any_unmatched, apply_radar_phase, correlate_radar_pass,
@@ -52,7 +52,7 @@ use crate::types::{
 };
 use sim_clock::{CostSink, NullSink, OpCounter};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::sync::Mutex;
 
 /// The canonical shard-ownership rule: an S×S grid of equal cells over
 /// `[-half_width, half_width]²`. An aircraft belongs to the clamped floor
@@ -112,7 +112,7 @@ impl ShardMap {
 /// Per-shard candidate index: the shard's member list composed with the
 /// scan-mode index built over the gathered member records.
 #[derive(Clone, Debug)]
-enum InnerIndex {
+pub(crate) enum InnerIndex {
     /// [`ScanMode::Naive`]: every member is a candidate.
     All,
     /// [`ScanMode::Banded`]: altitude bands over the members.
@@ -125,6 +125,38 @@ enum InnerIndex {
     /// persistence lives in [`crate::detect::IncrementalEngine`] /
     /// [`ShardedIncremental`], not here.
     Incremental(IncrementalGrid),
+}
+
+impl InnerIndex {
+    /// Build the scan-mode index over one shard's gathered member records —
+    /// the same build [`ShardedIndex::build`] performs in-process and a
+    /// shard-worker process performs after a halo import. Identical record
+    /// bits give identical indexes, which is what lets the serialized
+    /// transport reproduce the in-process candidate supersets.
+    pub(crate) fn build(recs: &[Aircraft], cfg: &AtmConfig) -> InnerIndex {
+        match cfg.scan {
+            ScanMode::Naive => InnerIndex::All,
+            ScanMode::Banded => {
+                InnerIndex::Banded(AltitudeBands::build(recs, cfg.alt_separation_ft))
+            }
+            ScanMode::Grid => InnerIndex::Grid(ConflictGrid::build(recs, cfg)),
+            ScanMode::Incremental => InnerIndex::Incremental(IncrementalGrid::build(recs, cfg)),
+        }
+    }
+
+    /// Local candidate ids (positions in the member list) for a track.
+    pub(crate) fn candidates<'a>(
+        &'a self,
+        track: &'a Aircraft,
+        n_local: usize,
+    ) -> Box<dyn Iterator<Item = usize> + 'a> {
+        match self {
+            InnerIndex::All => Box::new(0..n_local),
+            InnerIndex::Banded(b) => Box::new(b.candidates(track.alt)),
+            InnerIndex::Grid(g) => Box::new(g.candidates(track)),
+            InnerIndex::Incremental(g) => Box::new(g.candidates(track)),
+        }
+    }
 }
 
 /// One shard's slice of the fleet: owned aircraft plus the boundary halo.
@@ -212,16 +244,7 @@ impl ShardedIndex {
             .into_iter()
             .map(|mem| {
                 let recs: Vec<Aircraft> = mem.iter().map(|&j| aircraft[j as usize]).collect();
-                let inner = match cfg.scan {
-                    ScanMode::Naive => InnerIndex::All,
-                    ScanMode::Banded => {
-                        InnerIndex::Banded(AltitudeBands::build(&recs, cfg.alt_separation_ft))
-                    }
-                    ScanMode::Grid => InnerIndex::Grid(ConflictGrid::build(&recs, cfg)),
-                    ScanMode::Incremental => {
-                        InnerIndex::Incremental(IncrementalGrid::build(&recs, cfg))
-                    }
-                };
+                let inner = InnerIndex::build(&recs, cfg);
                 ShardCell {
                     members: mem,
                     inner,
@@ -262,19 +285,11 @@ impl ShardedIndex {
         track: &'a Aircraft,
     ) -> Box<dyn Iterator<Item = usize> + 'a> {
         let cell = &self.cells[self.owner[i] as usize];
-        match &cell.inner {
-            InnerIndex::All => Box::new(cell.members.iter().map(|&j| j as usize)),
-            InnerIndex::Banded(b) => Box::new(
-                b.candidates(track.alt)
-                    .map(move |l| cell.members[l] as usize),
-            ),
-            InnerIndex::Grid(g) => {
-                Box::new(g.candidates(track).map(move |l| cell.members[l] as usize))
-            }
-            InnerIndex::Incremental(g) => {
-                Box::new(g.candidates(track).map(move |l| cell.members[l] as usize))
-            }
-        }
+        Box::new(
+            cell.inner
+                .candidates(track, cell.members.len())
+                .map(move |l| cell.members[l] as usize),
+        )
     }
 
     /// Halo size of one shard (members that are not owned by it).
@@ -455,42 +470,63 @@ impl ShardedIncremental {
 }
 
 /// How one aircraft's fused Tasks 2+3 turn ended.
-#[derive(Clone, Copy, Debug)]
-enum TurnOutcome {
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TurnOutcome {
     /// No critical conflict on the committed path: only the horizon reset
     /// is written; incoming collision marks are preserved.
     Clean,
     /// A conflict-free trial path was committed (`chk > 0`).
-    Resolved { vel: (f32, f32) },
+    Resolved {
+        /// The committed trial velocity.
+        vel: (f32, f32),
+    },
     /// The rotation sequence was exhausted: original path kept, conflict
     /// left flagged with the last partner.
-    Unresolved { partner: u32, tmin: f32 },
+    Unresolved {
+        /// The last critical partner (global id).
+        partner: u32,
+        /// Its conflict-start time.
+        tmin: f32,
+    },
 }
 
 /// The condensed effect of one aircraft's turn, recorded by the read-only
-/// simulation [`simulate_turn`] and applied by the serial replay: partner
-/// marks in scan order, the turn outcome, and the turn's stats and booked
-/// op totals.
-#[derive(Clone, Debug)]
-struct TurnRecord {
+/// simulation [`simulate_turn_scanned`] and applied by the coordinator's
+/// serial replay: partner marks in scan order, the turn outcome, and the
+/// turn's stats and booked op totals. All ids are global, so a record is
+/// meaningful outside the shard that produced it — the unit the wire
+/// codec's `turns` frames carry between processes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TurnRecord {
     /// `(partner, tmin)` per critical conflict, in encounter order.
-    events: Vec<(u32, f32)>,
-    outcome: TurnOutcome,
-    stats: DetectStats,
-    ops: OpCounter,
+    pub events: Vec<(u32, f32)>,
+    /// How the turn ended.
+    pub outcome: TurnOutcome,
+    /// The turn's detect stats.
+    pub stats: DetectStats,
+    /// The op totals the turn booked.
+    pub ops: OpCounter,
 }
 
-/// Read-only mirror of [`crate::detect::check_collision_path_with`]: runs
-/// aircraft `i`'s full rotation-loop turn against an immutable fleet view,
-/// recording every write it *would* perform instead of mutating. Bookings
-/// (stores, branches, scans, rotations) follow the mutating routine
-/// call-for-call, so the merged per-turn [`OpCounter`]s total exactly what
-/// the sequential cascade books.
+/// Read-only mirror of [`crate::detect::check_collision_path_scanned`]:
+/// runs one aircraft's full rotation-loop turn with committed velocity
+/// `base` against a caller-supplied scanner, recording every write it
+/// *would* perform instead of mutating. Bookings (stores, branches, scans,
+/// rotations) follow the mutating routine call-for-call, so the merged
+/// per-turn [`OpCounter`]s total exactly what the sequential cascade books.
 ///
-/// Sound inside a wave because a turn reads only static fields (positions,
-/// altitudes) plus the velocities of its *gate passers* — and gate passers
-/// are never in the same wave.
-fn simulate_turn(fleet: &[Aircraft], index: &ScanIndex, i: usize, cfg: &AtmConfig) -> TurnRecord {
+/// `scan` must return what [`crate::detect::scan_pairs`] would for the same
+/// `(track, vel)` — the in-process transport scans the live fleet through
+/// the sharded index, a shard-worker process scans its imported member
+/// records ([`crate::detect::scan_member_list_booked`]). Sound inside a
+/// wave because a turn reads only static fields (positions, altitudes) plus
+/// the velocities of its *gate passers* — and gate passers are never in the
+/// same wave.
+pub fn simulate_turn_scanned(
+    base: (f32, f32),
+    cfg: &AtmConfig,
+    mut scan: impl FnMut((f32, f32), &mut OpCounter) -> ScanResult,
+) -> TurnRecord {
     let mut ops = OpCounter::new();
     let mut stats = DetectStats::default();
     let mut events: Vec<(u32, f32)> = Vec::new();
@@ -500,11 +536,11 @@ fn simulate_turn(fleet: &[Aircraft], index: &ScanIndex, i: usize, cfg: &AtmConfi
 
     let rotations = cfg.rotation_sequence();
     let mut next_rotation = 0usize;
-    let mut vel = (fleet[i].dx, fleet[i].dy);
+    let mut vel = base;
     let mut chk = 0u32;
 
     loop {
-        let scan = scan_pairs(fleet, index, i, vel, cfg, &mut ops);
+        let scan = scan(vel, &mut ops);
         stats.pair_checks += scan.checks;
 
         let Some((partner, tmin)) = scan.critical else {
@@ -531,7 +567,6 @@ fn simulate_turn(fleet: &[Aircraft], index: &ScanIndex, i: usize, cfg: &AtmConfi
             };
         }
 
-        let base = (fleet[i].dx, fleet[i].dy);
         vel = rotate_velocity(base, rotations[next_rotation], &mut ops);
         next_rotation += 1;
         chk += 1;
@@ -555,41 +590,225 @@ fn simulate_turn(fleet: &[Aircraft], index: &ScanIndex, i: usize, cfg: &AtmConfi
     }
 }
 
-/// Exact parallel Tasks 2+3: bit-identical to
-/// [`crate::detect::detect_resolve_all`] run with an [`OpCounter`] sink, at
-/// any worker count.
-///
-/// With `workers == 1` or `cfg.shards == 1` this *is* the sequential
-/// reference (no threads). Otherwise aircraft are leveled by the static
-/// gate-dependency DAG, each wave's turns — grouped by owner shard — are
-/// simulated read-only across `workers` threads, resolved velocities are
-/// committed between waves, and a final serial replay applies the deferred
-/// collision marks in sequential write order.
-pub fn detect_resolve_parallel(
-    aircraft: &mut [Aircraft],
-    cfg: &AtmConfig,
+/// One aircraft's read-only turn against the live fleet through the sharded
+/// index: the in-process scanner. Candidates are gathered once per turn —
+/// they depend only on the track's position and altitude, which are static
+/// across the rotation rescans — and every rescan books the full aggregate
+/// mix via [`scan_candidate_list_booked`], exactly as the sequential
+/// cascade's pruning scan does.
+fn turn_for(fleet: &[Aircraft], index: &ShardedIndex, i: usize, cfg: &AtmConfig) -> TurnRecord {
+    let track = &fleet[i];
+    let cands: Vec<u32> = index.candidates_for(i, track).map(|p| p as u32).collect();
+    simulate_turn_scanned((track.dx, track.dy), cfg, |vel, ops| {
+        scan_candidate_list_booked(fleet, i, vel, cfg, &cands, ops)
+    })
+}
+
+/// A transport-layer failure: the only error the halo-exchange seam can
+/// surface. In-process transports never fail; socket transports wrap every
+/// I/O and protocol error in one of these, tagged with the shard link it
+/// happened on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportError {
+    msg: String,
+}
+
+impl TransportError {
+    /// Wrap a message.
+    pub fn new(msg: impl Into<String>) -> TransportError {
+        TransportError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One wave's work for one shard: `(owner shard, aircraft ids ascending)` —
+/// the unit a worker (thread or process) claims.
+pub type WaveGroup = (u32, Vec<u32>);
+
+/// The halo-exchange seam of the parallel detect: who simulates a wave's
+/// turns and how halo exports, wave hand-offs and resolved-velocity commits
+/// travel. [`detect_resolve_via_transport`] drives the same wave schedule
+/// and serial replay through any implementation, so the transport choice —
+/// in-process threads ([`InProcessTransport`]) or one OS process per shard
+/// over sockets ([`crate::wire::SocketTransport`]) — is a wall-clock and
+/// deployment knob only: fleets, stats and booked op totals stay
+/// bit-identical (DESIGN.md §15).
+pub trait ShardTransport {
+    /// The shard count this transport is committed to serving, or `None`
+    /// when it adapts to whatever the index needs (the in-process case). A
+    /// socket transport holds one worker link per shard, so a mismatch with
+    /// the config's grid is a setup error the driver reports before any
+    /// frame is sent.
+    fn shard_count(&self) -> Option<usize>;
+
+    /// Start one detect execution: export each shard's member slice (the
+    /// halo-export contract of [`ShardedIndex`]) to whoever will scan it.
+    fn begin_detect(
+        &mut self,
+        aircraft: &[Aircraft],
+        index: &ShardedIndex,
+        cfg: &AtmConfig,
+    ) -> Result<(), TransportError>;
+
+    /// Simulate one wave: every listed aircraft's read-only turn, fanned
+    /// across the transport's workers. Returns `(id, record)` pairs in any
+    /// order — the driver sorts by id before committing.
+    fn run_wave(
+        &mut self,
+        aircraft: &[Aircraft],
+        index: &ShardedIndex,
+        cfg: &AtmConfig,
+        wave: &[WaveGroup],
+    ) -> Result<Vec<(u32, TurnRecord)>, TransportError>;
+
+    /// Broadcast the wave's resolved velocities (`(id, (dx, dy))`,
+    /// ascending) so every copy of those aircraft — master fleet and worker
+    /// halos — agrees before the next wave scans.
+    fn commit(&mut self, deltas: &[(u32, (f32, f32))]) -> Result<(), TransportError>;
+
+    /// End the detect execution. The driver passes its replay-summed totals
+    /// so a transport with remote state can cross-check them against what
+    /// its workers accumulated (a codec or scheduling bug fails loudly here
+    /// rather than silently skewing modeled time).
+    fn finish(&mut self, stats: &DetectStats, ops: &OpCounter) -> Result<(), TransportError>;
+}
+
+/// The zero-copy reference transport: wave turns are simulated by scoped
+/// threads (or inline for small waves) reading the live fleet through the
+/// sharded index. Never fails, allocates nothing between waves beyond the
+/// per-turn records, and is byte-identical to the pre-seam thread grid.
+pub struct InProcessTransport {
     workers: usize,
-) -> (DetectStats, OpCounter) {
-    let mut ops = OpCounter::new();
-    let workers = workers.max(1);
-    let n = aircraft.len();
-    if workers == 1 || cfg.shards <= 1 || n < 2 {
-        let stats = detect_resolve_all(aircraft, cfg, &mut ops);
-        return (stats, ops);
+}
+
+impl InProcessTransport {
+    /// A transport fanning waves across up to `workers` threads.
+    pub fn new(workers: usize) -> InProcessTransport {
+        InProcessTransport {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl ShardTransport for InProcessTransport {
+    fn shard_count(&self) -> Option<usize> {
+        None
     }
 
-    let index = ScanIndex::for_config(aircraft, cfg);
+    fn begin_detect(
+        &mut self,
+        _aircraft: &[Aircraft],
+        _index: &ShardedIndex,
+        _cfg: &AtmConfig,
+    ) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    fn run_wave(
+        &mut self,
+        aircraft: &[Aircraft],
+        index: &ShardedIndex,
+        cfg: &AtmConfig,
+        wave: &[WaveGroup],
+    ) -> Result<Vec<(u32, TurnRecord)>, TransportError> {
+        let total: usize = wave.iter().map(|(_, ids)| ids.len()).sum();
+        let pool = self.workers.min(wave.len());
+        // Small waves (the long tail after wave 0) run inline: spawning
+        // threads would cost more than the turns themselves.
+        if pool <= 1 || total < 64 {
+            let mut out = Vec::with_capacity(total);
+            for (_, ids) in wave {
+                for &i in ids {
+                    out.push((i, turn_for(aircraft, index, i as usize, cfg)));
+                }
+            }
+            return Ok(out);
+        }
+        let results: Vec<Mutex<Vec<(u32, TurnRecord)>>> =
+            wave.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                let (results, cursor) = (&results, &cursor);
+                scope.spawn(move || loop {
+                    let g = cursor.fetch_add(1, Ordering::SeqCst);
+                    if g >= wave.len() {
+                        break;
+                    }
+                    let (_, ids) = &wave[g];
+                    let mut recs = Vec::with_capacity(ids.len());
+                    for &i in ids {
+                        recs.push((i, turn_for(aircraft, index, i as usize, cfg)));
+                    }
+                    *results[g].lock().expect("wave result slot") = recs;
+                });
+            }
+        });
+        Ok(results
+            .into_iter()
+            .flat_map(|m| m.into_inner().expect("wave result slot"))
+            .collect())
+    }
+
+    fn commit(&mut self, _deltas: &[(u32, (f32, f32))]) -> Result<(), TransportError> {
+        Ok(()) // workers read the live fleet; the driver already wrote it
+    }
+
+    fn finish(&mut self, _stats: &DetectStats, _ops: &OpCounter) -> Result<(), TransportError> {
+        Ok(())
+    }
+}
+
+/// Exact parallel Tasks 2+3 over any [`ShardTransport`]: bit-identical to
+/// [`crate::detect::detect_resolve_all`] run with an [`OpCounter`] sink,
+/// whatever the transport.
+///
+/// Aircraft are leveled by the static gate-dependency DAG — level(i) is one
+/// more than the max level of its lower-indexed gate partners, so gate
+/// partners never share a wave in either index direction. Each wave's
+/// turns, grouped by owner shard, are simulated read-only by the transport;
+/// resolved velocities are committed to the master fleet (and broadcast to
+/// the transport's workers) between waves; a final serial replay applies
+/// the deferred collision marks in the sequential write order.
+pub fn detect_resolve_via_transport(
+    aircraft: &mut [Aircraft],
+    cfg: &AtmConfig,
+    transport: &mut (impl ShardTransport + ?Sized),
+) -> Result<(DetectStats, OpCounter), TransportError> {
+    let mut ops = OpCounter::new();
+    let n = aircraft.len();
+    if n < 2 {
+        let stats = detect_resolve_all(aircraft, cfg, &mut ops);
+        return Ok((stats, ops));
+    }
+
+    let index = ShardedIndex::build(aircraft, cfg);
+    if let Some(served) = transport.shard_count() {
+        if served != index.shard_count() {
+            return Err(TransportError::new(format!(
+                "transport serves {served} shard(s) but cfg.shards = {} needs {}",
+                cfg.shards,
+                index.shard_count()
+            )));
+        }
+    }
     let reach = cfg.critical_reach_nm();
 
     // Wave levels: level(i) = 1 + max level of its lower-indexed gate
-    // partners (0 when none). Gate partners never share a level, in either
-    // index direction.
+    // partners (0 when none).
     let mut level = vec![0u32; n];
     let mut max_level = 0u32;
     for i in 0..n {
         let track = aircraft[i];
         let mut lv = 0u32;
-        for p in index.candidates(i, &track, n) {
+        for p in index.candidates_for(i, &track) {
             if p >= i || level[p] < lv {
                 continue;
             }
@@ -605,79 +824,61 @@ pub fn detect_resolve_parallel(
     }
 
     // Group each wave's members by owner shard: the unit a worker claims.
-    // Unsharded sources collapse to a single group (shard_count() == 1).
-    let mut waves: Vec<Vec<Vec<u32>>> =
-        vec![vec![Vec::new(); index.shard_count()]; max_level as usize + 1];
+    let shard_count = index.shard_count();
+    let mut grouped: Vec<Vec<Vec<u32>>> =
+        vec![vec![Vec::new(); shard_count]; max_level as usize + 1];
     for i in 0..n {
-        waves[level[i] as usize][index.owner_of(i)].push(i as u32);
+        grouped[level[i] as usize][index.owner_of(i)].push(i as u32);
     }
-    for wave in &mut waves {
-        wave.retain(|g| !g.is_empty());
-    }
+    let waves: Vec<Vec<WaveGroup>> = grouped
+        .into_iter()
+        .map(|wave| {
+            wave.into_iter()
+                .enumerate()
+                .filter(|(_, ids)| !ids.is_empty())
+                .map(|(s, ids)| (s as u32, ids))
+                .collect()
+        })
+        .collect();
 
-    let slots: Vec<Mutex<Option<TurnRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let pool = workers
-        .min(waves.iter().map(|w| w.len()).max().unwrap_or(1))
-        .max(1);
-    let barrier = Barrier::new(pool);
-    let cursor = AtomicUsize::new(0);
-    let fleet_lock = RwLock::new(&mut *aircraft);
-    std::thread::scope(|scope| {
-        for w in 0..pool {
-            let (fleet_lock, slots, waves) = (&fleet_lock, &slots, &waves);
-            let (barrier, cursor, index) = (&barrier, &cursor, &index);
-            scope.spawn(move || {
-                for wave in waves {
-                    barrier.wait();
-                    {
-                        let guard = fleet_lock.read().expect("fleet lock");
-                        let fleet: &[Aircraft] = &guard;
-                        loop {
-                            let g = cursor.fetch_add(1, Ordering::SeqCst);
-                            if g >= wave.len() {
-                                break;
-                            }
-                            for &i in &wave[g] {
-                                let rec = simulate_turn(fleet, index, i as usize, cfg);
-                                *slots[i as usize].lock().expect("slot") = Some(rec);
-                            }
-                        }
-                    }
-                    barrier.wait();
-                    // Worker 0 commits while the rest block at the next
-                    // wave's start barrier.
-                    if w == 0 {
-                        let mut guard = fleet_lock.write().expect("fleet lock");
-                        for grp in wave {
-                            for &i in grp {
-                                let slot = slots[i as usize].lock().expect("slot");
-                                if let Some(TurnRecord {
-                                    outcome: TurnOutcome::Resolved { vel },
-                                    ..
-                                }) = slot.as_ref()
-                                {
-                                    guard[i as usize].dx = vel.0;
-                                    guard[i as usize].dy = vel.1;
-                                }
-                            }
-                        }
-                        cursor.store(0, Ordering::SeqCst);
-                    }
-                }
-            });
+    transport.begin_detect(aircraft, &index, cfg)?;
+
+    let mut records: Vec<Option<TurnRecord>> = (0..n).map(|_| None).collect();
+    for wave in &waves {
+        let mut turns = transport.run_wave(aircraft, &index, cfg, wave)?;
+        turns.sort_unstable_by_key(|&(i, _)| i);
+        let mut deltas: Vec<(u32, (f32, f32))> = Vec::new();
+        for (i, rec) in turns {
+            let slot = records
+                .get_mut(i as usize)
+                .ok_or_else(|| TransportError::new(format!("turn for unknown aircraft {i}")))?;
+            if slot.is_some() {
+                return Err(TransportError::new(format!("aircraft {i} simulated twice")));
+            }
+            if let TurnOutcome::Resolved { vel } = rec.outcome {
+                deltas.push((i, vel));
+            }
+            *slot = Some(rec);
         }
-    });
-    let _ = fleet_lock;
+        // Commit resolved velocities before the next wave scans: to the
+        // master fleet here, to every worker's halo copies via the
+        // transport broadcast.
+        for &(i, vel) in &deltas {
+            aircraft[i as usize].dx = vel.0;
+            aircraft[i as usize].dy = vel.1;
+        }
+        if !deltas.is_empty() {
+            transport.commit(&deltas)?;
+        }
+    }
 
     // Serial replay, ascending: apply each turn's condensed own writes and
     // partner marks exactly where the sequential cascade would.
     let mut total = DetectStats::default();
-    for (i, slot) in slots.iter().enumerate() {
-        let rec = slot
-            .lock()
-            .expect("slot")
+    for i in 0..n {
+        let rec = records[i]
             .take()
-            .expect("every aircraft simulated");
+            .ok_or_else(|| TransportError::new(format!("aircraft {i} was never simulated")))?;
         match rec.outcome {
             TurnOutcome::Clean => {
                 aircraft[i].time_till = cfg.critical_periods;
@@ -710,7 +911,31 @@ pub fn detect_resolve_parallel(
         total.absorb(&rec.stats);
         ops.merge(&rec.ops);
     }
-    (total, ops)
+    transport.finish(&total, &ops)?;
+    Ok((total, ops))
+}
+
+/// Exact parallel Tasks 2+3 over in-process threads: bit-identical to
+/// [`crate::detect::detect_resolve_all`] run with an [`OpCounter`] sink, at
+/// any worker count.
+///
+/// With `workers == 1` or `cfg.shards == 1` this *is* the sequential
+/// reference (no threads). Otherwise it is
+/// [`detect_resolve_via_transport`] over an [`InProcessTransport`].
+pub fn detect_resolve_parallel(
+    aircraft: &mut [Aircraft],
+    cfg: &AtmConfig,
+    workers: usize,
+) -> (DetectStats, OpCounter) {
+    let workers = workers.max(1);
+    if workers == 1 || cfg.shards <= 1 || aircraft.len() < 2 {
+        let mut ops = OpCounter::new();
+        let stats = detect_resolve_all(aircraft, cfg, &mut ops);
+        return (stats, ops);
+    }
+    let mut transport = InProcessTransport::new(workers);
+    detect_resolve_via_transport(aircraft, cfg, &mut transport)
+        .expect("the in-process transport cannot fail")
 }
 
 /// Fan a pure per-aircraft phase over worker threads. Element-local phases

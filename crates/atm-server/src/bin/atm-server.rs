@@ -1,9 +1,13 @@
 //! CLI for the ATM service layer.
 //!
 //! ```text
-//! atm-server serve  [--addr HOST:PORT] [spec flags]
-//! atm-server replay --log FILE --cycles N [spec flags] [--metrics-out FILE]
-//! atm-server drive  --addr HOST:PORT --log FILE --cycles N [--events-out FILE] [--shutdown]
+//! atm-server serve        [--addr HOST:PORT] [spec flags]
+//! atm-server replay       --log FILE --cycles N [spec flags] [--metrics-out FILE]
+//! atm-server drive        --addr HOST:PORT --log FILE --cycles N [--events-out FILE] [--shutdown]
+//! atm-server coordinator  --log FILE --cycles N [--listen HOST:PORT] [--port-file FILE]
+//!                         [spec flags] [--metrics-out FILE]
+//! atm-server shard-worker --connect HOST:PORT [--retry-ms T] [--retry-attempts K]
+//!                         [--die-after-waves W]
 //! ```
 //!
 //! Spec flags: `--n`, `--seed`, `--scenario SLUG`, `--scan MODE`,
@@ -16,14 +20,30 @@
 //! subscribes, replays an ingest log against a *live* server (ingesting
 //! each batch at its recorded cycle boundary, stepping in between), and
 //! prints every streamed event line in arrival order.
+//!
+//! `coordinator` is `replay` with the detect waves farmed out to
+//! `--shards`² shard-worker *processes* over the wire codec (DESIGN.md
+//! §15): it listens, waits for every worker to connect, then steps the
+//! recorded cycles with each detect's waves running across the fleet of
+//! workers — producing byte-identical stdout and `--metrics-out` to the
+//! in-process `replay` of the same spec. Any worker fault aborts the run
+//! with a nonzero exit and *no* artifacts. `shard-worker` connects (with
+//! retry, so it can start before the coordinator) and serves halo imports,
+//! wave claims and commits until the coordinator shuts the link down;
+//! `--die-after-waves` injects a mid-protocol crash for fault testing.
 
+use atm_core::backends::TransportDetectBackend;
+use atm_core::detect::DetectStats;
+use atm_core::wire::run_shard_worker_with;
+use atm_core::{AtmEngine, SocketTransport, WorkerOptions};
 use atm_server::proto::{entry_to_json, updates_to_json};
 use atm_server::spec::scan_from_slug;
 use atm_server::{parse_log, replay_log, AtmServer, ServerSpec};
+use sim_clock::OpCounter;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
-use telemetry::{parse_json, JsonValue};
+use telemetry::{parse_json, JsonValue, Recorder};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("atm-server: {msg}");
@@ -234,10 +254,123 @@ fn cmd_drive(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Run a recorded ingest log across `shards`² shard-worker processes:
+/// listen, accept every worker, then step the cycles with detect waves
+/// flowing over the serialized transport. Success output is byte-identical
+/// to `replay` of the same spec; any transport fault aborts before any
+/// artifact is written.
+fn cmd_coordinator(args: &Args) -> Result<(), String> {
+    let mut spec = spec_from_args(args)?;
+    if args.get("platform").is_none() {
+        // The coordinator replays detect from merged totals, so it needs a
+        // totals-priced platform; the Xeon model is the canonical one.
+        spec.platform = "xeon-multicore".to_owned();
+    }
+    let path = args.get("log").ok_or("coordinator needs --log FILE")?;
+    let cycles: u64 = args
+        .get_parsed("cycles")?
+        .ok_or("coordinator needs --cycles N")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let log = parse_log(&text)?;
+
+    // Probe totals-pricing on a throwaway backend — probing the engine's
+    // own instance would advance its jitter seed and break replay identity.
+    let mut probe = spec.build_backend()?;
+    if probe
+        .price_detect_totals(0, &DetectStats::default(), &OpCounter::new())
+        .is_none()
+    {
+        return Err(format!(
+            "platform `{}` cannot price detect from merged totals; a \
+             coordinator needs a totals-priced platform (e.g. xeon-multicore)",
+            spec.platform
+        ));
+    }
+
+    let listen = args.get("listen").unwrap_or("127.0.0.1:4751");
+    let listener = TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    let shard_count = spec.shards * spec.shards;
+    eprintln!(
+        "atm-server: coordinator listening on {local}, waiting for {shard_count} shard worker(s)"
+    );
+    if let Some(pf) = args.get("port-file") {
+        std::fs::write(pf, format!("{local}\n")).map_err(|e| format!("write {pf}: {e}"))?;
+    }
+    let transport =
+        SocketTransport::accept_workers(&listener, shard_count).map_err(|e| e.to_string())?;
+    eprintln!("atm-server: all {shard_count} shard worker(s) connected");
+
+    let backend = TransportDetectBackend::new(spec.build_backend()?, Box::new(transport));
+    let fault = backend.fault_handle();
+    let mut engine = AtmEngine::new(spec.build_airfield()?, Box::new(backend));
+    let recorder = Recorder::enabled();
+    engine.set_recorder(recorder.clone());
+    engine.begin_run();
+
+    // The replay loop, buffered: nothing is printed or flushed until every
+    // cycle survived, so a failed run leaves no partial artifact behind.
+    let mut next = 0usize;
+    let mut reports = Vec::with_capacity(cycles as usize);
+    for cycle in 0..cycles {
+        while next < log.len() && log[next].cycle <= cycle {
+            engine.apply_updates(&log[next].updates);
+            next += 1;
+        }
+        let report = engine.step_major_cycle();
+        if let Some(msg) = fault.lock().expect("transport fault slot").clone() {
+            return Err(format!("halo exchange failed at cycle {cycle}: {msg}"));
+        }
+        reports.push(report);
+    }
+
+    let mut stdout = std::io::stdout().lock();
+    for report in &reports {
+        writeln!(stdout, "{}", report.to_json().to_compact()).map_err(|e| e.to_string())?;
+    }
+    if let Some(out) = args.get("metrics-out") {
+        std::fs::write(out, recorder.metrics_json()).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Serve one coordinator as a shard worker, connecting with retry so
+/// workers can launch before (or while) the coordinator binds.
+fn cmd_shard_worker(args: &Args) -> Result<(), String> {
+    let addr = args
+        .get("connect")
+        .ok_or("shard-worker needs --connect HOST:PORT")?;
+    let retry_ms: u64 = args.get_parsed("retry-ms")?.unwrap_or(50);
+    let attempts: u64 = args.get_parsed("retry-attempts")?.unwrap_or(200);
+    let opts = WorkerOptions {
+        die_after_waves: args.get_parsed("die-after-waves")?,
+    };
+    let mut stream = None;
+    for attempt in 0..attempts {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) if attempt + 1 == attempts => {
+                return Err(format!("connect {addr}: {e} (after {attempts} attempts)"));
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(retry_ms)),
+        }
+    }
+    let stream = stream.ok_or_else(|| format!("connect {addr}: no coordinator"))?;
+    let shard = run_shard_worker_with(stream, opts).map_err(|e| e.to_string())?;
+    eprintln!("atm-server: shard {shard} worker done");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = argv.first().map(String::as_str) else {
-        return fail("usage: atm-server <serve|replay|drive> [flags] (see --help in crate docs)");
+        return fail(
+            "usage: atm-server <serve|replay|drive|coordinator|shard-worker> [flags] \
+             (see --help in crate docs)",
+        );
     };
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
@@ -247,6 +380,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "replay" => cmd_replay(&args),
         "drive" => cmd_drive(&args),
+        "coordinator" => cmd_coordinator(&args),
+        "shard-worker" => cmd_shard_worker(&args),
         other => Err(format!("unknown mode `{other}`")),
     };
     match result {

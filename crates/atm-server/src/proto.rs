@@ -7,7 +7,56 @@
 //! contract rests on.
 
 use atm_core::AircraftUpdate;
+use std::io::BufRead;
 use telemetry::{parse_json, JsonValue};
+
+/// Hard ceiling on one request line. A client that streams more than this
+/// without a newline is not speaking the protocol; the server answers with
+/// a clean error and drops the connection instead of buffering without
+/// bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Read one `\n`-terminated line of at most `max` bytes.
+///
+/// Returns `Ok(None)` on a clean EOF at a line boundary, `Ok(Some(line))`
+/// (terminator stripped; a final unterminated line is still returned), and
+/// `Err` when the line exceeds `max` bytes, is not UTF-8, or the read
+/// fails. On the over-limit error the rest of the oversized line is left
+/// unread, so the stream is desynchronized — callers must drop the
+/// connection after reporting the error.
+pub fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<String>, String> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf().map_err(|e| format!("read: {e}"))?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            break; // final unterminated line
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return Err(format!("request line exceeds {max} bytes"));
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                if buf.len() + chunk.len() > max {
+                    return Err(format!("request line exceeds {max} bytes"));
+                }
+                let taken = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(taken);
+            }
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| "request line is not UTF-8".to_owned())
+}
 
 /// One recorded ingest batch: the receipt's sequence number, the number of
 /// major cycles that had *completed* when the batch was applied (so replay
@@ -182,5 +231,45 @@ mod tests {
         assert!(parse_log("{\"seq\":1}\n").is_err());
         assert!(update_from_json(&parse_json("{\"id\":0,\"x\":1.0}").unwrap()).is_err());
         assert!(updates_from_json(&JsonValue::obj()).is_err());
+    }
+
+    #[test]
+    fn bounded_line_reading_enforces_the_limit() {
+        use std::io::Cursor;
+        // Normal lines come through with the terminator stripped.
+        let mut r = Cursor::new(b"first\nsecond\n".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap().as_deref(),
+            Some("first")
+        );
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap().as_deref(),
+            Some("second")
+        );
+        assert_eq!(read_line_bounded(&mut r, 64).unwrap(), None, "clean EOF");
+
+        // A final unterminated line is still returned.
+        let mut r = Cursor::new(b"tail".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut r, 64).unwrap().as_deref(),
+            Some("tail")
+        );
+
+        // One byte over the limit is a clean protocol error, even when the
+        // oversized line arrives in small buffered chunks.
+        let long = vec![b'x'; 65];
+        let mut r = std::io::BufReader::with_capacity(8, Cursor::new(long));
+        let e = read_line_bounded(&mut r, 64).unwrap_err();
+        assert!(e.contains("exceeds 64 bytes"), "{e}");
+
+        // Exactly at the limit is fine.
+        let mut exact = vec![b'y'; 64];
+        exact.push(b'\n');
+        let mut r = Cursor::new(exact);
+        assert_eq!(read_line_bounded(&mut r, 64).unwrap().unwrap().len(), 64);
+
+        // Non-UTF-8 is rejected rather than lossily decoded.
+        let mut r = Cursor::new(b"\xff\xfe\n".to_vec());
+        assert!(read_line_bounded(&mut r, 64).unwrap_err().contains("UTF-8"));
     }
 }
